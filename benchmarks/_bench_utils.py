@@ -1,0 +1,35 @@
+"""Shared helpers for the per-figure benches.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
+the corresponding experiment from :mod:`repro.eval.experiments` and prints
+the same rows/series the paper plots.  Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+or any single figure directly::
+
+    python benchmarks/bench_fig10_error_vs_fixed.py
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.registry import APPLICATION_NAMES
+
+__all__ = ["APPLICATION_NAMES", "run_once", "emit"]
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (experiments are deterministic
+    and dominated by one-time training, which the eval layer caches)."""
+    if benchmark is None:
+        return fn(*args, **kwargs)
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+def emit(text: str) -> None:
+    """Print a result block (pytest captures it; ``-s`` or direct runs show it)."""
+    print()
+    print(text)

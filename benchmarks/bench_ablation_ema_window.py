@@ -1,0 +1,51 @@
+"""Ablation — EMA history window N (alpha = 2 / (1 + N), paper Eq. 2).
+
+The window controls how much signal history the output-based detector
+smooths over; the sweep reports detection efficiency across windows.
+"""
+
+from _bench_utils import emit, run_once
+
+from repro.eval import evaluate_benchmark
+from repro.eval.reporting import banner, format_table
+from repro.metrics.analysis import fixes_required_for_quality
+from repro.predictors.ema import EMAPredictor
+
+WINDOWS = (1, 3, 7, 15, 31, 63)
+
+
+def run_sweep():
+    evaluation = evaluate_benchmark("sobel")
+    rows = []
+    for window in WINDOWS:
+        predictor = EMAPredictor(history=window)
+        scores = predictor.scores(approx_outputs=evaluation.approx)
+        n_fixed, achieved = fixes_required_for_quality(
+            scores, evaluation.errors, target_error=0.10
+        )
+        rows.append([
+            window,
+            predictor.alpha,
+            n_fixed / evaluation.n_elements * 100,
+            achieved * 100,
+        ])
+    return rows
+
+
+def test_ablation_ema_window(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(banner("Ablation: EMA history window (sobel, 90% target)"))
+    emit(
+        format_table(
+            ["history N", "alpha", "elements fixed %", "achieved error %"],
+            rows,
+        )
+    )
+    for row in rows:
+        assert row[3] <= 10.0 + 1e-9  # every window reaches the target
+    fixes = [r[2] for r in rows]
+    assert max(fixes) <= 100.0 and min(fixes) >= 0.0
+
+
+if __name__ == "__main__":
+    test_ablation_ema_window(None)

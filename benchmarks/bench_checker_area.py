@@ -1,0 +1,55 @@
+"""Extension (Fig. 7) — area of the checker hardware vs the accelerator.
+
+The checkers must be "light-weight" not just in time and energy but in
+silicon: this bench sizes each fitted checker's datapath + coefficient
+buffer (NAND2-equivalent gates) against the 8-PE NPU it rides along with.
+"""
+
+from _bench_utils import APPLICATION_NAMES, emit, run_once
+
+from repro.eval import evaluate_benchmark
+from repro.eval.reporting import banner, format_table
+from repro.hardware.checker_hw import CheckerModel
+from repro.hardware.npu import NPUModel
+
+
+def run_areas():
+    npu = NPUModel()
+    rows = []
+    for name in APPLICATION_NAMES:
+        evaluation = evaluate_benchmark(name)
+        topology = evaluation.backend.topology
+        npu_area = npu.area_gates(topology)
+        linear_words = evaluation.predictors["linearErrors"].coefficient_count()
+        tree_words = evaluation.predictors["treeErrors"].coefficient_count()
+        linear = CheckerModel("linear", n_inputs=topology.n_inputs)
+        tree = CheckerModel("tree", n_inputs=topology.n_inputs)
+        ema = CheckerModel("ema")
+        rows.append([
+            name,
+            npu_area,
+            linear.area_gates(linear_words) / npu_area * 100,
+            tree.area_gates(tree_words) / npu_area * 100,
+            ema.area_gates(1) / npu_area * 100,
+        ])
+    return rows
+
+
+def test_checker_area(benchmark):
+    rows = run_once(benchmark, run_areas)
+    emit(banner("Checker area relative to the NPU PE array "
+                "(NAND2-equivalent gates)"))
+    emit(format_table(
+        ["Benchmark", "NPU gates", "linear (% NPU)", "tree (% NPU)",
+         "EMA (% NPU)"],
+        rows,
+    ))
+    for row in rows:
+        # Every fitted checker is a fraction of the accelerator it guards.
+        assert row[2] < 60.0, row[0]
+        assert row[3] < 60.0, row[0]
+        assert row[4] < 20.0, row[0]
+
+
+if __name__ == "__main__":
+    test_checker_area(None)

@@ -1,0 +1,45 @@
+"""Fig. 1 — typical CDF of element errors under approximation.
+
+The paper's observation: most output elements (~80%) have small errors
+while a few have large ones.  We pool the per-element errors of the
+unchecked Rumba accelerator across the whole suite and print the CDF.
+"""
+
+import numpy as np
+from _bench_utils import APPLICATION_NAMES, emit, run_once
+
+from repro.eval import evaluate_benchmark
+from repro.eval.reporting import banner, format_series
+from repro.metrics.analysis import error_cdf
+
+
+def build_cdf():
+    pooled = np.concatenate(
+        [evaluate_benchmark(name).errors for name in APPLICATION_NAMES]
+    )
+    levels = np.array([0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50, 1.00])
+    _, fractions = error_cdf(pooled, levels=levels)
+    return levels, fractions, pooled
+
+
+def test_fig01_error_cdf(benchmark):
+    levels, fractions, pooled = run_once(benchmark, build_cdf)
+    emit(banner("Fig. 1: CDF of element errors (all benchmarks, unchecked)"))
+    emit(
+        format_series(
+            "error level",
+            levels,
+            {"fraction of elements below": fractions},
+        )
+    )
+    small = fractions[np.searchsorted(levels, 0.10)]
+    emit(f"elements with error <= 10%: {small * 100:.1f}% "
+         f"(paper's sketch: ~80% small, a long tail of large errors)")
+    # The Fig. 1 shape: the bulk is small, a nontrivial tail is large.
+    assert small > 0.5
+    assert fractions[-1] <= 1.0
+    assert (pooled > 0.2).mean() > 0.02  # the tail exists
+
+
+if __name__ == "__main__":
+    test_fig01_error_cdf(None)

@@ -1,0 +1,48 @@
+"""Fig. 5 + Sec. 3.2 — Gaussian case study and EVP vs EEP accuracy.
+
+A small MLP approximates a Gaussian; the approximation errors concentrate
+on certain inputs (Fig. 5), and a linear model predicts those errors more
+accurately directly (EEP) than via value prediction (EVP) — the paper
+reports average distances of 2.5 (EVP) vs 1 (EEP).
+"""
+
+import numpy as np
+from _bench_utils import emit, run_once
+
+from repro.eval.experiments import gaussian_case_study
+from repro.eval.reporting import banner, format_series, format_table
+
+
+def test_fig05_gaussian_evp_eep(benchmark):
+    study = run_once(benchmark, gaussian_case_study, seed=0)
+    # Print a decimated Fig. 5 (exact / approx / error over the input range).
+    idx = np.linspace(0, study.inputs.size - 1, 13).astype(int)
+    emit(banner("Fig. 5: exact output, approximate output and errors "
+                "(Gaussian kernel)"))
+    emit(
+        format_series(
+            "input",
+            study.inputs[idx],
+            {
+                "exact": study.exact[idx],
+                "approximate": study.approx[idx],
+                "error": study.errors[idx],
+            },
+        )
+    )
+    emit(banner("Sec. 3.2: EVP vs EEP accuracy (mean |score - true error|)"))
+    emit(
+        format_table(
+            ["Method", "Mean distance to true errors"],
+            [
+                ["EVP (predict value, then diff)", study.evp_distance],
+                ["EEP (predict error directly)", study.eep_distance],
+            ],
+        )
+    )
+    emit(f"EEP is {study.eep_advantage:.1f}x closer (paper: 2.5x)")
+    assert study.eep_distance < study.evp_distance
+
+
+if __name__ == "__main__":
+    test_fig05_gaussian_evp_eep(None)

@@ -1,0 +1,49 @@
+"""Fig. 11 — false positives at 90% target output quality.
+
+A false positive is a fixed element whose true error was not actually
+large.  Ideal has zero; the trained checkers (linearErrors, treeErrors)
+should sit far below the blind Random/Uniform/EMA schemes on average
+(paper averages: 14.8 / 14.5 / 13.3 / 2.1 / 0.76 %).
+"""
+
+import numpy as np
+from _bench_utils import APPLICATION_NAMES, emit, run_once
+
+from repro.eval import evaluate_benchmark, quality_target_analysis
+from repro.eval.reporting import banner, format_table
+from repro.predictors.training import SCHEME_NAMES
+
+
+def run_analysis():
+    table = {}
+    for name in APPLICATION_NAMES:
+        table[name] = quality_target_analysis(evaluate_benchmark(name))
+    return table
+
+
+def test_fig11_false_positives(benchmark):
+    table = run_once(benchmark, run_analysis)
+    rows = []
+    for name, analyses in table.items():
+        rows.append(
+            [name] + [
+                analyses[s].false_positive_fraction * 100 for s in SCHEME_NAMES
+            ]
+        )
+    means = ["average"] + [
+        float(np.mean([table[n][s].false_positive_fraction for n in table])) * 100
+        for s in SCHEME_NAMES
+    ]
+    rows.append(means)
+    emit(banner("Fig. 11: false positives (%) at 90% target output quality"))
+    emit(format_table(["Benchmark"] + list(SCHEME_NAMES), rows))
+
+    avg = {s: means[1 + i] for i, s in enumerate(SCHEME_NAMES)}
+    # Paper shape: Ideal == 0; trained checkers well below the blind schemes.
+    assert avg["Ideal"] == 0.0
+    assert avg["treeErrors"] < avg["Random"]
+    assert avg["treeErrors"] < avg["EMA"]
+
+
+if __name__ == "__main__":
+    test_fig11_false_positives(None)

@@ -1,0 +1,50 @@
+"""Fig. 12 — elements that must be re-executed for 90% target quality.
+
+Fewer fixes means lower re-execution energy.  Paper averages: Random needs
+41% of elements (29 points above Ideal); linearErrors and treeErrors only
+9 and 6 points above Ideal respectively.
+"""
+
+import numpy as np
+from _bench_utils import APPLICATION_NAMES, emit, run_once
+
+from repro.eval import evaluate_benchmark, quality_target_analysis
+from repro.eval.reporting import banner, format_table
+from repro.predictors.training import SCHEME_NAMES
+
+
+def run_analysis():
+    return {
+        name: quality_target_analysis(evaluate_benchmark(name))
+        for name in APPLICATION_NAMES
+    }
+
+
+def test_fig12_fixed_elements(benchmark):
+    table = run_once(benchmark, run_analysis)
+    rows = []
+    for name, analyses in table.items():
+        rows.append(
+            [name] + [analyses[s].fixed_fraction * 100 for s in SCHEME_NAMES]
+        )
+    means = {
+        s: float(np.mean([table[n][s].fixed_fraction for n in table])) * 100
+        for s in SCHEME_NAMES
+    }
+    rows.append(["average"] + [means[s] for s in SCHEME_NAMES])
+    emit(banner("Fig. 12: elements re-executed (%) for 90% target quality"))
+    emit(format_table(["Benchmark"] + list(SCHEME_NAMES), rows))
+    emit(
+        f"extra fixes vs Ideal: Random +{means['Random'] - means['Ideal']:.1f} "
+        f"linear +{means['linearErrors'] - means['Ideal']:.1f} "
+        f"tree +{means['treeErrors'] - means['Ideal']:.1f} points "
+        f"(paper: +29 / +9 / +6)"
+    )
+    # Paper shape: Ideal minimal, tree closest to Ideal, Random worst tier.
+    assert means["Ideal"] <= means["treeErrors"]
+    assert means["treeErrors"] <= means["linearErrors"] + 1e-9
+    assert means["treeErrors"] < means["Random"]
+
+
+if __name__ == "__main__":
+    test_fig12_fixed_elements(None)

@@ -1,0 +1,51 @@
+"""Fig. 16 — energy consumption vs target error rate (fft case study).
+
+Stricter quality targets require more fixes, so energy rises as the target
+error shrinks; Ideal lower-bounds every scheme and the gap to the trained
+checkers widens at the strictest targets (false positives bite there).
+"""
+
+import numpy as np
+from _bench_utils import emit, run_once
+
+from repro.eval import energy_vs_toq, evaluate_benchmark
+from repro.eval.ascii_plots import line_chart
+from repro.eval.reporting import banner, format_series
+
+TARGETS = np.arange(0.01, 0.105, 0.01)
+SCHEMES = ("Ideal", "Random", "EMA", "linearErrors", "treeErrors")
+
+
+def run_case_study():
+    evaluation = evaluate_benchmark("fft")
+    return energy_vs_toq(evaluation, target_errors=TARGETS, schemes=SCHEMES)
+
+
+def test_fig16_energy_vs_toq(benchmark):
+    curves = run_once(benchmark, run_case_study)
+    emit(banner("Fig. 16: normalized energy vs target error rate (fft)"))
+    emit(
+        format_series(
+            "target error (%)",
+            TARGETS * 100,
+            {s: curves[s] for s in SCHEMES},
+        )
+    )
+    emit(line_chart(
+        TARGETS * 100,
+        {s: curves[s] for s in ("Ideal", "Random", "treeErrors")},
+        title="Fig. 16 rendered: normalized energy vs target error % (fft)",
+    ))
+    # Energy is non-increasing as the target loosens, for every scheme.
+    for scheme in SCHEMES:
+        assert np.all(np.diff(curves[scheme]) <= 1e-12), scheme
+    # Ideal is the cheapest at every target.
+    for scheme in SCHEMES[1:]:
+        assert np.all(curves["Ideal"] <= curves[scheme] + 1e-12), scheme
+    # The Ideal-vs-tree gap grows as quality demands tighten (paper note).
+    gap = curves["treeErrors"] - curves["Ideal"]
+    assert gap[0] >= gap[-1] - 1e-12
+
+
+if __name__ == "__main__":
+    test_fig16_energy_vs_toq(None)

@@ -1,0 +1,34 @@
+"""Fig. 17 — error-predictor latency relative to one NPU invocation.
+
+Both trained checkers finish before the accelerator on every benchmark
+(all bars below 1.0), so prediction never stalls the NPU.
+"""
+
+from _bench_utils import APPLICATION_NAMES, emit, run_once
+
+from repro.eval import evaluate_benchmark, prediction_time_table
+from repro.eval.reporting import banner, format_table
+
+
+def run_table():
+    return {
+        name: prediction_time_table(evaluate_benchmark(name))
+        for name in APPLICATION_NAMES
+    }
+
+
+def test_fig17_prediction_time(benchmark):
+    table = run_once(benchmark, run_table)
+    rows = [
+        [name, times["linearErrors"], times["treeErrors"]]
+        for name, times in table.items()
+    ]
+    emit(banner("Fig. 17: checker time normalized to one NPU invocation"))
+    emit(format_table(["Benchmark", "linearErrors", "treeErrors"], rows))
+    for name, times in table.items():
+        assert times["linearErrors"] < 1.0, name
+        assert times["treeErrors"] < 1.0, name
+
+
+if __name__ == "__main__":
+    test_fig17_prediction_time(None)

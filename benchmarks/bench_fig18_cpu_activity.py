@@ -1,0 +1,44 @@
+"""Fig. 18 — the accelerator and the CPU working in tandem.
+
+A 200-element window of treeErrors detection: elements whose predicted
+error exceeds the tuning threshold are re-computed by the CPU while the
+accelerator streams on.  The paper's instance: threshold 0.33, 15% of
+elements fixed, CPU keeps up with an accelerator up to 6.67x faster.
+"""
+
+import numpy as np
+from _bench_utils import emit, run_once
+
+from repro.eval import cpu_activity_case_study
+from repro.eval.reporting import banner, format_table
+
+
+def test_fig18_cpu_activity(benchmark):
+    study = run_once(benchmark, cpu_activity_case_study, n_elements=200, seed=0)
+    emit(banner("Fig. 18: treeErrors scores and CPU activity (fft, "
+                "200-element window)"))
+    emit(
+        format_table(
+            ["Quantity", "Value"],
+            [
+                ["tuning threshold", study.threshold],
+                ["elements above threshold",
+                 int(study.recovery_bits.sum())],
+                ["fix fraction", study.fix_fraction],
+                ["max keep-up accelerator speedup",
+                 study.max_keepup_speedup],
+                ["CPU busy samples",
+                 int(study.cpu_trace.sum())],
+            ],
+        )
+    )
+    emit(f"(paper's instance: threshold 0.33, 15% fixed, keep-up 6.67x)")
+    # Compressed activity strip (the bottom half of Fig. 18).
+    strip = "".join("#" if v else "." for v in study.cpu_trace[:100])
+    emit(f"CPU activity (first 100 accel-slots): {strip}")
+    assert 0.03 < study.fix_fraction < 0.5
+    assert study.max_keepup_speedup > 2.0
+
+
+if __name__ == "__main__":
+    test_fig18_cpu_activity(None)

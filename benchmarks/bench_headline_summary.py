@@ -1,0 +1,56 @@
+"""Abstract headline numbers, recomputed over the full suite.
+
+Paper: 2.1x output-error reduction vs the unchecked approximation
+accelerator at the same speedup, with energy savings dropping from 3.2x
+(unchecked NPU) to 2.2x (Rumba/treeErrors).
+"""
+
+from _bench_utils import emit, run_once
+
+from repro.eval import headline_summary
+from repro.eval.reporting import banner, format_table
+
+
+def test_headline_summary(benchmark):
+    summary = run_once(benchmark, headline_summary)
+    rows = [
+        [
+            name,
+            d["unchecked_error"] * 100,
+            d["rumba_error"] * 100,
+            d["fix_fraction"] * 100,
+            d["npu_energy_savings"],
+            d["rumba_energy_savings"],
+            d["npu_speedup"],
+            d["rumba_speedup"],
+        ]
+        for name, d in summary.per_app.items()
+    ]
+    emit(banner("Headline summary (Rumba = treeErrors @ 90% target quality)"))
+    emit(
+        format_table(
+            ["Benchmark", "unchecked err %", "Rumba err %", "fixed %",
+             "NPU energy x", "Rumba energy x", "NPU speedup", "Rumba speedup"],
+            rows,
+        )
+    )
+    emit(
+        f"error: {summary.mean_unchecked_error * 100:.1f}% -> "
+        f"{summary.mean_rumba_error * 100:.1f}% "
+        f"({summary.error_reduction:.2f}x reduction; paper: 20.6% -> 10%, 2.1x)"
+    )
+    emit(
+        f"energy savings: {summary.npu_energy_savings:.2f}x -> "
+        f"{summary.rumba_energy_savings:.2f}x (paper: 3.2x -> 2.2x)"
+    )
+    emit(
+        f"speedup: NPU {summary.npu_speedup:.2f}x, Rumba "
+        f"{summary.rumba_speedup:.2f}x (paper: both ~2.1-2.3x)"
+    )
+    assert summary.error_reduction > 1.3
+    assert summary.npu_energy_savings > summary.rumba_energy_savings > 1.5
+    assert summary.rumba_speedup > 0.85 * summary.npu_speedup
+
+
+if __name__ == "__main__":
+    test_headline_summary(None)

@@ -1,0 +1,38 @@
+"""Table 1 — applications, train/test data, NN topologies, metrics."""
+
+from _bench_utils import emit, run_once
+
+from repro.apps import all_applications
+from repro.eval.reporting import banner, format_table
+
+
+def build_table1():
+    rows = []
+    for app in all_applications():
+        rows.append([
+            app.name,
+            app.domain,
+            app.train_description,
+            app.test_description,
+            str(app.rumba_topology),
+            str(app.npu_topology),
+            app.metric_name,
+        ])
+    return rows
+
+
+def test_table1_applications(benchmark):
+    rows = run_once(benchmark, build_table1)
+    assert len(rows) == 7
+    emit(banner("Table 1: Applications and their inputs"))
+    emit(
+        format_table(
+            ["Application", "Domain", "Train Data", "Test Data",
+             "NN Topology (Rumba)", "NN Topology (NPU)", "Evaluation Metric"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    test_table1_applications(None)

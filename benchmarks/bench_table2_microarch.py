@@ -1,0 +1,21 @@
+"""Table 2 — microarchitectural parameters of the modeled X86-64 core."""
+
+from _bench_utils import emit, run_once
+
+from repro.eval.reporting import banner, format_table
+from repro.hardware.microarch import TABLE2_X86_64
+
+
+def build_table2():
+    return list(TABLE2_X86_64.as_table().items())
+
+
+def test_table2_microarch(benchmark):
+    rows = run_once(benchmark, build_table2)
+    assert ("ROB Entries", 96) in rows
+    emit(banner("Table 2: Microarchitectural parameters of the X86-64 core"))
+    emit(format_table(["Parameter", "Value"], [[k, v] for k, v in rows]))
+
+
+if __name__ == "__main__":
+    test_table2_microarch(None)

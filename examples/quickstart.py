@@ -1,0 +1,45 @@
+"""Quickstart — run one benchmark through the full Rumba loop.
+
+Trains the sobel accelerator network and the treeErrors checker offline,
+then runs a test invocation through detect -> recover -> tune and prints
+what Rumba bought: lower output error at accelerator-class speed, for a
+slice of the energy savings.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import prepare_system
+from repro.core.costs import CostModel
+from repro.hardware.checker_hw import CheckerModel
+
+
+def main() -> None:
+    print("Preparing the sobel benchmark (offline training)...")
+    system = prepare_system("sobel", scheme="treeErrors", seed=0)
+
+    rng = np.random.default_rng(7)
+    inputs = system.app.test_inputs(rng)[:40000]
+    print(f"Running one accelerator invocation over {inputs.shape[0]} elements")
+    record = system.run_invocation(inputs)
+
+    print()
+    print(f"unchecked accelerator error : {record.unchecked_error * 100:6.2f}%")
+    print(f"Rumba output error          : {record.measured_error * 100:6.2f}%")
+    print(f"elements re-executed        : {record.fix_fraction * 100:6.2f}%")
+    print(f"CPU kept up with accelerator: {record.pipeline.cpu_kept_up}")
+    print()
+    print(f"whole-app energy savings    : {record.costs.energy_savings:5.2f}x")
+    print(f"whole-app speedup           : {record.costs.speedup:5.2f}x")
+
+    # Compare against the unchecked NPU running its (bigger) Table 1 network.
+    npu_costs = CostModel(system.app).whole_app_costs(
+        system.app.npu_topology, CheckerModel("none"), fix_fraction=0.0
+    )
+    print(f"unchecked NPU for reference : {npu_costs.energy_savings:5.2f}x "
+          f"energy, {npu_costs.speedup:5.2f}x speed (no error control)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the Table 1 benchmark suite.
+``run --app NAME [--scheme S] [--elements N] [--quality Q]``
+    Train offline, run one invocation online, print the outcome.
+``summary [--apps a,b,...]``
+    Recompute the paper's headline numbers (trains every requested
+    benchmark; the full suite takes ~30 s).
+``survey``
+    Run the Sec. 2.2 purity survey over the kernel-pattern catalog.
+``report [--apps a,b,...] [--out FILE]``
+    Run the full evaluation and emit a markdown experiment report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps import APPLICATION_NAMES, all_applications
+from repro.core import RumbaConfig, prepare_system
+from repro.core.purity_survey import survey_purity
+from repro.eval.experiments import headline_summary
+from repro.eval.report import generate_report
+from repro.eval.reporting import format_table
+from repro.predictors.training import SCHEME_NAMES
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        [app.name, app.domain, str(app.rumba_topology), str(app.npu_topology),
+         app.metric_name]
+        for app in all_applications()
+    ]
+    print(format_table(
+        ["Benchmark", "Domain", "Rumba NN", "NPU NN", "Metric"], rows,
+        title="Table 1 benchmark suite",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    print(f"Preparing {args.app} with the {args.scheme} checker...")
+    config = RumbaConfig(scheme=args.scheme, target_output_quality=args.quality)
+    system = prepare_system(args.app, scheme=args.scheme, config=config,
+                            seed=args.seed)
+    rng = np.random.default_rng(args.seed + 100)
+    inputs = np.atleast_2d(system.app.test_inputs(rng))[: args.elements]
+    record = system.run_invocation(inputs)
+    rows = [
+        ["elements", inputs.shape[0]],
+        ["unchecked error", f"{record.unchecked_error * 100:.2f}%"],
+        ["Rumba error", f"{record.measured_error * 100:.2f}%"],
+        ["elements re-executed", f"{record.fix_fraction * 100:.2f}%"],
+        ["CPU kept up", record.pipeline.cpu_kept_up],
+        ["energy savings", f"{record.costs.energy_savings:.2f}x"],
+        ["speedup", f"{record.costs.speedup:.2f}x"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    apps = args.apps.split(",") if args.apps else list(APPLICATION_NAMES)
+    print(f"Computing headline summary over {', '.join(apps)} ...")
+    summary = headline_summary(benchmarks=apps, seed=args.seed)
+    rows = [
+        [name,
+         f"{d['unchecked_error'] * 100:.1f}%",
+         f"{d['rumba_error'] * 100:.1f}%",
+         f"{d['npu_energy_savings']:.2f}x",
+         f"{d['rumba_energy_savings']:.2f}x",
+         f"{d['rumba_speedup']:.2f}x"]
+        for name, d in summary.per_app.items()
+    ]
+    print(format_table(
+        ["Benchmark", "unchecked err", "Rumba err", "NPU energy",
+         "Rumba energy", "Rumba speedup"], rows,
+    ))
+    print(f"error reduction {summary.error_reduction:.2f}x; energy "
+          f"{summary.npu_energy_savings:.2f}x -> "
+          f"{summary.rumba_energy_savings:.2f}x; speedup "
+          f"{summary.rumba_speedup:.2f}x")
+    return 0
+
+
+def _cmd_survey(_args: argparse.Namespace) -> int:
+    survey = survey_purity()
+    print(format_table(
+        ["Pattern", "Category", "Re-executable?"], survey.rows(),
+        title="Data-parallel kernel purity survey (paper Sec. 2.2)",
+    ))
+    print(f"re-executable fraction: {survey.pure_fraction * 100:.0f}% "
+          f"(paper's Rodinia analysis: >70%)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    apps = args.apps.split(",") if args.apps else None
+    kwargs = {"seed": args.seed}
+    if apps:
+        kwargs["benchmarks"] = apps
+    text = generate_report(**kwargs)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rumba (ISCA'15) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the Table 1 benchmark suite")
+
+    run = sub.add_parser("run", help="run one benchmark end to end")
+    run.add_argument("--app", required=True, choices=APPLICATION_NAMES)
+    run.add_argument("--scheme", default="treeErrors", choices=SCHEME_NAMES)
+    run.add_argument("--elements", type=int, default=10000)
+    run.add_argument("--quality", type=float, default=0.90,
+                     help="target output quality (TOQ mode)")
+    run.add_argument("--seed", type=int, default=0)
+
+    summary = sub.add_parser("summary", help="recompute the headline numbers")
+    summary.add_argument("--apps", default="",
+                         help="comma-separated benchmark subset")
+    summary.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("survey", help="kernel purity survey (Sec. 2.2)")
+
+    report = sub.add_parser("report", help="generate a markdown report")
+    report.add_argument("--apps", default="",
+                        help="comma-separated benchmark subset")
+    report.add_argument("--out", default="", help="write to a file")
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "summary": _cmd_summary,
+        "survey": _cmd_survey,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Approximation backends: the NN-based NPU kernel replacement and loop
+perforation (the software technique used by the mosaic case study)."""
+
+from repro.approx.alt_backends import NoisyAnalogBackend, QuantizedKernelBackend
+from repro.approx.loop_perforation import (
+    perforated_mean,
+    perforated_sum,
+    perforation_mask,
+)
+from repro.approx.memoization import MemoizationQualityManager, MemoizingBackend
+from repro.approx.npu_backend import (
+    NPUBackend,
+    search_npu_backend,
+    train_npu_backend,
+)
+from repro.approx.perforation_backend import (
+    PerforationOutcome,
+    PerforationQualityManager,
+    sample_statistics,
+)
+
+__all__ = [
+    "NPUBackend",
+    "train_npu_backend",
+    "search_npu_backend",
+    "perforation_mask",
+    "perforated_mean",
+    "perforated_sum",
+    "PerforationQualityManager",
+    "PerforationOutcome",
+    "sample_statistics",
+    "QuantizedKernelBackend",
+    "NoisyAnalogBackend",
+    "MemoizingBackend",
+    "MemoizationQualityManager",
+]

@@ -1,0 +1,116 @@
+"""Alternative approximate-accelerator substrates.
+
+"Although we evaluate Rumba using a NPU-style accelerator, the design of
+Rumba is not specific to an accelerator as the core principles can be
+applied to a variety of approximation accelerators [41, 4]" (Sec. 4).
+This module provides two such accelerators so the claim can be tested:
+
+* :class:`QuantizedKernelBackend` — a quality-programmable, reduced-
+  precision datapath (Venkataramani et al. [41] style): the exact kernel
+  runs on inputs and outputs quantized to a configurable number of bits.
+  Its error structure is deterministic, input-dependent rounding.
+* :class:`NoisyAnalogBackend` — a limited-precision analog accelerator
+  (Amant et al. [4] style): exact computation plus signal-dependent
+  Gaussian noise and output-range saturation.  Its errors are stochastic.
+
+Both expose the same ``__call__``/``features`` surface as
+:class:`~repro.approx.npu_backend.NPUBackend`, so the detection machinery
+and the Fig. 10-style analyses apply unchanged.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.errors import ConfigurationError
+
+__all__ = ["QuantizedKernelBackend", "NoisyAnalogBackend"]
+
+
+class QuantizedKernelBackend:
+    """Reduced-precision execution of an exact kernel.
+
+    Inputs and outputs are quantized to ``bits`` bits across calibrated
+    value ranges (fixed-point datapaths); fewer bits means a more
+    aggressive, cheaper accelerator with larger errors.  ``bits`` is the
+    quality-programmability knob of [41].
+    """
+
+    def __init__(self, app: Application, bits: int = 6,
+                 calibration_seed: int = 0, n_calibration: int = 1000):
+        if not (2 <= bits <= 16):
+            raise ConfigurationError("bits must be in [2, 16]")
+        self.app = app
+        self.bits = bits
+        rng = np.random.default_rng(calibration_seed)
+        sample = np.atleast_2d(np.asarray(app.train_inputs(rng), dtype=float))
+        if sample.shape[0] > n_calibration:
+            pick = rng.choice(sample.shape[0], n_calibration, replace=False)
+            sample = sample[pick]
+        outputs = app.exact(sample)
+        self._in_lo = sample.min(axis=0)
+        self._in_hi = sample.max(axis=0)
+        self._out_lo = outputs.min(axis=0)
+        self._out_hi = outputs.max(axis=0)
+
+    def _quantize(self, values: np.ndarray, lo: np.ndarray,
+                  hi: np.ndarray) -> np.ndarray:
+        span = np.where(hi - lo == 0.0, 1.0, hi - lo)
+        levels = (1 << self.bits) - 1
+        unit = np.clip((values - lo) / span, 0.0, 1.0)
+        return lo + np.round(unit * levels) / levels * span
+
+    def features(self, inputs: np.ndarray) -> np.ndarray:
+        """The checker sees the same (quantized) inputs the datapath does."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        return self._quantize(inputs, self._in_lo, self._in_hi)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        quant_in = self.features(inputs)
+        outputs = self.app.exact(quant_in)
+        return self._quantize(outputs, self._out_lo, self._out_hi)
+
+
+class NoisyAnalogBackend:
+    """Analog execution: exact value + signal-dependent noise + saturation.
+
+    Noise is seeded per instance but varies call to call, as a real analog
+    datapath's would; ``noise_fraction`` scales the per-output noise sigma
+    relative to the output range, and values saturate at the calibrated
+    rails.
+    """
+
+    def __init__(self, app: Application, noise_fraction: float = 0.04,
+                 calibration_seed: int = 0, n_calibration: int = 1000,
+                 noise_seed: int = 1):
+        if not (0.0 < noise_fraction < 1.0):
+            raise ConfigurationError("noise_fraction must be in (0, 1)")
+        self.app = app
+        self.noise_fraction = noise_fraction
+        rng = np.random.default_rng(calibration_seed)
+        sample = np.atleast_2d(np.asarray(app.train_inputs(rng), dtype=float))
+        if sample.shape[0] > n_calibration:
+            pick = rng.choice(sample.shape[0], n_calibration, replace=False)
+            sample = sample[pick]
+        outputs = app.exact(sample)
+        self._out_lo = outputs.min(axis=0)
+        self._out_hi = outputs.max(axis=0)
+        self._rng = np.random.default_rng(noise_seed)
+
+    def features(self, inputs: np.ndarray) -> np.ndarray:
+        return np.atleast_2d(np.asarray(inputs, dtype=float))
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        exact = self.app.exact(inputs)
+        span = np.where(
+            self._out_hi - self._out_lo == 0.0, 1.0,
+            self._out_hi - self._out_lo,
+        )
+        # Signal-dependent noise: larger magnitudes see more noise (a
+        # property of limited-precision analog multipliers).
+        magnitude = np.abs(exact - self._out_lo) / span + 0.25
+        noise = self._rng.normal(0.0, 1.0, size=exact.shape)
+        noisy = exact + noise * magnitude * self.noise_fraction * span
+        return np.clip(noisy, self._out_lo, self._out_hi)

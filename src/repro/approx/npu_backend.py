@@ -1,0 +1,167 @@
+"""NPU backend — a trained MLP standing in for an annotated kernel.
+
+:class:`NPUBackend` bundles the trained network with its input/output
+scalers and (for benchmarks whose Rumba network consumes a column subset,
+like blackscholes) the input projection.  Calling the backend on raw kernel
+inputs produces the accelerator's approximate outputs in the kernel's own
+units — exactly what lands in the output queue of Fig. 4.
+
+:func:`train_npu_backend` is the offline "accelerator trainer" of Fig. 4:
+it trains the network on exact kernel input/output pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP, Topology
+from repro.nn.scaler import MinMaxScaler
+from repro.nn.trainer import RPropTrainer, TrainingResult
+
+__all__ = ["NPUBackend", "train_npu_backend"]
+
+
+@dataclass
+class NPUBackend:
+    """An approximate kernel realized by a trained network.
+
+    Attributes
+    ----------
+    network:
+        The trained MLP.
+    input_scaler, output_scaler:
+        Normalization fitted on the training data.
+    input_columns:
+        Optional column projection applied to raw kernel inputs before
+        scaling (Rumba's reduced-input networks).
+    """
+
+    network: MLP
+    input_scaler: MinMaxScaler
+    output_scaler: MinMaxScaler
+    input_columns: Optional[Tuple[int, ...]] = None
+
+    @property
+    def topology(self) -> Topology:
+        return self.network.topology
+
+    def features(self, inputs: np.ndarray) -> np.ndarray:
+        """Project raw kernel inputs onto the network's input columns."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if self.input_columns is not None:
+            inputs = inputs[:, list(self.input_columns)]
+        if inputs.shape[1] != self.topology.n_inputs:
+            raise ConfigurationError(
+                f"backend expects {self.topology.n_inputs} input columns, "
+                f"got {inputs.shape[1]}"
+            )
+        return inputs
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        """Approximate kernel outputs for raw kernel inputs, ``(n, out)``."""
+        feats = self.features(inputs)
+        scaled = self.input_scaler.transform(feats)
+        raw_out = self.network.forward(scaled)
+        return self.output_scaler.inverse_transform(raw_out)
+
+
+def search_npu_backend(
+    app: Application,
+    widths=(2, 4, 8, 16),
+    max_hidden_layers: int = 2,
+    slack: float = 1.10,
+    seed: int = 0,
+    n_train_cap: Optional[int] = 2000,
+):
+    """Topology-searched accelerator training (Sec. 4, Accelerator Output).
+
+    Instead of taking the Table 1 topology as given, enumerate candidates
+    (≤2 hidden layers, ≤32 neurons each — the NPU constraint), train each,
+    and pick the smallest network whose validation error is within
+    ``slack`` of the best — "the smallest NN that does not produce
+    excessive errors".  Returns ``(backend, candidate_table)``.
+    """
+    from repro.nn.topology import search_topology
+    from repro.nn.trainer import RPropTrainer
+
+    rng = np.random.default_rng(seed)
+    x_all = np.atleast_2d(np.asarray(app.train_inputs(rng), dtype=float))
+    if n_train_cap is not None and x_all.shape[0] > n_train_cap:
+        pick = rng.choice(x_all.shape[0], size=n_train_cap, replace=False)
+        x_all = x_all[pick]
+    y_all = app.exact(x_all)
+    feats = app.rumba_features(x_all)
+
+    input_scaler = MinMaxScaler()
+    output_scaler = MinMaxScaler()
+    x_scaled = input_scaler.fit_transform(feats)
+    y_scaled = output_scaler.fit_transform(y_all)
+    n_val = max(x_scaled.shape[0] // 5, 1)
+    network, candidates = search_topology(
+        x_scaled[n_val:], y_scaled[n_val:],
+        x_scaled[:n_val], y_scaled[:n_val],
+        widths=widths,
+        max_hidden_layers=max_hidden_layers,
+        slack=slack,
+        trainer=RPropTrainer(max_epochs=200, patience=30, seed=seed),
+        seed=seed,
+    )
+    backend = NPUBackend(
+        network=network,
+        input_scaler=input_scaler,
+        output_scaler=output_scaler,
+        input_columns=app.rumba_input_columns,
+    )
+    return backend, candidates
+
+
+def train_npu_backend(
+    app: Application,
+    use_rumba_topology: bool = True,
+    trainer: Optional[RPropTrainer] = None,
+    seed: int = 0,
+    n_train_cap: Optional[int] = 4000,
+) -> Tuple[NPUBackend, TrainingResult]:
+    """Offline accelerator training for a benchmark (Fig. 4, first trainer).
+
+    Generates the Table 1 training set, computes exact kernel outputs, and
+    fits either the Rumba topology (default) or the larger unchecked-NPU
+    topology.  ``n_train_cap`` subsamples very large training sets (image
+    benchmarks) to keep offline training fast.
+    """
+    rng = np.random.default_rng(seed)
+    x_train = np.atleast_2d(np.asarray(app.train_inputs(rng), dtype=float))
+    if n_train_cap is not None and x_train.shape[0] > n_train_cap:
+        pick = rng.choice(x_train.shape[0], size=n_train_cap, replace=False)
+        x_train = x_train[pick]
+    y_train = app.exact(x_train)
+
+    topology = app.rumba_topology if use_rumba_topology else app.npu_topology
+    columns = app.rumba_input_columns if use_rumba_topology else None
+    feats = x_train if columns is None else x_train[:, list(columns)]
+    if feats.shape[1] != topology.n_inputs:
+        raise ConfigurationError(
+            f"{app.name}: training features have {feats.shape[1]} columns "
+            f"but topology {topology} expects {topology.n_inputs}"
+        )
+
+    input_scaler = MinMaxScaler()
+    output_scaler = MinMaxScaler()
+    x_scaled = input_scaler.fit_transform(feats)
+    y_scaled = output_scaler.fit_transform(y_train)
+
+    network = MLP(topology, rng=np.random.default_rng(seed))
+    trainer = trainer or RPropTrainer(max_epochs=600, patience=80, seed=seed)
+    result = trainer.train(network, x_scaled, y_scaled)
+    backend = NPUBackend(
+        network=network,
+        input_scaler=input_scaler,
+        output_scaler=output_scaler,
+        input_columns=columns,
+    )
+    return backend, result

@@ -1,0 +1,203 @@
+"""jmeint — 3D triangle-triangle intersection (3D Gaming).
+
+The kernel decides whether two 3D triangles intersect.  We implement the
+exact test with the separating-axis theorem (SAT): two triangles are
+disjoint iff one of 11 candidate axes (each face normal plus the 9 pairwise
+edge cross products) separates their projections.  The test is fully
+vectorized over pairs.
+
+The NPU encodes the decision as two outputs (one-hot); the error metric is
+the number of mismatching decisions (Table 1).
+
+Table 1: train/test = 10K pairs of 3D triangles, Rumba NN ``18->32->2->2``,
+NPU NN ``18->32->8->2``, metric = # of mismatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, mismatch_errors, mismatch_fraction
+from repro.errors import ConfigurationError
+from repro.hardware.energy import InstructionMix
+from repro.nn.mlp import Topology
+
+__all__ = [
+    "triangles_intersect",
+    "intersection_kernel",
+    "generate_triangle_pairs",
+    "icosahedron",
+    "transform_mesh",
+    "mesh_collision",
+    "make_application",
+]
+
+
+def _unpack(pairs: np.ndarray):
+    """Split ``(n, 18)`` rows into two ``(n, 3, 3)`` vertex arrays."""
+    pairs = np.atleast_2d(np.asarray(pairs, dtype=float))
+    if pairs.shape[1] != 18:
+        raise ConfigurationError(
+            f"jmeint kernel takes 18 input columns (2 triangles), got "
+            f"{pairs.shape[1]}"
+        )
+    tri1 = pairs[:, :9].reshape(-1, 3, 3)
+    tri2 = pairs[:, 9:].reshape(-1, 3, 3)
+    return tri1, tri2
+
+
+def triangles_intersect(pairs: np.ndarray) -> np.ndarray:
+    """Boolean intersection decision per pair via the separating-axis test.
+
+    For each pair, 17 candidate axes are tested: the two face normals, the
+    nine cross products of one edge from each triangle, and the six
+    in-plane edge normals (face normal x edge).  The last group handles
+    coplanar triangles, where every edge-edge cross degenerates to the
+    shared normal; extra candidate axes are always safe for SAT — an axis
+    can only prove separation, never fake an intersection.  An axis
+    separates when the projected vertex intervals are disjoint; the
+    triangles intersect iff no axis separates.  Degenerate (near-zero)
+    axes never separate and are skipped implicitly.
+    """
+    tri1, tri2 = _unpack(pairs)
+    n = tri1.shape[0]
+    edges1 = np.stack(
+        [tri1[:, 1] - tri1[:, 0], tri1[:, 2] - tri1[:, 1], tri1[:, 0] - tri1[:, 2]],
+        axis=1,
+    )
+    edges2 = np.stack(
+        [tri2[:, 1] - tri2[:, 0], tri2[:, 2] - tri2[:, 1], tri2[:, 0] - tri2[:, 2]],
+        axis=1,
+    )
+    normal1 = np.cross(edges1[:, 0], edges1[:, 1])
+    normal2 = np.cross(edges2[:, 0], edges2[:, 1])
+    # Edge-edge axes: cross of every edge1 with every edge2 -> (n, 9, 3).
+    cross_axes = np.cross(
+        edges1[:, :, None, :], edges2[:, None, :, :]
+    ).reshape(n, 9, 3)
+    # In-plane edge normals (coplanar separation axes).
+    inplane1 = np.cross(normal1[:, None, :], edges1)
+    inplane2 = np.cross(normal2[:, None, :], edges2)
+    axes = np.concatenate(
+        [normal1[:, None, :], normal2[:, None, :], cross_axes,
+         inplane1, inplane2], axis=1
+    )  # (n, 17, 3)
+
+    proj1 = np.einsum("nax,nvx->nav", axes, tri1)  # (n, 11, 3)
+    proj2 = np.einsum("nax,nvx->nav", axes, tri2)
+    min1, max1 = proj1.min(axis=2), proj1.max(axis=2)
+    min2, max2 = proj2.min(axis=2), proj2.max(axis=2)
+
+    # Skip degenerate axes (parallel edges); they can never separate.
+    scale = np.linalg.norm(axes, axis=2)
+    eps = 1e-12 * np.maximum(scale.max(axis=1, keepdims=True), 1.0)
+    valid = scale > eps
+    separated = valid & ((max1 < min2) | (max2 < min1))
+    return ~separated.any(axis=1)
+
+
+def intersection_kernel(pairs: np.ndarray) -> np.ndarray:
+    """One-hot ``(intersects, disjoint)`` outputs, the NPU's encoding."""
+    hit = triangles_intersect(pairs)
+    out = np.zeros((hit.shape[0], 2), dtype=float)
+    out[hit, 0] = 1.0
+    out[~hit, 1] = 1.0
+    return out
+
+
+def generate_triangle_pairs(rng: np.random.Generator, n: int = 10000) -> np.ndarray:
+    """Random triangle pairs with a balanced intersect/disjoint mix.
+
+    The first triangle is uniform in the unit cube; with probability one
+    half, the second triangle is re-centered near the first one's centroid
+    (likely intersecting), otherwise it is drawn independently (mostly
+    disjoint).
+    """
+    tri1 = rng.random((n, 3, 3))
+    tri2 = rng.random((n, 3, 3))
+    near = rng.random(n) < 0.5
+    centroid1 = tri1.mean(axis=1, keepdims=True)
+    shrunk = (tri2 - tri2.mean(axis=1, keepdims=True)) * 0.6 + centroid1
+    tri2 = np.where(near[:, None, None], shrunk, tri2)
+    return np.concatenate([tri1.reshape(n, 9), tri2.reshape(n, 9)], axis=1)
+
+
+def icosahedron(radius: float = 1.0) -> np.ndarray:
+    """A regular icosahedron's 20 triangles, shape ``(20, 3, 3)``.
+
+    The standard stand-in for a game object's collision hull.
+    """
+    if radius <= 0:
+        raise ConfigurationError("radius must be positive")
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array([
+        (-1, phi, 0), (1, phi, 0), (-1, -phi, 0), (1, -phi, 0),
+        (0, -1, phi), (0, 1, phi), (0, -1, -phi), (0, 1, -phi),
+        (phi, 0, -1), (phi, 0, 1), (-phi, 0, -1), (-phi, 0, 1),
+    ], dtype=float)
+    verts *= radius / np.linalg.norm(verts[0])
+    faces = [
+        (0, 11, 5), (0, 5, 1), (0, 1, 7), (0, 7, 10), (0, 10, 11),
+        (1, 5, 9), (5, 11, 4), (11, 10, 2), (10, 7, 6), (7, 1, 8),
+        (3, 9, 4), (3, 4, 2), (3, 2, 6), (3, 6, 8), (3, 8, 9),
+        (4, 9, 5), (2, 4, 11), (6, 2, 10), (8, 6, 7), (9, 8, 1),
+    ]
+    return np.asarray([[verts[i] for i in face] for face in faces])
+
+
+def transform_mesh(mesh: np.ndarray, offset=(0.0, 0.0, 0.0),
+                   scale: float = 1.0) -> np.ndarray:
+    """Scale a mesh about its centroid and translate it."""
+    mesh = np.asarray(mesh, dtype=float)
+    if mesh.ndim != 3 or mesh.shape[1:] != (3, 3):
+        raise ConfigurationError("mesh must have shape (n_faces, 3, 3)")
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    centroid = mesh.reshape(-1, 3).mean(axis=0)
+    return (mesh - centroid) * scale + centroid + np.asarray(offset, float)
+
+
+def mesh_collision(mesh_a: np.ndarray, mesh_b: np.ndarray,
+                   kernel=intersection_kernel) -> bool:
+    """Whole-application run: do two triangle meshes collide?
+
+    The 3D-gaming application tests every face pair with the triangle-
+    intersection kernel (the accelerated region).  Pass an approximate
+    kernel to run the accelerated variant; decisions use the kernel's
+    two-output argmax encoding.
+    """
+    mesh_a = np.asarray(mesh_a, dtype=float)
+    mesh_b = np.asarray(mesh_b, dtype=float)
+    for mesh in (mesh_a, mesh_b):
+        if mesh.ndim != 3 or mesh.shape[1:] != (3, 3):
+            raise ConfigurationError("meshes must have shape (n_faces, 3, 3)")
+    na, nb = mesh_a.shape[0], mesh_b.shape[0]
+    pairs = np.empty((na * nb, 18))
+    pairs[:, :9] = np.repeat(mesh_a.reshape(na, 9), nb, axis=0)
+    pairs[:, 9:] = np.tile(mesh_b.reshape(nb, 9), (na, 1))
+    outputs = np.asarray(kernel(pairs), dtype=float)
+    return bool(np.any(np.argmax(outputs, axis=1) == 0))
+
+
+def make_application() -> Application:
+    """Construct the jmeint benchmark (Table 1 row 4)."""
+    return Application(
+        name="jmeint",
+        domain="3D Gaming",
+        kernel=intersection_kernel,
+        train_inputs=lambda rng: generate_triangle_pairs(rng, 10000),
+        test_inputs=lambda rng: generate_triangle_pairs(rng, 10000),
+        rumba_topology=Topology.parse("18->32->2->2"),
+        npu_topology=Topology.parse("18->32->8->2"),
+        metric_name="# of mismatches",
+        element_error_fn=mismatch_errors,
+        quality_metric_fn=mismatch_fraction,
+        # Early-exit average of the tri-tri test: heavy on compares and
+        # cross-product arithmetic, no transcendentals.
+        instruction_mix=InstructionMix(
+            int_ops=120, fp_ops=180, loads=60, stores=10, branches=50,
+        ),
+        offload_fraction=0.95,
+        train_description="10K pairs of 3D triangles",
+        test_description="10K pairs of 3D triangles",
+    )

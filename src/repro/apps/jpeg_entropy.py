@@ -1,0 +1,316 @@
+"""JPEG entropy coding — the lossless back half of the codec.
+
+The benchmark's accelerated region is the per-block DCT/quantize pipeline
+(:mod:`repro.apps.jpeg`); a real encoder then entropy-codes the quantized
+coefficients.  This module completes the codec substrate: zig-zag
+scanning, zero run-length encoding, and a canonical Huffman coder built
+from the data's own symbol statistics, with exact round-trip decoding.
+
+Having the full codec lets the examples report *bitstream* compression
+ratios, and shows that approximating the DCT stage leaves the downstream
+exact stages untouched (the lossless half decodes approximate coefficients
+just as faithfully as exact ones).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.jpeg import STANDARD_LUMINANCE_QTABLE, dct2_block, idct2_block
+from repro.apps.datasets import blocks_to_image, image_to_blocks
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "zigzag_indices",
+    "zigzag_scan",
+    "inverse_zigzag",
+    "run_length_encode",
+    "run_length_decode",
+    "HuffmanCode",
+    "JpegBitstream",
+    "encode_image",
+    "decode_image",
+]
+
+
+def zigzag_indices(n: int = 8) -> np.ndarray:
+    """The zig-zag traversal order of an ``n x n`` block (JPEG Annex).
+
+    Returns flat indices into the row-major block so that
+    ``block.ravel()[zigzag_indices()]`` walks low-frequency coefficients
+    first.
+    """
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    order = sorted(
+        ((y, x) for y in range(n) for x in range(n)),
+        key=lambda yx: (
+            yx[0] + yx[1],
+            yx[1] if (yx[0] + yx[1]) % 2 == 0 else yx[0],
+        ),
+    )
+    return np.array([y * n + x for y, x in order], dtype=int)
+
+
+_ZIGZAG8 = zigzag_indices(8)
+_UNZIGZAG8 = np.argsort(_ZIGZAG8)
+
+
+def zigzag_scan(blocks: np.ndarray) -> np.ndarray:
+    """Reorder flattened 8x8 blocks into zig-zag order."""
+    blocks = np.atleast_2d(np.asarray(blocks))
+    if blocks.shape[1] != 64:
+        raise ConfigurationError("blocks must have 64 entries")
+    return blocks[:, _ZIGZAG8]
+
+
+def inverse_zigzag(scanned: np.ndarray) -> np.ndarray:
+    """Undo :func:`zigzag_scan`."""
+    scanned = np.atleast_2d(np.asarray(scanned))
+    if scanned.shape[1] != 64:
+        raise ConfigurationError("blocks must have 64 entries")
+    return scanned[:, _UNZIGZAG8]
+
+
+# --------------------------------------------------------------------- #
+# Run-length coding of zig-zag coefficient streams                      #
+# --------------------------------------------------------------------- #
+#: Symbol marking a run of zeros; encoded as (ZRL, run_length).
+ZRL = "Z"
+#: End-of-block marker: the rest of the block is zero.
+EOB = "E"
+
+
+def run_length_encode(scanned_block: Sequence[int]) -> List[Tuple[str, int]]:
+    """JPEG-style RLE of one zig-zag scanned block.
+
+    Emits ``("V", value)`` for nonzero coefficients, ``("Z", run)`` for
+    interior zero runs, and a final ``("E", 0)`` when the block ends in
+    zeros.
+    """
+    symbols: List[Tuple[str, int]] = []
+    run = 0
+    values = [int(v) for v in scanned_block]
+    last_nonzero = -1
+    for i, v in enumerate(values):
+        if v != 0:
+            last_nonzero = i
+    for i, v in enumerate(values):
+        if i > last_nonzero:
+            symbols.append((EOB, 0))
+            break
+        if v == 0:
+            run += 1
+            continue
+        if run:
+            symbols.append((ZRL, run))
+            run = 0
+        symbols.append(("V", v))
+    else:
+        if last_nonzero == len(values) - 1:
+            pass  # block ended on a nonzero: no EOB needed
+    return symbols
+
+
+def run_length_decode(
+    symbols: Sequence[Tuple[str, int]], length: int = 64
+) -> List[int]:
+    """Invert :func:`run_length_encode`."""
+    out: List[int] = []
+    for kind, value in symbols:
+        if kind == EOB:
+            out.extend([0] * (length - len(out)))
+            break
+        if kind == ZRL:
+            if value <= 0:
+                raise ConfigurationError("zero-run must be positive")
+            out.extend([0] * value)
+        elif kind == "V":
+            out.append(value)
+        else:
+            raise ConfigurationError(f"unknown RLE symbol kind {kind!r}")
+    if len(out) != length:
+        raise ConfigurationError(
+            f"decoded {len(out)} coefficients, expected {length}"
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Canonical Huffman coding                                              #
+# --------------------------------------------------------------------- #
+@dataclass
+class HuffmanCode:
+    """A canonical Huffman code over hashable symbols."""
+
+    lengths: Dict[object, int]
+    codes: Dict[object, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Canonicalize: sort by (length, repr) and assign increasing codes.
+        ordered = sorted(self.lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
+        code = 0
+        prev_len = 0
+        for symbol, length in ordered:
+            code <<= length - prev_len
+            self.codes[symbol] = (code, length)
+            code += 1
+            prev_len = length
+
+    @classmethod
+    def from_frequencies(cls, freqs: Dict[object, int]) -> "HuffmanCode":
+        """Build from symbol frequencies (classic two-queue algorithm)."""
+        if not freqs:
+            raise ConfigurationError("no symbols to code")
+        if len(freqs) == 1:
+            return cls(lengths={next(iter(freqs)): 1})
+        heap = [
+            (freq, i, {symbol: 0})
+            for i, (symbol, freq) in enumerate(sorted(freqs.items(),
+                                                      key=lambda kv: repr(kv[0])))
+        ]
+        heapq.heapify(heap)
+        counter = len(heap)
+        while len(heap) > 1:
+            fa, _, la = heapq.heappop(heap)
+            fb, _, lb = heapq.heappop(heap)
+            merged = {s: d + 1 for s, d in la.items()}
+            merged.update({s: d + 1 for s, d in lb.items()})
+            heapq.heappush(heap, (fa + fb, counter, merged))
+            counter += 1
+        _, _, lengths = heap[0]
+        return cls(lengths=lengths)
+
+    def encode(self, symbols: Sequence[object]) -> Tuple[bytes, int]:
+        """Pack symbols into bits; returns (payload, bit_count)."""
+        acc = 0
+        n_bits = 0
+        for symbol in symbols:
+            try:
+                code, length = self.codes[symbol]
+            except KeyError:
+                raise ConfigurationError(
+                    f"symbol {symbol!r} not in the code"
+                ) from None
+            acc = (acc << length) | code
+            n_bits += length
+        payload = acc.to_bytes((n_bits + 7) // 8, "big") if n_bits else b""
+        return payload, n_bits
+
+    def decode(self, payload: bytes, n_bits: int) -> List[object]:
+        """Invert :meth:`encode`."""
+        # Build a (code, length) -> symbol table.
+        table = {v: k for k, v in self.codes.items()}
+        acc = int.from_bytes(payload, "big") if payload else 0
+        # Strip byte-padding: the encoded value occupies the low n_bits.
+        symbols: List[object] = []
+        code = 0
+        length = 0
+        for position in range(n_bits - 1, -1, -1):
+            bit = (acc >> position) & 1
+            code = (code << 1) | bit
+            length += 1
+            if (code, length) in table:
+                symbols.append(table[(code, length)])
+                code = 0
+                length = 0
+        if length:
+            raise ConfigurationError("trailing bits do not decode to a symbol")
+        return symbols
+
+
+# --------------------------------------------------------------------- #
+# Whole-image codec                                                     #
+# --------------------------------------------------------------------- #
+@dataclass
+class JpegBitstream:
+    """A fully entropy-coded image."""
+
+    payload: bytes
+    n_bits: int
+    huffman: HuffmanCode
+    image_shape: Tuple[int, int]
+    n_blocks: int
+    quality_scale: float
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def raw_bytes(self) -> int:
+        h, w = self.image_shape
+        return (h // 8 * 8) * (w // 8 * 8)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / max(self.compressed_bytes, 1)
+
+
+def _quantize(blocks: np.ndarray, quality_scale: float) -> np.ndarray:
+    qtable = (STANDARD_LUMINANCE_QTABLE * quality_scale).reshape(1, 64)
+    return np.round(dct2_block(blocks - 128.0) / qtable).astype(int)
+
+
+def _dequantize(quantized: np.ndarray, quality_scale: float) -> np.ndarray:
+    qtable = (STANDARD_LUMINANCE_QTABLE * quality_scale).reshape(1, 64)
+    return np.clip(idct2_block(quantized * qtable) + 128.0, 0.0, 255.0)
+
+
+def encode_image(image: np.ndarray, quality_scale: float = 1.0) -> JpegBitstream:
+    """Full encoder: tile, DCT+quantize, zig-zag, RLE, Huffman."""
+    if quality_scale <= 0:
+        raise ConfigurationError("quality_scale must be positive")
+    image = np.asarray(image, dtype=float)
+    blocks = image_to_blocks(image, block=8)
+    quantized = _quantize(blocks, quality_scale)
+    scanned = zigzag_scan(quantized)
+    symbols: List[Tuple[str, int]] = []
+    for row in scanned:
+        symbols.extend(run_length_encode(row))
+    huffman = HuffmanCode.from_frequencies(Counter(symbols))
+    payload, n_bits = huffman.encode(symbols)
+    return JpegBitstream(
+        payload=payload,
+        n_bits=n_bits,
+        huffman=huffman,
+        image_shape=image.shape,
+        n_blocks=scanned.shape[0],
+        quality_scale=quality_scale,
+    )
+
+
+def decode_image(bitstream: JpegBitstream) -> np.ndarray:
+    """Full decoder: Huffman, RLE, inverse zig-zag, dequantize+IDCT."""
+    symbols = bitstream.huffman.decode(bitstream.payload, bitstream.n_bits)
+    scanned_rows: List[List[int]] = []
+    current: List[Tuple[str, int]] = []
+    coefficients = 0
+    for symbol in symbols:
+        current.append(symbol)
+        kind, value = symbol
+        if kind == EOB:
+            scanned_rows.append(run_length_decode(current))
+            current = []
+            coefficients = 0
+            continue
+        coefficients += value if kind == ZRL else 1
+        if coefficients == 64:
+            scanned_rows.append(run_length_decode(current))
+            current = []
+            coefficients = 0
+    if current:
+        raise ConfigurationError("bitstream ended mid-block")
+    if len(scanned_rows) != bitstream.n_blocks:
+        raise ConfigurationError(
+            f"decoded {len(scanned_rows)} blocks, expected "
+            f"{bitstream.n_blocks}"
+        )
+    quantized = inverse_zigzag(np.asarray(scanned_rows))
+    pixels = _dequantize(quantized, bitstream.quality_scale)
+    return blocks_to_image(pixels, bitstream.image_shape, block=8)

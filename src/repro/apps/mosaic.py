@@ -1,0 +1,142 @@
+"""mosaic — photomosaic construction (paper Sec. 2.1, Fig. 3).
+
+The application builds a large image out of many small tile images.  Its
+first phase computes the *average brightness* of every candidate tile; the
+paper approximates that phase with loop perforation and shows (Fig. 3) that
+the resulting output error is highly input-dependent: ~5% on average over
+800 flower images but up to ~23% for unlucky inputs.
+
+This module implements the full application (brightness phase + tile
+matching + assembly) plus the perforated brightness phase, and the Fig. 3
+experiment driver :func:`perforation_error_survey`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.datasets import flower_image
+from repro.approx.loop_perforation import perforated_mean
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "average_brightness",
+    "approx_average_brightness",
+    "build_mosaic",
+    "perforation_error_survey",
+    "MosaicSurveyResult",
+]
+
+
+def average_brightness(image: np.ndarray) -> float:
+    """Exact phase 1: the mean pixel intensity of an image."""
+    image = np.asarray(image, dtype=float)
+    if image.size == 0:
+        raise ConfigurationError("empty image")
+    return float(image.mean())
+
+
+def approx_average_brightness(
+    image: np.ndarray,
+    skip_rate: float = 0.995,
+    mode: str = "uniform",
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Perforated phase 1: mean brightness over a subset of the pixels.
+
+    Uniform perforation keeps every k-th pixel of the *flattened* image —
+    a strided sample whose bias depends on how the image's spatial
+    structure aligns with the stride, which is exactly the source of the
+    input dependence in Fig. 3.
+    """
+    image = np.asarray(image, dtype=float)
+    return perforated_mean(image.ravel(), skip_rate, mode=mode, rng=rng)
+
+
+def build_mosaic(
+    target: np.ndarray,
+    tiles: Sequence[np.ndarray],
+    cell: int = 8,
+    brightness_fn: Callable[[np.ndarray], float] = average_brightness,
+) -> np.ndarray:
+    """Assemble a mosaic of ``target`` from ``tiles``.
+
+    Each ``cell x cell`` region of the target is replaced by the tile whose
+    (possibly approximate) average brightness is closest to the region's
+    mean.  Tiles are resampled to the cell size by nearest-neighbor.
+    Returns the assembled image (cropped to a cell multiple).
+    """
+    target = np.asarray(target, dtype=float)
+    if not tiles:
+        raise ConfigurationError("need at least one tile")
+    if cell <= 0:
+        raise ConfigurationError("cell must be positive")
+    tile_brightness = np.array([brightness_fn(t) for t in tiles])
+    resized = [_nearest_resize(np.asarray(t, dtype=float), (cell, cell)) for t in tiles]
+    h = (target.shape[0] // cell) * cell
+    w = (target.shape[1] // cell) * cell
+    if h == 0 or w == 0:
+        raise ConfigurationError("target smaller than one cell")
+    out = np.empty((h, w), dtype=float)
+    for by in range(0, h, cell):
+        for bx in range(0, w, cell):
+            region_mean = target[by : by + cell, bx : bx + cell].mean()
+            best = int(np.argmin(np.abs(tile_brightness - region_mean)))
+            out[by : by + cell, bx : bx + cell] = resized[best]
+    return out
+
+
+def _nearest_resize(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbor resample (no external imaging dependency)."""
+    h, w = image.shape
+    ys = np.clip((np.arange(shape[0]) * h / shape[0]).astype(int), 0, h - 1)
+    xs = np.clip((np.arange(shape[1]) * w / shape[1]).astype(int), 0, w - 1)
+    return image[np.ix_(ys, xs)]
+
+
+@dataclass
+class MosaicSurveyResult:
+    """Outcome of the Fig. 3 input-dependence survey."""
+
+    errors_percent: np.ndarray
+
+    @property
+    def mean_error(self) -> float:
+        return float(self.errors_percent.mean())
+
+    @property
+    def max_error(self) -> float:
+        return float(self.errors_percent.max())
+
+    @property
+    def n_images(self) -> int:
+        return int(self.errors_percent.size)
+
+
+def perforation_error_survey(
+    n_images: int = 800,
+    skip_rate: float = 0.995,
+    mode: str = "uniform",
+    image_shape: Tuple[int, int] = (64, 64),
+    seed: int = 0,
+) -> MosaicSurveyResult:
+    """Reproduce Fig. 3: per-image brightness error under loop perforation.
+
+    Generates ``n_images`` procedural flower images and reports the
+    percentage error of the perforated average brightness versus the exact
+    one, per image.  The paper observes a ~5% average with a ~23% worst
+    case over its 800 photographs.
+    """
+    if n_images <= 0:
+        raise ConfigurationError("n_images must be positive")
+    rng = np.random.default_rng(seed)
+    errors = np.empty(n_images)
+    for i in range(n_images):
+        image = flower_image(image_shape, seed=seed * 100003 + i)
+        exact = average_brightness(image)
+        approx = approx_average_brightness(image, skip_rate, mode=mode, rng=rng)
+        errors[i] = abs(approx - exact) / max(abs(exact), 1e-9) * 100.0
+    return MosaicSurveyResult(errors_percent=errors)

@@ -1,0 +1,55 @@
+"""Benchmark registry — Table 1 as a lookup table.
+
+``get_application(name)`` builds a fresh :class:`Application` for any of
+the seven benchmarks; ``all_applications()`` builds the whole suite in
+Table 1 order.  Construction is cheap for all benchmarks except kmeans,
+whose canonical centroids are fit lazily on first kernel call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps import (
+    blackscholes,
+    fft,
+    inversek2j,
+    jmeint,
+    jpeg,
+    kmeans,
+    sobel,
+)
+from repro.apps.base import Application
+from repro.errors import UnknownApplicationError
+
+__all__ = ["APPLICATION_NAMES", "get_application", "all_applications"]
+
+_FACTORIES: Dict[str, Callable[[], Application]] = {
+    "blackscholes": blackscholes.make_application,
+    "fft": fft.make_application,
+    "inversek2j": inversek2j.make_application,
+    "jmeint": jmeint.make_application,
+    "jpeg": jpeg.make_application,
+    "kmeans": kmeans.make_application,
+    "sobel": sobel.make_application,
+}
+
+#: Benchmark names in Table 1 order.
+APPLICATION_NAMES = tuple(_FACTORIES)
+
+
+def get_application(name: str) -> Application:
+    """Build the named benchmark; raises for unknown names."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(APPLICATION_NAMES)
+        raise UnknownApplicationError(
+            f"unknown application {name!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+def all_applications() -> List[Application]:
+    """The full Table 1 suite, in table order."""
+    return [factory() for factory in _FACTORIES.values()]

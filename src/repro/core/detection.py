@@ -1,0 +1,122 @@
+"""The detection module (paper Sec. 3.2, the accelerator-side half of Fig. 4).
+
+For every output element the detection module computes the predictor's
+score and fires a check when the score exceeds the tuning threshold; firing
+sets the element's *recovery bit* in the recovery queue.  The module also
+keeps the statistics the evaluation needs (fire counts, score traces) and
+knows its own hardware cost via :class:`CheckerModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.checker_hw import CheckerModel
+from repro.hardware.queues import RecoveryQueue
+from repro.predictors.base import ErrorPredictor
+
+__all__ = ["DetectionModule", "DetectionResult"]
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of running detection over one accelerator invocation."""
+
+    scores: np.ndarray
+    recovery_bits: np.ndarray  # bool per element
+    threshold: float
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.scores.shape[0])
+
+    @property
+    def n_fired(self) -> int:
+        return int(self.recovery_bits.sum())
+
+    @property
+    def fire_fraction(self) -> float:
+        return self.n_fired / self.n_elements if self.n_elements else 0.0
+
+
+class DetectionModule:
+    """Continuous light-weight checking beside the accelerator.
+
+    Parameters
+    ----------
+    predictor:
+        The fitted error predictor realizing the checker.
+    threshold:
+        Initial tuning threshold on scores (updated by the online tuner).
+    n_inputs:
+        Kernel input width (for the linear checker's hardware cost).
+    """
+
+    def __init__(
+        self,
+        predictor: ErrorPredictor,
+        threshold: float,
+        n_inputs: int = 1,
+    ):
+        if threshold < 0.0:
+            raise ConfigurationError("threshold must be >= 0")
+        self.predictor = predictor
+        self.threshold = float(threshold)
+        tree_depth = getattr(predictor, "max_depth", 7)
+        self.checker = CheckerModel(
+            kind=predictor.checker_kind,
+            n_inputs=max(n_inputs, 1),
+            tree_depth=tree_depth,
+        )
+        self.total_checks = 0
+        self.total_fires = 0
+
+    def detect(
+        self,
+        features: Optional[np.ndarray] = None,
+        approx_outputs: Optional[np.ndarray] = None,
+        true_errors: Optional[np.ndarray] = None,
+        recovery_queue: Optional[RecoveryQueue] = None,
+        first_iteration_id: int = 0,
+    ) -> DetectionResult:
+        """Score one invocation's elements and set recovery bits.
+
+        When ``recovery_queue`` is provided, one ``(iteration_id, bit)``
+        entry per element is pushed in iteration order — the channel the
+        CPU-side recovery module drains.
+        """
+        scores = np.asarray(
+            self.predictor.scores(
+                features=features,
+                approx_outputs=approx_outputs,
+                true_errors=true_errors,
+            ),
+            dtype=float,
+        ).ravel()
+        # A non-finite score means the accelerator (or the checker datapath)
+        # produced garbage for that element; a hardware checker's sanity
+        # logic fires unconditionally on such values, and so do we.
+        bits = (scores > self.threshold) | ~np.isfinite(scores)
+        self.total_checks += scores.shape[0]
+        self.total_fires += int(bits.sum())
+        if recovery_queue is not None:
+            for offset, bit in enumerate(bits):
+                recovery_queue.push(first_iteration_id + offset, bool(bit))
+        return DetectionResult(scores=scores, recovery_bits=bits,
+                               threshold=self.threshold)
+
+    @property
+    def lifetime_fire_fraction(self) -> float:
+        """Fraction of all checks that have fired so far."""
+        return self.total_fires / self.total_checks if self.total_checks else 0.0
+
+    def check_energy_pj(self, n_elements: int) -> float:
+        """Checker energy for one invocation of ``n_elements`` checks."""
+        return self.checker.check_energy_pj() * n_elements
+
+    def check_cycles_per_element(self) -> float:
+        return self.checker.check_cycles()

@@ -1,0 +1,108 @@
+"""Offline preparation — both trainer boxes of Fig. 4 in one call.
+
+:func:`prepare_system` trains the accelerator network on the benchmark's
+training data (first trainer), runs it to collect error observations and
+fits the requested checker (second trainer), then wires everything into a
+ready :class:`~repro.core.runtime.RumbaSystem`.
+
+Because several benches and examples prepare the same (app, scheme, seed)
+combinations, a small in-process cache avoids retraining; pass
+``cache=False`` to force fresh training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.base import Application
+from repro.apps.registry import get_application
+from repro.approx.npu_backend import NPUBackend, train_npu_backend
+from repro.core.config import RumbaConfig
+from repro.core.runtime import RumbaSystem
+from repro.errors import ConfigurationError
+from repro.predictors.base import ErrorPredictor
+from repro.metrics.analysis import calibrate_threshold
+from repro.predictors.training import (
+    PredictorTrainingData,
+    collect_training_data,
+    train_predictor,
+)
+
+__all__ = ["prepare_system", "prepare_backend", "clear_cache"]
+
+_BACKEND_CACHE: Dict[Tuple[str, bool, int], Tuple[NPUBackend, PredictorTrainingData]] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached trained backends (mainly for tests)."""
+    _BACKEND_CACHE.clear()
+
+
+def prepare_backend(
+    app: Application,
+    use_rumba_topology: bool = True,
+    seed: int = 0,
+    cache: bool = True,
+) -> Tuple[NPUBackend, PredictorTrainingData]:
+    """Train (or fetch cached) accelerator backend + checker training data."""
+    key = (app.name, use_rumba_topology, seed)
+    if cache and key in _BACKEND_CACHE:
+        return _BACKEND_CACHE[key]
+    backend, _ = train_npu_backend(
+        app, use_rumba_topology=use_rumba_topology, seed=seed
+    )
+    data = collect_training_data(app, backend, seed=seed + 1)
+    if cache:
+        _BACKEND_CACHE[key] = (backend, data)
+    return backend, data
+
+
+def prepare_system(
+    app_or_name,
+    scheme: str = "treeErrors",
+    config: Optional[RumbaConfig] = None,
+    seed: int = 0,
+    cache: bool = True,
+) -> RumbaSystem:
+    """Build a ready-to-run Rumba system for a benchmark.
+
+    Parameters
+    ----------
+    app_or_name:
+        An :class:`Application` or a Table 1 benchmark name.
+    scheme:
+        Detection scheme ("linearErrors", "treeErrors", "EMA", "Ideal",
+        "Random", "Uniform").
+    config:
+        Runtime configuration; defaults to TOQ mode at 90% quality with
+        the requested scheme.
+    """
+    app = (
+        app_or_name
+        if isinstance(app_or_name, Application)
+        else get_application(app_or_name)
+    )
+    config = config or RumbaConfig(scheme=scheme, seed=seed)
+    if config.scheme != scheme:
+        raise ConfigurationError(
+            f"scheme {scheme!r} disagrees with config.scheme {config.scheme!r}"
+        )
+    backend, data = prepare_backend(app, seed=seed, cache=cache)
+    predictor: ErrorPredictor = train_predictor(scheme, data, seed=seed)
+    system = RumbaSystem(app=app, backend=backend, predictor=predictor,
+                         config=config)
+    if config.mode.value == "toq" and scheme in ("EMA", "Random", "Uniform"):
+        # These schemes score in arbitrary units, not predicted error;
+        # calibrate the TOQ threshold on the training data so the quality
+        # budget maps onto their score scale.
+        scores = predictor.scores(
+            features=data.features,
+            approx_outputs=data.approx_outputs,
+            true_errors=data.errors,
+        )
+        threshold = calibrate_threshold(
+            scores, data.errors, config.target_output_error
+        )
+        system.tuner.threshold = threshold
+        system.detection.threshold = threshold
+    return system

@@ -1,0 +1,169 @@
+"""Purity survey of data-parallel kernel patterns (paper Sec. 2.2).
+
+The paper motivates selective re-execution with an analysis of the Rodinia
+suite: *"We analyzed the data parallel parts of the applications in the
+Rodinia benchmark suite and found out that more than 70% of them can be
+re-executed without any side effects."*
+
+We cannot ship Rodinia, so this module provides the same analysis over a
+catalog of the data-parallel kernel *patterns* Rodinia's hot loops are
+built from, each implemented as a runnable numpy kernel and classified by
+the dynamic purity check of :mod:`repro.core.recovery`.  Patterns that
+accumulate into shared state (histogram updates, in-place relaxations)
+fail the check, exactly the kernels an accelerator could not map anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.recovery import PurityReport, verify_purity
+from repro.errors import ConfigurationError
+
+__all__ = ["KernelPattern", "PATTERN_CATALOG", "survey_purity", "PuritySurvey"]
+
+
+@dataclass(frozen=True)
+class KernelPattern:
+    """One data-parallel pattern with a representative kernel.
+
+    ``kernel`` maps an ``(n, width)`` input batch to outputs; impure
+    patterns carry hidden state or mutate their inputs, which the dynamic
+    check detects.
+    """
+
+    name: str
+    category: str  # map / stencil / reduction-like / irregular
+    width: int
+    kernel: Callable[[np.ndarray], np.ndarray]
+    expected_pure: bool
+
+
+def _map_scale(x: np.ndarray) -> np.ndarray:
+    return x * 2.0 + 1.0
+
+
+def _map_saturate(x: np.ndarray) -> np.ndarray:
+    return np.clip(x, 0.0, 1.0)
+
+
+def _stencil_blur3(x: np.ndarray) -> np.ndarray:
+    return x.mean(axis=1, keepdims=True)
+
+
+def _stencil_gradient(x: np.ndarray) -> np.ndarray:
+    return (x[:, 2:] - x[:, :-2]) * 0.5
+
+
+def _gather_lookup(x: np.ndarray) -> np.ndarray:
+    table = np.linspace(0.0, 1.0, 17)
+    idx = np.clip((np.abs(x[:, 0]) * 16).astype(int), 0, 16)
+    return table[idx].reshape(-1, 1)
+
+
+def _per_element_reduce(x: np.ndarray) -> np.ndarray:
+    # A reduction *within* an element (dot product row-wise) is pure.
+    return np.sum(x * x, axis=1, keepdims=True)
+
+
+def _map_polynomial(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x**3 - 1.5 * x + 0.25
+
+
+class _HistogramAccumulate:
+    """Impure: accumulates into shared bins across calls."""
+
+    def __init__(self) -> None:
+        self.bins = np.zeros(8)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        idx = np.clip((np.abs(x[:, 0]) * 8).astype(int), 0, 7)
+        np.add.at(self.bins, idx, 1.0)
+        return self.bins[idx].reshape(-1, 1)
+
+
+def _inplace_relax(x: np.ndarray) -> np.ndarray:
+    # Impure: relaxes the input buffer in place (Gauss-Seidel style).
+    x[:, 0] = 0.5 * (x[:, 0] + x[:, -1])
+    return x[:, :1].copy()
+
+
+class _ScanPrefix:
+    """Impure as a per-element kernel: carries a running prefix across calls."""
+
+    def __init__(self) -> None:
+        self.carry = 0.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = np.cumsum(x[:, 0]) + self.carry
+        self.carry = float(out[-1])
+        return out.reshape(-1, 1)
+
+
+def _build_catalog() -> List[KernelPattern]:
+    return [
+        KernelPattern("map: scale+bias", "map", 4, _map_scale, True),
+        KernelPattern("map: saturate", "map", 4, _map_saturate, True),
+        KernelPattern("map: table lookup", "map", 2, _gather_lookup, True),
+        KernelPattern("stencil: 1D blur", "stencil", 5, _stencil_blur3, True),
+        KernelPattern("stencil: central gradient", "stencil", 5,
+                      _stencil_gradient, True),
+        KernelPattern("map: row dot product", "map", 6, _per_element_reduce,
+                      True),
+        KernelPattern("map: polynomial evaluate", "map", 3, _map_polynomial,
+                      True),
+        KernelPattern("irregular: histogram accumulate", "irregular", 2,
+                      _HistogramAccumulate(), False),
+        KernelPattern("irregular: in-place relaxation", "irregular", 4,
+                      _inplace_relax, False),
+        KernelPattern("scan: running prefix", "irregular", 2, _ScanPrefix(),
+                      False),
+    ]
+
+
+#: Representative data-parallel kernel patterns (fresh instances per import).
+PATTERN_CATALOG: List[KernelPattern] = _build_catalog()
+
+
+@dataclass
+class PuritySurvey:
+    """Outcome of the Sec. 2.2-style survey."""
+
+    reports: List[PurityReport]
+    patterns: List[KernelPattern]
+
+    @property
+    def pure_fraction(self) -> float:
+        pure = sum(1 for r in self.reports if r.is_pure)
+        return pure / len(self.reports) if self.reports else 0.0
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [p.name, p.category, "pure" if r.is_pure else "impure"]
+            for p, r in zip(self.patterns, self.reports)
+        ]
+
+
+def survey_purity(
+    patterns: Sequence[KernelPattern] = None, seed: int = 0
+) -> PuritySurvey:
+    """Dynamically classify every pattern in the catalog.
+
+    Each kernel is probed with :func:`verify_purity` on a random batch;
+    the survey reports the re-executable fraction (the paper found >70%
+    for Rodinia's data-parallel regions).
+    """
+    patterns = list(patterns) if patterns is not None else _build_catalog()
+    if not patterns:
+        raise ConfigurationError("survey needs at least one pattern")
+    rng = np.random.default_rng(seed)
+    reports = []
+    for pattern in patterns:
+        sample = rng.random((16, pattern.width))
+        reports.append(
+            verify_purity(pattern.kernel, sample, raise_on_failure=False)
+        )
+    return PuritySurvey(reports=reports, patterns=patterns)

@@ -1,0 +1,213 @@
+"""The Rumba runtime — the online half of Fig. 4, end to end.
+
+:class:`RumbaSystem` drives one benchmark through the full loop for each
+accelerator invocation:
+
+1. the accelerator (NPU backend) produces approximate outputs,
+2. the detection module scores every element and sets recovery bits in the
+   recovery queue,
+3. the CPU-side recovery module drains the queue, re-executes flagged
+   iterations exactly and merges the results,
+4. the pipeline model accounts the overlap timing, the cost model accounts
+   energy, and
+5. the online tuner adapts the threshold for the next invocation.
+
+Construction from scratch is easiest via
+:func:`repro.core.offline.prepare_system`, which runs both offline trainers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.approx.npu_backend import NPUBackend
+from repro.core.config import RumbaConfig
+from repro.core.costs import AppCosts, CostModel, OffloadOverhead
+from repro.core.detection import DetectionModule, DetectionResult
+from repro.core.pipeline import PipelineResult, simulate_pipeline
+from repro.core.recovery import RecoveryModule, RecoveryResult
+from repro.core.tuner import InvocationFeedback, OnlineTuner
+from repro.errors import ConfigurationError
+from repro.hardware.energy import EnergyModel
+from repro.hardware.npu import NPUModel
+from repro.hardware.queues import ConfigQueue, RecoveryQueue
+from repro.predictors.base import ErrorPredictor
+
+__all__ = ["RumbaSystem", "InvocationRecord"]
+
+
+@dataclass
+class InvocationRecord:
+    """Everything observed during one accelerator invocation."""
+
+    outputs: np.ndarray
+    detection: DetectionResult
+    recovery: RecoveryResult
+    pipeline: PipelineResult
+    costs: AppCosts
+    measured_error: Optional[float] = None
+    unchecked_error: Optional[float] = None
+
+    @property
+    def fix_fraction(self) -> float:
+        return self.recovery.recovered_fraction
+
+
+class RumbaSystem:
+    """A benchmark wired into the full Rumba detection/recovery loop."""
+
+    def __init__(
+        self,
+        app: Application,
+        backend: NPUBackend,
+        predictor: ErrorPredictor,
+        config: Optional[RumbaConfig] = None,
+        energy_model: Optional[EnergyModel] = None,
+        npu: Optional[NPUModel] = None,
+        overhead: Optional[OffloadOverhead] = None,
+    ):
+        self.app = app
+        self.backend = backend
+        self.predictor = predictor
+        self.config = config or RumbaConfig(scheme=predictor.name)
+        if self.config.scheme != predictor.name:
+            raise ConfigurationError(
+                f"config scheme {self.config.scheme!r} does not match the "
+                f"predictor {predictor.name!r}"
+            )
+        self.tuner = OnlineTuner(self.config)
+        self.detection = DetectionModule(
+            predictor,
+            threshold=self.tuner.threshold,
+            n_inputs=backend.topology.n_inputs,
+        )
+        self.recovery = RecoveryModule(app.exact)
+        self.cost_model = CostModel(
+            app, energy_model=energy_model, npu=npu, overhead=overhead
+        )
+        # Fig. 4: the accelerator configuration and the checker
+        # coefficients travel over the same config queue at kernel launch.
+        self.config_queue = ConfigQueue()
+        self.config_queue.send(
+            "accelerator", backend.network.get_flat_params()
+        )
+        n_coeffs = predictor.coefficient_count() if predictor.is_fitted else 0
+        if n_coeffs:
+            self.config_queue.send("checker", [0.0] * n_coeffs)
+        self.records: List[InvocationRecord] = []
+        self._next_iteration_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+    def run_invocation(
+        self, inputs: np.ndarray, measure_quality: bool = True
+    ) -> InvocationRecord:
+        """Run one accelerator invocation through detect-recover-tune.
+
+        ``measure_quality=True`` additionally computes the exact outputs
+        for the *whole* invocation to report measured output error — that
+        is the experimenter's measurement, not something the deployed
+        system would do.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        n = inputs.shape[0]
+        if n == 0:
+            raise ConfigurationError("invocation needs at least one element")
+
+        approx = self.backend(inputs)
+        features = self.backend.features(inputs)
+
+        true_errors = None
+        exact = None
+        if measure_quality or self.predictor.name == "Ideal":
+            exact = self.app.exact(inputs)
+            true_errors = self.app.element_errors(approx, exact)
+
+        queue = RecoveryQueue(
+            capacity=max(self.config.recovery_queue_capacity, n), strict=True
+        )
+        self.detection.threshold = self.tuner.threshold
+        detection = self.detection.detect(
+            features=features,
+            approx_outputs=approx,
+            true_errors=true_errors,
+            recovery_queue=queue,
+            first_iteration_id=self._next_iteration_id,
+        )
+        self._next_iteration_id += n
+
+        flagged_ids = queue.drain_flagged()
+        bits = np.zeros(n, dtype=bool)
+        if flagged_ids:
+            offsets = np.asarray(flagged_ids) - (self._next_iteration_id - n)
+            bits[offsets] = True
+        recovery = self.recovery.recover(inputs, approx, bits)
+
+        pipeline = simulate_pipeline(
+            bits,
+            accel_cycles_per_iteration=self.cost_model.npu.invocation_cycles(
+                self.backend.topology
+            ),
+            cpu_cycles_per_iteration=self.cost_model.cpu_iteration_cycles(),
+            detector_placement=self.config.detector_placement,
+            checker_cycles=self.detection.checker.check_cycles(),
+        )
+        costs = self.cost_model.whole_app_costs(
+            topology=self.backend.topology,
+            checker=self.detection.checker,
+            fix_fraction=recovery.recovered_fraction,
+            detector_placement=self.config.detector_placement,
+            observed_kernel_cycles=pipeline.makespan / n,
+        )
+
+        measured_error = None
+        unchecked_error = None
+        if measure_quality and exact is not None:
+            measured_error = self.app.output_error(recovery.merged_outputs, exact)
+            unchecked_error = self.app.output_error(approx, exact)
+
+        self.tuner.update(
+            InvocationFeedback(
+                fix_fraction=recovery.recovered_fraction,
+                cpu_kept_up=pipeline.cpu_kept_up,
+                cpu_utilization=pipeline.cpu_utilization,
+            )
+        )
+        record = InvocationRecord(
+            outputs=recovery.merged_outputs,
+            detection=detection,
+            recovery=recovery,
+            pipeline=pipeline,
+            costs=costs,
+            measured_error=measured_error,
+            unchecked_error=unchecked_error,
+        )
+        self.records.append(record)
+        return record
+
+    def run_stream(
+        self, invocations: List[np.ndarray], measure_quality: bool = True
+    ) -> List[InvocationRecord]:
+        """Run a sequence of invocations (the online tuner adapts between)."""
+        return [self.run_invocation(x, measure_quality) for x in invocations]
+
+    # ------------------------------------------------------------------ #
+    # Summaries                                                          #
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_measured_error(self) -> float:
+        errors = [r.measured_error for r in self.records if r.measured_error is not None]
+        if not errors:
+            raise ConfigurationError("no measured invocations recorded")
+        return float(np.mean(errors))
+
+    @property
+    def mean_fix_fraction(self) -> float:
+        if not self.records:
+            raise ConfigurationError("no invocations recorded")
+        return float(np.mean([r.fix_fraction for r in self.records]))

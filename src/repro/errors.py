@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction stack with a single handler
+while still being able to discriminate configuration problems from runtime
+modelling problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class TrainingError(ReproError):
+    """Offline training (NN or error predictor) failed or diverged."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before :meth:`fit` / training was performed."""
+
+
+class PurityError(ReproError):
+    """A kernel that must be pure (side-effect free) was found not to be."""
+
+
+class SimulationError(ReproError):
+    """The hardware/pipeline simulation reached an inconsistent state."""
+
+
+class UnknownApplicationError(ReproError, KeyError):
+    """An application name was looked up that is not in the registry."""

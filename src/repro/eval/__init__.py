@@ -1,0 +1,58 @@
+"""Evaluation harness: scheme scoring, per-figure experiments, reporting."""
+
+from repro.eval.experiments import (
+    DEFAULT_TARGET_ERROR,
+    ActivityCaseStudy,
+    GaussianCaseStudy,
+    HeadlineSummary,
+    SchemeCostRow,
+    cpu_activity_case_study,
+    energy_speedup_table,
+    energy_vs_toq,
+    error_vs_fixed_sweep,
+    gaussian_case_study,
+    geomean,
+    headline_summary,
+    prediction_time_table,
+    quality_target_analysis,
+)
+from repro.eval.ascii_plots import bar_chart, line_chart, sparkline
+from repro.eval.golden import GOLDEN_HEADLINE, GoldenBand, check_headline
+from repro.eval.report import generate_report
+from repro.eval.reporting import banner, format_percent, format_series, format_table
+from repro.eval.schemes import (
+    BenchmarkEvaluation,
+    clear_evaluation_cache,
+    evaluate_benchmark,
+)
+
+__all__ = [
+    "DEFAULT_TARGET_ERROR",
+    "BenchmarkEvaluation",
+    "evaluate_benchmark",
+    "clear_evaluation_cache",
+    "error_vs_fixed_sweep",
+    "quality_target_analysis",
+    "SchemeCostRow",
+    "energy_speedup_table",
+    "energy_vs_toq",
+    "prediction_time_table",
+    "GaussianCaseStudy",
+    "gaussian_case_study",
+    "ActivityCaseStudy",
+    "cpu_activity_case_study",
+    "HeadlineSummary",
+    "headline_summary",
+    "geomean",
+    "format_table",
+    "format_series",
+    "format_percent",
+    "banner",
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "GoldenBand",
+    "GOLDEN_HEADLINE",
+    "check_headline",
+    "generate_report",
+]

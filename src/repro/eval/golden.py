@@ -1,0 +1,79 @@
+"""Golden-number regression checking.
+
+The reproduction's headline numbers depend on many calibrated models; a
+well-meaning change to any of them can silently drift the results.  This
+module freezes the expected headline quantities (with tolerances) and
+compares a fresh run against them — the repository's own
+"paper-vs-measured" contract.
+
+``GOLDEN_HEADLINE`` was recorded from seed 0 on the default configuration;
+``check_headline`` returns the list of violations (empty = pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.eval.experiments import HeadlineSummary, headline_summary
+
+__all__ = ["GoldenBand", "GOLDEN_HEADLINE", "check_headline"]
+
+
+@dataclass(frozen=True)
+class GoldenBand:
+    """An expected value with an accepted band."""
+
+    expected: float
+    rel_tolerance: float = 0.25
+
+    def admits(self, value: float) -> bool:
+        if self.expected == 0.0:
+            return abs(value) <= self.rel_tolerance
+        return abs(value - self.expected) <= self.rel_tolerance * abs(
+            self.expected
+        )
+
+    def describe(self, name: str, value: float) -> str:
+        lo = self.expected * (1 - self.rel_tolerance)
+        hi = self.expected * (1 + self.rel_tolerance)
+        return f"{name}={value:.4g} outside golden band [{lo:.4g}, {hi:.4g}]"
+
+
+#: Headline quantities recorded at seed 0 (see EXPERIMENTS.md).  The bands
+#: are generous: they flag calibration drift, not run-to-run noise.
+GOLDEN_HEADLINE: Dict[str, GoldenBand] = {
+    "mean_unchecked_error": GoldenBand(0.166, 0.30),
+    "mean_rumba_error": GoldenBand(0.098, 0.25),
+    "error_reduction": GoldenBand(1.69, 0.30),
+    "npu_energy_savings": GoldenBand(3.94, 0.30),
+    "rumba_energy_savings": GoldenBand(2.27, 0.30),
+    "npu_speedup": GoldenBand(2.25, 0.30),
+    "rumba_speedup": GoldenBand(2.25, 0.30),
+}
+
+
+def check_headline(
+    summary: Optional[HeadlineSummary] = None,
+    golden: Optional[Dict[str, GoldenBand]] = None,
+    seed: int = 0,
+) -> List[str]:
+    """Compare a headline summary against the golden bands.
+
+    Returns human-readable violation strings; an empty list is a pass.
+    Computes the summary (trains the whole suite, ~30 s) when none is
+    given.
+    """
+    golden = golden if golden is not None else GOLDEN_HEADLINE
+    if not golden:
+        raise ConfigurationError("no golden bands to check against")
+    summary = summary or headline_summary(seed=seed)
+    violations: List[str] = []
+    for name, band in golden.items():
+        if not hasattr(summary, name):
+            raise ConfigurationError(f"summary has no field {name!r}")
+        value = float(getattr(summary, name))
+        if not band.admits(value):
+            violations.append(band.describe(name, value))
+    return violations

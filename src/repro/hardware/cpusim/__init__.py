@@ -1,0 +1,27 @@
+"""Dynamic CPU simulation: a trace-based out-of-order core model that
+cross-checks the analytical :class:`~repro.hardware.energy.EnergyModel`
+(the paper used GEM5 for this role)."""
+
+from repro.hardware.cpusim.caches import (
+    CacheStats,
+    SetAssociativeCache,
+    build_table2_hierarchy,
+)
+from repro.hardware.cpusim.core_sim import (
+    OutOfOrderCoreSim,
+    SimResult,
+    simulate_mix,
+)
+from repro.hardware.cpusim.trace import MicroOp, OpKind, TraceGenerator
+
+__all__ = [
+    "OpKind",
+    "MicroOp",
+    "TraceGenerator",
+    "SetAssociativeCache",
+    "CacheStats",
+    "build_table2_hierarchy",
+    "OutOfOrderCoreSim",
+    "SimResult",
+    "simulate_mix",
+]

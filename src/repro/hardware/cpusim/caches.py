@@ -1,0 +1,122 @@
+"""Set-associative cache model with LRU replacement.
+
+A functional (hit/miss) cache used by the core simulator to turn the
+synthetic address stream into load latencies.  Two levels chained together
+model the Table 2 hierarchy (32 KB L1 -> 2 MB L2 -> memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheStats", "SetAssociativeCache", "build_table2_hierarchy"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache level.
+
+    ``access`` returns the total latency to satisfy the access, recursing
+    into ``next_level`` on a miss (or charging ``memory_latency`` when this
+    is the last level).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        hit_latency: int = 3,
+        next_level: Optional["SetAssociativeCache"] = None,
+        memory_latency: int = 120,
+        name: str = "cache",
+    ):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines % ways != 0 or n_lines == 0:
+            raise ConfigurationError(
+                f"{name}: {size_bytes}B / {line_bytes}B lines not divisible "
+                f"into {ways} ways"
+            )
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.next_level = next_level
+        self.memory_latency = memory_latency
+        self.name = name
+        self.n_sets = n_lines // ways
+        # Per-set list of tags in LRU order (front = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int):
+        line = address // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int) -> int:
+        """Latency (cycles) to satisfy an access at ``address``."""
+        if address < 0:
+            raise ConfigurationError("address must be non-negative")
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            self.stats.hits += 1
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return self.hit_latency
+        # Miss: fill from below, evict LRU if needed.
+        if self.next_level is not None:
+            below = self.next_level.access(address)
+        else:
+            below = self.memory_latency
+        ways.insert(0, tag)
+        if len(ways) > self.ways:
+            ways.pop()
+        return self.hit_latency + below
+
+    def flush(self) -> None:
+        """Empty every set (used between independent simulations)."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+
+def build_table2_hierarchy(line_bytes: int = 64) -> SetAssociativeCache:
+    """The Table 2 data-cache hierarchy: 32 KB 8-way L1, 2 MB 8-way L2."""
+    l2 = SetAssociativeCache(
+        size_bytes=2 * 1024 * 1024,
+        ways=8,
+        line_bytes=line_bytes,
+        hit_latency=12,
+        next_level=None,
+        memory_latency=120,
+        name="L2",
+    )
+    return SetAssociativeCache(
+        size_bytes=32 * 1024,
+        ways=8,
+        line_bytes=line_bytes,
+        hit_latency=3,
+        next_level=l2,
+        name="L1d",
+    )

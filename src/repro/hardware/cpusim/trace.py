@@ -1,0 +1,177 @@
+"""Synthetic micro-op trace generation from an instruction mix.
+
+The analytical :class:`~repro.hardware.energy.EnergyModel` estimates kernel
+cycles from bounds; :mod:`repro.hardware.cpusim` cross-checks it with a
+dynamic, GEM5-style simulation.  The simulator needs an instruction trace;
+since we do not execute real x86, :class:`TraceGenerator` synthesizes one
+with the right *statistics*: the kind histogram follows the benchmark's
+:class:`~repro.hardware.energy.InstructionMix`, data dependencies follow a
+short-range producer/consumer pattern (each op reads up to two recent
+results), loads/stores walk a mostly-sequential address stream with a
+random-access fraction, and branch positions carry the mix's branch
+density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.energy import InstructionMix
+
+__all__ = ["OpKind", "MicroOp", "TraceGenerator"]
+
+
+class OpKind(Enum):
+    """Micro-op classes the core simulator schedules."""
+
+    INT = "int"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    TRANSCENDENTAL = "transcendental"
+
+
+#: Execution latency (cycles) per kind; loads add the memory hierarchy.
+BASE_LATENCY = {
+    OpKind.INT: 1,
+    OpKind.FP: 4,
+    OpKind.LOAD: 1,     # address generation; cache latency added by the sim
+    OpKind.STORE: 1,
+    OpKind.BRANCH: 1,
+    OpKind.TRANSCENDENTAL: 40,
+}
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One dynamic micro-op.
+
+    ``deps`` are indices of earlier trace entries whose results this op
+    reads; ``address`` is a byte address for memory ops (None otherwise).
+    """
+
+    index: int
+    kind: OpKind
+    deps: Tuple[int, ...] = ()
+    address: Optional[int] = None
+
+    @property
+    def latency(self) -> int:
+        return BASE_LATENCY[self.kind]
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (OpKind.LOAD, OpKind.STORE)
+
+
+class TraceGenerator:
+    """Build a synthetic trace whose statistics follow an instruction mix.
+
+    Parameters
+    ----------
+    mix:
+        Per-iteration dynamic instruction counts.
+    dependency_window:
+        How far back (in ops) a consumer may reach for its producers —
+        small windows make ILP-rich traces, large windows serialize.
+    dependency_prob:
+        Probability that each of an op's two source slots binds to an
+        earlier op (vs an already-available value).
+    random_access_fraction:
+        Fraction of memory ops that touch a random line rather than the
+        next sequential one (controls the cache hit rate).
+    line_bytes:
+        Address stride of the sequential stream.
+    """
+
+    def __init__(
+        self,
+        mix: InstructionMix,
+        dependency_window: int = 16,
+        dependency_prob: float = 0.35,
+        random_access_fraction: float = 0.03,
+        working_set_bytes: int = 1 << 22,
+        line_bytes: int = 64,
+        seed: int = 0,
+    ):
+        if mix.total_instructions <= 0:
+            raise ConfigurationError("instruction mix is empty")
+        if dependency_window < 1:
+            raise ConfigurationError("dependency_window must be >= 1")
+        if not (0.0 <= dependency_prob <= 1.0):
+            raise ConfigurationError("dependency_prob must be in [0, 1]")
+        if not (0.0 <= random_access_fraction <= 1.0):
+            raise ConfigurationError("random_access_fraction must be in [0, 1]")
+        self.mix = mix
+        self.dependency_window = dependency_window
+        self.dependency_prob = dependency_prob
+        self.random_access_fraction = random_access_fraction
+        self.working_set_bytes = working_set_bytes
+        self.line_bytes = line_bytes
+        self.seed = seed
+
+    def _kind_pool(self) -> List[OpKind]:
+        mix = self.mix
+        pool: List[OpKind] = []
+        pool += [OpKind.INT] * int(round(mix.int_ops))
+        pool += [OpKind.FP] * int(round(mix.fp_ops))
+        pool += [OpKind.LOAD] * int(round(mix.loads))
+        pool += [OpKind.STORE] * int(round(mix.stores))
+        pool += [OpKind.BRANCH] * int(round(mix.branches))
+        pool += [OpKind.TRANSCENDENTAL] * int(round(mix.transcendentals))
+        if not pool:
+            raise ConfigurationError("instruction mix rounds to zero ops")
+        return pool
+
+    def generate(self, n_iterations: int = 1) -> List[MicroOp]:
+        """A trace of ``n_iterations`` kernel iterations.
+
+        Each iteration shuffles the mix's kind pool (a loop body executes
+        the same op population in a loop-varying order) and wires
+        dependencies within the window; iterations are independent except
+        for the serial resource usage the simulator models.
+        """
+        if n_iterations <= 0:
+            raise ConfigurationError("n_iterations must be positive")
+        rng = np.random.default_rng(self.seed)
+        pool = self._kind_pool()
+        trace: List[MicroOp] = []
+        next_seq_addr = 0
+        for _ in range(n_iterations):
+            order = rng.permutation(len(pool))
+            for slot in order:
+                kind = pool[slot]
+                index = len(trace)
+                deps: List[int] = []
+                for _src in range(2):
+                    if index > 0 and rng.random() < self.dependency_prob:
+                        lo = max(0, index - self.dependency_window)
+                        deps.append(int(rng.integers(lo, index)))
+                address = None
+                if kind in (OpKind.LOAD, OpKind.STORE):
+                    draw = rng.random()
+                    if draw < self.random_access_fraction:
+                        # Pointer-chase style random touch.
+                        address = int(
+                            rng.integers(0, self.working_set_bytes)
+                        ) // self.line_bytes * self.line_bytes
+                    elif draw < self.random_access_fraction + 0.55:
+                        # Temporal locality: re-touch the current line.
+                        address = next_seq_addr
+                    else:
+                        # Spatial locality: walk the sequential stream.
+                        next_seq_addr = (
+                            next_seq_addr + self.line_bytes // 8
+                        ) % self.working_set_bytes
+                        address = next_seq_addr
+                trace.append(
+                    MicroOp(index=index, kind=kind, deps=tuple(sorted(set(deps))),
+                            address=address)
+                )
+        return trace

@@ -1,0 +1,190 @@
+"""Core ↔ accelerator queue models (input, output, config, recovery).
+
+The Rumba block diagram (Fig. 4) connects the CPU and the accelerator with
+I/O queues for data, a config queue for accelerator and checker
+coefficients, and a *recovery queue* that carries one recovery bit per
+iteration from the detection module back to the CPU.
+
+These are functional FIFO models with occupancy accounting; the pipeline
+simulator uses them to bound in-flight work and the tests use them to check
+ordering and loss-freedom invariants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["FifoQueue", "RecoveryQueue", "ConfigQueue", "QueueStats"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class QueueStats:
+    """Occupancy statistics collected by a queue over its lifetime."""
+
+    pushes: int = 0
+    pops: int = 0
+    max_occupancy: int = 0
+    stall_events: int = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self.pushes - self.pops
+
+
+class FifoQueue(Generic[T]):
+    """A bounded FIFO with occupancy statistics.
+
+    ``push`` on a full queue raises :class:`SimulationError` when
+    ``strict=True`` (the default) or records a stall event and drops into
+    blocking semantics otherwise (the caller is expected to retry).
+    """
+
+    def __init__(self, capacity: int = 64, name: str = "fifo", strict: bool = True):
+        if capacity <= 0:
+            raise ConfigurationError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.strict = strict
+        self._items: Deque[T] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> bool:
+        """Append an item; returns False (and records a stall) when full."""
+        if self.is_full:
+            self.stats.stall_events += 1
+            if self.strict:
+                raise SimulationError(
+                    f"queue {self.name!r} overflow (capacity {self.capacity})"
+                )
+            return False
+        self._items.append(item)
+        self.stats.pushes += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest item."""
+        if self.is_empty:
+            raise SimulationError(f"pop from empty queue {self.name!r}")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if self.is_empty:
+            raise SimulationError(f"peek on empty queue {self.name!r}")
+        return self._items[0]
+
+    def drain(self) -> List[T]:
+        """Pop everything, oldest first."""
+        out: List[T] = []
+        while not self.is_empty:
+            out.append(self.pop())
+        return out
+
+
+class RecoveryQueue:
+    """The recovery-bit channel between the detection module and the CPU.
+
+    Entries are ``(iteration_id, recovery_bit)`` pairs pushed in iteration
+    order by the accelerator-side detector.  The CPU pops them in order and
+    re-executes iterations whose bit is set.  ``pending_recoveries`` exposes
+    how many set bits are waiting — the online tuner's Quality mode uses
+    this as its CPU-utilization signal.
+    """
+
+    def __init__(self, capacity: int = 256, strict: bool = True):
+        self._fifo: FifoQueue[Tuple[int, bool]] = FifoQueue(
+            capacity=capacity, name="recovery", strict=strict
+        )
+        self._pending_set_bits = 0
+        self._last_pushed_id: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def stats(self) -> QueueStats:
+        return self._fifo.stats
+
+    @property
+    def pending_recoveries(self) -> int:
+        """Number of queued iterations whose recovery bit is set."""
+        return self._pending_set_bits
+
+    def push(self, iteration_id: int, recovery_bit: bool) -> bool:
+        """Record the detector's verdict for one iteration.
+
+        Iteration ids must be strictly increasing — the detector sees
+        iterations in order.
+        """
+        if self._last_pushed_id is not None and iteration_id <= self._last_pushed_id:
+            raise SimulationError(
+                f"recovery queue push out of order: {iteration_id} after "
+                f"{self._last_pushed_id}"
+            )
+        ok = self._fifo.push((iteration_id, bool(recovery_bit)))
+        if ok:
+            self._last_pushed_id = iteration_id
+            if recovery_bit:
+                self._pending_set_bits += 1
+        return ok
+
+    def pop(self) -> Tuple[int, bool]:
+        iteration_id, bit = self._fifo.pop()
+        if bit:
+            self._pending_set_bits -= 1
+        return iteration_id, bit
+
+    @property
+    def is_empty(self) -> bool:
+        return self._fifo.is_empty
+
+    def drain_flagged(self) -> List[int]:
+        """Pop all entries and return ids of iterations needing recovery."""
+        flagged: List[int] = []
+        while not self.is_empty:
+            iteration_id, bit = self.pop()
+            if bit:
+                flagged.append(iteration_id)
+        return flagged
+
+
+class ConfigQueue:
+    """The configuration channel (accelerator weights + checker coefficients).
+
+    The same queue transfers the accelerator configuration and the checker
+    coefficients (Sec. 3.2, "Predictor Hardware").  The model just counts
+    transferred words so energy can be charged per kernel launch.
+    """
+
+    def __init__(self) -> None:
+        self.words_transferred = 0
+        self._payloads: List[Tuple[str, int]] = []
+
+    def send(self, label: str, words: Iterable[float]) -> int:
+        """Send a coefficient payload; returns its word count."""
+        count = sum(1 for _ in words)
+        self.words_transferred += count
+        self._payloads.append((label, count))
+        return count
+
+    @property
+    def payloads(self) -> List[Tuple[str, int]]:
+        return list(self._payloads)

@@ -1,0 +1,247 @@
+"""Persistence for trained artifacts.
+
+Offline training (the two trainer boxes of Fig. 4) happens once per
+application; deployments then ship the trained accelerator network and
+checker coefficients in the binary.  This module provides that shipping
+format: a single ``.npz`` archive holding the MLP weights, the scaler
+statistics, the checker coefficients and a JSON metadata record.
+
+Supported artifacts: :class:`~repro.approx.npu_backend.NPUBackend` and the
+fitted predictors (linear, tree, EMA; the stateless baseline schemes are
+reconstructed from their names).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.approx.npu_backend import NPUBackend
+from repro.errors import ConfigurationError, NotFittedError
+from repro.nn.mlp import MLP, Topology
+from repro.nn.scaler import MinMaxScaler
+from repro.predictors.base import ErrorPredictor
+from repro.predictors.ema import EMAPredictor
+from repro.predictors.linear import LinearErrorPredictor
+from repro.predictors.oracle import OraclePredictor
+from repro.predictors.sampling import RandomPredictor, UniformPredictor
+from repro.predictors.tree import DecisionTreeErrorPredictor, TreeNode
+
+__all__ = [
+    "save_backend",
+    "load_backend",
+    "save_predictor",
+    "load_predictor",
+]
+
+_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Scaler (de)serialization                                              #
+# --------------------------------------------------------------------- #
+def _scaler_arrays(scaler: MinMaxScaler, prefix: str) -> Dict[str, np.ndarray]:
+    if not scaler.is_fitted:
+        raise NotFittedError("cannot save an unfitted scaler")
+    return {
+        f"{prefix}_min": scaler._data_min,
+        f"{prefix}_span": scaler._data_span,
+        f"{prefix}_constant": scaler._constant,
+        f"{prefix}_range": np.asarray(scaler.feature_range),
+    }
+
+
+def _scaler_from_arrays(data, prefix: str) -> MinMaxScaler:
+    lo, hi = data[f"{prefix}_range"]
+    scaler = MinMaxScaler((float(lo), float(hi)))
+    scaler._data_min = data[f"{prefix}_min"]
+    scaler._data_span = data[f"{prefix}_span"]
+    scaler._constant = data[f"{prefix}_constant"].astype(bool)
+    return scaler
+
+
+# --------------------------------------------------------------------- #
+# Backend                                                               #
+# --------------------------------------------------------------------- #
+def save_backend(backend: NPUBackend, path: Union[str, Path]) -> Path:
+    """Write a trained accelerator backend to ``path`` (.npz)."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "artifact": "npu_backend",
+        "topology": str(backend.topology),
+        "hidden_activation": backend.network._hidden_act.name,
+        "output_activation": backend.network._output_act.name,
+        "input_columns": list(backend.input_columns)
+        if backend.input_columns is not None
+        else None,
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "params": backend.network.get_flat_params(),
+    }
+    arrays.update(_scaler_arrays(backend.input_scaler, "in"))
+    arrays.update(_scaler_arrays(backend.output_scaler, "out"))
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_backend(path: Union[str, Path]) -> NPUBackend:
+    """Read a backend previously written by :func:`save_backend`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data, expected="npu_backend")
+        network = MLP(
+            Topology.parse(meta["topology"]),
+            hidden_activation=meta["hidden_activation"],
+            output_activation=meta["output_activation"],
+        )
+        network.set_flat_params(data["params"])
+        columns = meta["input_columns"]
+        return NPUBackend(
+            network=network,
+            input_scaler=_scaler_from_arrays(data, "in"),
+            output_scaler=_scaler_from_arrays(data, "out"),
+            input_columns=tuple(columns) if columns is not None else None,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Predictors                                                            #
+# --------------------------------------------------------------------- #
+def _tree_to_arrays(root: TreeNode):
+    """Flatten a tree into parallel arrays (preorder)."""
+    features: List[int] = []
+    thresholds: List[float] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+    values: List[float] = []
+
+    def visit(node: TreeNode) -> int:
+        index = len(features)
+        features.append(node.feature)
+        thresholds.append(node.threshold)
+        values.append(node.value)
+        lefts.append(-1)
+        rights.append(-1)
+        if not node.is_leaf:
+            lefts[index] = visit(node.left)
+            rights[index] = visit(node.right)
+        return index
+
+    visit(root)
+    return (
+        np.asarray(features, dtype=np.int64),
+        np.asarray(thresholds, dtype=float),
+        np.asarray(lefts, dtype=np.int64),
+        np.asarray(rights, dtype=np.int64),
+        np.asarray(values, dtype=float),
+    )
+
+
+def _tree_from_arrays(features, thresholds, lefts, rights, values) -> TreeNode:
+    def build(index: int) -> TreeNode:
+        node = TreeNode(
+            feature=int(features[index]),
+            threshold=float(thresholds[index]),
+            value=float(values[index]),
+        )
+        if lefts[index] >= 0:
+            node.left = build(int(lefts[index]))
+            node.right = build(int(rights[index]))
+        return node
+
+    return build(0)
+
+
+def save_predictor(predictor: ErrorPredictor, path: Union[str, Path]) -> Path:
+    """Write a fitted predictor to ``path`` (.npz)."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "artifact": "predictor",
+        "name": predictor.name,
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    if isinstance(predictor, LinearErrorPredictor):
+        predictor._require_fitted()
+        arrays["weights"] = predictor.weights
+        arrays["bias"] = np.asarray([predictor.bias])
+    elif isinstance(predictor, DecisionTreeErrorPredictor):
+        predictor._require_fitted()
+        f, t, l, r, v = _tree_to_arrays(predictor.root)
+        arrays.update(
+            tree_features=f, tree_thresholds=t, tree_lefts=l,
+            tree_rights=r, tree_values=v,
+        )
+        meta["max_depth"] = predictor.max_depth
+        meta["min_samples_leaf"] = predictor.min_samples_leaf
+        meta["n_thresholds"] = predictor.n_thresholds
+        meta["n_features"] = predictor._n_features
+    elif isinstance(predictor, EMAPredictor):
+        meta["history"] = predictor.history
+    elif isinstance(predictor, (OraclePredictor, UniformPredictor)):
+        pass  # stateless
+    elif isinstance(predictor, RandomPredictor):
+        meta["seed"] = predictor.seed
+    else:
+        raise ConfigurationError(
+            f"cannot serialize predictor type {type(predictor).__name__}"
+        )
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_predictor(path: Union[str, Path]) -> ErrorPredictor:
+    """Read a predictor previously written by :func:`save_predictor`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data, expected="predictor")
+        name = meta["name"]
+        if name == "linearErrors":
+            predictor = LinearErrorPredictor()
+            predictor.weights = data["weights"]
+            predictor.bias = float(data["bias"][0])
+            predictor._fitted = True
+            return predictor
+        if name == "treeErrors":
+            predictor = DecisionTreeErrorPredictor(
+                max_depth=meta["max_depth"],
+                min_samples_leaf=meta["min_samples_leaf"],
+                n_thresholds=meta["n_thresholds"],
+            )
+            predictor.root = _tree_from_arrays(
+                data["tree_features"], data["tree_thresholds"],
+                data["tree_lefts"], data["tree_rights"], data["tree_values"],
+            )
+            predictor._n_features = meta["n_features"]
+            predictor._fitted = True
+            return predictor
+        if name == "EMA":
+            return EMAPredictor(history=meta["history"])
+        if name == "Ideal":
+            return OraclePredictor()
+        if name == "Uniform":
+            return UniformPredictor()
+        if name == "Random":
+            return RandomPredictor(seed=meta["seed"])
+        raise ConfigurationError(f"unknown predictor artifact {name!r}")
+
+
+def _read_meta(data, expected: str) -> dict:
+    if "meta" not in data:
+        raise ConfigurationError("archive has no metadata record")
+    meta = json.loads(bytes(data["meta"]).decode())
+    if meta.get("artifact") != expected:
+        raise ConfigurationError(
+            f"archive holds a {meta.get('artifact')!r}, expected {expected!r}"
+        )
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported format version {meta.get('format_version')!r}"
+        )
+    return meta

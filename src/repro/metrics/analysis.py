@@ -1,0 +1,252 @@
+"""Scheme-analysis metrics for the evaluation (Figs. 1, 10, 11, 12, 13).
+
+All analyses work on the same raw material: per-element predictor *scores*
+(the scheme's ranking of which elements to fix) and per-element *true
+errors*.  For every benchmark in this suite the application-level output
+error equals the mean of the per-element errors, so "fix the top-k by score"
+reduces the output error by exactly the sum of the fixed elements' errors —
+:func:`error_after_fixes` exploits that to sweep fix fractions in O(n log n).
+
+Definitions follow Sec. 5.1 of the paper:
+
+* *false positive* — a fixed element whose true error was not actually
+  large (below the target error budget); reported as a percentage of all
+  elements, at the fix count each scheme needs for the target quality.
+* *relative coverage* — among a scheme's fixes, the fraction that are true
+  large errors (>20%), normalized to Ideal's value at its own fix count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "error_cdf",
+    "calibrate_threshold",
+    "rank_by_scores",
+    "error_after_fixes",
+    "error_vs_fixed_curve",
+    "fixes_required_for_quality",
+    "false_positive_rate",
+    "relative_coverage",
+    "SchemeQualityAnalysis",
+    "analyze_scheme_at_target",
+]
+
+
+def _validate_pair(scores: np.ndarray, errors: np.ndarray):
+    scores = np.asarray(scores, dtype=float).ravel()
+    errors = np.asarray(errors, dtype=float).ravel()
+    if scores.shape != errors.shape:
+        raise ConfigurationError(
+            f"scores {scores.shape} and errors {errors.shape} disagree"
+        )
+    if scores.size == 0:
+        raise ConfigurationError("need at least one element")
+    if not (np.all(np.isfinite(scores)) and np.all(np.isfinite(errors))):
+        raise ConfigurationError("scores and errors must be finite")
+    return scores, errors
+
+
+def error_cdf(
+    errors: np.ndarray, levels: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative distribution of element errors (paper Fig. 1).
+
+    Returns ``(levels, fraction_below)`` where ``fraction_below[i]`` is the
+    fraction of elements with error <= ``levels[i]``.
+    """
+    errors = np.asarray(errors, dtype=float).ravel()
+    if errors.size == 0:
+        raise ConfigurationError("need at least one element")
+    if levels is None:
+        top = max(float(errors.max()), 1e-12)
+        levels = np.linspace(0.0, top, 101)
+    levels = np.asarray(levels, dtype=float)
+    sorted_errors = np.sort(errors)
+    fractions = np.searchsorted(sorted_errors, levels, side="right") / errors.size
+    return levels, fractions
+
+
+def rank_by_scores(scores: np.ndarray) -> np.ndarray:
+    """Element indices in fix order (highest score first, stable)."""
+    scores = np.asarray(scores, dtype=float).ravel()
+    # Stable sort on negated scores keeps ties in stream order.
+    return np.argsort(-scores, kind="stable")
+
+
+def error_after_fixes(
+    scores: np.ndarray, errors: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Output error as a function of the number of elements fixed.
+
+    Returns ``(n_fixed, output_error)`` arrays of length ``n+1`` where
+    ``output_error[k]`` is the mean element error after fixing the scheme's
+    top ``k`` elements.
+    """
+    scores, errors = _validate_pair(scores, errors)
+    order = rank_by_scores(scores)
+    removed = np.concatenate([[0.0], np.cumsum(errors[order])])
+    total = errors.sum()
+    n = errors.size
+    output_error = (total - removed) / n
+    return np.arange(n + 1), output_error
+
+
+def error_vs_fixed_curve(
+    scores: np.ndarray,
+    errors: np.ndarray,
+    fractions: Sequence[float],
+) -> np.ndarray:
+    """Output error at given fixed-element fractions (paper Fig. 10 series)."""
+    scores, errors = _validate_pair(scores, errors)
+    n = errors.size
+    _, curve = error_after_fixes(scores, errors)
+    out = np.empty(len(fractions))
+    for i, fraction in enumerate(fractions):
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError("fractions must be in [0, 1]")
+        out[i] = curve[int(round(fraction * n))]
+    return out
+
+
+def fixes_required_for_quality(
+    scores: np.ndarray,
+    errors: np.ndarray,
+    target_error: float,
+) -> Tuple[int, float]:
+    """Minimum fixes (by this scheme's own ranking) to reach a target error.
+
+    Returns ``(n_fixed, achieved_error)``.  When even fixing everything
+    cannot reach the target (impossible for these metrics — fixing all
+    yields zero error), the full count is returned.
+    """
+    if target_error < 0:
+        raise ConfigurationError("target_error must be >= 0")
+    scores, errors = _validate_pair(scores, errors)
+    _, curve = error_after_fixes(scores, errors)
+    hits = np.flatnonzero(curve <= target_error + 1e-15)
+    n_fixed = int(hits[0]) if hits.size else int(errors.size)
+    return n_fixed, float(curve[n_fixed])
+
+
+def calibrate_threshold(
+    scores: np.ndarray,
+    errors: np.ndarray,
+    target_error: float,
+) -> float:
+    """Score threshold achieving a target output error on calibration data.
+
+    The paper's TOQ mode compares *predicted error* against the quality
+    budget, which works directly for checkers that predict error in error
+    units (linear, tree, Ideal).  Output-based and blind schemes score in
+    other units; this maps the quality budget onto their score scale: the
+    returned threshold is the loosest one whose fix set ({score > t})
+    reaches ``target_error`` on the calibration data.
+    """
+    scores, errors = _validate_pair(scores, errors)
+    n_fixed, _ = fixes_required_for_quality(scores, errors, target_error)
+    if n_fixed == 0:
+        return float(scores.max())  # nothing needs fixing at this target
+    ranked = scores[rank_by_scores(scores)]
+    kth = float(ranked[n_fixed - 1])
+    # Fire strictly above the next score down so exactly the top n_fixed
+    # elements (by this data's distribution) are flagged.
+    below = ranked[n_fixed] if n_fixed < ranked.size else kth - 1.0
+    return float(np.nextafter(kth, below)) if below < kth else float(below)
+
+
+def false_positive_rate(
+    scores: np.ndarray,
+    errors: np.ndarray,
+    n_fixed: int,
+    error_budget: float,
+) -> float:
+    """Fraction of *all* elements fixed despite a small true error (Fig. 11).
+
+    A fix is a false positive when the element's true error was already
+    below ``error_budget`` (it did not need fixing).
+    """
+    scores, errors = _validate_pair(scores, errors)
+    if not (0 <= n_fixed <= errors.size):
+        raise ConfigurationError("n_fixed out of range")
+    fixed = rank_by_scores(scores)[:n_fixed]
+    small = errors[fixed] < error_budget
+    return float(small.sum()) / errors.size
+
+
+def relative_coverage(
+    scores: np.ndarray,
+    errors: np.ndarray,
+    n_fixed: int,
+    ideal_n_fixed: int,
+    large_error_threshold: float = 0.20,
+) -> float:
+    """Large-error coverage per fix, normalized to Ideal (Fig. 13).
+
+    Scheme precision = (#fixes that are true large errors) / #fixes; the
+    result is the scheme's precision over Ideal's precision at Ideal's own
+    fix count, as a fraction (Ideal == 1.0).
+    """
+    scores, errors = _validate_pair(scores, errors)
+    if n_fixed <= 0 or ideal_n_fixed <= 0:
+        return 1.0 if n_fixed == ideal_n_fixed else 0.0
+    order = rank_by_scores(scores)
+    scheme_hits = float((errors[order[:n_fixed]] > large_error_threshold).sum())
+    scheme_precision = scheme_hits / n_fixed
+
+    ideal_order = rank_by_scores(errors)
+    ideal_hits = float(
+        (errors[ideal_order[:ideal_n_fixed]] > large_error_threshold).sum()
+    )
+    ideal_precision = ideal_hits / ideal_n_fixed
+    if ideal_precision == 0.0:
+        # No large errors exist at all; every scheme trivially covers them.
+        return 1.0
+    return scheme_precision / ideal_precision
+
+
+@dataclass(frozen=True)
+class SchemeQualityAnalysis:
+    """All Fig. 11/12/13 quantities for one scheme at one quality target."""
+
+    scheme: str
+    n_elements: int
+    n_fixed: int
+    achieved_error: float
+    false_positive_fraction: float
+    relative_coverage: float
+
+    @property
+    def fixed_fraction(self) -> float:
+        return self.n_fixed / self.n_elements if self.n_elements else 0.0
+
+
+def analyze_scheme_at_target(
+    scheme: str,
+    scores: np.ndarray,
+    errors: np.ndarray,
+    ideal_n_fixed: int,
+    target_error: float,
+    large_error_threshold: float = 0.20,
+) -> SchemeQualityAnalysis:
+    """Run the full Figs. 11-13 analysis for one scheme."""
+    scores, errors = _validate_pair(scores, errors)
+    n_fixed, achieved = fixes_required_for_quality(scores, errors, target_error)
+    fp = false_positive_rate(scores, errors, n_fixed, error_budget=target_error)
+    coverage = relative_coverage(
+        scores, errors, n_fixed, ideal_n_fixed, large_error_threshold
+    )
+    return SchemeQualityAnalysis(
+        scheme=scheme,
+        n_elements=int(errors.size),
+        n_fixed=n_fixed,
+        achieved_error=achieved,
+        false_positive_fraction=fp,
+        relative_coverage=coverage,
+    )

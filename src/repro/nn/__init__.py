@@ -1,0 +1,44 @@
+"""From-scratch neural network substrate (pyBrain substitute).
+
+This subpackage provides the MLP used as the functional model of the NPU
+accelerator: topology parsing (Table 1 notation), forward evaluation,
+RProp/SGD training, feature scaling, and the smallest-adequate-net topology
+search policy described in Sec. 4 of the paper.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+)
+from repro.nn.mlp import MLP, Topology
+from repro.nn.scaler import MinMaxScaler, StandardScaler
+from repro.nn.topology import (
+    CandidateResult,
+    enumerate_topologies,
+    search_topology,
+)
+from repro.nn.trainer import RPropTrainer, SGDTrainer, TrainingResult, mse
+
+__all__ = [
+    "Activation",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "Linear",
+    "get_activation",
+    "MLP",
+    "Topology",
+    "MinMaxScaler",
+    "StandardScaler",
+    "RPropTrainer",
+    "SGDTrainer",
+    "TrainingResult",
+    "mse",
+    "CandidateResult",
+    "enumerate_topologies",
+    "search_topology",
+]

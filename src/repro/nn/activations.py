@@ -1,0 +1,124 @@
+"""Activation functions for the MLP used as the NPU functional model.
+
+The NPU paper (Esmaeilzadeh et al., MICRO'12) uses sigmoid activations in the
+hidden layers and a linear output layer; we provide those plus tanh and ReLU
+so topology experiments can explore alternatives.
+
+Each activation is a small value object exposing ``__call__`` and
+``derivative``.  ``derivative`` is expressed in terms of the *activation
+output* where that is cheaper (sigmoid, tanh), which is what the backprop
+trainer expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Activation",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "Linear",
+    "get_activation",
+]
+
+
+class Activation:
+    """Base class for activation functions.
+
+    Subclasses implement :meth:`__call__` mapping pre-activations to
+    activations and :meth:`derivative` mapping *activation outputs* to the
+    local gradient d(out)/d(pre).
+    """
+
+    name: str = "base"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, the NPU's hidden-layer activation."""
+
+    name = "sigmoid"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        # Clip to avoid overflow in exp for very large negative inputs.
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def derivative(self, out: np.ndarray) -> np.ndarray:
+        return out * (1.0 - out)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def derivative(self, out: np.ndarray) -> np.ndarray:
+        return 1.0 - out * out
+
+
+class ReLU(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def derivative(self, out: np.ndarray) -> np.ndarray:
+        return (out > 0.0).astype(out.dtype)
+
+
+class Linear(Activation):
+    """Identity activation used for output layers (regression)."""
+
+    name = "linear"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def derivative(self, out: np.ndarray) -> np.ndarray:
+        return np.ones_like(out)
+
+
+_REGISTRY: Dict[str, Activation] = {
+    cls.name: cls() for cls in (Sigmoid, Tanh, ReLU, Linear)
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation instance by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"sigmoid"``, ``"tanh"``, ``"relu"``, ``"linear"``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is not a known activation.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown activation {name!r}; known activations: {known}"
+        ) from None

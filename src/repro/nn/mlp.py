@@ -1,0 +1,200 @@
+"""Multi-layer perceptron used as the functional model of the NPU.
+
+The NPU accelerator executes a small MLP in place of an annotated kernel.
+Table 1 of the paper gives the per-benchmark topologies in the familiar
+``in->h1->h2->out`` notation (e.g. ``6->8->4->1`` for kmeans); this module
+parses that notation, evaluates the network, and exposes the operation counts
+(multiply-adds, activations) that the hardware cost model charges for.
+
+The implementation is deliberately minimal: dense layers, sigmoid hidden
+units, linear output — exactly what an 8-PE NPU schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Activation, get_activation
+
+__all__ = ["Topology", "MLP"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An MLP topology in the paper's ``in->h->...->out`` notation.
+
+    Attributes
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``(6, 8, 4, 1)``.
+    """
+
+    sizes: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) < 2:
+            raise ConfigurationError(
+                f"topology needs at least input and output layers, got {self.sizes}"
+            )
+        if any(int(s) <= 0 for s in self.sizes):
+            raise ConfigurationError(f"layer sizes must be positive, got {self.sizes}")
+        object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+
+    @classmethod
+    def parse(cls, spec: str) -> "Topology":
+        """Parse ``"6->8->4->1"`` into a :class:`Topology`."""
+        try:
+            sizes = tuple(int(part.strip()) for part in spec.split("->"))
+        except ValueError as exc:
+            raise ConfigurationError(f"malformed topology spec {spec!r}") from exc
+        return cls(sizes)
+
+    @property
+    def n_inputs(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.sizes[-1]
+
+    @property
+    def hidden_sizes(self) -> tuple:
+        return self.sizes[1:-1]
+
+    @property
+    def n_weights(self) -> int:
+        """Total number of weights including biases."""
+        return sum((a + 1) * b for a, b in zip(self.sizes[:-1], self.sizes[1:]))
+
+    @property
+    def n_multiply_adds(self) -> int:
+        """Multiply-add operations per single forward evaluation."""
+        return sum(a * b for a, b in zip(self.sizes[:-1], self.sizes[1:]))
+
+    @property
+    def n_neurons(self) -> int:
+        """Number of non-input neurons (each costs one activation evaluation)."""
+        return sum(self.sizes[1:])
+
+    def __str__(self) -> str:
+        return "->".join(str(s) for s in self.sizes)
+
+
+class MLP:
+    """A dense feed-forward network with per-layer weights and biases.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`Topology` or a spec string like ``"9->8->1"``.
+    hidden_activation, output_activation:
+        Activation names; the NPU uses sigmoid hidden layers and a linear
+        output layer, which are the defaults.
+    rng:
+        Seeded generator for reproducible weight initialization.
+    """
+
+    def __init__(
+        self,
+        topology,
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "linear",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if isinstance(topology, str):
+            topology = Topology.parse(topology)
+        if not isinstance(topology, Topology):
+            topology = Topology(tuple(topology))
+        self.topology = topology
+        self._hidden_act: Activation = get_activation(hidden_activation)
+        self._output_act: Activation = get_activation(output_activation)
+        rng = rng or np.random.default_rng(0)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for n_in, n_out in zip(topology.sizes[:-1], topology.sizes[1:]):
+            # Xavier/Glorot initialization keeps sigmoids out of saturation.
+            scale = np.sqrt(6.0 / (n_in + n_out))
+            self.weights.append(rng.uniform(-scale, scale, size=(n_in, n_out)))
+            self.biases.append(np.zeros(n_out))
+
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers (== len(topology.sizes) - 1)."""
+        return len(self.weights)
+
+    def activation_for_layer(self, layer: int) -> Activation:
+        """The activation applied after weight layer ``layer`` (0-based)."""
+        return self._output_act if layer == self.n_layers - 1 else self._hidden_act
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the network on a batch.
+
+        ``x`` has shape ``(n_samples, n_inputs)`` (a 1-D array is treated as
+        a single batch of samples for 1-input networks).  Returns an array of
+        shape ``(n_samples, n_outputs)``.
+        """
+        out, _ = self.forward_trace(x)
+        return out
+
+    def forward_trace(self, x: np.ndarray):
+        """Like :meth:`forward` but also return all layer activations.
+
+        The trace (a list of arrays, starting with the input) is used by the
+        backprop trainer.
+        """
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, self.topology.n_inputs)
+        if arr.shape[1] != self.topology.n_inputs:
+            raise ConfigurationError(
+                f"expected {self.topology.n_inputs} inputs, got shape {arr.shape}"
+            )
+        activations = [arr]
+        for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
+            pre = activations[-1] @ w + b
+            activations.append(self.activation_for_layer(layer)(pre))
+        return activations[-1], activations
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def copy(self) -> "MLP":
+        """Deep copy of the network (used by the topology search)."""
+        clone = MLP(
+            self.topology,
+            hidden_activation=self._hidden_act.name,
+            output_activation=self._output_act.name,
+        )
+        clone.weights = [w.copy() for w in self.weights]
+        clone.biases = [b.copy() for b in self.biases]
+        return clone
+
+    def get_flat_params(self) -> np.ndarray:
+        """All weights and biases as one flat vector."""
+        parts = []
+        for w, b in zip(self.weights, self.biases):
+            parts.append(w.ravel())
+            parts.append(b.ravel())
+        return np.concatenate(parts)
+
+    def set_flat_params(self, flat: Sequence[float]) -> None:
+        """Load parameters from a flat vector (inverse of get_flat_params)."""
+        flat = np.asarray(flat, dtype=float)
+        expected = self.topology.n_weights
+        if flat.size != expected:
+            raise ConfigurationError(
+                f"expected {expected} parameters, got {flat.size}"
+            )
+        pos = 0
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            self.weights[i] = flat[pos : pos + w.size].reshape(w.shape)
+            pos += w.size
+            self.biases[i] = flat[pos : pos + b.size].reshape(b.shape)
+            pos += b.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MLP({self.topology})"

@@ -1,0 +1,109 @@
+"""Feature scaling for NN training.
+
+The NPU maps arbitrary kernel signatures onto a small sigmoid MLP, which
+trains poorly on un-normalized data.  :class:`MinMaxScaler` maps each column
+into a target interval (default ``[0, 1]``) and can invert the mapping, which
+the NPU backend uses to de-normalize accelerator outputs before they are
+committed to the output queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    """Coerce ``x`` to a 2-D float array with samples on axis 0."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    return arr
+
+
+class MinMaxScaler:
+    """Scale columns linearly into ``feature_range``.
+
+    Degenerate (constant) columns map to the midpoint of the range rather
+    than producing division-by-zero artifacts.
+    """
+
+    def __init__(self, feature_range: Tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if not hi > lo:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self._data_min: Optional[np.ndarray] = None
+        self._data_span: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._data_min is not None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        arr = _as_2d(x)
+        self._data_min = arr.min(axis=0)
+        span = arr.max(axis=0) - self._data_min
+        # Constant columns: use span 1 so they map to range-low + 0, then the
+        # midpoint shift in transform keeps them centred.
+        self._data_span = np.where(span == 0.0, 1.0, span)
+        self._constant = span == 0.0
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise NotFittedError("MinMaxScaler.transform called before fit")
+        arr = _as_2d(x)
+        lo, hi = self.feature_range
+        unit = (arr - self._data_min) / self._data_span
+        unit = np.where(self._constant, 0.5, unit)
+        return lo + unit * (hi - lo)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, y: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise NotFittedError("MinMaxScaler.inverse_transform called before fit")
+        arr = _as_2d(y)
+        lo, hi = self.feature_range
+        unit = (arr - lo) / (hi - lo)
+        unit = np.where(self._constant, 0.0, unit)
+        return unit * self._data_span + self._data_min
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling (used by the error-predictor trainer)."""
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._mean is not None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        arr = _as_2d(x)
+        self._mean = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        return (_as_2d(x) - self._mean) / self._std
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, y: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise NotFittedError("StandardScaler.inverse_transform called before fit")
+        return _as_2d(y) * self._std + self._mean

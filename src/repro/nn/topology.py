@@ -1,0 +1,123 @@
+"""NN topology search — "we find the best NN configuration by searching the
+NN topology space" (Sec. 4, Accelerator Output).
+
+The paper constrains the space to at most 2 hidden layers and at most 32
+neurons per layer (the NPU restriction) and picks *the smallest NN that does
+not produce excessive errors*.  :func:`search_topology` reproduces that
+policy: candidates are enumerated smallest-first (by weight count), trained,
+and the first candidate whose validation error is within ``slack`` of the
+best-seen error is selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP, Topology
+from repro.nn.trainer import RPropTrainer, mse
+
+__all__ = ["CandidateResult", "enumerate_topologies", "search_topology"]
+
+#: Per-layer widths considered by default (powers of two up to the NPU's 32).
+DEFAULT_WIDTHS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Training outcome for one candidate topology."""
+
+    topology: Topology
+    val_error: float
+    n_weights: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.topology} (err={self.val_error:.4g}, w={self.n_weights})"
+
+
+def enumerate_topologies(
+    n_inputs: int,
+    n_outputs: int,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    max_hidden_layers: int = 2,
+) -> List[Topology]:
+    """Enumerate candidate topologies smallest-first.
+
+    Candidates have 1..``max_hidden_layers`` hidden layers with widths drawn
+    from ``widths`` (each ≤ 32, the NPU per-layer cap), ordered by total
+    weight count so that the search can stop at the smallest adequate net.
+    """
+    if n_inputs <= 0 or n_outputs <= 0:
+        raise ConfigurationError("n_inputs and n_outputs must be positive")
+    if max_hidden_layers < 1:
+        raise ConfigurationError("max_hidden_layers must be >= 1")
+    over_cap = [w for w in widths if w > 32]
+    if over_cap:
+        raise ConfigurationError(
+            f"hidden widths {over_cap} exceed the NPU per-layer cap of 32 neurons"
+        )
+    candidates: List[Topology] = []
+    for w1 in widths:
+        candidates.append(Topology((n_inputs, w1, n_outputs)))
+    if max_hidden_layers >= 2:
+        for w1 in widths:
+            for w2 in widths:
+                candidates.append(Topology((n_inputs, w1, w2, n_outputs)))
+    candidates.sort(key=lambda t: (t.n_weights, len(t.sizes)))
+    return candidates
+
+
+def search_topology(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    widths: Sequence[int] = (2, 4, 8),
+    max_hidden_layers: int = 2,
+    slack: float = 1.10,
+    trainer: Optional[RPropTrainer] = None,
+    max_candidates: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[MLP, List[CandidateResult]]:
+    """Pick the smallest topology whose error is within ``slack`` of the best.
+
+    Every candidate (smallest-first) is trained on ``(x_train, y_train)`` and
+    scored on ``(x_val, y_val)``.  The returned network is the smallest one
+    whose validation MSE ≤ ``slack`` × (best validation MSE over all
+    candidates) — the paper's "smallest NN that does not produce excessive
+    errors".
+
+    Returns the selected trained :class:`MLP` and the full candidate table.
+    """
+    if slack < 1.0:
+        raise ConfigurationError("slack must be >= 1.0")
+    x_train = np.asarray(x_train, dtype=float)
+    y_train = np.asarray(y_train, dtype=float)
+    n_inputs = 1 if x_train.ndim == 1 else x_train.shape[1]
+    n_outputs = 1 if y_train.ndim == 1 else y_train.shape[1]
+    trainer = trainer or RPropTrainer(max_epochs=150, patience=20, seed=seed)
+    candidates = enumerate_topologies(n_inputs, n_outputs, widths, max_hidden_layers)
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+
+    results: List[CandidateResult] = []
+    trained: List[MLP] = []
+    for i, topo in enumerate(candidates):
+        net = MLP(topo, rng=np.random.default_rng(seed + i))
+        trainer.train(net, x_train, y_train)
+        val_err = mse(
+            net.forward(x_val),
+            np.asarray(y_val, dtype=float).reshape(-1, n_outputs),
+        )
+        results.append(CandidateResult(topo, val_err, topo.n_weights))
+        trained.append(net)
+
+    best_err = min(r.val_error for r in results)
+    for net, res in zip(trained, results):
+        if res.val_error <= slack * best_err:
+            return net, results
+    # Unreachable: the best candidate always satisfies the slack bound.
+    raise AssertionError("topology search found no admissible candidate")

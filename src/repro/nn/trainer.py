@@ -1,0 +1,318 @@
+"""Offline NN trainers — the "accelerator trainer" of Rumba's Fig. 4.
+
+Two trainers are provided:
+
+* :class:`RPropTrainer` — resilient backpropagation, the default trainer in
+  pyBrain (the library the paper used to obtain accelerator outputs).  RProp
+  is a full-batch method that adapts a per-parameter step size from gradient
+  sign agreement; it is insensitive to learning-rate choice, which makes the
+  topology search robust.
+* :class:`SGDTrainer` — plain mini-batch stochastic gradient descent with
+  momentum, as a cheaper alternative for the large benchmark runs.
+
+Both minimize mean squared error, report a training history, and support an
+early-stop patience on a validation split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.nn.mlp import MLP
+
+__all__ = ["TrainingResult", "RPropTrainer", "SGDTrainer", "mse"]
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error between two equally-shaped arrays."""
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ConfigurationError(
+            f"shape mismatch in mse: {pred.shape} vs {target.shape}"
+        )
+    return float(np.mean((pred - target) ** 2))
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run.
+
+    Attributes
+    ----------
+    train_losses:
+        MSE on the training set after each epoch.
+    val_losses:
+        MSE on the validation split (empty when no split was requested).
+    best_epoch:
+        Epoch index with the lowest validation (or training) loss.
+    converged:
+        Whether training stopped because the loss plateaued rather than
+        because the epoch budget was exhausted.
+    """
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    best_epoch: int = 0
+    converged: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.train_losses:
+            raise TrainingError("training produced no epochs")
+        return self.train_losses[-1]
+
+    @property
+    def best_loss(self) -> float:
+        losses = self.val_losses or self.train_losses
+        if not losses:
+            raise TrainingError("training produced no epochs")
+        return losses[self.best_epoch]
+
+
+def _backprop_gradients(
+    net: MLP, x: np.ndarray, y: np.ndarray
+) -> Tuple[List[np.ndarray], List[np.ndarray], float]:
+    """Return (weight_grads, bias_grads, batch_mse) for one batch."""
+    out, trace = net.forward_trace(x)
+    target = np.asarray(y, dtype=float)
+    if target.ndim == 1:
+        target = target.reshape(-1, net.topology.n_outputs)
+    n = out.shape[0]
+    err = out - target
+    loss = float(np.mean(err**2))
+    # dL/d(out) for MSE with mean over samples *and* outputs.
+    delta = (2.0 / err.size) * err * net.activation_for_layer(net.n_layers - 1).derivative(out)
+    w_grads: List[np.ndarray] = [np.empty(0)] * net.n_layers
+    b_grads: List[np.ndarray] = [np.empty(0)] * net.n_layers
+    for layer in range(net.n_layers - 1, -1, -1):
+        inp = trace[layer]
+        w_grads[layer] = inp.T @ delta
+        b_grads[layer] = delta.sum(axis=0)
+        if layer > 0:
+            delta = (delta @ net.weights[layer].T) * net.activation_for_layer(
+                layer - 1
+            ).derivative(trace[layer])
+    return w_grads, b_grads, loss
+
+
+def _split_validation(
+    x: np.ndarray, y: np.ndarray, fraction: float, rng: np.random.Generator
+):
+    """Shuffle and split off a validation fraction."""
+    n = x.shape[0]
+    idx = rng.permutation(n)
+    n_val = int(round(n * fraction))
+    val_idx, train_idx = idx[:n_val], idx[n_val:]
+    if train_idx.size == 0:
+        raise ConfigurationError("validation fraction leaves no training data")
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+
+class RPropTrainer:
+    """Resilient backpropagation (iRprop-) trainer.
+
+    Parameters
+    ----------
+    max_epochs:
+        Upper bound on full-batch epochs.
+    eta_plus, eta_minus:
+        Step-size growth/shrink factors on gradient sign agreement/flip.
+    delta_init, delta_min, delta_max:
+        Initial and clamped per-parameter step sizes.
+    patience:
+        Stop after this many epochs with no best-loss improvement.
+    val_fraction:
+        Fraction of the data held out for early stopping (0 disables).
+    tol:
+        Absolute loss below which training stops as converged.
+    """
+
+    def __init__(
+        self,
+        max_epochs: int = 300,
+        eta_plus: float = 1.2,
+        eta_minus: float = 0.5,
+        delta_init: float = 0.01,
+        delta_min: float = 1e-8,
+        delta_max: float = 5.0,
+        patience: int = 30,
+        val_fraction: float = 0.0,
+        tol: float = 1e-10,
+        seed: int = 0,
+    ):
+        if max_epochs <= 0:
+            raise ConfigurationError("max_epochs must be positive")
+        if not (0.0 <= val_fraction < 1.0):
+            raise ConfigurationError("val_fraction must be in [0, 1)")
+        self.max_epochs = max_epochs
+        self.eta_plus = eta_plus
+        self.eta_minus = eta_minus
+        self.delta_init = delta_init
+        self.delta_min = delta_min
+        self.delta_max = delta_max
+        self.patience = patience
+        self.val_fraction = val_fraction
+        self.tol = tol
+        self.seed = seed
+
+    def train(self, net: MLP, x: np.ndarray, y: np.ndarray) -> TrainingResult:
+        """Train ``net`` in place; returns the loss history."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, net.topology.n_inputs)
+        if y.ndim == 1:
+            y = y.reshape(-1, net.topology.n_outputs)
+        rng = np.random.default_rng(self.seed)
+        if self.val_fraction > 0.0:
+            x_tr, y_tr, x_val, y_val = _split_validation(x, y, self.val_fraction, rng)
+        else:
+            x_tr, y_tr, x_val, y_val = x, y, None, None
+
+        deltas_w = [np.full_like(w, self.delta_init) for w in net.weights]
+        deltas_b = [np.full_like(b, self.delta_init) for b in net.biases]
+        prev_gw = [np.zeros_like(w) for w in net.weights]
+        prev_gb = [np.zeros_like(b) for b in net.biases]
+
+        result = TrainingResult()
+        best = np.inf
+        best_params = net.get_flat_params()
+        stall = 0
+        for epoch in range(self.max_epochs):
+            gw, gb, _ = _backprop_gradients(net, x_tr, y_tr)
+            for i in range(net.n_layers):
+                self._rprop_update(
+                    net.weights[i], gw[i], prev_gw[i], deltas_w[i]
+                )
+                self._rprop_update(net.biases[i], gb[i], prev_gb[i], deltas_b[i])
+                prev_gw[i], prev_gb[i] = gw[i], gb[i]
+            # Measure *after* the update so the recorded loss corresponds to
+            # the parameters that best_params may snapshot below.
+            loss = mse(net.forward(x_tr), y_tr)
+            result.train_losses.append(loss)
+            if x_val is not None:
+                val_loss = mse(net.forward(x_val), y_val)
+                result.val_losses.append(val_loss)
+                monitor = val_loss
+            else:
+                monitor = loss
+            if monitor < best - 1e-15:
+                best = monitor
+                result.best_epoch = epoch
+                best_params = net.get_flat_params()
+                stall = 0
+            else:
+                stall += 1
+            if monitor <= self.tol or stall >= self.patience:
+                result.converged = True
+                break
+        net.set_flat_params(best_params)
+        if not np.all(np.isfinite(net.get_flat_params())):
+            raise TrainingError("RProp training diverged to non-finite weights")
+        return result
+
+    def _rprop_update(
+        self,
+        params: np.ndarray,
+        grad: np.ndarray,
+        prev_grad: np.ndarray,
+        delta: np.ndarray,
+    ) -> None:
+        """iRprop- in-place parameter update."""
+        sign = grad * prev_grad
+        grow = sign > 0
+        shrink = sign < 0
+        delta[grow] = np.minimum(delta[grow] * self.eta_plus, self.delta_max)
+        delta[shrink] = np.maximum(delta[shrink] * self.eta_minus, self.delta_min)
+        # iRprop-: on a sign flip, zero the gradient so no step is taken.
+        grad[shrink] = 0.0
+        params -= np.sign(grad) * delta
+
+
+class SGDTrainer:
+    """Mini-batch SGD with classical momentum."""
+
+    def __init__(
+        self,
+        max_epochs: int = 200,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 64,
+        patience: int = 25,
+        val_fraction: float = 0.0,
+        tol: float = 1e-10,
+        seed: int = 0,
+    ):
+        if max_epochs <= 0:
+            raise ConfigurationError("max_epochs must be positive")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        self.max_epochs = max_epochs
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.patience = patience
+        self.val_fraction = val_fraction
+        self.tol = tol
+        self.seed = seed
+
+    def train(self, net: MLP, x: np.ndarray, y: np.ndarray) -> TrainingResult:
+        """Train ``net`` in place; returns the loss history."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, net.topology.n_inputs)
+        if y.ndim == 1:
+            y = y.reshape(-1, net.topology.n_outputs)
+        rng = np.random.default_rng(self.seed)
+        if self.val_fraction > 0.0:
+            x_tr, y_tr, x_val, y_val = _split_validation(x, y, self.val_fraction, rng)
+        else:
+            x_tr, y_tr, x_val, y_val = x, y, None, None
+
+        vel_w = [np.zeros_like(w) for w in net.weights]
+        vel_b = [np.zeros_like(b) for b in net.biases]
+        result = TrainingResult()
+        best = np.inf
+        best_params = net.get_flat_params()
+        stall = 0
+        n = x_tr.shape[0]
+        for epoch in range(self.max_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                gw, gb, _ = _backprop_gradients(net, x_tr[batch], y_tr[batch])
+                for i in range(net.n_layers):
+                    vel_w[i] = self.momentum * vel_w[i] - self.learning_rate * gw[i]
+                    vel_b[i] = self.momentum * vel_b[i] - self.learning_rate * gb[i]
+                    net.weights[i] += vel_w[i]
+                    net.biases[i] += vel_b[i]
+            loss = mse(net.forward(x_tr), y_tr)
+            result.train_losses.append(loss)
+            if x_val is not None:
+                val_loss = mse(net.forward(x_val), y_val)
+                result.val_losses.append(val_loss)
+                monitor = val_loss
+            else:
+                monitor = loss
+            if monitor < best - 1e-15:
+                best = monitor
+                result.best_epoch = epoch
+                best_params = net.get_flat_params()
+                stall = 0
+            else:
+                stall += 1
+            if monitor <= self.tol or stall >= self.patience:
+                result.converged = True
+                break
+        net.set_flat_params(best_params)
+        if not np.all(np.isfinite(net.get_flat_params())):
+            raise TrainingError("SGD training diverged to non-finite weights")
+        return result

@@ -1,0 +1,92 @@
+"""Output-based error detection with an exponential moving average
+(paper Sec. 3.2.3, Eq. 2).
+
+EMA watches the stream of accelerator *outputs*: it keeps
+``EMA = e * alpha + EMA_prev * (1 - alpha)`` with ``alpha = 2 / (1 + N)``
+and scores each element by its distance from the running average *before*
+the element is folded in.  Elements far from the recent trend are suspected
+of large approximation error.
+
+EMA needs no offline training, which is its appeal; its weakness (visible
+in Figs. 10-13) is that legitimate signal transitions look like errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import ErrorPredictor
+
+__all__ = ["EMAPredictor", "exponential_moving_average"]
+
+
+def exponential_moving_average(
+    values: np.ndarray, alpha: float, initial: Optional[float] = None
+) -> np.ndarray:
+    """Running EMA of a 1-D sequence; entry ``i`` includes ``values[i]``.
+
+    ``initial`` seeds the average (defaults to the first value).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if not (0.0 < alpha <= 1.0):
+        raise ConfigurationError("alpha must be in (0, 1]")
+    if values.size == 0:
+        return values.copy()
+    out = np.empty_like(values)
+    ema = values[0] if initial is None else float(initial)
+    for i, value in enumerate(values):
+        ema = value * alpha + ema * (1.0 - alpha)
+        out[i] = ema
+    return out
+
+
+class EMAPredictor(ErrorPredictor):
+    """The paper's ``EMA`` scheme.
+
+    Parameters
+    ----------
+    history:
+        ``N`` in the paper's smoothing-factor formula
+        ``alpha = 2 / (1 + N)``.
+    """
+
+    name = "EMA"
+    checker_kind = "ema"
+    is_input_based = False
+    needs_fit = False
+
+    def __init__(self, history: int = 15):
+        super().__init__()
+        if history < 1:
+            raise ConfigurationError("history must be at least 1")
+        self.history = history
+
+    @property
+    def alpha(self) -> float:
+        """The smoothing factor ``2 / (1 + N)``."""
+        return 2.0 / (1.0 + self.history)
+
+    def scores(self, features=None, approx_outputs=None, true_errors=None):
+        if approx_outputs is None:
+            raise ConfigurationError("EMA is output-based: needs approx_outputs")
+        outputs = np.atleast_2d(np.asarray(approx_outputs, dtype=float))
+        n = outputs.shape[0]
+        if n == 0:
+            return np.empty(0)
+        # Reduce multi-output elements to one representative value per
+        # element, then track its moving average in stream order.
+        stream = outputs.mean(axis=1)
+        scores = np.empty(n, dtype=float)
+        ema = stream[0]
+        alpha = self.alpha
+        for i, value in enumerate(stream):
+            scores[i] = abs(value - ema)
+            ema = value * alpha + ema * (1.0 - alpha)
+        return scores
+
+    def coefficient_count(self) -> int:
+        """Only alpha needs to be programmed."""
+        return 1

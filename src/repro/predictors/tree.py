@@ -1,0 +1,193 @@
+"""Decision-tree error prediction (paper Sec. 3.2.2, Fig. 6).
+
+A CART-style regression tree fit on (accelerator inputs → observed
+approximation error).  Decision nodes compare one input against a constant;
+leaves store the predicted error — implementable in hardware with only
+comparators and a coefficient buffer (Fig. 7(b)).
+
+The paper limits the depth to 7; that is the default here.  Splits minimize
+the sum of squared errors over a quantile grid of candidate thresholds,
+which keeps fitting fast on the image benchmarks' large sample counts while
+remaining a faithful CART variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import ErrorPredictor
+
+__all__ = ["DecisionTreeErrorPredictor", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A tree node; leaves have ``value`` set, internal nodes a split."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def depth(self) -> int:
+        """Depth of the subtree rooted here (a single leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_nodes(self) -> Tuple[int, int]:
+        """(decision nodes, leaf nodes) in this subtree."""
+        if self.is_leaf:
+            return 0, 1
+        dl, ll = self.left.count_nodes()
+        dr, lr = self.right.count_nodes()
+        return 1 + dl + dr, ll + lr
+
+
+class DecisionTreeErrorPredictor(ErrorPredictor):
+    """The paper's ``treeErrors`` scheme.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap on decision nodes (the paper uses 7).
+    min_samples_leaf:
+        Do not create leaves smaller than this.
+    n_thresholds:
+        Candidate split thresholds per feature (quantile grid).
+    """
+
+    name = "treeErrors"
+    checker_kind = "tree"
+    is_input_based = True
+    needs_fit = True
+
+    def __init__(
+        self,
+        max_depth: int = 7,
+        min_samples_leaf: int = 8,
+        n_thresholds: int = 16,
+    ):
+        super().__init__()
+        if max_depth <= 0:
+            raise ConfigurationError("max_depth must be positive")
+        if min_samples_leaf <= 0:
+            raise ConfigurationError("min_samples_leaf must be positive")
+        if n_thresholds < 2:
+            raise ConfigurationError("n_thresholds must be at least 2")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.n_thresholds = n_thresholds
+        self.root: Optional[TreeNode] = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------ #
+    # Fitting                                                            #
+    # ------------------------------------------------------------------ #
+    def _fit(self, features: np.ndarray, errors: np.ndarray) -> None:
+        self._n_features = features.shape[1]
+        self.root = self._build(features, errors, depth=0)
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        node_value = float(y.mean())
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < 2 * self.min_samples_leaf
+            or np.allclose(y, y[0])
+        ):
+            return TreeNode(value=node_value)
+        split = self._best_split(x, y)
+        if split is None:
+            return TreeNode(value=node_value)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        left = self._build(x[mask], y[mask], depth + 1)
+        right = self._build(x[~mask], y[~mask], depth + 1)
+        return TreeNode(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        """Best (feature, threshold) by SSE reduction over a quantile grid."""
+        n = y.shape[0]
+        base_sse = float(np.sum((y - y.mean()) ** 2))
+        best_gain = 1e-12
+        best: Optional[Tuple[int, float]] = None
+        quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+        for feature in range(x.shape[1]):
+            col = x[:, feature]
+            unique = np.unique(col)
+            if unique.size <= 4 * self.n_thresholds:
+                # Few distinct values: exact CART midpoints.
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            else:
+                thresholds = np.unique(np.quantile(col, quantiles))
+            for threshold in thresholds:
+                mask = col <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or n - n_left < self.min_samples_leaf:
+                    continue
+                y_left, y_right = y[mask], y[~mask]
+                sse = float(np.sum((y_left - y_left.mean()) ** 2)) + float(
+                    np.sum((y_right - y_right.mean()) ** 2)
+                )
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Prediction                                                         #
+    # ------------------------------------------------------------------ #
+    def scores(self, features=None, approx_outputs=None, true_errors=None):
+        self._require_fitted()
+        if features is None:
+            raise ConfigurationError("treeErrors is input-based: needs features")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != self._n_features:
+            raise ConfigurationError(
+                f"expected {self._n_features} feature columns, got "
+                f"{features.shape[1]}"
+            )
+        out = np.empty(features.shape[0], dtype=float)
+        # Vectorized BFS: route index sets down the tree level by level.
+        stack: List[Tuple[TreeNode, np.ndarray]] = [
+            (self.root, np.arange(features.shape[0]))
+        ]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            mask = features[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return np.maximum(out, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / hardware mapping                                   #
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        self._require_fitted()
+        return self.root.depth()
+
+    def coefficient_count(self) -> int:
+        """Decision constants + leaf errors (Fig. 7(b) coefficient buffer)."""
+        self._require_fitted()
+        decisions, leaves = self.root.count_nodes()
+        # Each decision node ships (feature index, constant); each leaf one
+        # error value.
+        return 2 * decisions + leaves

@@ -1,0 +1,111 @@
+"""Tests for the alternative accelerator substrates (Sec. 4 generality)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.approx.alt_backends import NoisyAnalogBackend, QuantizedKernelBackend
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def ik2j_app():
+    return get_application("inversek2j")
+
+
+@pytest.fixture(scope="module")
+def ik2j_inputs(ik2j_app):
+    rng = np.random.default_rng(2)
+    return ik2j_app.test_inputs(rng)[:1000]
+
+
+class TestQuantizedKernelBackend:
+    def test_errors_nonzero_but_bounded(self, ik2j_app, ik2j_inputs):
+        backend = QuantizedKernelBackend(ik2j_app, bits=6)
+        approx = backend(ik2j_inputs)
+        exact = ik2j_app.exact(ik2j_inputs)
+        err = ik2j_app.output_error(approx, exact)
+        assert 0.0 < err < 0.5
+
+    def test_more_bits_less_error(self, ik2j_app, ik2j_inputs):
+        exact = ik2j_app.exact(ik2j_inputs)
+        coarse = QuantizedKernelBackend(ik2j_app, bits=4)
+        fine = QuantizedKernelBackend(ik2j_app, bits=10)
+        assert ik2j_app.output_error(fine(ik2j_inputs), exact) < (
+            ik2j_app.output_error(coarse(ik2j_inputs), exact)
+        )
+
+    def test_deterministic(self, ik2j_app, ik2j_inputs):
+        backend = QuantizedKernelBackend(ik2j_app, bits=6)
+        np.testing.assert_array_equal(
+            backend(ik2j_inputs), backend(ik2j_inputs)
+        )
+
+    def test_outputs_on_quantization_grid(self, ik2j_app, ik2j_inputs):
+        backend = QuantizedKernelBackend(ik2j_app, bits=4)
+        out = backend(ik2j_inputs)
+        # 4 bits -> at most 16 distinct levels per output column.
+        for col in range(out.shape[1]):
+            assert np.unique(np.round(out[:, col], 9)).size <= 16
+
+    def test_bits_validated(self, ik2j_app):
+        with pytest.raises(ConfigurationError):
+            QuantizedKernelBackend(ik2j_app, bits=1)
+        with pytest.raises(ConfigurationError):
+            QuantizedKernelBackend(ik2j_app, bits=20)
+
+    def test_detection_reduces_quantization_errors(self, ik2j_app,
+                                                   ik2j_inputs):
+        """The full Rumba recipe on a non-NPU accelerator: train the tree
+        checker on this backend's errors and fix the flagged elements."""
+        from repro.metrics.analysis import error_vs_fixed_curve
+        from repro.predictors.tree import DecisionTreeErrorPredictor
+
+        backend = QuantizedKernelBackend(ik2j_app, bits=5)
+        rng = np.random.default_rng(9)
+        train = ik2j_app.train_inputs(rng)[:2000]
+        train_errors = ik2j_app.element_errors(
+            backend(train), ik2j_app.exact(train)
+        )
+        predictor = DecisionTreeErrorPredictor().fit(
+            backend.features(train), train_errors
+        )
+        test_errors = ik2j_app.element_errors(
+            backend(ik2j_inputs), ik2j_app.exact(ik2j_inputs)
+        )
+        scores = predictor.scores(features=backend.features(ik2j_inputs))
+        curve = error_vs_fixed_curve(scores, test_errors, [0.0, 0.3])
+        rng2 = np.random.default_rng(10)
+        random_curve = error_vs_fixed_curve(
+            rng2.random(test_errors.size), test_errors, [0.0, 0.3]
+        )
+        assert curve[1] < curve[0]             # fixing helps
+        assert curve[1] < random_curve[1]      # and beats blind fixing
+
+
+class TestNoisyAnalogBackend:
+    def test_errors_stochastic(self, ik2j_app, ik2j_inputs):
+        backend = NoisyAnalogBackend(ik2j_app, noise_fraction=0.05)
+        a = backend(ik2j_inputs)
+        b = backend(ik2j_inputs)
+        assert not np.array_equal(a, b)  # analog noise varies per run
+
+    def test_noise_scales_error(self, ik2j_app, ik2j_inputs):
+        exact = ik2j_app.exact(ik2j_inputs)
+        quiet = NoisyAnalogBackend(ik2j_app, noise_fraction=0.01)
+        loud = NoisyAnalogBackend(ik2j_app, noise_fraction=0.15)
+        assert ik2j_app.output_error(loud(ik2j_inputs), exact) > (
+            ik2j_app.output_error(quiet(ik2j_inputs), exact)
+        )
+
+    def test_saturation_at_rails(self, ik2j_app, ik2j_inputs):
+        backend = NoisyAnalogBackend(ik2j_app, noise_fraction=0.3)
+        out = backend(ik2j_inputs)
+        assert np.all(out >= backend._out_lo - 1e-9)
+        assert np.all(out <= backend._out_hi + 1e-9)
+
+    def test_noise_fraction_validated(self, ik2j_app):
+        with pytest.raises(ConfigurationError):
+            NoisyAnalogBackend(ik2j_app, noise_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            NoisyAnalogBackend(ik2j_app, noise_fraction=1.0)

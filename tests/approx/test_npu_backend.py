@@ -1,0 +1,103 @@
+"""Unit tests for the NPU backend (trained accelerator)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.approx.npu_backend import search_npu_backend, train_npu_backend
+from repro.errors import ConfigurationError
+from repro.nn.trainer import RPropTrainer
+
+
+FAST = RPropTrainer(max_epochs=150, patience=25, seed=0)
+
+
+class TestTrainNpuBackend:
+    def test_backend_approximates_kernel(self, fft_app, fft_backend):
+        rng = np.random.default_rng(9)
+        x = fft_app.test_inputs(rng)[:500]
+        approx = fft_backend(x)
+        exact = fft_app.exact(x)
+        assert approx.shape == exact.shape
+        # Approximate but correlated with the exact outputs.
+        err = fft_app.output_error(approx, exact)
+        assert 0.0 < err < 0.5
+
+    def test_rumba_topology_used_by_default(self, fft_app, fft_backend):
+        assert fft_backend.topology == fft_app.rumba_topology
+
+    def test_npu_topology_option(self, fft_app):
+        backend, _ = train_npu_backend(
+            fft_app, use_rumba_topology=False, trainer=FAST, seed=0
+        )
+        assert backend.topology == fft_app.npu_topology
+
+    def test_input_projection_for_blackscholes(self):
+        app = get_application("blackscholes")
+        backend, _ = train_npu_backend(app, trainer=FAST, seed=0)
+        rng = np.random.default_rng(2)
+        x = app.test_inputs(rng)[:50]
+        feats = backend.features(x)
+        assert feats.shape == (50, 3)  # Rumba's 3 selected columns
+        out = backend(x)
+        assert out.shape == (50, 1)
+
+    def test_features_reject_wrong_width(self, fft_backend):
+        with pytest.raises(ConfigurationError):
+            fft_backend.features(np.ones((4, 3)))
+
+    def test_training_cap_subsamples(self):
+        app = get_application("fft")
+        backend, result = train_npu_backend(
+            app, trainer=FAST, seed=0, n_train_cap=100
+        )
+        assert backend is not None
+        assert result.train_losses  # trained on something
+
+    def test_deterministic_given_seed(self, fft_app):
+        a, _ = train_npu_backend(fft_app, trainer=FAST, seed=3)
+        b, _ = train_npu_backend(fft_app, trainer=FAST, seed=3)
+        x = np.random.default_rng(0).random((20, 1)) * 0.5
+        np.testing.assert_array_equal(a(x), b(x))
+
+    def test_search_selects_admissible_topology(self):
+        """Sec. 4: the search picks the smallest net within the slack of
+        the best candidate, under the NPU's structural constraints."""
+        app = get_application("inversek2j")
+        backend, candidates = search_npu_backend(
+            app, widths=(2, 4), max_hidden_layers=1, slack=1.2, seed=0
+        )
+        best = min(c.val_error for c in candidates)
+        chosen = next(
+            c for c in candidates if c.topology == backend.network.topology
+        )
+        assert chosen.val_error <= 1.2 * best
+        # No cheaper candidate was also admissible.
+        for c in candidates:
+            if c.n_weights < chosen.n_weights:
+                assert c.val_error > 1.2 * best
+        # NPU constraint: at most 2 hidden layers, <= 32 neurons each.
+        assert len(backend.topology.hidden_sizes) <= 2
+        assert all(w <= 32 for w in backend.topology.hidden_sizes)
+
+    def test_searched_backend_is_usable(self):
+        app = get_application("inversek2j")
+        backend, _ = search_npu_backend(
+            app, widths=(2, 4), max_hidden_layers=1, seed=0
+        )
+        rng = np.random.default_rng(5)
+        x = app.test_inputs(rng)[:500]
+        err = app.output_error(backend(x), app.exact(x))
+        assert 0.0 < err < 1.0
+
+    def test_bigger_npu_topology_at_least_as_accurate(self, fft_app):
+        rumba, _ = train_npu_backend(fft_app, use_rumba_topology=True, seed=0)
+        npu, _ = train_npu_backend(fft_app, use_rumba_topology=False, seed=0)
+        rng = np.random.default_rng(4)
+        x = fft_app.test_inputs(rng)[:1000]
+        exact = fft_app.exact(x)
+        err_rumba = fft_app.output_error(rumba(x), exact)
+        err_npu = fft_app.output_error(npu(x), exact)
+        # Table 1's point: the unchecked NPU needs the bigger (more
+        # accurate) network; Rumba tolerates the smaller one.
+        assert err_npu < err_rumba

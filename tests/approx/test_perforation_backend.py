@@ -1,0 +1,118 @@
+"""Tests for Rumba applied to loop-perforated reductions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import flower_image
+from repro.approx.perforation_backend import (
+    PerforationQualityManager,
+    sample_statistics,
+)
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def trained_manager():
+    train = [flower_image((64, 64), seed=10_000 + i) for i in range(150)]
+    return PerforationQualityManager(
+        skip_rate=0.995, threshold=0.05
+    ).fit(train)
+
+
+@pytest.fixture(scope="module")
+def test_images():
+    return [flower_image((64, 64), seed=20_000 + i) for i in range(150)]
+
+
+class TestSampleStatistics:
+    def test_shape_and_values(self):
+        stats = sample_statistics(np.array([1.0, 3.0, 5.0, 7.0]))
+        assert stats.shape == (8,)
+        assert stats[0] == pytest.approx(4.0)   # mean
+        assert stats[2] == 1.0 and stats[3] == 7.0
+        assert stats[5] == 4.0                  # sample size
+
+    def test_constant_sample(self):
+        stats = sample_statistics(np.full(10, 2.0))
+        assert stats[1] == 0.0   # std
+        assert stats[4] == 0.0   # lag-1
+
+    def test_jackknife_gap_detects_trend(self):
+        trending = np.linspace(0, 100, 20)
+        flat = np.full(20, 50.0)
+        assert sample_statistics(trending)[7] > sample_statistics(flat)[7]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_statistics(np.empty(0))
+
+
+class TestPerforationQualityManager:
+    def test_requires_fit(self, test_images):
+        manager = PerforationQualityManager()
+        with pytest.raises(NotFittedError):
+            manager.process_stream(test_images)
+
+    def test_reduces_mean_and_tail_error(self, trained_manager, test_images):
+        outcome = trained_manager.process_stream(test_images)
+        before = outcome.errors(outcome.approx_values)
+        after = outcome.errors()
+        assert after.mean() < before.mean()
+        assert after.max() <= before.max()
+        assert 0.0 < outcome.recovered_fraction < 1.0
+
+    def test_recovered_invocations_are_exact(self, trained_manager,
+                                             test_images):
+        outcome = trained_manager.process_stream(test_images)
+        np.testing.assert_allclose(
+            outcome.final_values[outcome.recovered],
+            outcome.exact_values[outcome.recovered],
+        )
+
+    def test_unflagged_invocations_untouched(self, trained_manager,
+                                             test_images):
+        outcome = trained_manager.process_stream(test_images)
+        np.testing.assert_array_equal(
+            outcome.final_values[~outcome.recovered],
+            outcome.approx_values[~outcome.recovered],
+        )
+
+    def test_lower_threshold_fixes_more(self, test_images):
+        train = [flower_image((64, 64), seed=30_000 + i) for i in range(100)]
+        strict = PerforationQualityManager(threshold=0.01).fit(train)
+        loose = PerforationQualityManager(threshold=0.20).fit(train)
+        assert (
+            strict.process_stream(test_images).n_recovered
+            >= loose.process_stream(test_images).n_recovered
+        )
+
+    def test_validations(self):
+        with pytest.raises(ConfigurationError):
+            PerforationQualityManager(skip_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            PerforationQualityManager(threshold=-0.1)
+        with pytest.raises(ConfigurationError):
+            PerforationQualityManager().fit([])
+        manager = PerforationQualityManager().fit(
+            [flower_image((32, 32), seed=1)]
+        )
+        with pytest.raises(ConfigurationError):
+            manager.process_stream([])
+
+    def test_beats_sampling_monitor_on_misses(self, trained_manager,
+                                              test_images):
+        """The Sec. 6 comparison: continuous checking catches bad
+        invocations a check-every-Nth policy mostly misses."""
+        from repro.core.sampling_monitor import QualitySamplingMonitor
+
+        outcome = trained_manager.process_stream(test_images)
+        before = outcome.errors(outcome.approx_values)
+        bad = before > 0.10
+        if bad.sum() == 0:
+            pytest.skip("no bad invocations in this draw")
+        rumba_caught = (bad & outcome.recovered).sum()
+        sampling = QualitySamplingMonitor(
+            check_every_n=10, target_error=0.05
+        ).process_stream(before)
+        sampling_caught = (bad & sampling.checked).sum()
+        assert rumba_caught > sampling_caught

@@ -1,0 +1,124 @@
+"""Unit and property tests for the blackscholes kernel."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.blackscholes import (
+    RISK_FREE_RATE,
+    RUMBA_COLUMNS,
+    VOLATILITY,
+    black_scholes_price,
+    cumulative_normal,
+    generate_options,
+    make_application,
+)
+
+
+class TestCumulativeNormal:
+    def test_midpoint(self):
+        assert cumulative_normal(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        x = np.linspace(-4, 4, 17)
+        np.testing.assert_allclose(
+            cumulative_normal(x) + cumulative_normal(-x), 1.0, atol=1e-12
+        )
+
+    def test_matches_erf(self):
+        x = np.linspace(-5, 5, 101)
+        exact = 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+        # The A&S polynomial is accurate to ~7.5e-8.
+        np.testing.assert_allclose(cumulative_normal(x), exact, atol=1e-6)
+
+    def test_monotone(self):
+        x = np.linspace(-6, 6, 200)
+        assert np.all(np.diff(cumulative_normal(x)) >= 0.0)
+
+
+def _option(spot, strike, time, otype=0.0):
+    return np.array([[spot, strike, RISK_FREE_RATE, VOLATILITY, time, otype]])
+
+
+class TestBlackScholesPrice:
+    def test_call_price_positive(self):
+        price = black_scholes_price(_option(100.0, 100.0, 1.0))[0, 0]
+        assert price > 0.0
+
+    def test_deep_in_the_money_call(self):
+        # S >> K: call worth ~ S - K e^{-rT}.
+        price = black_scholes_price(_option(200.0, 10.0, 1.0))[0, 0]
+        expected = 200.0 - 10.0 * math.exp(-RISK_FREE_RATE)
+        assert price == pytest.approx(expected, rel=1e-6)
+
+    def test_deep_out_of_the_money_call(self):
+        price = black_scholes_price(_option(10.0, 200.0, 0.5))[0, 0]
+        assert price == pytest.approx(0.0, abs=1e-6)
+
+    def test_put_call_parity(self):
+        """C - P = S - K e^{-rT} for identical parameters."""
+        spot, strike, time = 90.0, 110.0, 1.5
+        call = black_scholes_price(_option(spot, strike, time, 0.0))[0, 0]
+        put = black_scholes_price(_option(spot, strike, time, 1.0))[0, 0]
+        parity = spot - strike * math.exp(-RISK_FREE_RATE * time)
+        assert call - put == pytest.approx(parity, abs=1e-4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(10.0, 200.0),
+        st.floats(10.0, 200.0),
+        st.floats(0.05, 3.0),
+    )
+    def test_call_bounds_property(self, spot, strike, time):
+        """max(S - K e^{-rT}, 0) <= C <= S (no-arbitrage bounds)."""
+        price = black_scholes_price(_option(spot, strike, time))[0, 0]
+        lower = max(spot - strike * math.exp(-RISK_FREE_RATE * time), 0.0)
+        assert price >= lower - 1e-4
+        assert price <= spot + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(10.0, 200.0), st.floats(0.1, 2.9))
+    def test_call_increases_with_time(self, strike, time):
+        a = black_scholes_price(_option(100.0, strike, time))[0, 0]
+        b = black_scholes_price(_option(100.0, strike, time + 0.1))[0, 0]
+        assert b >= a - 1e-6
+
+    def test_batch_shape(self, rng):
+        options = generate_options(rng, 100)
+        assert black_scholes_price(options).shape == (100, 1)
+
+
+class TestGenerator:
+    def test_table1_sizes(self, rng):
+        assert generate_options(rng, 5000).shape == (5000, 6)
+
+    def test_constant_columns(self, rng):
+        options = generate_options(rng, 100)
+        assert np.all(options[:, 2] == RISK_FREE_RATE)
+        assert np.all(options[:, 3] == VOLATILITY)
+        assert np.all(options[:, 5] == 0.0)  # calls only
+
+    def test_rumba_columns_are_the_varying_ones(self, rng):
+        options = generate_options(rng, 200)
+        for col in RUMBA_COLUMNS:
+            assert np.std(options[:, col]) > 0.0
+
+
+class TestApplication:
+    def test_table1_row(self):
+        app = make_application()
+        assert app.name == "blackscholes"
+        assert app.domain == "Financial Analysis"
+        assert str(app.rumba_topology) == "3->8->8->1"
+        assert str(app.npu_topology) == "6->8->8->1"
+        assert app.metric_name == "Mean Relative Error"
+
+    def test_element_errors_nonnegative(self, rng):
+        app = make_application()
+        x = app.test_inputs(rng)[:100]
+        exact = app.exact(x)
+        errs = app.element_errors(exact + 1.0, exact)
+        assert np.all(errs >= 0.0)

@@ -1,0 +1,151 @@
+"""Unit and property tests for the jmeint triangle-intersection kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.jmeint import (
+    generate_triangle_pairs,
+    icosahedron,
+    intersection_kernel,
+    make_application,
+    mesh_collision,
+    transform_mesh,
+    triangles_intersect,
+)
+from repro.errors import ConfigurationError
+
+
+def _pair(tri1, tri2):
+    return np.concatenate(
+        [np.asarray(tri1, float).ravel(), np.asarray(tri2, float).ravel()]
+    ).reshape(1, 18)
+
+
+# Canonical triangles for directed tests.
+BASE = [(0, 0, 0), (1, 0, 0), (0, 1, 0)]           # in z=0 plane
+PIERCING = [(0.2, 0.2, -1), (0.2, 0.2, 1), (0.3, 0.4, 1)]   # crosses z=0 inside BASE
+PARALLEL_ABOVE = [(0, 0, 1), (1, 0, 1), (0, 1, 1)]  # lifted copy
+FAR_AWAY = [(10, 10, 10), (11, 10, 10), (10, 11, 10)]
+TOUCHING_EDGE = [(1, 0, 0), (2, 0, 0), (1, 1, 0)]   # shares vertex (1,0,0)
+
+
+class TestTrianglesIntersect:
+    def test_piercing_detected(self):
+        assert triangles_intersect(_pair(BASE, PIERCING))[0]
+
+    def test_parallel_planes_disjoint(self):
+        assert not triangles_intersect(_pair(BASE, PARALLEL_ABOVE))[0]
+
+    def test_far_away_disjoint(self):
+        assert not triangles_intersect(_pair(BASE, FAR_AWAY))[0]
+
+    def test_identical_triangles_intersect(self):
+        assert triangles_intersect(_pair(BASE, BASE))[0]
+
+    def test_shared_vertex_counts_as_intersection(self):
+        assert triangles_intersect(_pair(BASE, TOUCHING_EDGE))[0]
+
+    def test_symmetric_under_swap(self, rng):
+        pairs = generate_triangle_pairs(rng, 200)
+        swapped = np.concatenate([pairs[:, 9:], pairs[:, :9]], axis=1)
+        np.testing.assert_array_equal(
+            triangles_intersect(pairs), triangles_intersect(swapped)
+        )
+
+    def test_invariant_to_vertex_order(self, rng):
+        pairs = generate_triangle_pairs(rng, 100)
+        tri1 = pairs[:, :9].reshape(-1, 3, 3)
+        permuted = tri1[:, [2, 0, 1], :].reshape(-1, 9)
+        shuffled = np.concatenate([permuted, pairs[:, 9:]], axis=1)
+        np.testing.assert_array_equal(
+            triangles_intersect(pairs), triangles_intersect(shuffled)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(-2.0, 2.0), st.floats(-2.0, 2.0), st.floats(-2.0, 2.0),
+        st.floats(0.1, 3.0),
+    )
+    def test_invariant_to_translation_and_scale(self, dx, dy, dz, scale):
+        pair = _pair(BASE, PIERCING)
+        tri = pair.reshape(1, 6, 3)
+        moved = (tri * scale + np.array([dx, dy, dz])).reshape(1, 18)
+        assert triangles_intersect(moved)[0]
+
+    def test_wrong_width(self):
+        with pytest.raises(ConfigurationError):
+            triangles_intersect(np.ones((2, 17)))
+
+
+class TestIntersectionKernel:
+    def test_one_hot_encoding(self, rng):
+        out = intersection_kernel(generate_triangle_pairs(rng, 50))
+        assert out.shape == (50, 2)
+        np.testing.assert_array_equal(out.sum(axis=1), 1.0)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_consistent_with_boolean(self, rng):
+        pairs = generate_triangle_pairs(rng, 100)
+        hit = triangles_intersect(pairs)
+        out = intersection_kernel(pairs)
+        np.testing.assert_array_equal(out[:, 0] == 1.0, hit)
+
+
+class TestMeshCollision:
+    def test_icosahedron_geometry(self):
+        mesh = icosahedron()
+        assert mesh.shape == (20, 3, 3)
+        radii = np.linalg.norm(mesh.reshape(-1, 3), axis=1)
+        np.testing.assert_allclose(radii, 1.0, atol=1e-9)
+
+    def test_icosahedron_radius_scales(self):
+        mesh = icosahedron(radius=2.5)
+        radii = np.linalg.norm(mesh.reshape(-1, 3), axis=1)
+        np.testing.assert_allclose(radii, 2.5, atol=1e-9)
+
+    def test_overlapping_meshes_collide(self):
+        a = icosahedron()
+        b = transform_mesh(icosahedron(), offset=(0.5, 0.0, 0.0))
+        assert mesh_collision(a, b)
+
+    def test_distant_meshes_do_not_collide(self):
+        a = icosahedron()
+        b = transform_mesh(icosahedron(), offset=(10.0, 0.0, 0.0))
+        assert not mesh_collision(a, b)
+
+    def test_nested_hollow_meshes_do_not_collide(self):
+        """Surface meshes only collide when faces cross: a small hull
+        strictly inside a big one has no face intersections."""
+        outer = icosahedron(radius=2.0)
+        inner = icosahedron(radius=0.3)
+        assert not mesh_collision(outer, inner)
+
+    def test_validations(self):
+        with pytest.raises(ConfigurationError):
+            icosahedron(radius=0.0)
+        with pytest.raises(ConfigurationError):
+            transform_mesh(np.ones((2, 4, 3)))
+        with pytest.raises(ConfigurationError):
+            transform_mesh(icosahedron(), scale=0.0)
+        with pytest.raises(ConfigurationError):
+            mesh_collision(np.ones((2, 3, 3)), np.ones((5, 9)))
+
+
+class TestGenerator:
+    def test_table1_size(self, rng):
+        assert generate_triangle_pairs(rng, 10000).shape == (10000, 18)
+
+    def test_balanced_classes(self, rng):
+        pairs = generate_triangle_pairs(rng, 3000)
+        rate = triangles_intersect(pairs).mean()
+        assert 0.15 < rate < 0.85  # usable class balance for NN training
+
+
+class TestApplication:
+    def test_table1_row(self):
+        app = make_application()
+        assert str(app.rumba_topology) == "18->32->2->2"
+        assert str(app.npu_topology) == "18->32->8->2"
+        assert app.metric_name == "# of mismatches"

@@ -1,0 +1,154 @@
+"""Tests for the JPEG entropy-coding stage (zig-zag, RLE, Huffman)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.datasets import natural_image
+from repro.apps.jpeg import compress_image
+from repro.apps.jpeg_entropy import (
+    HuffmanCode,
+    decode_image,
+    encode_image,
+    inverse_zigzag,
+    run_length_decode,
+    run_length_encode,
+    zigzag_indices,
+    zigzag_scan,
+)
+from repro.errors import ConfigurationError
+
+
+class TestZigzag:
+    def test_standard_prefix(self):
+        # The JPEG zig-zag starts 0, 1, 8, 16, 9, 2, 3, 10 ...
+        assert zigzag_indices(8)[:8].tolist() == [0, 1, 8, 16, 9, 2, 3, 10]
+
+    def test_is_permutation(self):
+        idx = zigzag_indices(8)
+        assert sorted(idx.tolist()) == list(range(64))
+
+    def test_roundtrip(self, rng):
+        blocks = rng.integers(-50, 50, size=(10, 64)).astype(float)
+        np.testing.assert_array_equal(
+            inverse_zigzag(zigzag_scan(blocks)), blocks
+        )
+
+    def test_low_frequencies_first(self):
+        # A block with only the DC coefficient set scans to position 0.
+        block = np.zeros((1, 64))
+        block[0, 0] = 7.0
+        assert zigzag_scan(block)[0, 0] == 7.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            zigzag_indices(0)
+        with pytest.raises(ConfigurationError):
+            zigzag_scan(np.zeros((2, 63)))
+
+
+class TestRunLength:
+    def test_trailing_zeros_become_eob(self):
+        symbols = run_length_encode([5, 0, 0, 0])
+        assert symbols == [("V", 5), ("E", 0)]
+
+    def test_interior_zero_run(self):
+        symbols = run_length_encode([1, 0, 0, 3])
+        assert symbols == [("V", 1), ("Z", 2), ("V", 3)]
+
+    def test_all_zero_block(self):
+        assert run_length_encode([0, 0, 0]) == [("E", 0)]
+
+    def test_no_eob_when_ending_nonzero(self):
+        assert run_length_encode([0, 2]) == [("Z", 1), ("V", 2)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-30, 30), min_size=1, max_size=64))
+    def test_roundtrip_property(self, values):
+        symbols = run_length_encode(values)
+        decoded = run_length_decode(symbols, length=len(values))
+        assert decoded == values
+
+    def test_decode_validations(self):
+        with pytest.raises(ConfigurationError):
+            run_length_decode([("Z", 0)], length=4)
+        with pytest.raises(ConfigurationError):
+            run_length_decode([("?", 1)], length=4)
+        with pytest.raises(ConfigurationError):
+            run_length_decode([("V", 1)], length=4)  # too short
+
+
+class TestHuffman:
+    def test_roundtrip(self):
+        freqs = {"a": 50, "b": 20, "c": 10, "d": 1}
+        code = HuffmanCode.from_frequencies(freqs)
+        message = ["a", "b", "a", "c", "d", "a"]
+        payload, n_bits = code.encode(message)
+        assert code.decode(payload, n_bits) == message
+
+    def test_frequent_symbols_get_short_codes(self):
+        freqs = {"common": 1000, "rare": 1}
+        code = HuffmanCode.from_frequencies(freqs)
+        assert code.lengths["common"] <= code.lengths["rare"]
+
+    def test_single_symbol_alphabet(self):
+        code = HuffmanCode.from_frequencies({"x": 5})
+        payload, n_bits = code.encode(["x", "x", "x"])
+        assert code.decode(payload, n_bits) == ["x", "x", "x"]
+
+    def test_prefix_free(self):
+        freqs = {s: f for s, f in zip("abcdefg", [50, 30, 20, 10, 5, 2, 1])}
+        code = HuffmanCode.from_frequencies(freqs)
+        codewords = [
+            format(c, f"0{l}b") for c, l in code.codes.values()
+        ]
+        for a in codewords:
+            for b in codewords:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_kraft_inequality(self):
+        freqs = {i: 2**i for i in range(10)}
+        code = HuffmanCode.from_frequencies(freqs)
+        kraft = sum(2.0 ** -l for l in code.lengths.values())
+        assert kraft <= 1.0 + 1e-12
+
+    def test_unknown_symbol_rejected(self):
+        code = HuffmanCode.from_frequencies({"a": 1, "b": 1})
+        with pytest.raises(ConfigurationError):
+            code.encode(["z"])
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HuffmanCode.from_frequencies({})
+
+
+class TestWholeImageCodec:
+    def test_decode_matches_kernel_pipeline(self):
+        """The entropy stage is lossless: decoding reproduces exactly the
+        DCT/quantize kernel's reconstruction."""
+        image = natural_image((64, 64), seed=5)
+        bitstream = encode_image(image)
+        decoded = decode_image(bitstream)
+        np.testing.assert_allclose(decoded, compress_image(image), atol=1e-9)
+
+    def test_compresses_natural_images(self):
+        image = natural_image((128, 128), seed=6, detail=0.4)
+        bitstream = encode_image(image)
+        assert bitstream.compression_ratio > 2.0
+
+    def test_coarser_quantization_compresses_harder(self):
+        image = natural_image((64, 64), seed=7)
+        fine = encode_image(image, quality_scale=1.0)
+        coarse = encode_image(image, quality_scale=4.0)
+        assert coarse.compressed_bytes < fine.compressed_bytes
+
+    def test_odd_image_cropped(self):
+        image = natural_image((67, 70), seed=8)
+        decoded = decode_image(encode_image(image))
+        assert decoded.shape == (64, 64)
+
+    def test_invalid_quality(self):
+        with pytest.raises(ConfigurationError):
+            encode_image(natural_image((16, 16), seed=1), quality_scale=0.0)

@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Heavy artifacts (trained accelerator backends, benchmark evaluations) are
+session-scoped and built on the cheapest benchmarks so the suite stays
+fast while still exercising real trained networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.approx import train_npu_backend
+from repro.eval import evaluate_benchmark
+from repro.nn.trainer import RPropTrainer
+from repro.predictors import collect_training_data
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def fft_app():
+    return get_application("fft")
+
+
+@pytest.fixture(scope="session")
+def inversek2j_app():
+    return get_application("inversek2j")
+
+
+@pytest.fixture(scope="session")
+def fft_backend(fft_app):
+    """A quickly-trained Rumba-topology backend for fft."""
+    backend, _ = train_npu_backend(
+        fft_app,
+        trainer=RPropTrainer(max_epochs=400, patience=60, seed=0),
+        seed=0,
+    )
+    return backend
+
+
+@pytest.fixture(scope="session")
+def fft_training_data(fft_app, fft_backend):
+    return collect_training_data(fft_app, fft_backend, seed=1, n_cap=2000)
+
+
+@pytest.fixture(scope="session")
+def ik2j_evaluation():
+    """Full evaluation material for inversek2j (cheap to train)."""
+    return evaluate_benchmark("inversek2j", seed=0, n_test_cap=4000)
+
+
+@pytest.fixture(scope="session")
+def fft_evaluation():
+    return evaluate_benchmark("fft", seed=0, n_test_cap=4000)

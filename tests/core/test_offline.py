@@ -1,0 +1,55 @@
+"""Unit tests for offline preparation and its cache."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.config import RumbaConfig
+from repro.core.offline import clear_cache, prepare_backend, prepare_system
+from repro.errors import ConfigurationError
+
+
+class TestPrepareBackend:
+    def test_cache_returns_same_object(self):
+        app = get_application("fft")
+        a, _ = prepare_backend(app, seed=0)
+        b, _ = prepare_backend(app, seed=0)
+        assert a is b
+
+    def test_cache_keyed_by_seed_and_topology(self):
+        app = get_application("fft")
+        a, _ = prepare_backend(app, seed=0)
+        b, _ = prepare_backend(app, use_rumba_topology=False, seed=0)
+        assert a is not b
+        assert a.topology != b.topology
+
+    def test_cache_bypass(self):
+        app = get_application("fft")
+        a, _ = prepare_backend(app, seed=0)
+        b, _ = prepare_backend(app, seed=0, cache=False)
+        assert a is not b
+
+
+class TestPrepareSystem:
+    def test_accepts_name_or_application(self):
+        by_name = prepare_system("fft", scheme="EMA", seed=0)
+        by_app = prepare_system(get_application("fft"), scheme="EMA", seed=0)
+        assert by_name.app.name == by_app.app.name == "fft"
+
+    def test_scheme_config_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prepare_system(
+                "fft", scheme="EMA", config=RumbaConfig(scheme="treeErrors")
+            )
+
+    def test_default_config_uses_scheme(self):
+        system = prepare_system("fft", scheme="linearErrors", seed=0)
+        assert system.config.scheme == "linearErrors"
+        assert system.predictor.name == "linearErrors"
+
+    @pytest.mark.parametrize(
+        "scheme", ["Ideal", "Random", "Uniform", "EMA", "linearErrors",
+                   "treeErrors"]
+    )
+    def test_all_schemes_preparable(self, scheme):
+        system = prepare_system("fft", scheme=scheme, seed=0)
+        assert system.predictor.name == scheme

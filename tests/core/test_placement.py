@@ -1,0 +1,63 @@
+"""Unit tests for detector placement (Sec. 3.5, Fig. 9)."""
+
+import pytest
+
+from repro.core.placement import evaluate_placement
+from repro.errors import ConfigurationError
+from repro.hardware.checker_hw import CheckerModel
+from repro.hardware.npu import NPUModel
+from repro.nn.mlp import Topology
+
+TOPO = Topology.parse("9->8->1")
+
+
+def _costs(configuration, fire_fraction, kind="linear"):
+    return evaluate_placement(
+        configuration,
+        NPUModel(),
+        CheckerModel(kind, n_inputs=9),
+        TOPO,
+        fire_fraction,
+    )
+
+
+class TestPlacement:
+    def test_config1_adds_latency(self):
+        pre = _costs(1, 0.0)
+        par = _costs(2, 0.0)
+        assert pre.cycles_per_iteration > par.cycles_per_iteration
+
+    def test_config2_hides_checker_latency(self):
+        npu_cycles = NPUModel().invocation_cycles(TOPO)
+        par = _costs(2, 0.5)
+        assert par.cycles_per_iteration == pytest.approx(npu_cycles)
+
+    def test_config1_saves_energy_on_fired_checks(self):
+        no_fires = _costs(1, 0.0)
+        half_fires = _costs(1, 0.5)
+        assert half_fires.energy_pj_per_iteration < no_fires.energy_pj_per_iteration
+
+    def test_config2_energy_independent_of_fires(self):
+        assert _costs(2, 0.0).energy_pj_per_iteration == pytest.approx(
+            _costs(2, 0.9).energy_pj_per_iteration
+        )
+
+    def test_crossover_exists(self):
+        """At high fire rates Config 1 wins on energy; Config 2 always wins
+        on latency — the Sec. 3.5 trade-off."""
+        high_fire = 0.8
+        pre = _costs(1, high_fire)
+        par = _costs(2, high_fire)
+        assert pre.energy_pj_per_iteration < par.energy_pj_per_iteration
+        assert pre.cycles_per_iteration > par.cycles_per_iteration
+
+    def test_paper_choice_is_config2(self):
+        from repro.core.config import RumbaConfig
+
+        assert RumbaConfig().detector_placement == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _costs(3, 0.0)
+        with pytest.raises(ConfigurationError):
+            _costs(1, 1.5)

@@ -1,0 +1,139 @@
+"""Integration-level tests for the end-to-end RumbaSystem."""
+
+import numpy as np
+import pytest
+
+from repro.core import RumbaConfig, TunerMode, prepare_system
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def tree_system():
+    return prepare_system("fft", scheme="treeErrors", seed=0)
+
+
+@pytest.fixture(scope="module")
+def fft_inputs():
+    rng = np.random.default_rng(77)
+    from repro.apps import get_application
+
+    return get_application("fft").test_inputs(rng)
+
+
+class TestRunInvocation:
+    def test_record_fields_populated(self, tree_system, fft_inputs):
+        record = tree_system.run_invocation(fft_inputs[:2000])
+        assert record.outputs.shape == (2000, 2)
+        assert record.measured_error is not None
+        assert record.unchecked_error is not None
+        assert 0.0 <= record.fix_fraction <= 1.0
+        assert record.costs.energy_savings > 0
+
+    def test_fixes_reduce_error(self, tree_system, fft_inputs):
+        record = tree_system.run_invocation(fft_inputs[:2000])
+        assert record.measured_error <= record.unchecked_error
+
+    def test_toq_mode_approaches_target(self, fft_inputs):
+        system = prepare_system(
+            "fft",
+            scheme="treeErrors",
+            config=RumbaConfig(scheme="treeErrors", target_output_quality=0.9),
+            seed=0,
+        )
+        record = system.run_invocation(fft_inputs[:3000])
+        # The TOQ threshold targets per-element error <= 10%; the whole-
+        # output error lands at or below the unchecked error and near target.
+        assert record.measured_error < record.unchecked_error
+        assert record.measured_error < 0.12
+
+    def test_measure_quality_false_skips_measurement(self, tree_system, fft_inputs):
+        record = tree_system.run_invocation(
+            fft_inputs[:500], measure_quality=False
+        )
+        assert record.measured_error is None
+        assert record.unchecked_error is None
+
+    def test_empty_invocation_rejected(self, tree_system):
+        with pytest.raises(ConfigurationError):
+            tree_system.run_invocation(np.empty((0, 1)))
+
+    def test_scheme_must_match_config(self):
+        from repro.predictors import make_predictor
+        from repro.core.runtime import RumbaSystem
+        from repro.core.offline import prepare_backend
+        from repro.apps import get_application
+
+        app = get_application("fft")
+        backend, _ = prepare_backend(app, seed=0)
+        with pytest.raises(ConfigurationError):
+            RumbaSystem(
+                app,
+                backend,
+                make_predictor("EMA"),
+                config=RumbaConfig(scheme="treeErrors"),
+            )
+
+    def test_outputs_are_merged_exact_and_approx(self, fft_inputs):
+        system = prepare_system("fft", scheme="Ideal", seed=0)
+        x = fft_inputs[:1000]
+        record = system.run_invocation(x)
+        exact = system.app.exact(x)
+        approx = system.backend(x)
+        fixed = record.recovery.recovery_indices
+        np.testing.assert_allclose(record.outputs[fixed], exact[fixed])
+        untouched = np.setdiff1d(np.arange(1000), fixed)
+        np.testing.assert_allclose(record.outputs[untouched], approx[untouched])
+
+
+class TestConfigQueue:
+    def test_configuration_shipped_at_launch(self, tree_system):
+        """Fig. 4: accelerator weights and checker coefficients travel
+        over the config queue when the kernel is set up."""
+        labels = [label for label, _ in tree_system.config_queue.payloads]
+        assert labels == ["accelerator", "checker"]
+        accel_words = dict(tree_system.config_queue.payloads)["accelerator"]
+        assert accel_words == tree_system.backend.topology.n_weights
+        checker_words = dict(tree_system.config_queue.payloads)["checker"]
+        assert checker_words == tree_system.predictor.coefficient_count()
+
+
+class TestRunStream:
+    def test_energy_mode_tracks_budget(self, fft_inputs):
+        config = RumbaConfig(
+            scheme="treeErrors",
+            mode=TunerMode.ENERGY,
+            iteration_budget_fraction=0.15,
+            initial_threshold=0.5,
+            threshold_gain=1.3,
+        )
+        system = prepare_system("fft", scheme="treeErrors", config=config, seed=0)
+        chunks = [fft_inputs[i * 500:(i + 1) * 500] for i in range(8)]
+        records = system.run_stream(chunks)
+        late = [r.fix_fraction for r in records[4:]]
+        assert np.mean(late) == pytest.approx(0.15, abs=0.10)
+
+    def test_quality_mode_fills_cpu(self, fft_inputs):
+        config = RumbaConfig(
+            scheme="treeErrors",
+            mode=TunerMode.QUALITY,
+            initial_threshold=10.0,  # start fixing nothing
+            threshold_gain=1.5,
+        )
+        system = prepare_system("fft", scheme="treeErrors", config=config, seed=0)
+        chunks = [fft_inputs[i * 400:(i + 1) * 400] for i in range(10)]
+        records = system.run_stream(chunks)
+        # The tuner lowers the threshold until the CPU is meaningfully busy.
+        assert records[-1].fix_fraction > records[0].fix_fraction
+        assert records[-1].pipeline.cpu_utilization > 0.3
+
+    def test_summaries(self, fft_inputs):
+        system = prepare_system("fft", scheme="treeErrors", seed=0)
+        system.run_stream([fft_inputs[:300], fft_inputs[300:600]])
+        assert 0.0 <= system.mean_fix_fraction <= 1.0
+        assert system.mean_measured_error >= 0.0
+
+    def test_summaries_require_records(self):
+        system = prepare_system("fft", scheme="treeErrors", seed=0)
+        system.records.clear()
+        with pytest.raises(ConfigurationError):
+            _ = system.mean_fix_fraction

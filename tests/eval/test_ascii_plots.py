@@ -1,0 +1,83 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.ascii_plots import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_rejects_empty_and_nonfinite(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0, np.nan])
+
+
+class TestBarChart:
+    def test_longest_bar_for_largest_value(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_values_annotated(self):
+        chart = bar_chart(["x"], [3.14159], unit="x")
+        assert "3.14x" in chart
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="Fig")
+        assert chart.splitlines()[0] == "Fig"
+
+    def test_zero_values_ok(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in chart
+
+    def test_validations(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLineChart:
+    def test_contains_all_markers(self):
+        chart = line_chart(
+            [0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]}, height=5,
+            width=12,
+        )
+        assert "o" in chart and "+" in chart
+        assert "o=up" in chart and "+=down" in chart
+
+    def test_extremes_on_correct_rows(self):
+        chart = line_chart([0, 1], {"s": [0.0, 10.0]}, height=4, width=8)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert "o" in rows[0]    # max lands on the top row
+        assert "o" in rows[-1]   # min lands on the bottom row
+
+    def test_axis_labels_present(self):
+        chart = line_chart([2.0, 4.0], {"s": [1.0, 3.0]}, height=3, width=10)
+        assert "2.000" in chart and "4.000" in chart
+        assert "3.000" in chart and "1.000" in chart
+
+    def test_validations(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([0, 1], {}, height=3, width=5)
+        with pytest.raises(ConfigurationError):
+            line_chart([0, 1], {"s": [1.0]}, height=3, width=5)
+        with pytest.raises(ConfigurationError):
+            line_chart([0, 1], {"s": [1.0, np.inf]}, height=3, width=5)
+        with pytest.raises(ConfigurationError):
+            line_chart([0, 1], {"s": [0, 1]}, height=1, width=5)

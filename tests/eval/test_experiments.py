@@ -1,0 +1,189 @@
+"""Tests for the per-figure experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.experiments import (
+    cpu_activity_case_study,
+    energy_speedup_table,
+    energy_vs_toq,
+    error_vs_fixed_sweep,
+    gaussian_case_study,
+    geomean,
+    prediction_time_table,
+    quality_target_analysis,
+)
+from repro.predictors.training import SCHEME_NAMES
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            geomean([])
+
+
+class TestFig10Sweep:
+    def test_all_schemes_swept(self, ik2j_evaluation):
+        sweep = error_vs_fixed_sweep(ik2j_evaluation, fractions=[0.0, 0.3, 1.0])
+        assert set(sweep) == set(SCHEME_NAMES)
+        for curve in sweep.values():
+            assert curve.shape == (3,)
+            assert curve[0] == pytest.approx(ik2j_evaluation.unchecked_error)
+            assert curve[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ideal_lower_bounds_everything(self, ik2j_evaluation):
+        fractions = np.linspace(0, 1, 11)
+        sweep = error_vs_fixed_sweep(ik2j_evaluation, fractions)
+        for scheme, curve in sweep.items():
+            assert np.all(sweep["Ideal"] <= curve + 1e-12), scheme
+
+    def test_tree_close_to_ideal_at_30pct(self, ik2j_evaluation):
+        """The paper's Sec. 5.1 inversek2j observation: tree ~ Ideal,
+        both far better than Random."""
+        sweep = error_vs_fixed_sweep(ik2j_evaluation, fractions=[0.3])
+        assert sweep["treeErrors"][0] < sweep["Random"][0]
+        assert sweep["treeErrors"][0] <= sweep["Ideal"][0] * 1.5
+
+
+class TestFigs11To13:
+    def test_all_quantities_present(self, ik2j_evaluation):
+        analyses = quality_target_analysis(ik2j_evaluation, target_error=0.10)
+        assert set(analyses) == set(SCHEME_NAMES)
+        for analysis in analyses.values():
+            assert analysis.achieved_error <= 0.10 + 1e-12
+            assert 0.0 <= analysis.false_positive_fraction <= 1.0
+            assert analysis.relative_coverage >= 0.0
+
+    def test_ideal_properties(self, ik2j_evaluation):
+        analyses = quality_target_analysis(ik2j_evaluation)
+        ideal = analyses["Ideal"]
+        assert ideal.false_positive_fraction == 0.0
+        assert ideal.relative_coverage == pytest.approx(1.0)
+        # Ideal needs the fewest fixes of all schemes (Fig. 12).
+        for scheme, analysis in analyses.items():
+            assert ideal.n_fixed <= analysis.n_fixed, scheme
+
+    def test_tree_beats_random_on_fixes(self, ik2j_evaluation):
+        analyses = quality_target_analysis(ik2j_evaluation)
+        assert analyses["treeErrors"].n_fixed < analyses["Random"].n_fixed
+
+
+class TestFigs14And15:
+    def test_rows_cover_npu_and_schemes(self, ik2j_evaluation):
+        rows = energy_speedup_table(ik2j_evaluation)
+        names = [r.scheme for r in rows]
+        assert names[0] == "NPU"
+        assert set(names[1:]) == set(SCHEME_NAMES)
+
+    def test_unchecked_npu_best_energy(self, ik2j_evaluation):
+        rows = {r.scheme: r for r in energy_speedup_table(ik2j_evaluation)}
+        for scheme in SCHEME_NAMES:
+            assert rows["NPU"].energy_savings >= rows[scheme].energy_savings
+
+    def test_checked_schemes_cost_energy_not_speed(self, ik2j_evaluation):
+        """Rumba's headline: error checking costs energy but the overlap
+        keeps the speedup in the accelerator's band."""
+        rows = {r.scheme: r for r in energy_speedup_table(ik2j_evaluation)}
+        tree = rows["treeErrors"]
+        assert tree.energy_savings < rows["NPU"].energy_savings
+        assert tree.speedup > 1.0
+
+    def test_ideal_cheapest_of_fixing_schemes(self, ik2j_evaluation):
+        rows = {r.scheme: r for r in energy_speedup_table(ik2j_evaluation)}
+        for scheme in ("Random", "Uniform", "EMA"):
+            assert rows["Ideal"].energy_savings >= rows[scheme].energy_savings
+
+
+class TestFig16:
+    def test_energy_grows_with_quality_demand(self, fft_evaluation):
+        targets = [0.02, 0.06, 0.10]
+        curves = energy_vs_toq(fft_evaluation, target_errors=targets)
+        for scheme, energies in curves.items():
+            # Stricter targets (smaller error) need more fixes => more energy.
+            assert energies[0] >= energies[-1] - 1e-12, scheme
+
+    def test_ideal_lower_bounds_fixing_schemes(self, fft_evaluation):
+        targets = [0.02, 0.05, 0.10]
+        curves = energy_vs_toq(
+            fft_evaluation, target_errors=targets,
+            schemes=("Ideal", "Random", "treeErrors"),
+        )
+        assert np.all(curves["Ideal"] <= curves["Random"] + 1e-12)
+
+
+class TestFig17:
+    def test_checkers_faster_than_npu(self, ik2j_evaluation):
+        times = prediction_time_table(ik2j_evaluation)
+        assert set(times) == {"linearErrors", "treeErrors"}
+        for value in times.values():
+            assert 0.0 < value < 1.0
+
+
+class TestHeadlineSummary:
+    def test_subset_structure(self):
+        from repro.eval.experiments import headline_summary
+
+        summary = headline_summary(benchmarks=["fft", "inversek2j"], seed=0)
+        assert set(summary.per_app) == {"fft", "inversek2j"}
+        for d in summary.per_app.values():
+            assert set(d) >= {
+                "unchecked_error", "npu_unchecked_error", "rumba_error",
+                "fix_fraction", "npu_energy_savings", "rumba_energy_savings",
+                "npu_speedup", "rumba_speedup",
+            }
+        assert summary.error_reduction > 1.0
+        assert summary.mean_rumba_error <= summary.mean_unchecked_error
+
+    def test_reduction_is_ratio_of_means(self):
+        from repro.eval.experiments import headline_summary
+
+        summary = headline_summary(benchmarks=["fft"], seed=0)
+        assert summary.error_reduction == pytest.approx(
+            summary.mean_unchecked_error / summary.mean_rumba_error
+        )
+
+
+class TestGaussianCaseStudy:
+    def test_eep_beats_evp(self):
+        """Sec. 3.2: predicting errors directly is more accurate than
+        predicting values and differencing (paper: 2.5 vs 1)."""
+        study = gaussian_case_study(seed=0)
+        assert study.eep_distance < study.evp_distance
+        assert study.eep_advantage > 1.5
+
+    def test_errors_concentrated(self):
+        """Fig. 5: approximation errors concentrate on certain inputs."""
+        study = gaussian_case_study(seed=0)
+        high = study.errors > np.percentile(study.errors, 90)
+        # The high-error inputs span a small part of the input range.
+        spread = np.ptp(study.inputs[high]) / np.ptp(study.inputs)
+        assert spread < 0.8
+
+
+class TestFig18:
+    def test_case_study_consistent(self):
+        study = cpu_activity_case_study(n_elements=200, seed=0)
+        assert study.percentage_difference.shape == (200,)
+        assert study.recovery_bits.shape == (200,)
+        assert study.fix_fraction == pytest.approx(
+            study.recovery_bits.mean()
+        )
+        if study.fix_fraction > 0:
+            assert study.max_keepup_speedup == pytest.approx(
+                1.0 / study.fix_fraction
+            )
+        assert study.cpu_trace.size > 0
+
+    def test_threshold_separates_fixed_elements(self):
+        study = cpu_activity_case_study(n_elements=200, seed=0)
+        fixed = study.percentage_difference[study.recovery_bits]
+        unfixed = study.percentage_difference[~study.recovery_bits]
+        if fixed.size and unfixed.size:
+            assert fixed.min() >= study.threshold
+            assert unfixed.max() <= study.threshold

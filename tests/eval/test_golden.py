@@ -1,0 +1,74 @@
+"""Tests for the golden-number regression harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.experiments import HeadlineSummary
+from repro.eval.golden import GOLDEN_HEADLINE, GoldenBand, check_headline
+
+
+def _summary(**overrides):
+    defaults = dict(
+        mean_unchecked_error=0.166,
+        mean_rumba_error=0.098,
+        error_reduction=1.69,
+        npu_energy_savings=3.94,
+        rumba_energy_savings=2.27,
+        npu_speedup=2.25,
+        rumba_speedup=2.25,
+    )
+    defaults.update(overrides)
+    return HeadlineSummary(**defaults)
+
+
+class TestGoldenBand:
+    def test_admits_within_tolerance(self):
+        band = GoldenBand(2.0, 0.25)
+        assert band.admits(2.0)
+        assert band.admits(2.4)
+        assert band.admits(1.6)
+        assert not band.admits(2.6)
+        assert not band.admits(1.4)
+
+    def test_zero_expected_uses_absolute(self):
+        band = GoldenBand(0.0, 0.1)
+        assert band.admits(0.05)
+        assert not band.admits(0.2)
+
+    def test_describe_mentions_band(self):
+        text = GoldenBand(2.0, 0.25).describe("speedup", 3.0)
+        assert "speedup" in text and "1.5" in text and "2.5" in text
+
+
+class TestCheckHeadline:
+    def test_recorded_values_pass(self):
+        assert check_headline(_summary()) == []
+
+    def test_drift_flagged(self):
+        violations = check_headline(_summary(npu_energy_savings=10.0))
+        assert len(violations) == 1
+        assert "npu_energy_savings" in violations[0]
+
+    def test_multiple_drifts(self):
+        violations = check_headline(
+            _summary(error_reduction=0.5, rumba_speedup=0.5)
+        )
+        assert len(violations) == 2
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_headline(_summary(), golden={"bogus": GoldenBand(1.0)})
+
+    def test_empty_golden_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_headline(_summary(), golden={})
+
+    @pytest.mark.slow
+    def test_live_headline_within_golden_bands(self):
+        """The real contract: a fresh full-suite run stays in band.
+
+        This trains every benchmark (cached across the session); it is the
+        single test that guards the whole calibration.
+        """
+        violations = check_headline(seed=0)
+        assert violations == [], violations

@@ -1,0 +1,52 @@
+"""Tests for the automated experiment report generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def fft_report():
+    return generate_report(benchmarks=["fft"], seed=0)
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self, fft_report):
+        for heading in (
+            "## Headline",
+            "## Elements re-executed",
+            "## False positives",
+            "## Energy savings and speedup",
+            "## Checker time relative to one NPU invocation",
+            "## EVP vs EEP",
+        ):
+            assert heading in fft_report
+
+    def test_markdown_tables_well_formed(self, fft_report):
+        lines = fft_report.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and set(line) <= {"|", "-", " "}:
+                # Separator row: the header above must have the same width.
+                header_cols = lines[i - 1].count("|")
+                assert line.count("|") == header_cols
+
+    def test_benchmark_rows_present(self, fft_report):
+        assert "| fft |" in fft_report
+
+    def test_scheme_columns_present(self, fft_report):
+        assert "treeErrors" in fft_report and "linearErrors" in fft_report
+
+    def test_subset_and_full_names(self):
+        with pytest.raises(ConfigurationError):
+            generate_report(benchmarks=[])
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--apps", "fft", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "## Headline" in text
+        captured = capsys.readouterr().out
+        assert "wrote" in captured

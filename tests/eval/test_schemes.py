@@ -1,0 +1,48 @@
+"""Tests for the shared benchmark-evaluation material."""
+
+import numpy as np
+import pytest
+
+from repro.eval.schemes import evaluate_benchmark
+from repro.predictors.training import SCHEME_NAMES
+
+
+class TestEvaluateBenchmark:
+    def test_all_schemes_scored(self, ik2j_evaluation):
+        ev = ik2j_evaluation
+        assert set(ev.scores) == set(SCHEME_NAMES)
+        for scores in ev.scores.values():
+            assert scores.shape == (ev.n_elements,)
+            assert np.all(np.isfinite(scores))
+
+    def test_errors_match_outputs(self, ik2j_evaluation):
+        ev = ik2j_evaluation
+        recomputed = ev.app.element_errors(ev.approx, ev.exact)
+        np.testing.assert_allclose(ev.errors, recomputed)
+
+    def test_unchecked_error_is_mean_element_error(self, ik2j_evaluation):
+        """For every Table 1 metric the app error == mean element error,
+        which is what the O(n log n) sweep machinery relies on."""
+        ev = ik2j_evaluation
+        assert ev.unchecked_error == pytest.approx(float(ev.errors.mean()))
+
+    def test_ideal_scores_are_errors(self, ik2j_evaluation):
+        ev = ik2j_evaluation
+        np.testing.assert_array_equal(ev.scores["Ideal"], ev.errors)
+
+    def test_npu_backend_uses_bigger_topology(self, ik2j_evaluation):
+        ev = ik2j_evaluation
+        assert ev.npu_backend.topology == ev.app.npu_topology
+        assert ev.backend.topology == ev.app.rumba_topology
+
+    def test_npu_more_accurate_than_rumba_accelerator(self, ik2j_evaluation):
+        ev = ik2j_evaluation
+        assert ev.npu_unchecked_error < ev.unchecked_error
+
+    def test_test_cap_respected(self, ik2j_evaluation):
+        assert ik2j_evaluation.n_elements <= 4000
+
+    def test_cache_returns_same_object(self):
+        a = evaluate_benchmark("fft", seed=0, n_test_cap=4000)
+        b = evaluate_benchmark("fft", seed=0, n_test_cap=4000)
+        assert a is b

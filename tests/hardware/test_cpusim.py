@@ -1,0 +1,204 @@
+"""Tests for the trace-based out-of-order core simulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_applications
+from repro.errors import ConfigurationError
+from repro.hardware.cpusim import (
+    OutOfOrderCoreSim,
+    SetAssociativeCache,
+    TraceGenerator,
+    build_table2_hierarchy,
+    simulate_mix,
+)
+from repro.hardware.cpusim.trace import BASE_LATENCY, MicroOp, OpKind
+from repro.hardware.energy import EnergyModel, InstructionMix
+from repro.hardware.microarch import MicroArchParams
+
+
+class TestTraceGenerator:
+    def test_kind_histogram_matches_mix(self):
+        mix = InstructionMix(int_ops=10, fp_ops=5, loads=3, stores=2,
+                             branches=4, transcendentals=1)
+        trace = TraceGenerator(mix, seed=0).generate(4)
+        counts = {kind: 0 for kind in OpKind}
+        for op in trace:
+            counts[op.kind] += 1
+        assert counts[OpKind.INT] == 40
+        assert counts[OpKind.FP] == 20
+        assert counts[OpKind.LOAD] == 12
+        assert counts[OpKind.STORE] == 8
+        assert counts[OpKind.BRANCH] == 16
+        assert counts[OpKind.TRANSCENDENTAL] == 4
+
+    def test_memory_ops_have_addresses(self):
+        mix = InstructionMix(loads=5, stores=5, int_ops=5)
+        trace = TraceGenerator(mix, seed=1).generate(3)
+        for op in trace:
+            if op.is_memory:
+                assert op.address is not None and op.address >= 0
+            else:
+                assert op.address is None
+
+    def test_dependencies_point_backwards_within_window(self):
+        mix = InstructionMix(int_ops=50)
+        gen = TraceGenerator(mix, dependency_window=4, seed=2)
+        trace = gen.generate(2)
+        for op in trace:
+            for dep in op.deps:
+                assert dep < op.index
+                assert op.index - dep <= 4
+
+    def test_deterministic_per_seed(self):
+        mix = InstructionMix(int_ops=20, loads=5)
+        a = TraceGenerator(mix, seed=3).generate(2)
+        b = TraceGenerator(mix, seed=3).generate(2)
+        assert [(o.kind, o.deps, o.address) for o in a] == [
+            (o.kind, o.deps, o.address) for o in b
+        ]
+
+    def test_validations(self):
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(InstructionMix())
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(InstructionMix(int_ops=1), dependency_window=0)
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(InstructionMix(int_ops=1)).generate(0)
+
+
+class TestCache:
+    def test_first_access_misses_then_hits(self):
+        cache = SetAssociativeCache(1024, ways=2, line_bytes=64,
+                                    hit_latency=3, memory_latency=100)
+        assert cache.access(0) == 103
+        assert cache.access(0) == 3
+        assert cache.access(32) == 3  # same line
+        assert cache.stats.hits == 2
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways; lines 0, 2, 4 map to set 0.
+        cache = SetAssociativeCache(256, ways=2, line_bytes=64,
+                                    hit_latency=1, memory_latency=10)
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(4 * 64)   # evicts line 0 (LRU)
+        assert cache.access(2 * 64) == 1     # still resident
+        assert cache.access(0 * 64) == 11    # was evicted
+
+    def test_two_level_chain(self):
+        l1 = build_table2_hierarchy()
+        cold = l1.access(0)
+        assert cold == 3 + 12 + 120  # L1 miss + L2 miss + memory
+        assert l1.access(0) == 3
+
+    def test_flush(self):
+        cache = SetAssociativeCache(1024, ways=2)
+        cache.access(0)
+        cache.flush()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) > cache.hit_latency
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(100, ways=3, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(0, ways=1)
+
+
+class TestCoreSim:
+    def test_single_op(self):
+        sim = OutOfOrderCoreSim(seed=0)
+        trace = [MicroOp(index=0, kind=OpKind.INT)]
+        result = sim.simulate(trace)
+        assert result.cycles == pytest.approx(BASE_LATENCY[OpKind.INT])
+        assert result.n_ops == 1
+
+    def test_dependency_chain_serializes(self):
+        sim = OutOfOrderCoreSim(seed=0)
+        chain = [
+            MicroOp(index=i, kind=OpKind.FP, deps=(i - 1,) if i else ())
+            for i in range(10)
+        ]
+        result = sim.simulate(chain)
+        assert result.cycles >= 10 * BASE_LATENCY[OpKind.FP]
+
+    def test_independent_ops_run_in_parallel(self):
+        sim = OutOfOrderCoreSim(seed=0)
+        independent = [MicroOp(index=i, kind=OpKind.INT) for i in range(12)]
+        result = sim.simulate(independent)
+        chain = [
+            MicroOp(index=i, kind=OpKind.INT, deps=(i - 1,) if i else ())
+            for i in range(12)
+        ]
+        serial = OutOfOrderCoreSim(seed=0).simulate(chain)
+        assert result.cycles < serial.cycles
+
+    def test_issue_width_bounds_throughput(self):
+        narrow = MicroArchParams(issue_width=1)
+        wide = MicroArchParams(issue_width=6)
+        ops = [MicroOp(index=i, kind=OpKind.INT) for i in range(60)]
+        slow = OutOfOrderCoreSim(params=narrow, seed=0).simulate(list(ops))
+        fast = OutOfOrderCoreSim(params=wide, seed=0).simulate(list(ops))
+        assert slow.cycles > fast.cycles
+
+    def test_transcendentals_occupy_fpu(self):
+        sim = OutOfOrderCoreSim(seed=0)
+        transc = [
+            MicroOp(index=i, kind=OpKind.TRANSCENDENTAL) for i in range(4)
+        ]
+        result = sim.simulate(transc)
+        # 4 unpipelined 40-cycle ops on 2 FPUs: at least two serialized.
+        assert result.cycles >= 80.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutOfOrderCoreSim().simulate([])
+
+    def test_mispredicts_slow_execution(self):
+        mix = InstructionMix(int_ops=20, branches=10)
+        perfect = OutOfOrderCoreSim(branch_mispredict_ratio=0.0, seed=0)
+        noisy = OutOfOrderCoreSim(branch_mispredict_ratio=0.5, seed=0)
+        trace = TraceGenerator(mix, seed=0).generate(20)
+        assert noisy.simulate(trace).cycles > perfect.simulate(list(trace)).cycles
+
+
+class TestAnalyticalValidation:
+    """The headline purpose: the dynamic sim corroborates the closed-form
+    EnergyModel used by the evaluation."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        model = EnergyModel()
+        rows = {}
+        for app in all_applications():
+            result = simulate_mix(app.instruction_mix, n_iterations=25, seed=0)
+            rows[app.name] = (
+                result.cycles_per_iteration(25),
+                model.iteration_cycles(app.instruction_mix),
+            )
+        return rows
+
+    def test_within_small_factor(self, comparison):
+        for name, (sim, analytical) in comparison.items():
+            ratio = sim / analytical
+            assert 1.0 <= ratio <= 3.5, (name, ratio)
+
+    def test_ratio_consistent_across_benchmarks(self, comparison):
+        """The sim/analytical ratio is stable, so relative comparisons
+        (speedups, energy ratios) are insensitive to which model is used."""
+        ratios = [sim / ana for sim, ana in comparison.values()]
+        assert max(ratios) / min(ratios) < 1.6
+
+    def test_kernel_ordering_preserved(self, comparison):
+        sims = np.array([v[0] for v in comparison.values()])
+        analyticals = np.array([v[1] for v in comparison.values()])
+        sim_rank = np.argsort(sims)
+        ana_rank = np.argsort(analyticals)
+        np.testing.assert_array_equal(sim_rank, ana_rank)
+
+    def test_cache_hit_ratio_near_analytical_assumption(self, comparison):
+        result = simulate_mix(
+            all_applications()[0].instruction_mix, n_iterations=25, seed=0
+        )
+        assert 0.80 <= result.l1_hit_ratio <= 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for the Table 2 microarchitecture parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import TABLE2_X86_64, MicroArchParams
+
+
+class TestTable2:
+    def test_paper_values(self):
+        p = TABLE2_X86_64
+        assert p.fetch_width == 4
+        assert p.issue_width == 6
+        assert p.int_alus == 2 and p.fpus == 2
+        assert p.issue_queue_entries == 32
+        assert p.rob_entries == 96
+        assert p.int_physical_registers == 256
+        assert p.fp_physical_registers == 256
+        assert p.btb_entries == 2048
+        assert p.ras_entries == 16
+        assert p.load_queue_entries == 48
+        assert p.store_queue_entries == 48
+        assert p.l1_icache_bytes == 32 * 1024
+        assert p.l1_dcache_bytes == 32 * 1024
+        assert p.l1_hit_latency_cycles == 3
+        assert p.l2_hit_latency_cycles == 12
+        assert p.l1_associativity == 8
+        assert p.itlb_entries == 128
+        assert p.dtlb_entries == 256
+        assert p.l2_bytes == 2 * 1024 * 1024
+        assert p.branch_predictor == "tournament"
+
+    def test_as_table_matches_paper_layout(self):
+        table = TABLE2_X86_64.as_table()
+        assert table["Fetch/Issue width"] == "4/6"
+        assert table["INT ALUs/FPUs"] == "2/2"
+        assert table["ROB Entries"] == 96
+        assert table["L1 iCache"] == "32KB"
+        assert table["L1/L2 Hit Latency"] == "3/12 cycles"
+        assert table["L2 Size"] == "2 MB"
+        assert table["Branch Predictor"] == "Tournament"
+        assert table["ITLB/DTLB Entries"] == "128/256"
+        assert table["Load/Store Queue Entries"] == "48/48"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            TABLE2_X86_64.rob_entries = 128
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            MicroArchParams(rob_entries=0)
+        with pytest.raises(ConfigurationError):
+            MicroArchParams(clock_ghz=-1.0)
+
+    def test_custom_config(self):
+        p = MicroArchParams(issue_width=4, l2_bytes=1024 * 1024)
+        assert p.issue_width == 4
+        assert p.as_table()["L2 Size"] == "1 MB"

@@ -1,0 +1,80 @@
+"""Tests for the PE-level NPU schedule simulator."""
+
+import pytest
+
+from repro.apps import all_applications
+from repro.errors import ConfigurationError
+from repro.hardware.npu import NPUConfig, NPUModel
+from repro.hardware.npusim import simulate_npu_invocation
+from repro.nn.mlp import Topology
+
+
+class TestSchedule:
+    def test_tiny_network_by_hand(self):
+        # 2->2->1 on 8 PEs, queue 2 words/cycle, overhead 4:
+        # input 1 cycle + overhead 4; layer1: 2 neurons on 2 PEs, 2 MACs
+        # each -> 2 cycles, +2 activations; layer2: 1 neuron, 2 MACs, +1
+        # activation; output 0.5 cycles.
+        result = simulate_npu_invocation(Topology.parse("2->2->1"))
+        expected = 1.0 + 4.0 + (2 + 2) + (2 + 1) + 0.5
+        assert result.total_cycles == pytest.approx(expected)
+
+    def test_pe_busy_accounting(self):
+        result = simulate_npu_invocation(Topology.parse("4->8->1"))
+        # Layer 1: 8 neurons x 4 MACs spread over 8 PEs = 4 each;
+        # layer 2: 1 neuron x 8 MACs on PE 0.
+        assert sum(result.pe_busy_cycles) == 8 * 4 + 1 * 8
+        assert result.pe_busy_cycles[0] == 4 + 8
+        assert result.critical_pe == 0
+
+    def test_layer_barrier(self):
+        result = simulate_npu_invocation(Topology.parse("2->4->4->2"))
+        finishes = result.layer_finish_cycles
+        assert len(finishes) == 3
+        assert all(b > a for a, b in zip(finishes, finishes[1:]))
+
+    def test_more_pes_faster_until_neuron_limit(self):
+        topo = Topology.parse("9->8->1")
+        few = simulate_npu_invocation(topo, NPUConfig(n_pes=2))
+        many = simulate_npu_invocation(topo, NPUConfig(n_pes=8))
+        saturated = simulate_npu_invocation(topo, NPUConfig(n_pes=16))
+        assert many.total_cycles < few.total_cycles
+        # Beyond 8 PEs the 8-neuron layer cannot parallelize further.
+        assert saturated.total_cycles == pytest.approx(many.total_cycles)
+
+    def test_utilization_in_unit_range(self):
+        result = simulate_npu_invocation(Topology.parse("64->16->64"))
+        assert 0.0 < result.pe_utilization <= 1.0
+
+    def test_invalid_topology(self):
+        with pytest.raises(ConfigurationError):
+            simulate_npu_invocation("9->8->1")
+
+
+class TestAnalyticalValidation:
+    """The PE-level schedule brackets the closed-form NPUModel."""
+
+    @pytest.mark.parametrize(
+        "app", all_applications(), ids=lambda a: a.name
+    )
+    def test_within_small_factor_on_table1(self, app):
+        model = NPUModel()
+        for topology in (app.rumba_topology, app.npu_topology):
+            analytical = model.invocation_cycles(topology)
+            scheduled = simulate_npu_invocation(topology).total_cycles
+            ratio = scheduled / analytical
+            assert 0.5 <= ratio <= 2.5, (app.name, str(topology), ratio)
+
+    def test_ordering_preserved(self):
+        model = NPUModel()
+        topologies = [
+            Topology.parse(s)
+            for s in ("2->2->2", "9->8->1", "18->32->8->2", "64->16->64")
+        ]
+        analytical = [model.invocation_cycles(t) for t in topologies]
+        scheduled = [
+            simulate_npu_invocation(t).total_cycles for t in topologies
+        ]
+        assert sorted(range(4), key=lambda i: analytical[i]) == sorted(
+            range(4), key=lambda i: scheduled[i]
+        )

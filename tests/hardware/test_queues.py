@@ -1,0 +1,133 @@
+"""Unit and property tests for the core↔accelerator queue models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hardware.queues import ConfigQueue, FifoQueue, RecoveryQueue
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        q = FifoQueue(capacity=8)
+        for i in range(5):
+            q.push(i)
+        assert [q.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_overflow_strict_raises(self):
+        q = FifoQueue(capacity=2)
+        q.push(1)
+        q.push(2)
+        with pytest.raises(SimulationError, match="overflow"):
+            q.push(3)
+        assert q.stats.stall_events == 1
+
+    def test_overflow_nonstrict_returns_false(self):
+        q = FifoQueue(capacity=1, strict=False)
+        assert q.push(1)
+        assert not q.push(2)
+        assert q.stats.stall_events == 1
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            FifoQueue().pop()
+
+    def test_peek(self):
+        q = FifoQueue()
+        q.push("a")
+        q.push("b")
+        assert q.peek() == "a"
+        assert len(q) == 2  # peek does not consume
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            FifoQueue().peek()
+
+    def test_drain(self):
+        q = FifoQueue()
+        for i in range(3):
+            q.push(i)
+        assert q.drain() == [0, 1, 2]
+        assert q.is_empty
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FifoQueue(capacity=0)
+
+    def test_max_occupancy_tracked(self):
+        q = FifoQueue(capacity=10)
+        for i in range(6):
+            q.push(i)
+        for _ in range(3):
+            q.pop()
+        q.push(99)
+        assert q.stats.max_occupancy == 6
+        assert q.stats.occupancy == 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(), max_size=40))
+    def test_preserves_order_property(self, items):
+        q = FifoQueue(capacity=max(len(items), 1))
+        for item in items:
+            q.push(item)
+        assert q.drain() == items
+
+
+class TestRecoveryQueue:
+    def test_tracks_pending_recoveries(self):
+        q = RecoveryQueue()
+        q.push(0, True)
+        q.push(1, False)
+        q.push(2, True)
+        assert q.pending_recoveries == 2
+        q.pop()
+        assert q.pending_recoveries == 1
+
+    def test_out_of_order_push_rejected(self):
+        q = RecoveryQueue()
+        q.push(5, True)
+        with pytest.raises(SimulationError, match="out of order"):
+            q.push(5, False)
+        with pytest.raises(SimulationError, match="out of order"):
+            q.push(3, True)
+
+    def test_drain_flagged_returns_only_set_bits(self):
+        q = RecoveryQueue()
+        bits = [True, False, False, True, True]
+        for i, bit in enumerate(bits):
+            q.push(i, bit)
+        assert q.drain_flagged() == [0, 3, 4]
+        assert q.is_empty
+        assert q.pending_recoveries == 0
+
+    def test_pop_returns_pairs_in_order(self):
+        q = RecoveryQueue()
+        q.push(10, False)
+        q.push(11, True)
+        assert q.pop() == (10, False)
+        assert q.pop() == (11, True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_flagged_matches_input_property(self, bits):
+        q = RecoveryQueue(capacity=len(bits))
+        for i, bit in enumerate(bits):
+            q.push(i, bit)
+        expected = [i for i, bit in enumerate(bits) if bit]
+        assert q.drain_flagged() == expected
+
+
+class TestConfigQueue:
+    def test_counts_words(self):
+        q = ConfigQueue()
+        assert q.send("weights", [1.0, 2.0, 3.0]) == 3
+        assert q.send("tree", iter([0.5] * 5)) == 5
+        assert q.words_transferred == 8
+
+    def test_payload_log(self):
+        q = ConfigQueue()
+        q.send("linear", [0.1, 0.2])
+        assert q.payloads == [("linear", 2)]

@@ -1,0 +1,228 @@
+"""Unit and property tests for the scheme-analysis metrics (Figs. 10-13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.metrics.analysis import (
+    analyze_scheme_at_target,
+    calibrate_threshold,
+    error_after_fixes,
+    error_cdf,
+    error_vs_fixed_curve,
+    false_positive_rate,
+    fixes_required_for_quality,
+    rank_by_scores,
+    relative_coverage,
+)
+
+error_arrays = arrays(
+    dtype=float,
+    shape=st.integers(1, 100),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestErrorCdf:
+    def test_fig1_shape(self):
+        """Fig. 1: ~80% of elements small errors, a long tail of large ones."""
+        rng = np.random.default_rng(0)
+        errors = np.concatenate([
+            rng.uniform(0.0, 0.1, size=800),   # small errors
+            rng.uniform(0.2, 1.0, size=200),   # the tail
+        ])
+        levels, fractions = error_cdf(errors, levels=np.array([0.1, 1.0]))
+        assert fractions[0] == pytest.approx(0.8, abs=0.01)
+        assert fractions[1] == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        _, fractions = error_cdf(rng.exponential(size=500))
+        assert np.all(np.diff(fractions) >= 0.0)
+
+    def test_default_levels_span_range(self):
+        errors = np.array([0.0, 0.5, 2.0])
+        levels, fractions = error_cdf(errors)
+        assert levels[-1] == pytest.approx(2.0)
+        assert fractions[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            error_cdf(np.empty(0))
+
+
+class TestRankByScores:
+    def test_highest_first(self):
+        order = rank_by_scores(np.array([0.1, 0.9, 0.5]))
+        np.testing.assert_array_equal(order, [1, 2, 0])
+
+    def test_stable_on_ties(self):
+        order = rank_by_scores(np.array([0.5, 0.5, 0.5]))
+        np.testing.assert_array_equal(order, [0, 1, 2])
+
+
+class TestErrorAfterFixes:
+    def test_endpoints(self):
+        errors = np.array([0.1, 0.2, 0.3])
+        scores = errors.copy()
+        n_fixed, curve = error_after_fixes(scores, errors)
+        assert curve[0] == pytest.approx(0.2)   # mean error, nothing fixed
+        assert curve[-1] == pytest.approx(0.0)  # everything fixed
+        assert n_fixed[-1] == 3
+
+    def test_oracle_order_removes_biggest_first(self):
+        errors = np.array([0.1, 0.9, 0.5])
+        _, curve = error_after_fixes(errors, errors)
+        assert curve[1] == pytest.approx((0.1 + 0.5) / 3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(error_arrays)
+    def test_monotone_nonincreasing_property(self, errors):
+        rng = np.random.default_rng(0)
+        scores = rng.random(errors.shape[0])
+        _, curve = error_after_fixes(scores, errors)
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(error_arrays)
+    def test_oracle_dominates_any_scheme_property(self, errors):
+        """Ideal's curve lower-bounds every other fixing order."""
+        rng = np.random.default_rng(1)
+        scores = rng.random(errors.shape[0])
+        _, scheme_curve = error_after_fixes(scores, errors)
+        _, oracle_curve = error_after_fixes(errors, errors)
+        assert np.all(oracle_curve <= scheme_curve + 1e-12)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            error_after_fixes(np.ones(3), np.ones(4))
+
+
+class TestErrorVsFixedCurve:
+    def test_fractions_sampled(self):
+        errors = np.linspace(0, 1, 11)
+        curve = error_vs_fixed_curve(errors, errors, [0.0, 0.5, 1.0])
+        assert curve[0] == pytest.approx(errors.mean())
+        assert curve[2] == pytest.approx(0.0)
+        assert curve[1] < curve[0]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            error_vs_fixed_curve(np.ones(4), np.ones(4), [1.5])
+
+
+class TestFixesRequired:
+    def test_zero_when_already_good(self):
+        errors = np.full(10, 0.01)
+        n, achieved = fixes_required_for_quality(errors, errors, 0.1)
+        assert n == 0
+        assert achieved == pytest.approx(0.01)
+
+    def test_counts_minimal_prefix(self):
+        errors = np.array([1.0, 0.0, 0.0, 0.0])
+        n, achieved = fixes_required_for_quality(errors, errors, 0.1)
+        assert n == 1
+        assert achieved == 0.0
+
+    def test_bad_scheme_needs_more_fixes(self):
+        rng = np.random.default_rng(2)
+        errors = rng.uniform(0, 1, size=500)
+        anti_scores = -errors  # worst possible ordering
+        n_oracle, _ = fixes_required_for_quality(errors, errors, 0.2)
+        n_anti, _ = fixes_required_for_quality(anti_scores, errors, 0.2)
+        assert n_anti > n_oracle
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixes_required_for_quality(np.ones(3), np.ones(3), -0.1)
+
+
+class TestCalibrateThreshold:
+    def test_threshold_selects_required_fixes(self):
+        rng = np.random.default_rng(7)
+        errors = rng.uniform(0, 0.5, size=400)
+        scores = errors + rng.normal(0, 0.02, size=400)  # noisy predictor
+        target = 0.1
+        threshold = calibrate_threshold(scores, errors, target)
+        fixed = scores > threshold
+        residual = errors.copy()
+        residual[fixed] = 0.0
+        assert residual.mean() <= target + 1e-9
+
+    def test_nothing_needed_returns_max_score(self):
+        errors = np.full(10, 0.01)
+        scores = np.linspace(0, 1, 10)
+        threshold = calibrate_threshold(scores, errors, 0.5)
+        assert threshold == pytest.approx(1.0)
+        assert not np.any(scores > threshold)
+
+    def test_everything_needed(self):
+        errors = np.full(4, 1.0)
+        scores = np.array([0.1, 0.4, 0.2, 0.3])
+        threshold = calibrate_threshold(scores, errors, 0.0)
+        assert np.all(scores > threshold)
+
+    def test_threshold_in_score_units(self):
+        """Scores on a wildly different scale still calibrate correctly."""
+        rng = np.random.default_rng(8)
+        errors = rng.uniform(0, 0.5, size=300)
+        scores = errors * 1000.0 + 5000.0
+        threshold = calibrate_threshold(scores, errors, 0.1)
+        assert threshold > 5000.0
+
+
+class TestFalsePositives:
+    def test_oracle_zero(self):
+        rng = np.random.default_rng(3)
+        errors = rng.uniform(0.2, 1.0, size=100)  # all large
+        assert false_positive_rate(errors, errors, 50, 0.1) == 0.0
+
+    def test_random_proportional_to_small_errors(self):
+        errors = np.concatenate([np.full(80, 0.01), np.full(20, 0.5)])
+        scores = np.linspace(1, 0, 100)  # fixes the first 50 (mostly small)
+        fp = false_positive_rate(scores, errors, 50, error_budget=0.1)
+        assert fp == pytest.approx(0.5)  # 50 fixed, all small, /100 total
+
+    def test_out_of_range_n_fixed(self):
+        with pytest.raises(ConfigurationError):
+            false_positive_rate(np.ones(3), np.ones(3), 5, 0.1)
+
+
+class TestRelativeCoverage:
+    def test_ideal_is_one(self):
+        rng = np.random.default_rng(4)
+        errors = rng.uniform(0, 1, size=200)
+        assert relative_coverage(errors, errors, 40, 40) == pytest.approx(1.0)
+
+    def test_bad_scheme_below_one(self):
+        rng = np.random.default_rng(5)
+        errors = np.concatenate([np.full(150, 0.01), np.full(50, 0.9)])
+        random_scores = rng.random(200)
+        coverage = relative_coverage(random_scores, errors, 50, 50)
+        assert coverage < 1.0
+
+    def test_zero_fixes_edge_cases(self):
+        errors = np.full(10, 0.01)
+        assert relative_coverage(errors, errors, 0, 0) == 1.0
+        assert relative_coverage(errors, errors, 5, 0) == 0.0
+
+    def test_no_large_errors_trivial_coverage(self):
+        errors = np.full(10, 0.01)
+        assert relative_coverage(errors, errors, 3, 3) == 1.0
+
+
+class TestAnalyzeSchemeAtTarget:
+    def test_bundles_all_quantities(self):
+        rng = np.random.default_rng(6)
+        errors = rng.uniform(0, 0.5, size=300)
+        analysis = analyze_scheme_at_target(
+            "Ideal", errors, errors, ideal_n_fixed=50, target_error=0.1
+        )
+        assert analysis.scheme == "Ideal"
+        assert analysis.n_elements == 300
+        assert analysis.achieved_error <= 0.1
+        assert 0.0 <= analysis.fixed_fraction <= 1.0
+        assert analysis.false_positive_fraction == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for the MLP and topology parsing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP, Topology
+
+
+class TestTopology:
+    def test_parse(self):
+        topo = Topology.parse("6->8->4->1")
+        assert topo.sizes == (6, 8, 4, 1)
+        assert topo.n_inputs == 6
+        assert topo.n_outputs == 1
+        assert topo.hidden_sizes == (8, 4)
+
+    def test_str_roundtrip(self):
+        spec = "18->32->2->2"
+        assert str(Topology.parse(spec)) == spec
+
+    def test_weight_count(self):
+        topo = Topology.parse("2->3->1")
+        # (2+1)*3 + (3+1)*1 = 13
+        assert topo.n_weights == 13
+
+    def test_multiply_adds(self):
+        topo = Topology.parse("2->3->1")
+        assert topo.n_multiply_adds == 2 * 3 + 3 * 1
+
+    def test_n_neurons_excludes_inputs(self):
+        assert Topology.parse("9->8->1").n_neurons == 9
+
+    def test_malformed_spec(self):
+        with pytest.raises(ConfigurationError):
+            Topology.parse("6->x->1")
+
+    def test_too_few_layers(self):
+        with pytest.raises(ConfigurationError):
+            Topology((4,))
+
+    def test_nonpositive_layer(self):
+        with pytest.raises(ConfigurationError):
+            Topology((4, 0, 1))
+
+
+class TestMLP:
+    def test_forward_shapes(self, rng):
+        net = MLP("3->5->2", rng=rng)
+        out = net.forward(rng.normal(size=(7, 3)))
+        assert out.shape == (7, 2)
+
+    def test_accepts_spec_string_and_tuple(self):
+        assert MLP("2->2->1").topology == MLP((2, 2, 1)).topology
+
+    def test_wrong_input_width_raises(self, rng):
+        net = MLP("3->2->1")
+        with pytest.raises(ConfigurationError):
+            net.forward(rng.normal(size=(5, 4)))
+
+    def test_deterministic_given_seed(self):
+        a = MLP("2->4->1", rng=np.random.default_rng(7))
+        b = MLP("2->4->1", rng=np.random.default_rng(7))
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        np.testing.assert_array_equal(a(x), b(x))
+
+    def test_linear_output_not_saturated(self, rng):
+        net = MLP("1->2->1", rng=rng)
+        # Force large weights in the output layer: linear output can exceed 1.
+        net.weights[-1][:] = 100.0
+        out = net.forward(np.array([[0.5]]))
+        assert abs(out[0, 0]) > 1.0
+
+    def test_flat_params_roundtrip(self, rng):
+        net = MLP("3->4->2", rng=rng)
+        flat = net.get_flat_params()
+        assert flat.shape == (net.topology.n_weights,)
+        clone = MLP("3->4->2")
+        clone.set_flat_params(flat)
+        x = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(clone(x), net(x))
+
+    def test_set_flat_params_wrong_size(self):
+        net = MLP("2->2->1")
+        with pytest.raises(ConfigurationError):
+            net.set_flat_params(np.zeros(3))
+
+    def test_copy_is_independent(self, rng):
+        net = MLP("2->3->1", rng=rng)
+        clone = net.copy()
+        clone.weights[0][:] = 0.0
+        assert not np.array_equal(net.weights[0], clone.weights[0])
+
+    def test_forward_trace_layers(self, rng):
+        net = MLP("2->3->4->1", rng=rng)
+        out, trace = net.forward_trace(rng.normal(size=(5, 2)))
+        assert len(trace) == 4  # input + 3 layers
+        np.testing.assert_array_equal(trace[-1], out)
+
+    def test_hidden_sigmoid_bounded(self, rng):
+        net = MLP("2->3->1", rng=rng)
+        _, trace = net.forward_trace(rng.normal(size=(50, 2)) * 100)
+        hidden = trace[1]
+        assert np.all(hidden >= 0.0) and np.all(hidden <= 1.0)
+
+    def test_activation_for_layer(self):
+        net = MLP("2->3->1")
+        assert net.activation_for_layer(0).name == "sigmoid"
+        assert net.activation_for_layer(net.n_layers - 1).name == "linear"

@@ -1,0 +1,89 @@
+"""Unit tests for the topology search policy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.topology import enumerate_topologies, search_topology
+from repro.nn.trainer import RPropTrainer
+
+
+class TestEnumerate:
+    def test_sorted_by_weight_count(self):
+        topologies = enumerate_topologies(3, 1, widths=(2, 4, 8))
+        weights = [t.n_weights for t in topologies]
+        assert weights == sorted(weights)
+
+    def test_single_layer_only(self):
+        topologies = enumerate_topologies(3, 1, widths=(2, 4), max_hidden_layers=1)
+        assert all(len(t.sizes) == 3 for t in topologies)
+        assert len(topologies) == 2
+
+    def test_two_layer_count(self):
+        topologies = enumerate_topologies(3, 1, widths=(2, 4), max_hidden_layers=2)
+        # 2 one-layer + 4 two-layer combinations
+        assert len(topologies) == 6
+
+    def test_respects_npu_width_cap(self):
+        with pytest.raises(ConfigurationError, match="cap of 32"):
+            enumerate_topologies(3, 1, widths=(64,))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_topologies(0, 1)
+        with pytest.raises(ConfigurationError):
+            enumerate_topologies(2, 1, max_hidden_layers=0)
+
+
+class TestSearch:
+    def test_picks_smallest_network_within_slack(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(300, 1))
+        y = 2.0 * x + 0.5  # trivially linear
+        slack = 1.5
+        net, results = search_topology(
+            x[:200], y[:200], x[200:], y[200:],
+            widths=(1, 2, 4),
+            max_hidden_layers=1,
+            trainer=RPropTrainer(max_epochs=120, patience=25),
+            slack=slack,
+        )
+        assert len(results) == 3
+        best = min(r.val_error for r in results)
+        # The selected network is the *first* (smallest) candidate whose
+        # error is within the slack bound -- the paper's selection policy.
+        expected = next(r for r in results if r.val_error <= slack * best)
+        assert net.topology == expected.topology
+
+    def test_all_candidates_scored(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(200, 1))
+        y = np.sin(2 * np.pi * x)
+        _, results = search_topology(
+            x[:150], y[:150], x[150:], y[150:],
+            widths=(2, 4),
+            max_hidden_layers=1,
+            trainer=RPropTrainer(max_epochs=60, patience=15),
+        )
+        assert all(np.isfinite(r.val_error) for r in results)
+
+    def test_max_candidates_cap(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(100, 1))
+        y = x.copy()
+        _, results = search_topology(
+            x[:80], y[:80], x[80:], y[80:],
+            widths=(1, 2, 4),
+            max_hidden_layers=2,
+            trainer=RPropTrainer(max_epochs=20, patience=5),
+            max_candidates=4,
+        )
+        assert len(results) == 4
+
+    def test_invalid_slack(self):
+        with pytest.raises(ConfigurationError):
+            search_topology(
+                np.zeros((10, 1)), np.zeros((10, 1)),
+                np.zeros((5, 1)), np.zeros((5, 1)),
+                slack=0.5,
+            )

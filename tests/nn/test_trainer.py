@@ -1,0 +1,111 @@
+"""Unit tests for the RProp and SGD trainers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP
+from repro.nn.trainer import RPropTrainer, SGDTrainer, mse
+
+
+def _toy_regression(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 1))
+    y = 0.5 + 0.3 * np.sin(2 * np.pi * x)
+    return x, y
+
+
+class TestMse:
+    def test_zero_for_identical(self):
+        a = np.ones((4, 2))
+        assert mse(a, a) == 0.0
+
+    def test_value(self):
+        assert mse(np.array([[1.0]]), np.array([[3.0]])) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mse(np.ones((2, 1)), np.ones((3, 1)))
+
+
+class TestRPropTrainer:
+    def test_loss_decreases(self):
+        x, y = _toy_regression()
+        net = MLP("1->8->1", rng=np.random.default_rng(0))
+        initial = mse(net.forward(x), y)
+        result = RPropTrainer(max_epochs=200, seed=0).train(net, x, y)
+        assert result.final_loss < initial
+        assert result.best_loss < 0.05
+
+    def test_history_recorded(self):
+        x, y = _toy_regression(50)
+        net = MLP("1->4->1")
+        result = RPropTrainer(max_epochs=30, patience=1000).train(net, x, y)
+        assert len(result.train_losses) == 30
+
+    def test_early_stop_on_patience(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([[0.0], [1.0]])
+        net = MLP("1->2->1")
+        result = RPropTrainer(max_epochs=5000, patience=10).train(net, x, y)
+        assert result.converged
+        assert len(result.train_losses) < 5000
+
+    def test_validation_split(self):
+        x, y = _toy_regression(100)
+        net = MLP("1->4->1")
+        result = RPropTrainer(max_epochs=40, val_fraction=0.25).train(net, x, y)
+        assert len(result.val_losses) == len(result.train_losses)
+
+    def test_best_params_restored(self):
+        x, y = _toy_regression(100)
+        net = MLP("1->8->1", rng=np.random.default_rng(1))
+        result = RPropTrainer(max_epochs=150, patience=30, seed=1).train(net, x, y)
+        final = mse(net.forward(x), y)
+        assert final == pytest.approx(min(result.train_losses), rel=1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RPropTrainer(max_epochs=0)
+        with pytest.raises(ConfigurationError):
+            RPropTrainer(val_fraction=1.0)
+
+    def test_multi_output(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(150, 2))
+        y = np.column_stack([x.sum(axis=1), x[:, 0] - x[:, 1]])
+        net = MLP("2->6->2", rng=rng)
+        result = RPropTrainer(max_epochs=300, patience=50).train(net, x, y)
+        assert result.best_loss < 0.05
+
+
+class TestSGDTrainer:
+    def test_loss_decreases(self):
+        x, y = _toy_regression()
+        net = MLP("1->8->1", rng=np.random.default_rng(0))
+        initial = mse(net.forward(x), y)
+        result = SGDTrainer(max_epochs=100, learning_rate=0.1, seed=0).train(
+            net, x, y
+        )
+        assert result.final_loss < initial
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(batch_size=0)
+
+    def test_validation_split(self):
+        x, y = _toy_regression(80)
+        net = MLP("1->4->1")
+        result = SGDTrainer(max_epochs=20, val_fraction=0.2).train(net, x, y)
+        assert len(result.val_losses) == len(result.train_losses)
+
+    def test_comparable_to_rprop_on_easy_problem(self):
+        x, y = _toy_regression(300, seed=3)
+        rprop_net = MLP("1->8->1", rng=np.random.default_rng(5))
+        sgd_net = rprop_net.copy()
+        rprop = RPropTrainer(max_epochs=200, seed=5).train(rprop_net, x, y)
+        sgd = SGDTrainer(max_epochs=200, seed=5).train(sgd_net, x, y)
+        assert rprop.best_loss < 0.02
+        assert sgd.best_loss < 0.05

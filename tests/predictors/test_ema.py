@@ -1,0 +1,94 @@
+"""Unit tests for the EMA output-based detector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predictors.ema import EMAPredictor, exponential_moving_average
+
+
+class TestExponentialMovingAverage:
+    def test_constant_sequence_is_fixed_point(self):
+        values = np.full(20, 5.0)
+        np.testing.assert_allclose(
+            exponential_moving_average(values, alpha=0.3), 5.0
+        )
+
+    def test_paper_formula(self):
+        """EMA = e*alpha + prev*(1-alpha) (Eq. 2)."""
+        values = np.array([1.0, 2.0, 3.0])
+        alpha = 0.5
+        out = exponential_moving_average(values, alpha)
+        assert out[0] == pytest.approx(1.0)          # seeded with first value
+        assert out[1] == pytest.approx(2 * 0.5 + 1 * 0.5)
+        assert out[2] == pytest.approx(3 * 0.5 + out[1] * 0.5)
+
+    def test_initial_seed(self):
+        out = exponential_moving_average(np.array([1.0]), 0.5, initial=3.0)
+        assert out[0] == pytest.approx(1 * 0.5 + 3 * 0.5)
+
+    def test_alpha_one_tracks_exactly(self):
+        values = np.array([4.0, 7.0, -1.0])
+        np.testing.assert_allclose(
+            exponential_moving_average(values, 1.0), values
+        )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            exponential_moving_average(np.ones(3), 0.0)
+        with pytest.raises(ConfigurationError):
+            exponential_moving_average(np.ones(3), 1.5)
+
+    def test_empty_sequence(self):
+        out = exponential_moving_average(np.empty(0), 0.5)
+        assert out.size == 0
+
+
+class TestEMAPredictor:
+    def test_alpha_formula(self):
+        """alpha = 2 / (1 + N) from the paper."""
+        assert EMAPredictor(history=15).alpha == pytest.approx(2.0 / 16.0)
+        assert EMAPredictor(history=1).alpha == pytest.approx(1.0)
+
+    def test_smooth_stream_scores_low(self):
+        outputs = np.linspace(0, 1, 100).reshape(-1, 1)
+        scores = EMAPredictor(history=9).scores(approx_outputs=outputs)
+        assert scores.max() < 0.1
+
+    def test_spike_scores_high(self):
+        outputs = np.zeros((50, 1))
+        outputs[25] = 10.0
+        scores = EMAPredictor(history=9).scores(approx_outputs=outputs)
+        assert np.argmax(scores) == 25
+        assert scores[25] > 5.0
+
+    def test_needs_outputs(self):
+        with pytest.raises(ConfigurationError, match="output-based"):
+            EMAPredictor().scores(features=np.ones((5, 2)))
+
+    def test_no_training_needed(self):
+        predictor = EMAPredictor()
+        assert predictor.is_fitted
+        assert not predictor.needs_fit
+
+    def test_multi_output_reduced(self):
+        outputs = np.zeros((10, 3))
+        outputs[5] = [3.0, 3.0, 3.0]
+        scores = EMAPredictor(history=9).scores(approx_outputs=outputs)
+        assert np.argmax(scores) == 5
+
+    def test_first_element_scores_zero(self):
+        outputs = np.array([[7.0], [7.0]])
+        scores = EMAPredictor().scores(approx_outputs=outputs)
+        assert scores[0] == 0.0  # EMA seeds on the first element
+
+    def test_invalid_history(self):
+        with pytest.raises(ConfigurationError):
+            EMAPredictor(history=0)
+
+    def test_single_coefficient(self):
+        assert EMAPredictor().coefficient_count() == 1
+
+    def test_empty_stream(self):
+        scores = EMAPredictor().scores(approx_outputs=np.empty((0, 1)))
+        assert scores.size == 0

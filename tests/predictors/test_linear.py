@@ -1,0 +1,104 @@
+"""Unit tests for linear error predictors (EEP and EVP)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.predictors.linear import LinearErrorPredictor, LinearValuePredictor
+
+
+class TestLinearErrorPredictor:
+    def test_recovers_linear_error_function(self, rng):
+        x = rng.uniform(-1, 1, size=(500, 3))
+        errors = 0.5 * x[:, 0] - 0.2 * x[:, 1] + 0.8
+        predictor = LinearErrorPredictor().fit(x, errors)
+        predicted = predictor.scores(features=x)
+        np.testing.assert_allclose(predicted, np.maximum(errors, 0), atol=1e-8)
+
+    def test_weights_and_bias_exposed(self, rng):
+        x = rng.uniform(0, 1, size=(100, 2))
+        errors = x @ np.array([1.0, 2.0]) + 3.0
+        predictor = LinearErrorPredictor().fit(x, errors)
+        np.testing.assert_allclose(predictor.weights, [1.0, 2.0], atol=1e-8)
+        assert predictor.bias == pytest.approx(3.0, abs=1e-8)
+
+    def test_scores_clamped_nonnegative(self, rng):
+        x = rng.uniform(0, 1, size=(50, 1))
+        errors = rng.uniform(0, 0.01, size=50)
+        predictor = LinearErrorPredictor().fit(x, errors)
+        scores = predictor.scores(features=np.array([[-100.0]]))
+        assert scores[0] >= 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearErrorPredictor().scores(features=np.ones((2, 2)))
+
+    def test_needs_features(self, rng):
+        predictor = LinearErrorPredictor().fit(
+            rng.random((10, 2)), rng.random(10)
+        )
+        with pytest.raises(ConfigurationError, match="input-based"):
+            predictor.scores(approx_outputs=np.ones((5, 1)))
+
+    def test_wrong_feature_width(self, rng):
+        predictor = LinearErrorPredictor().fit(
+            rng.random((10, 2)), rng.random(10)
+        )
+        with pytest.raises(ConfigurationError):
+            predictor.scores(features=np.ones((5, 3)))
+
+    def test_coefficient_count_eq1(self, rng):
+        """Eq. 1: N weights plus the constant c."""
+        predictor = LinearErrorPredictor().fit(
+            rng.random((20, 6)), rng.random(20)
+        )
+        assert predictor.coefficient_count() == 7
+
+    def test_sample_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            LinearErrorPredictor().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearErrorPredictor().fit(np.empty((0, 2)), np.empty(0))
+
+
+class TestLinearValuePredictor:
+    def test_scores_measure_disagreement(self, rng):
+        x = rng.uniform(-1, 1, size=(300, 2))
+        outputs = (x @ np.array([[1.0], [2.0]])) + 0.5
+        predictor = LinearValuePredictor().fit_values(x, outputs)
+        # Accelerator perfectly matching the linear model: zero scores.
+        scores = predictor.scores(features=x, approx_outputs=outputs)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-8)
+        # Disagreement of 0.3 everywhere: scores are 0.3.
+        scores = predictor.scores(features=x, approx_outputs=outputs + 0.3)
+        np.testing.assert_allclose(scores, 0.3, atol=1e-8)
+
+    def test_fit_via_base_api_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="fit_values"):
+            LinearValuePredictor().fit(rng.random((10, 2)), rng.random(10))
+
+    def test_needs_both_inputs(self, rng):
+        predictor = LinearValuePredictor().fit_values(
+            rng.random((10, 2)), rng.random((10, 1))
+        )
+        with pytest.raises(ConfigurationError):
+            predictor.scores(features=np.ones((3, 2)))
+
+    def test_output_width_must_match(self, rng):
+        predictor = LinearValuePredictor().fit_values(
+            rng.random((10, 2)), rng.random((10, 2))
+        )
+        with pytest.raises(ConfigurationError):
+            predictor.scores(
+                features=np.ones((3, 2)), approx_outputs=np.ones((3, 1))
+            )
+
+    def test_multi_output_scores_averaged(self, rng):
+        x = rng.uniform(0, 1, size=(100, 1))
+        outputs = np.column_stack([x[:, 0], 2 * x[:, 0]])
+        predictor = LinearValuePredictor().fit_values(x, outputs)
+        shifted = outputs + np.array([0.2, 0.4])
+        scores = predictor.scores(features=x, approx_outputs=shifted)
+        np.testing.assert_allclose(scores, 0.3, atol=1e-8)

@@ -1,0 +1,114 @@
+"""Unit tests for the Ideal oracle and Random/Uniform baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.analysis import rank_by_scores
+from repro.predictors.oracle import OraclePredictor
+from repro.predictors.sampling import (
+    RandomPredictor,
+    UniformPredictor,
+    radical_inverse,
+)
+
+
+class TestOracle:
+    def test_scores_are_true_errors(self, rng):
+        errors = rng.uniform(0, 1, size=100)
+        np.testing.assert_array_equal(
+            OraclePredictor().scores(true_errors=errors), errors
+        )
+
+    def test_needs_true_errors(self):
+        with pytest.raises(ConfigurationError):
+            OraclePredictor().scores(features=np.ones((3, 1)))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OraclePredictor().scores(true_errors=np.array([1.0, np.nan]))
+
+    def test_topk_by_oracle_is_optimal(self, rng):
+        """Fixing Ideal's top-k removes the k largest true errors."""
+        errors = rng.uniform(0, 1, size=200)
+        scores = OraclePredictor().scores(true_errors=errors)
+        top = rank_by_scores(scores)[:20]
+        assert set(top) == set(np.argsort(errors)[::-1][:20])
+
+
+class TestRadicalInverse:
+    def test_known_values(self):
+        np.testing.assert_allclose(
+            radical_inverse(8),
+            [0.0, 0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875],
+        )
+
+    def test_range(self):
+        values = radical_inverse(257)
+        assert values.min() >= 0.0 and values.max() < 1.0
+
+    def test_all_distinct(self):
+        values = radical_inverse(1024)
+        assert np.unique(values).size == 1024
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            radical_inverse(-1)
+        with pytest.raises(ConfigurationError):
+            radical_inverse(8, base=1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(16, 512), st.floats(0.05, 0.5))
+    def test_prefix_selection_uniformly_spread(self, n, fraction):
+        """{i : ri(i) < x} is spread: max gap ~ 1/(x) not clumped."""
+        values = radical_inverse(n)
+        selected = np.flatnonzero(values < fraction)
+        if selected.size >= 2:
+            gaps = np.diff(selected)
+            expected_gap = n / selected.size
+            assert gaps.max() <= 2.5 * expected_gap + 1
+
+
+class TestRandomPredictor:
+    def test_scores_in_unit_interval(self):
+        scores = RandomPredictor(seed=1).scores(true_errors=np.zeros(50))
+        assert scores.shape == (50,)
+        assert scores.min() >= 0.0 and scores.max() < 1.0
+
+    def test_different_invocations_differ(self):
+        predictor = RandomPredictor(seed=1)
+        a = predictor.scores(true_errors=np.zeros(100))
+        b = predictor.scores(true_errors=np.zeros(100))
+        assert not np.array_equal(a, b)
+
+    def test_seeded_reproducibility(self):
+        a = RandomPredictor(seed=5).scores(true_errors=np.zeros(30))
+        b = RandomPredictor(seed=5).scores(true_errors=np.zeros(30))
+        np.testing.assert_array_equal(a, b)
+
+    def test_length_inferred_from_any_array(self):
+        scores = RandomPredictor().scores(features=np.ones((7, 3)))
+        assert scores.shape == (7,)
+
+    def test_no_arrays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomPredictor().scores()
+
+
+class TestUniformPredictor:
+    def test_topk_uniformly_spaced(self):
+        scores = UniformPredictor().scores(true_errors=np.zeros(64))
+        top8 = np.sort(rank_by_scores(scores)[:8])
+        gaps = np.diff(top8)
+        assert gaps.max() <= 2 * gaps.min() + 1
+
+    def test_deterministic(self):
+        a = UniformPredictor().scores(true_errors=np.zeros(40))
+        b = UniformPredictor().scores(true_errors=np.zeros(40))
+        np.testing.assert_array_equal(a, b)
+
+    def test_first_element_always_selected_first(self):
+        scores = UniformPredictor().scores(true_errors=np.zeros(32))
+        assert rank_by_scores(scores)[0] == 0

@@ -1,0 +1,123 @@
+"""Unit and property tests for the decision-tree error predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.predictors.tree import DecisionTreeErrorPredictor, TreeNode
+
+
+class TestTreeNode:
+    def test_leaf_depth(self):
+        assert TreeNode(value=1.0).depth() == 0
+
+    def test_nested_depth(self):
+        tree = TreeNode(
+            feature=0, threshold=0.5,
+            left=TreeNode(value=0.0),
+            right=TreeNode(
+                feature=0, threshold=0.8,
+                left=TreeNode(value=1.0), right=TreeNode(value=2.0),
+            ),
+        )
+        assert tree.depth() == 2
+        assert tree.count_nodes() == (2, 3)
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self, rng):
+        x = rng.uniform(0, 1, size=(500, 1))
+        errors = np.where(x[:, 0] > 0.5, 0.9, 0.1)
+        tree = DecisionTreeErrorPredictor(max_depth=3).fit(x, errors)
+        predicted = tree.scores(features=x)
+        # The quantile-grid CART may fuzz a handful of boundary samples.
+        assert np.mean(np.abs(predicted - errors)) < 0.02
+        assert np.mean(np.isclose(predicted, errors)) > 0.95
+
+    def test_respects_depth_cap(self, rng):
+        x = rng.uniform(0, 1, size=(2000, 2))
+        errors = rng.uniform(0, 1, size=2000)  # unlearnable noise
+        tree = DecisionTreeErrorPredictor(max_depth=7, min_samples_leaf=2).fit(
+            x, errors
+        )
+        assert tree.depth <= 7
+
+    def test_paper_default_depth_is_7(self):
+        assert DecisionTreeErrorPredictor().max_depth == 7
+
+    def test_predictions_within_training_range(self, rng):
+        x = rng.uniform(0, 1, size=(300, 2))
+        errors = rng.uniform(0.2, 0.8, size=300)
+        tree = DecisionTreeErrorPredictor().fit(x, errors)
+        scores = tree.scores(features=rng.uniform(-5, 5, size=(100, 2)))
+        assert scores.min() >= 0.2 - 1e-9
+        assert scores.max() <= 0.8 + 1e-9
+
+    def test_constant_errors_single_leaf(self, rng):
+        x = rng.uniform(0, 1, size=(100, 2))
+        tree = DecisionTreeErrorPredictor().fit(x, np.full(100, 0.3))
+        assert tree.root.is_leaf
+        np.testing.assert_allclose(tree.scores(features=x), 0.3)
+
+    def test_min_samples_leaf_respected(self, rng):
+        x = rng.uniform(0, 1, size=(40, 1))
+        errors = rng.uniform(0, 1, size=40)
+        tree = DecisionTreeErrorPredictor(min_samples_leaf=20).fit(x, errors)
+        # With 40 samples and min leaf 20 only one split is possible.
+        assert tree.depth <= 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeErrorPredictor().scores(features=np.ones((2, 2)))
+
+    def test_needs_features(self, rng):
+        tree = DecisionTreeErrorPredictor().fit(rng.random((30, 2)), rng.random(30))
+        with pytest.raises(ConfigurationError, match="input-based"):
+            tree.scores(approx_outputs=np.ones((5, 1)))
+
+    def test_wrong_width(self, rng):
+        tree = DecisionTreeErrorPredictor().fit(rng.random((30, 2)), rng.random(30))
+        with pytest.raises(ConfigurationError):
+            tree.scores(features=np.ones((5, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeErrorPredictor(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeErrorPredictor(min_samples_leaf=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeErrorPredictor(n_thresholds=1)
+
+    def test_coefficient_count_matches_structure(self, rng):
+        x = rng.uniform(0, 1, size=(400, 2))
+        errors = np.where(x[:, 0] > 0.5, 0.9, 0.1)
+        tree = DecisionTreeErrorPredictor(max_depth=3).fit(x, errors)
+        decisions, leaves = tree.root.count_nodes()
+        assert tree.coefficient_count() == 2 * decisions + leaves
+
+    def test_better_than_linear_on_nonmonotone_errors(self, rng):
+        """The benchmark-dependence observation: trees capture structure
+        linear models cannot (e.g. errors high at both input extremes)."""
+        from repro.predictors.linear import LinearErrorPredictor
+
+        x = rng.uniform(-1, 1, size=(1000, 1))
+        errors = np.abs(x[:, 0])  # symmetric: linear in x fits poorly
+        tree = DecisionTreeErrorPredictor().fit(x, errors)
+        linear = LinearErrorPredictor().fit(x, errors)
+        tree_mae = np.abs(tree.scores(features=x) - errors).mean()
+        linear_mae = np.abs(linear.scores(features=x) - errors).mean()
+        assert tree_mae < linear_mae
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6))
+    def test_deeper_trees_fit_no_worse(self, depth):
+        rng = np.random.default_rng(depth)
+        x = rng.uniform(0, 1, size=(400, 1))
+        errors = np.sin(3 * x[:, 0]) ** 2
+        shallow = DecisionTreeErrorPredictor(max_depth=depth).fit(x, errors)
+        deeper = DecisionTreeErrorPredictor(max_depth=depth + 1).fit(x, errors)
+        shallow_sse = np.sum((shallow.scores(features=x) - errors) ** 2)
+        deeper_sse = np.sum((deeper.scores(features=x) - errors) ** 2)
+        assert deeper_sse <= shallow_sse + 1e-9

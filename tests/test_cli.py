@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (["list"], ["survey"], ["run", "--app", "fft"],
+                     ["summary"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_run_requires_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "doom"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out and "9->8->1" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "re-executable fraction" in out
+        assert "histogram" in out
+
+    def test_run_fft(self, capsys):
+        assert main(["run", "--app", "fft", "--elements", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Rumba error" in out
+        assert "energy savings" in out
+
+    def test_summary_single_app(self, capsys):
+        assert main(["summary", "--apps", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "error reduction" in out

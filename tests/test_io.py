@@ -1,0 +1,103 @@
+"""Round-trip tests for artifact serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.io import load_backend, load_predictor, save_backend, save_predictor
+from repro.predictors import (
+    DecisionTreeErrorPredictor,
+    EMAPredictor,
+    LinearErrorPredictor,
+    OraclePredictor,
+    RandomPredictor,
+    UniformPredictor,
+)
+
+
+class TestBackendRoundtrip:
+    def test_outputs_identical(self, tmp_path, fft_app, fft_backend):
+        path = tmp_path / "fft_backend.npz"
+        save_backend(fft_backend, path)
+        restored = load_backend(path)
+        rng = np.random.default_rng(3)
+        x = fft_app.test_inputs(rng)[:200]
+        np.testing.assert_array_equal(restored(x), fft_backend(x))
+        assert restored.topology == fft_backend.topology
+
+    def test_input_columns_preserved(self, tmp_path):
+        from repro.apps import get_application
+        from repro.approx import train_npu_backend
+        from repro.nn.trainer import RPropTrainer
+
+        app = get_application("blackscholes")
+        backend, _ = train_npu_backend(
+            app, trainer=RPropTrainer(max_epochs=30, patience=10), seed=0
+        )
+        path = tmp_path / "bs.npz"
+        save_backend(backend, path)
+        restored = load_backend(path)
+        assert restored.input_columns == backend.input_columns
+        rng = np.random.default_rng(1)
+        x = app.test_inputs(rng)[:50]
+        np.testing.assert_array_equal(restored(x), backend(x))
+
+    def test_wrong_artifact_rejected(self, tmp_path, fft_backend):
+        path = tmp_path / "backend.npz"
+        save_backend(fft_backend, path)
+        with pytest.raises(ConfigurationError, match="expected"):
+            load_predictor(path)
+
+
+class TestPredictorRoundtrip:
+    def test_linear(self, tmp_path, rng):
+        predictor = LinearErrorPredictor().fit(
+            rng.random((50, 3)), rng.random(50)
+        )
+        path = tmp_path / "linear.npz"
+        save_predictor(predictor, path)
+        restored = load_predictor(path)
+        x = rng.random((20, 3))
+        np.testing.assert_array_equal(
+            restored.scores(features=x), predictor.scores(features=x)
+        )
+
+    def test_tree(self, tmp_path, rng):
+        x = rng.random((500, 2))
+        errors = np.where(x[:, 0] > 0.5, 0.8, 0.1) + 0.1 * x[:, 1]
+        predictor = DecisionTreeErrorPredictor(max_depth=5).fit(x, errors)
+        path = tmp_path / "tree.npz"
+        save_predictor(predictor, path)
+        restored = load_predictor(path)
+        probe = rng.random((100, 2))
+        np.testing.assert_array_equal(
+            restored.scores(features=probe), predictor.scores(features=probe)
+        )
+        assert restored.max_depth == 5
+        assert restored.coefficient_count() == predictor.coefficient_count()
+
+    def test_ema(self, tmp_path):
+        path = tmp_path / "ema.npz"
+        save_predictor(EMAPredictor(history=31), path)
+        restored = load_predictor(path)
+        assert isinstance(restored, EMAPredictor)
+        assert restored.history == 31
+
+    @pytest.mark.parametrize("predictor", [OraclePredictor(),
+                                           UniformPredictor()])
+    def test_stateless(self, tmp_path, predictor):
+        path = tmp_path / "p.npz"
+        save_predictor(predictor, path)
+        assert type(load_predictor(path)) is type(predictor)
+
+    def test_random_seed_preserved(self, tmp_path):
+        path = tmp_path / "r.npz"
+        save_predictor(RandomPredictor(seed=77), path)
+        restored = load_predictor(path)
+        assert restored.seed == 77
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_predictor(LinearErrorPredictor(), tmp_path / "x.npz")
+        with pytest.raises(NotFittedError):
+            save_predictor(DecisionTreeErrorPredictor(), tmp_path / "y.npz")
