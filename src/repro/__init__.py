@@ -14,7 +14,9 @@ implements the whole stack in Python:
 * :mod:`repro.core` — detection, recovery, online tuning, the pipelined
   runtime,
 * :mod:`repro.metrics` / :mod:`repro.eval` — quality analyses and the
-  per-figure experiment drivers.
+  per-figure experiment drivers,
+* :mod:`repro.observability` — metrics registry, invocation tracing,
+  Prometheus/JSON exporters and the live quality dashboard.
 
 Quickstart::
 
@@ -26,6 +28,7 @@ Quickstart::
 
 from repro.apps import APPLICATION_NAMES, Application, get_application
 from repro.core import RumbaConfig, RumbaSystem, TunerMode, prepare_system
+from repro.observability import MetricsRegistry, Telemetry, Tracer
 from repro.errors import (
     ConfigurationError,
     NotFittedError,
@@ -47,6 +50,9 @@ __all__ = [
     "RumbaConfig",
     "TunerMode",
     "prepare_system",
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
     "ReproError",
     "ConfigurationError",
     "TrainingError",

@@ -4,8 +4,14 @@ Commands
 --------
 ``list``
     Show the Table 1 benchmark suite.
-``run --app NAME [--scheme S] [--elements N] [--quality Q]``
-    Train offline, run one invocation online, print the outcome.
+``run --app NAME [--scheme S] [--elements N] [--quality Q] [--telemetry F]``
+    Train offline, run one invocation online, print the outcome.  With
+    ``--telemetry`` the full metrics snapshot is dumped afterwards
+    (``.json`` or Prometheus text, chosen by extension).
+``monitor --app NAME [--invocations N] [--export F] [--trace F]``
+    Run a quality-managed stream with full telemetry attached and render
+    the live ASCII quality dashboard; optionally export the metrics
+    snapshot and a JSONL span trace.
 ``summary [--apps a,b,...]``
     Recompute the paper's headline numbers (trains every requested
     benchmark; the full suite takes ~30 s).
@@ -24,11 +30,22 @@ from typing import List, Optional
 import numpy as np
 
 from repro.apps import APPLICATION_NAMES, all_applications
+from repro.apps.workloads import invocation_stream
 from repro.core import RumbaConfig, prepare_system
 from repro.core.purity_survey import survey_purity
+from repro.core.stream import QualityManagedStream
 from repro.eval.experiments import headline_summary
 from repro.eval.report import generate_report
 from repro.eval.reporting import format_table
+from repro.observability import (
+    JsonlSpanExporter,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    render_dashboard,
+    write_snapshot,
+)
+from repro.observability.dashboard import clear_screen_prefix
 from repro.predictors.training import SCHEME_NAMES
 
 __all__ = ["main"]
@@ -52,6 +69,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = RumbaConfig(scheme=args.scheme, target_output_quality=args.quality)
     system = prepare_system(args.app, scheme=args.scheme, config=config,
                             seed=args.seed)
+    registry = None
+    if args.telemetry:
+        registry = MetricsRegistry()
+        system.attach_telemetry(Telemetry(
+            app=args.app, scheme=args.scheme, registry=registry,
+        ))
     rng = np.random.default_rng(args.seed + 100)
     inputs = np.atleast_2d(system.app.test_inputs(rng))[: args.elements]
     record = system.run_invocation(inputs)
@@ -65,6 +88,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["speedup", f"{record.costs.speedup:.2f}x"],
     ]
     print(format_table(["quantity", "value"], rows))
+    if registry is not None:
+        fmt = write_snapshot(args.telemetry, registry)
+        print(f"wrote {fmt} telemetry snapshot to {args.telemetry}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    print(f"Preparing {args.app} with the {args.scheme} checker...")
+    system = prepare_system(args.app, scheme=args.scheme, seed=args.seed)
+    registry = MetricsRegistry()
+    exporter = JsonlSpanExporter(args.trace) if args.trace else None
+    tracer = Tracer(exporter=exporter)
+    telemetry = Telemetry(app=args.app, scheme=args.scheme,
+                          registry=registry, tracer=tracer)
+    system.attach_telemetry(telemetry)
+    stream = QualityManagedStream(system)
+    chunks = invocation_stream(
+        system.app, args.invocations, args.elements, seed=args.seed + 100
+    )
+    live = sys.stdout.isatty() and not args.no_live
+    for chunk in chunks:
+        stream.feed(chunk)
+        if live:
+            print(clear_screen_prefix(True) + render_dashboard(telemetry))
+    if not live:
+        print(render_dashboard(telemetry))
+    if exporter is not None:
+        exporter.close()
+        print(f"wrote {exporter.exported} spans to {args.trace}")
+    if args.export:
+        fmt = write_snapshot(args.export, registry)
+        print(f"wrote {fmt} telemetry snapshot to {args.export}")
     return 0
 
 
@@ -134,6 +189,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--quality", type=float, default=0.90,
                      help="target output quality (TOQ mode)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--telemetry", default="",
+                     help="dump the metrics snapshot to this file "
+                          "(.json or Prometheus text by extension)")
+
+    monitor = sub.add_parser(
+        "monitor", help="stream with live telemetry dashboard"
+    )
+    monitor.add_argument("--app", required=True, choices=APPLICATION_NAMES)
+    monitor.add_argument("--scheme", default="treeErrors",
+                         choices=SCHEME_NAMES)
+    monitor.add_argument("--invocations", type=int, default=20)
+    monitor.add_argument("--elements", type=int, default=2000,
+                         help="elements per invocation")
+    monitor.add_argument("--export", default="",
+                         help="write the final metrics snapshot here "
+                              "(.prom/.txt Prometheus text, .json JSON)")
+    monitor.add_argument("--trace", default="",
+                         help="write per-invocation spans here (JSONL)")
+    monitor.add_argument("--no-live", action="store_true",
+                         help="render only the final dashboard frame")
+    monitor.add_argument("--seed", type=int, default=0)
 
     summary = sub.add_parser("summary", help="recompute the headline numbers")
     summary.add_argument("--apps", default="",
@@ -155,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "monitor": _cmd_monitor,
         "summary": _cmd_summary,
         "survey": _cmd_survey,
         "report": _cmd_report,

@@ -74,6 +74,8 @@ class DetectionModule:
         )
         self.total_checks = 0
         self.total_fires = 0
+        # Optional observability hook (set via RumbaSystem.attach_telemetry).
+        self.telemetry = None
 
     def detect(
         self,
@@ -101,8 +103,11 @@ class DetectionModule:
         # produced garbage for that element; a hardware checker's sanity
         # logic fires unconditionally on such values, and so do we.
         bits = (scores > self.threshold) | ~np.isfinite(scores)
+        n_fired = int(bits.sum())
         self.total_checks += scores.shape[0]
-        self.total_fires += int(bits.sum())
+        self.total_fires += n_fired
+        if self.telemetry is not None:
+            self.telemetry.on_detection(scores.shape[0], n_fired)
         if recovery_queue is not None:
             for offset, bit in enumerate(bits):
                 recovery_queue.push(first_iteration_id + offset, bool(bit))

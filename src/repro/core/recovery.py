@@ -87,6 +87,8 @@ class RecoveryModule:
         self.verify = verify
         self._verified = False
         self.total_recoveries = 0
+        # Optional observability hook (set via RumbaSystem.attach_telemetry).
+        self.telemetry = None
 
     def recover(
         self,
@@ -109,6 +111,8 @@ class RecoveryModule:
             verify_purity(self.exact_kernel, inputs[: min(16, inputs.shape[0])])
             self._verified = True
         if indices.size == 0:
+            if self.telemetry is not None:
+                self.telemetry.on_recovery(0, inputs.shape[0])
             return RecoveryResult(
                 merged_outputs=approx_outputs.copy(),
                 recovery_indices=indices,
@@ -119,6 +123,8 @@ class RecoveryModule:
         )
         merged = merge_outputs(approx_outputs, exact, indices)
         self.total_recoveries += int(indices.size)
+        if self.telemetry is not None:
+            self.telemetry.on_recovery(int(indices.size), inputs.shape[0])
         return RecoveryResult(
             merged_outputs=merged,
             recovery_indices=indices,

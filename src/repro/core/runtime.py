@@ -14,12 +14,21 @@ accelerator invocation:
 
 Construction from scratch is easiest via
 :func:`repro.core.offline.prepare_system`, which runs both offline trainers.
+
+Every step is an instrumentation point: attach a
+:class:`~repro.observability.Telemetry` (constructor argument or
+:meth:`RumbaSystem.attach_telemetry`) and the loop exports the paper's
+observable quantities — fire rate, recovered fraction, threshold, queue
+pressure, keep-up — as metrics plus per-phase spans.  Without telemetry the
+hooks cost one ``is None`` check each.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, MutableSequence, Optional
 
 import numpy as np
 
@@ -35,9 +44,13 @@ from repro.errors import ConfigurationError
 from repro.hardware.energy import EnergyModel
 from repro.hardware.npu import NPUModel
 from repro.hardware.queues import ConfigQueue, RecoveryQueue
+from repro.observability.instrument import Telemetry, ambient_telemetry_registry
 from repro.predictors.base import ErrorPredictor
 
 __all__ = ["RumbaSystem", "InvocationRecord"]
+
+# Shared reusable no-op context for the uninstrumented hot path.
+_NOOP = nullcontext()
 
 
 @dataclass
@@ -58,7 +71,23 @@ class InvocationRecord:
 
 
 class RumbaSystem:
-    """A benchmark wired into the full Rumba detection/recovery loop."""
+    """A benchmark wired into the full Rumba detection/recovery loop.
+
+    Parameters
+    ----------
+    max_records:
+        When set, :attr:`records` becomes a ring buffer of that length so
+        long-running deployments do not grow without bound; the windowed
+        summaries then cover the retained records, while lifetime
+        aggregates remain available through an attached telemetry's
+        metrics registry.  Default (None) keeps every record, matching the
+        experimenters' workflows.
+    telemetry:
+        Optional :class:`~repro.observability.Telemetry`.  When omitted
+        and ambient telemetry is armed (see
+        :func:`repro.observability.enable_ambient_telemetry`), one is
+        created automatically against the ambient registry.
+    """
 
     def __init__(
         self,
@@ -69,6 +98,8 @@ class RumbaSystem:
         energy_model: Optional[EnergyModel] = None,
         npu: Optional[NPUModel] = None,
         overhead: Optional[OffloadOverhead] = None,
+        max_records: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.app = app
         self.backend = backend
@@ -95,11 +126,42 @@ class RumbaSystem:
         self.config_queue.send(
             "accelerator", backend.network.get_flat_params()
         )
-        n_coeffs = predictor.coefficient_count() if predictor.is_fitted else 0
-        if n_coeffs:
-            self.config_queue.send("checker", [0.0] * n_coeffs)
-        self.records: List[InvocationRecord] = []
+        if predictor.is_fitted:
+            coefficients = predictor.coefficients()
+            if coefficients:
+                expected = predictor.coefficient_count()
+                if len(coefficients) != expected:
+                    raise ConfigurationError(
+                        f"{predictor.name} ships {len(coefficients)} "
+                        f"coefficients but declares {expected}"
+                    )
+                self.config_queue.send("checker", coefficients)
+        if max_records is not None and max_records < 1:
+            raise ConfigurationError("max_records must be >= 1")
+        self.max_records = max_records
+        self.records: MutableSequence[InvocationRecord] = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.total_invocations = 0
         self._next_iteration_id = 0
+        self.telemetry: Optional[Telemetry] = None
+        if telemetry is None and ambient_telemetry_registry() is not None:
+            telemetry = Telemetry(
+                app=app.name,
+                scheme=predictor.name,
+                registry=ambient_telemetry_registry(),
+            )
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Attach (or detach, with None) telemetry to the whole loop."""
+        self.telemetry = telemetry
+        self.detection.telemetry = telemetry
+        self.recovery.telemetry = telemetry
+        self.tuner.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.on_threshold(self.tuner.threshold, 0)
 
     # ------------------------------------------------------------------ #
     # Execution                                                          #
@@ -119,75 +181,109 @@ class RumbaSystem:
         if n == 0:
             raise ConfigurationError("invocation needs at least one element")
 
-        approx = self.backend(inputs)
-        features = self.backend.features(inputs)
+        tel = self.telemetry
+        with (tel.invocation(n) if tel is not None else _NOOP) as scope:
+            with (scope.phase("accelerate") if scope else _NOOP):
+                approx = self.backend(inputs)
+                features = self.backend.features(inputs)
 
-        true_errors = None
-        exact = None
-        if measure_quality or self.predictor.name == "Ideal":
-            exact = self.app.exact(inputs)
-            true_errors = self.app.element_errors(approx, exact)
+            # The experimenter's instrument, not a phase of the loop.
+            true_errors = None
+            exact = None
+            if measure_quality or self.predictor.name == "Ideal":
+                exact = self.app.exact(inputs)
+                true_errors = self.app.element_errors(approx, exact)
 
-        queue = RecoveryQueue(
-            capacity=max(self.config.recovery_queue_capacity, n), strict=True
-        )
-        self.detection.threshold = self.tuner.threshold
-        detection = self.detection.detect(
-            features=features,
-            approx_outputs=approx,
-            true_errors=true_errors,
-            recovery_queue=queue,
-            first_iteration_id=self._next_iteration_id,
-        )
-        self._next_iteration_id += n
-
-        flagged_ids = queue.drain_flagged()
-        bits = np.zeros(n, dtype=bool)
-        if flagged_ids:
-            offsets = np.asarray(flagged_ids) - (self._next_iteration_id - n)
-            bits[offsets] = True
-        recovery = self.recovery.recover(inputs, approx, bits)
-
-        pipeline = simulate_pipeline(
-            bits,
-            accel_cycles_per_iteration=self.cost_model.npu.invocation_cycles(
-                self.backend.topology
-            ),
-            cpu_cycles_per_iteration=self.cost_model.cpu_iteration_cycles(),
-            detector_placement=self.config.detector_placement,
-            checker_cycles=self.detection.checker.check_cycles(),
-        )
-        costs = self.cost_model.whole_app_costs(
-            topology=self.backend.topology,
-            checker=self.detection.checker,
-            fix_fraction=recovery.recovered_fraction,
-            detector_placement=self.config.detector_placement,
-            observed_kernel_cycles=pipeline.makespan / n,
-        )
-
-        measured_error = None
-        unchecked_error = None
-        if measure_quality and exact is not None:
-            measured_error = self.app.output_error(recovery.merged_outputs, exact)
-            unchecked_error = self.app.output_error(approx, exact)
-
-        self.tuner.update(
-            InvocationFeedback(
-                fix_fraction=recovery.recovered_fraction,
-                cpu_kept_up=pipeline.cpu_kept_up,
-                cpu_utilization=pipeline.cpu_utilization,
+            queue = RecoveryQueue(
+                capacity=max(self.config.recovery_queue_capacity, n),
+                strict=True,
             )
-        )
-        record = InvocationRecord(
-            outputs=recovery.merged_outputs,
-            detection=detection,
-            recovery=recovery,
-            pipeline=pipeline,
-            costs=costs,
-            measured_error=measured_error,
-            unchecked_error=unchecked_error,
-        )
+            with (scope.phase("detect") if scope else _NOOP):
+                self.detection.threshold = self.tuner.threshold
+                detection = self.detection.detect(
+                    features=features,
+                    approx_outputs=approx,
+                    true_errors=true_errors,
+                    recovery_queue=queue,
+                    first_iteration_id=self._next_iteration_id,
+                )
+                self._next_iteration_id += n
+
+                flagged_ids = queue.drain_flagged()
+                bits = np.zeros(n, dtype=bool)
+                if flagged_ids:
+                    offsets = (
+                        np.asarray(flagged_ids)
+                        - (self._next_iteration_id - n)
+                    )
+                    bits[offsets] = True
+            if tel is not None:
+                tel.on_queue(
+                    queue.stats.max_occupancy,
+                    queue.capacity,
+                    queue.stats.stall_events,
+                )
+                scope.annotate("detect", n_fired=int(detection.n_fired))
+
+            with (scope.phase("recover") if scope else _NOOP):
+                recovery = self.recovery.recover(inputs, approx, bits)
+            if tel is not None:
+                scope.annotate(
+                    "recover", n_recovered=int(recovery.n_recovered)
+                )
+
+            with (scope.phase("tune") if scope else _NOOP):
+                pipeline = simulate_pipeline(
+                    bits,
+                    accel_cycles_per_iteration=(
+                        self.cost_model.npu.invocation_cycles(
+                            self.backend.topology
+                        )
+                    ),
+                    cpu_cycles_per_iteration=(
+                        self.cost_model.cpu_iteration_cycles()
+                    ),
+                    detector_placement=self.config.detector_placement,
+                    checker_cycles=self.detection.checker.check_cycles(),
+                )
+                costs = self.cost_model.whole_app_costs(
+                    topology=self.backend.topology,
+                    checker=self.detection.checker,
+                    fix_fraction=recovery.recovered_fraction,
+                    detector_placement=self.config.detector_placement,
+                    observed_kernel_cycles=pipeline.makespan / n,
+                )
+                self.tuner.update(
+                    InvocationFeedback(
+                        fix_fraction=recovery.recovered_fraction,
+                        cpu_kept_up=pipeline.cpu_kept_up,
+                        cpu_utilization=pipeline.cpu_utilization,
+                    )
+                )
+            if tel is not None:
+                scope.annotate("tune", threshold=float(self.tuner.threshold))
+
+            measured_error = None
+            unchecked_error = None
+            if measure_quality and exact is not None:
+                measured_error = self.app.output_error(
+                    recovery.merged_outputs, exact
+                )
+                unchecked_error = self.app.output_error(approx, exact)
+
+            record = InvocationRecord(
+                outputs=recovery.merged_outputs,
+                detection=detection,
+                recovery=recovery,
+                pipeline=pipeline,
+                costs=costs,
+                measured_error=measured_error,
+                unchecked_error=unchecked_error,
+            )
+            if scope:
+                scope.observe_record(record)
         self.records.append(record)
+        self.total_invocations += 1
         return record
 
     def run_stream(

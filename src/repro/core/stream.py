@@ -140,8 +140,12 @@ class QualityManagedStream:
         record = self.system.run_invocation(inputs, measure_quality=False)
         self._recent.append(record)
         self._count += 1
-        if self.drift.observe(record.detection.fire_fraction):
+        drifted_now = self.drift.observe(record.detection.fire_fraction)
+        if drifted_now:
             self.drift_flagged_at.append(self._count)
+        telemetry = self.system.telemetry
+        if telemetry is not None:
+            telemetry.on_drift(drifted_now, self.needs_retraining)
         return record
 
     @property

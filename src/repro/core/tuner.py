@@ -64,6 +64,8 @@ class OnlineTuner:
         self.history: List[float] = [self.threshold]
         self._gain = config.threshold_gain
         self._last_direction = 0
+        # Optional observability hook (set via RumbaSystem.attach_telemetry).
+        self.telemetry = None
 
     @property
     def mode(self) -> TunerMode:
@@ -100,4 +102,6 @@ class OnlineTuner:
             self._last_direction = direction
         self.threshold = max(self.threshold, _MIN_THRESHOLD)
         self.history.append(self.threshold)
+        if self.telemetry is not None:
+            self.telemetry.on_threshold(self.threshold, direction)
         return self.threshold

@@ -120,6 +120,10 @@ class RecoveryQueue:
         return len(self._fifo)
 
     @property
+    def capacity(self) -> int:
+        return self._fifo.capacity
+
+    @property
     def stats(self) -> QueueStats:
         return self._fifo.stats
 
@@ -170,21 +174,38 @@ class ConfigQueue:
     """The configuration channel (accelerator weights + checker coefficients).
 
     The same queue transfers the accelerator configuration and the checker
-    coefficients (Sec. 3.2, "Predictor Hardware").  The model just counts
-    transferred words so energy can be charged per kernel launch.
+    coefficients (Sec. 3.2, "Predictor Hardware").  Word counts drive the
+    per-kernel-launch energy charge; the payload values themselves are
+    retained so the receiving side (and the tests) can verify the checker
+    was programmed with the coefficients the trainer produced.
     """
 
     def __init__(self) -> None:
         self.words_transferred = 0
         self._payloads: List[Tuple[str, int]] = []
+        self._values: List[Tuple[str, List[float]]] = []
 
     def send(self, label: str, words: Iterable[float]) -> int:
         """Send a coefficient payload; returns its word count."""
-        count = sum(1 for _ in words)
+        values = [float(w) for w in words]
+        count = len(values)
         self.words_transferred += count
         self._payloads.append((label, count))
+        self._values.append((label, values))
         return count
 
     @property
     def payloads(self) -> List[Tuple[str, int]]:
         return list(self._payloads)
+
+    def received(self, label: str) -> List[float]:
+        """The words delivered for ``label``, in transfer order.
+
+        Multiple sends under the same label concatenate, mirroring a FIFO
+        drained by the consumer.
+        """
+        out: List[float] = []
+        for sent_label, values in self._values:
+            if sent_label == label:
+                out.extend(values)
+        return out

@@ -1,0 +1,65 @@
+"""Observability for the online quality-management loop.
+
+Rumba's value proposition is *online*: the Fig. 4 detect → recover → tune
+loop runs continuously at deployment, and the quantities the paper's
+evaluation is built on (fire rate, recovered fraction, CPU recovery
+pressure, threshold trajectory, drift flags) are exactly the quantities an
+operator must watch in production.  This package makes them first-class:
+
+* :mod:`repro.observability.metrics` — a zero-dependency, thread-safe
+  metrics registry (labelled counters / gauges / fixed-bucket histograms)
+  with a process-global default registry,
+* :mod:`repro.observability.tracing` — per-invocation spans for the
+  accelerate / detect / recover / tune phases with wall-time and
+  model-cycle attributes, plus a JSONL span exporter,
+* :mod:`repro.observability.instrument` — the :class:`Telemetry` facade
+  the runtime hooks call (no-op-cheap when nothing is attached),
+* :mod:`repro.observability.export` — Prometheus text exposition and JSON
+  snapshots,
+* :mod:`repro.observability.dashboard` — a live ASCII dashboard for
+  terminals (``python -m repro monitor``).
+
+The metric catalog is documented in ``docs/observability.md``.
+"""
+
+from repro.observability.dashboard import render_dashboard
+from repro.observability.export import (
+    json_snapshot,
+    prometheus_text,
+    write_snapshot,
+)
+from repro.observability.instrument import (
+    Telemetry,
+    ambient_telemetry_registry,
+    disable_ambient_telemetry,
+    enable_ambient_telemetry,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.observability.tracing import JsonlSpanExporter, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_default_registry",
+    "set_default_registry",
+    "Span",
+    "Tracer",
+    "JsonlSpanExporter",
+    "Telemetry",
+    "enable_ambient_telemetry",
+    "disable_ambient_telemetry",
+    "ambient_telemetry_registry",
+    "prometheus_text",
+    "json_snapshot",
+    "write_snapshot",
+    "render_dashboard",
+]

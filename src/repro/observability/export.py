@@ -1,0 +1,127 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Both read the same :meth:`MetricsRegistry.collect` snapshots, so a scrape
+and a file dump always agree.  The text format follows the Prometheus
+exposition rules (``# HELP`` / ``# TYPE`` headers, escaped label values,
+cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` for
+histograms) closely enough for any standard scraper or ``promtool check
+metrics`` to ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry, get_default_registry
+
+__all__ = ["prometheus_text", "json_snapshot", "write_snapshot"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    registry = registry if registry is not None else get_default_registry()
+    lines = []
+    for family in registry.collect():
+        name, kind = family["name"], family["type"]
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind == "histogram":
+                for bound, count in series["buckets"]:
+                    le = _label_str(labels, f'le="{_fmt(bound)}"')
+                    lines.append(f"{name}_bucket{le} {count}")
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} {_fmt(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(labels)} {series['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} {_fmt(series['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def json_snapshot(registry: Optional[MetricsRegistry] = None) -> dict:
+    """The registry as one JSON-serializable dict, keyed by metric name."""
+    registry = registry if registry is not None else get_default_registry()
+    out: Dict[str, dict] = {}
+    for family in registry.collect():
+        series = []
+        for entry in family["series"]:
+            entry = dict(entry)
+            if "buckets" in entry:
+                # +Inf is not valid strict JSON; ship the exposition form.
+                entry["buckets"] = [
+                    ["+Inf" if math.isinf(bound) else bound, count]
+                    for bound, count in entry["buckets"]
+                ]
+            series.append(entry)
+        out[family["name"]] = {
+            "type": family["type"],
+            "help": family["help"],
+            "series": series,
+        }
+    return {"metrics": out}
+
+
+def write_snapshot(
+    path: str, registry: Optional[MetricsRegistry] = None
+) -> str:
+    """Dump the registry to ``path``; format chosen by extension.
+
+    ``.json`` writes the JSON snapshot; ``.prom`` / ``.txt`` (or anything
+    else) writes Prometheus text exposition.  Missing parent directories
+    are created — the snapshot is typically written at the *end* of a
+    long run, when failing on a typo'd directory would lose the whole
+    run.  Returns the format used.
+    """
+    if not path:
+        raise ConfigurationError("snapshot path must be non-empty")
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if path.endswith(".json"):
+        with open(path, "w") as handle:
+            json.dump(json_snapshot(registry), handle, indent=2)
+            handle.write("\n")
+        return "json"
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(registry))
+    return "prometheus"

@@ -1,0 +1,345 @@
+"""The :class:`Telemetry` facade — what the runtime's hooks talk to.
+
+One ``Telemetry`` instance binds a metrics registry (and optionally a
+tracer) to one running system; the core modules carry an optional
+``telemetry`` attribute and call these hooks only when it is set, so an
+uninstrumented system pays a single ``is None`` check per hook site.
+
+The full metric catalog lives in ``docs/observability.md``; the names are
+stable — dashboards and tests key off them.
+
+Ambient mode
+------------
+``enable_ambient_telemetry()`` arms a process-global flag: every
+:class:`~repro.core.runtime.RumbaSystem` constructed while it is armed
+attaches a ``Telemetry`` bound to the default registry automatically.
+This is how the benchmark harness's opt-in telemetry dump works without
+threading a registry through thirty bench scripts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, Optional
+
+from repro.observability.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_default_registry,
+)
+from repro.observability.tracing import Tracer
+
+__all__ = [
+    "Telemetry",
+    "PHASES",
+    "enable_ambient_telemetry",
+    "disable_ambient_telemetry",
+    "ambient_telemetry_registry",
+]
+
+#: Phase names of the Fig. 4 loop, in execution order.
+PHASES = ("accelerate", "detect", "recover", "tune")
+
+_ambient_registry: Optional[MetricsRegistry] = None
+
+
+def enable_ambient_telemetry(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Arm auto-instrumentation for subsequently built systems.
+
+    Returns the registry that ambient systems will record into (the
+    process default unless one is given).
+    """
+    global _ambient_registry
+    _ambient_registry = registry if registry is not None else get_default_registry()
+    return _ambient_registry
+
+
+def disable_ambient_telemetry() -> None:
+    global _ambient_registry
+    _ambient_registry = None
+
+
+def ambient_telemetry_registry() -> Optional[MetricsRegistry]:
+    """The armed ambient registry, or None when ambient mode is off."""
+    return _ambient_registry
+
+
+class Telemetry:
+    """Metrics + tracing for one quality-managed system.
+
+    Parameters
+    ----------
+    app, scheme:
+        Label values stamped on every series this instance writes.
+    registry:
+        Target registry; defaults to the process-global one.
+    tracer:
+        Optional :class:`Tracer`; when absent only metrics are kept.
+    history:
+        Length of the per-invocation history deques the dashboard plots.
+    """
+
+    def __init__(
+        self,
+        app: str = "",
+        scheme: str = "",
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        history: int = 240,
+    ):
+        self.registry = registry if registry is not None else get_default_registry()
+        self.tracer = tracer
+        self.app = app
+        self.scheme = scheme
+        labels = ("app", "scheme")
+        self._labels = {"app": app, "scheme": scheme}
+        r = self.registry
+        self._invocations = r.counter(
+            "rumba_invocations_total", "Accelerator invocations processed", labels
+        )
+        self._elements = r.counter(
+            "rumba_elements_total", "Output elements produced", labels
+        )
+        self._checks = r.counter(
+            "rumba_checks_total", "Checker evaluations (one per element)", labels
+        )
+        self._fires = r.counter(
+            "rumba_fires_total", "Checks that fired (recovery bit set)", labels
+        )
+        self._fire_rate = r.gauge(
+            "rumba_fire_rate", "Fire fraction of the last invocation", labels
+        )
+        self._recovered = r.counter(
+            "rumba_recovered_total", "Iterations re-executed exactly on the CPU",
+            labels,
+        )
+        self._recovered_fraction = r.gauge(
+            "rumba_recovered_fraction",
+            "Recovered fraction of the last invocation", labels,
+        )
+        self._threshold = r.gauge(
+            "rumba_threshold", "Current detection threshold (tuner output)",
+            labels,
+        )
+        self._tuner_moves = r.counter(
+            "rumba_tuner_moves_total", "Tuner threshold adjustments by direction",
+            labels + ("direction",),
+        )
+        self._cpu_kept_up = r.gauge(
+            "rumba_cpu_kept_up",
+            "1 when recovery overlapped the accelerator last invocation",
+            labels,
+        )
+        self._keepup = r.counter(
+            "rumba_cpu_keepup_total", "Invocations by whether the CPU kept up",
+            labels + ("kept_up",),
+        )
+        self._cpu_utilization = r.gauge(
+            "rumba_cpu_utilization",
+            "CPU busy fraction over the last invocation's makespan", labels,
+        )
+        self._queue_peak = r.gauge(
+            "rumba_recovery_queue_occupancy_peak",
+            "Peak recovery-queue occupancy last invocation (entries)", labels,
+        )
+        self._queue_capacity = r.gauge(
+            "rumba_recovery_queue_capacity",
+            "Recovery-queue capacity last invocation (entries)", labels,
+        )
+        self._queue_stalls = r.counter(
+            "rumba_recovery_queue_stalls_total",
+            "Recovery-queue push stalls (full queue)", labels,
+        )
+        self._measured_error = r.gauge(
+            "rumba_measured_error",
+            "Measured whole-output error after fixes (when measured)", labels,
+        )
+        self._unchecked_error = r.gauge(
+            "rumba_unchecked_error",
+            "Whole-output error without fixes (when measured)", labels,
+        )
+        self._drift_flags = r.counter(
+            "rumba_drift_flags_total", "Drift-detector flags raised", labels
+        )
+        self._drifted = r.gauge(
+            "rumba_drifted", "1 while the stream awaits retraining", labels
+        )
+        self._latency = r.histogram(
+            "rumba_invocation_latency_seconds",
+            "Wall time of one full invocation through the loop", labels,
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._cycles = r.histogram(
+            "rumba_invocation_cycles",
+            "Modelled makespan of one invocation (cycles)", labels,
+            buckets=DEFAULT_CYCLE_BUCKETS,
+        )
+        self._phase_spans = r.counter(
+            "rumba_phase_spans_total", "Completed phase spans by phase",
+            labels + ("phase",),
+        )
+        self._phase_seconds = r.counter(
+            "rumba_phase_seconds_total", "Cumulative wall time by phase",
+            labels + ("phase",),
+        )
+        # Per-invocation history for the dashboard (bounded).
+        self.history: Dict[str, Deque[float]] = {
+            key: deque(maxlen=history)
+            for key in (
+                "fire_rate", "recovered_fraction", "threshold",
+                "cpu_utilization", "queue_peak", "measured_error",
+                "latency_s",
+            )
+        }
+
+    # ------------------------------------------------------------------ #
+    # Invocation scope (used by RumbaSystem.run_invocation)              #
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def invocation(self, n_elements: int) -> Iterator["_InvocationScope"]:
+        """Scope one run through the loop; yields the phase clock."""
+        if self.tracer is not None:
+            self.tracer.begin_invocation()
+        scope = _InvocationScope(self, n_elements)
+        start = time.perf_counter()
+        try:
+            yield scope
+        except BaseException:
+            scope._aborted = True
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            scope._finish(wall)
+
+    # ------------------------------------------------------------------ #
+    # Module hooks (DetectionModule / RecoveryModule / OnlineTuner /      #
+    # QualityManagedStream call these when telemetry is attached)        #
+    # ------------------------------------------------------------------ #
+    def on_detection(self, n_checks: int, n_fired: int) -> None:
+        self._checks.labels(**self._labels).inc(n_checks)
+        self._fires.labels(**self._labels).inc(n_fired)
+        self._fire_rate.labels(**self._labels).set(
+            n_fired / n_checks if n_checks else 0.0
+        )
+
+    def on_recovery(self, n_recovered: int, n_elements: int) -> None:
+        self._recovered.labels(**self._labels).inc(n_recovered)
+        self._recovered_fraction.labels(**self._labels).set(
+            n_recovered / n_elements if n_elements else 0.0
+        )
+
+    def on_threshold(self, threshold: float, direction: int) -> None:
+        self._threshold.labels(**self._labels).set(threshold)
+        name = {1: "raise", -1: "lower"}.get(direction, "hold")
+        self._tuner_moves.labels(direction=name, **self._labels).inc()
+
+    def on_queue(self, peak: int, capacity: int, stalls: int) -> None:
+        self._queue_peak.labels(**self._labels).set(peak)
+        self._queue_capacity.labels(**self._labels).set(capacity)
+        if stalls:
+            self._queue_stalls.labels(**self._labels).inc(stalls)
+        self.history["queue_peak"].append(float(peak))
+
+    def on_drift(self, drifted_now: bool, awaiting_retraining: bool) -> None:
+        if drifted_now:
+            self._drift_flags.labels(**self._labels).inc()
+        self._drifted.labels(**self._labels).set(
+            1.0 if awaiting_retraining else 0.0
+        )
+
+    def snapshot_gauge(self, name: str) -> float:
+        """Convenience: current value of one of this instance's series."""
+        metric = self.registry.get(name)
+        if metric is None:
+            raise KeyError(name)
+        return metric.labels(**self._labels).value
+
+
+class _InvocationScope:
+    """Phase clock + end-of-invocation metric recording for one run."""
+
+    def __init__(self, telemetry: Telemetry, n_elements: int):
+        self._tel = telemetry
+        self.n_elements = n_elements
+        self._aborted = False
+        self._phase_wall: Dict[str, float] = {}
+        self._spans: Dict[str, object] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase of the loop (and emit a span when tracing)."""
+        tel = self._tel
+        if tel.tracer is not None:
+            with tel.tracer.span(name) as span:
+                self._spans[name] = span
+                yield
+            elapsed = span.duration
+        else:
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+        self._phase_wall[name] = self._phase_wall.get(name, 0.0) + elapsed
+        tel._phase_spans.labels(phase=name, **tel._labels).inc()
+        tel._phase_seconds.labels(phase=name, **tel._labels).inc(elapsed)
+
+    def annotate(self, phase: str, **attributes) -> None:
+        """Attach attributes to a phase's span (no-op without a tracer)."""
+        span = self._spans.get(phase)
+        if span is not None:
+            span.attributes.update(attributes)
+
+    def observe_record(self, record) -> None:
+        """Record the per-invocation metrics from a finished record."""
+        tel = self._tel
+        labels = tel._labels
+        tel._invocations.labels(**labels).inc()
+        tel._elements.labels(**labels).inc(self.n_elements)
+        pipeline = record.pipeline
+        kept_up = bool(pipeline.cpu_kept_up)
+        tel._cpu_kept_up.labels(**labels).set(1.0 if kept_up else 0.0)
+        tel._keepup.labels(
+            kept_up="true" if kept_up else "false", **labels
+        ).inc()
+        tel._cpu_utilization.labels(**labels).set(pipeline.cpu_utilization)
+        tel._cycles.labels(**labels).observe(pipeline.makespan)
+        if record.measured_error is not None:
+            tel._measured_error.labels(**labels).set(record.measured_error)
+        if record.unchecked_error is not None:
+            tel._unchecked_error.labels(**labels).set(record.unchecked_error)
+        history = tel.history
+        history["fire_rate"].append(record.detection.fire_fraction)
+        history["recovered_fraction"].append(record.recovery.recovered_fraction)
+        history["threshold"].append(record.detection.threshold)
+        history["cpu_utilization"].append(pipeline.cpu_utilization)
+        if record.measured_error is not None:
+            history["measured_error"].append(record.measured_error)
+        self._record = record
+
+    def _finish(self, wall_seconds: float) -> None:
+        tel = self._tel
+        tel._latency.labels(**tel._labels).observe(wall_seconds)
+        tel.history["latency_s"].append(wall_seconds)
+        record = getattr(self, "_record", None)
+        if tel.tracer is not None:
+            with tel.tracer.span("invocation", n_elements=self.n_elements) as span:
+                pass
+            span.start = span.end - wall_seconds
+            if self._aborted:
+                # The loop raised mid-invocation: the span is committed so
+                # the trace shows the attempt, but flagged so it is never
+                # mistaken for a completed invocation.
+                span.attributes["aborted"] = True
+            if record is not None:
+                span.attributes.update(
+                    makespan_cycles=float(record.pipeline.makespan),
+                    accel_cycles=float(record.pipeline.accel_finish),
+                    cpu_busy_cycles=float(record.pipeline.cpu_busy),
+                    n_recovered=int(record.recovery.n_recovered),
+                    n_fired=int(record.detection.n_fired),
+                )
+            tel.tracer.end_invocation()

@@ -1,0 +1,157 @@
+"""Per-invocation tracing of the online loop.
+
+One accelerator invocation produces one *invocation span* plus one child
+span per phase (``accelerate``, ``detect``, ``recover``, ``tune``).  Spans
+carry wall-clock timing and whatever attributes the instrumentation
+attaches — element counts, fire counts, and the pipeline model's cycle
+quantities, so a trace ties the *observed* wall time to the *modelled*
+hardware time of the same invocation.
+
+Spans buffer inside the :class:`Tracer` (a bounded deque — a long-running
+stream cannot leak) and can be mirrored to a :class:`JsonlSpanExporter`,
+which writes one JSON object per line: the format every trace viewer and
+``jq`` pipeline can ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Span", "Tracer", "JsonlSpanExporter"]
+
+AttrValue = Union[float, int, str, bool]
+
+
+@dataclass
+class Span:
+    """One timed operation within one invocation.
+
+    ``start`` / ``end`` are ``time.perf_counter()`` readings (relative,
+    monotonic); ``wall_time`` is the epoch second the span began, for
+    correlating traces with external logs.
+    """
+
+    name: str
+    invocation: int
+    start: float
+    end: float = 0.0
+    wall_time: float = 0.0
+    attributes: Dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return max(self.end - self.start, 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "invocation": self.invocation,
+            "wall_time": self.wall_time,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Produces and buffers spans; optionally streams them to an exporter.
+
+    ``max_spans`` bounds the in-memory buffer (oldest spans fall off);
+    exported spans are written before they can be evicted because the
+    runtime flushes at the end of every invocation.
+    """
+
+    def __init__(
+        self,
+        max_spans: int = 4096,
+        exporter: Optional["JsonlSpanExporter"] = None,
+    ):
+        if max_spans < 1:
+            raise ConfigurationError("max_spans must be >= 1")
+        self.spans: Deque[Span] = deque(maxlen=max_spans)
+        self.exporter = exporter
+        self._invocation = -1
+        self._pending: List[Span] = []
+
+    @property
+    def current_invocation(self) -> int:
+        return self._invocation
+
+    def begin_invocation(self) -> int:
+        """Start a new invocation scope; returns its id."""
+        self._invocation += 1
+        return self._invocation
+
+    @contextmanager
+    def span(
+        self, name: str, invocation: Optional[int] = None, **attributes: AttrValue
+    ) -> Iterator[Span]:
+        """Time a block as one span; attributes can be added on the yielded
+        span until the invocation is flushed."""
+        span = Span(
+            name=name,
+            invocation=self._invocation if invocation is None else invocation,
+            start=time.perf_counter(),
+            wall_time=time.time(),
+            attributes=dict(attributes),
+        )
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            self._pending.append(span)
+
+    def end_invocation(self) -> List[Span]:
+        """Commit the invocation's pending spans (export + buffer)."""
+        committed = self._pending
+        self._pending = []
+        for span in committed:
+            self.spans.append(span)
+            if self.exporter is not None:
+                self.exporter.export(span)
+        return committed
+
+    def span_counts(self) -> Dict[str, int]:
+        """Committed spans per name (the per-phase span counts)."""
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            counts[span.name] = counts.get(span.name, 0) + 1
+        return counts
+
+    def spans_for(self, invocation: int) -> List[Span]:
+        return [s for s in self.spans if s.invocation == invocation]
+
+
+class JsonlSpanExporter:
+    """Writes spans as JSON Lines to a path or an open text handle."""
+
+    def __init__(self, destination: Union[str, TextIO]):
+        if isinstance(destination, str):
+            self._handle: TextIO = open(destination, "w")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self.exported = 0
+
+    def export(self, span: Span) -> None:
+        self._handle.write(json.dumps(span.to_dict()) + "\n")
+        self.exported += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

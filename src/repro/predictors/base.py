@@ -14,7 +14,7 @@ every experiment treats all schemes uniformly.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -94,6 +94,14 @@ class ErrorPredictor(ABC):
     def coefficient_count(self) -> int:
         """Words transferred over the config queue to program the checker."""
         return 0
+
+    def coefficients(self) -> List[float]:
+        """The actual words shipped over the config queue, in order.
+
+        Must have exactly :meth:`coefficient_count` entries; schemes with
+        no hardware realization (oracle/baselines) ship nothing.
+        """
+        return []
 
     def _require_fitted(self) -> None:
         if not self._fitted:

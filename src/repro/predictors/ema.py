@@ -90,3 +90,6 @@ class EMAPredictor(ErrorPredictor):
     def coefficient_count(self) -> int:
         """Only alpha needs to be programmed."""
         return 1
+
+    def coefficients(self):
+        return [self.alpha]

@@ -76,6 +76,11 @@ class LinearErrorPredictor(ErrorPredictor):
         self._require_fitted()
         return int(self.weights.shape[0]) + 1
 
+    def coefficients(self):
+        """Weights then the constant — the Fig. 7(a) buffer contents."""
+        self._require_fitted()
+        return [float(w) for w in self.weights] + [self.bias]
+
 
 class LinearValuePredictor(ErrorPredictor):
     """EVP: predict the output with a linear model, score by disagreement.
@@ -132,3 +137,8 @@ class LinearValuePredictor(ErrorPredictor):
     def coefficient_count(self) -> int:
         self._require_fitted()
         return int(self.weights.size)
+
+    def coefficients(self):
+        """The value model's weight matrix, flattened row-major."""
+        self._require_fitted()
+        return [float(w) for w in self.weights.ravel()]

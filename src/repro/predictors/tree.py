@@ -191,3 +191,19 @@ class DecisionTreeErrorPredictor(ErrorPredictor):
         # Each decision node ships (feature index, constant); each leaf one
         # error value.
         return 2 * decisions + leaves
+
+    def coefficients(self):
+        """The Fig. 7(b) buffer: a pre-order walk shipping (feature index,
+        threshold) per decision node and the error value per leaf."""
+        self._require_fitted()
+        out: List[float] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(float(node.value))
+            else:
+                out.extend([float(node.feature), float(node.threshold)])
+                stack.append(node.right)
+                stack.append(node.left)
+        return out

@@ -137,3 +137,72 @@ class TestRunStream:
         system.records.clear()
         with pytest.raises(ConfigurationError):
             _ = system.mean_fix_fraction
+
+
+class TestConfigQueueRoundTrip:
+    def test_checker_coefficients_survive_the_queue(self, tree_system):
+        """The queue must carry the fitted coefficients themselves, not a
+        placeholder of the right length."""
+        received = tree_system.config_queue.received("checker")
+        assert received == tree_system.predictor.coefficients()
+        assert any(value != 0.0 for value in received)
+
+    def test_accelerator_weights_survive_the_queue(self, tree_system):
+        received = tree_system.config_queue.received("accelerator")
+        expected = [float(w) for w in tree_system.backend.network.get_flat_params()]
+        assert received == expected
+
+    def test_all_fitted_predictors_declare_matching_counts(self, fft_inputs):
+        for scheme in ("linearErrors", "treeErrors", "EMA"):
+            system = prepare_system("fft", scheme=scheme, seed=0)
+            coefficients = system.predictor.coefficients()
+            assert len(coefficients) == system.predictor.coefficient_count()
+            assert system.config_queue.received("checker") == coefficients
+
+
+class TestMaxRecords:
+    def _capped_clone(self, system, max_records):
+        from repro.core import RumbaSystem
+
+        return RumbaSystem(
+            app=system.app,
+            backend=system.backend,
+            predictor=system.predictor,
+            config=system.config,
+            max_records=max_records,
+        )
+
+    def test_ring_buffer_keeps_last_n(self, tree_system, fft_inputs):
+        system = self._capped_clone(tree_system, 3)
+        chunks = [fft_inputs[i * 200:(i + 1) * 200] for i in range(5)]
+        records = system.run_stream(chunks)
+        assert len(records) == 5  # run_stream still returns everything
+        assert len(system.records) == 3
+        assert list(system.records) == records[2:]
+        assert system.total_invocations == 5
+
+    def test_windowed_summaries_still_work(self, tree_system, fft_inputs):
+        system = self._capped_clone(tree_system, 2)
+        system.run_stream([fft_inputs[:300], fft_inputs[300:600], fft_inputs[600:900]])
+        assert 0.0 <= system.mean_fix_fraction <= 1.0
+        assert system.mean_measured_error >= 0.0
+
+    def test_lifetime_aggregates_via_registry(self, tree_system, fft_inputs):
+        from repro.observability import MetricsRegistry, Telemetry
+
+        system = self._capped_clone(tree_system, 2)
+        registry = MetricsRegistry()
+        system.attach_telemetry(
+            Telemetry(app="fft", scheme="treeErrors", registry=registry)
+        )
+        for i in range(4):
+            system.run_invocation(fft_inputs[i * 200:(i + 1) * 200])
+        child = registry.get("rumba_invocations_total").labels(
+            app="fft", scheme="treeErrors"
+        )
+        assert child.value == 4  # lifetime count outlives the ring buffer
+        assert len(system.records) == 2
+
+    def test_bad_max_records_rejected(self, tree_system):
+        with pytest.raises(ConfigurationError):
+            self._capped_clone(tree_system, 0)

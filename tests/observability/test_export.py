@@ -1,0 +1,125 @@
+"""Exporter tests: Prometheus golden file, JSON snapshot, file dumps."""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.observability.export import (
+    json_snapshot,
+    prometheus_text,
+    write_snapshot,
+)
+from repro.observability.metrics import MetricsRegistry
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_exposition.prom")
+
+
+def _golden_registry() -> MetricsRegistry:
+    """Deterministic content mirrored by ``golden_exposition.prom``."""
+    registry = MetricsRegistry()
+    fire = registry.gauge(
+        "rumba_fire_rate", "Fire fraction of the last invocation",
+        ("app", "scheme"),
+    )
+    fire.labels(app="sobel", scheme="treeErrors").set(0.125)
+    latency = registry.histogram(
+        "rumba_invocation_latency_seconds", "Wall time of one invocation",
+        ("app", "scheme"), buckets=(0.1, 1.0),
+    )
+    child = latency.labels(app="sobel", scheme="treeErrors")
+    for value in (0.1, 1.0, 2.0):
+        child.observe(value)
+    invocations = registry.counter(
+        "rumba_invocations_total", "Accelerator invocations processed",
+        ("app", "scheme"),
+    )
+    invocations.labels(app="sobel", scheme="treeErrors").inc(3)
+    invocations.labels(app="fft", scheme="treeErrors").inc(2)
+    threshold = registry.gauge(
+        "rumba_threshold", 'Current detection "threshold" \n with escapes \\'
+    )
+    threshold.set(0.025 * 3)
+    return registry
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self):
+        with open(GOLDEN_PATH) as handle:
+            golden = handle.read()
+        assert prometheus_text(_golden_registry()) == golden
+
+    def test_empty_registry_is_empty_text(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help", ("path",))
+        gauge.labels(path='a"b\\c\nd').set(1)
+        text = prometheus_text(registry)
+        assert r'g{path="a\"b\\c\nd"} 1' in text
+
+    def test_every_line_well_formed(self):
+        """Every non-comment line is `name{labels} value` — the shape any
+        Prometheus scraper parses."""
+        pattern = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$"
+        )
+        for line in prometheus_text(_golden_registry()).strip().split("\n"):
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:]", line)
+            else:
+                assert pattern.match(line), line
+
+
+class TestJsonSnapshot:
+    def test_snapshot_is_strict_json(self):
+        snapshot = json_snapshot(_golden_registry())
+        text = json.dumps(snapshot, allow_nan=False)  # raises on Infinity
+        loaded = json.loads(text)
+        metrics = loaded["metrics"]
+        assert metrics["rumba_fire_rate"]["type"] == "gauge"
+        assert metrics["rumba_fire_rate"]["series"][0]["value"] == 0.125
+
+    def test_histogram_buckets_cumulative_with_inf_string(self):
+        snapshot = json_snapshot(_golden_registry())
+        series = snapshot["metrics"]["rumba_invocation_latency_seconds"][
+            "series"
+        ][0]
+        assert series["buckets"] == [[0.1, 1], [1.0, 2], ["+Inf", 3]]
+        assert series["count"] == 3
+
+    def test_counter_series_carry_labels(self):
+        snapshot = json_snapshot(_golden_registry())
+        series = snapshot["metrics"]["rumba_invocations_total"]["series"]
+        by_app = {entry["labels"]["app"]: entry["value"] for entry in series}
+        assert by_app == {"sobel": 3.0, "fft": 2.0}
+
+
+class TestWriteSnapshot:
+    def test_json_extension_writes_json(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        assert write_snapshot(path, _golden_registry()) == "json"
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert "rumba_threshold" in loaded["metrics"]
+
+    def test_prom_extension_writes_exposition(self, tmp_path):
+        path = str(tmp_path / "snap.prom")
+        assert write_snapshot(path, _golden_registry()) == "prometheus"
+        with open(path) as handle:
+            text = handle.read()
+        assert "# TYPE rumba_invocations_total counter" in text
+
+    def test_missing_parent_directories_created(self, tmp_path):
+        path = str(tmp_path / "deeper" / "still" / "snap.prom")
+        assert write_snapshot(path, _golden_registry()) == "prometheus"
+        with open(path) as handle:
+            assert "rumba_threshold" in handle.read()
+
+    def test_empty_path_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            write_snapshot("", _golden_registry())

@@ -1,0 +1,219 @@
+"""End-to-end telemetry: one instrumented invocation emits the documented
+metric set; the stream layer emits drift metrics; the dashboard renders."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.core import prepare_system
+from repro.core.stream import DriftDetector, QualityManagedStream
+from repro.observability import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    prometheus_text,
+    render_dashboard,
+)
+from repro.observability.instrument import (
+    PHASES,
+    ambient_telemetry_registry,
+    disable_ambient_telemetry,
+    enable_ambient_telemetry,
+)
+
+#: The catalog of docs/observability.md — one run_invocation must touch
+#: every one of these families (error gauges only when measuring).
+DOCUMENTED_METRICS = [
+    "rumba_invocations_total",
+    "rumba_elements_total",
+    "rumba_checks_total",
+    "rumba_fires_total",
+    "rumba_fire_rate",
+    "rumba_recovered_total",
+    "rumba_recovered_fraction",
+    "rumba_threshold",
+    "rumba_tuner_moves_total",
+    "rumba_cpu_kept_up",
+    "rumba_cpu_keepup_total",
+    "rumba_cpu_utilization",
+    "rumba_recovery_queue_occupancy_peak",
+    "rumba_recovery_queue_capacity",
+    "rumba_recovery_queue_stalls_total",
+    "rumba_measured_error",
+    "rumba_unchecked_error",
+    "rumba_drift_flags_total",
+    "rumba_drifted",
+    "rumba_invocation_latency_seconds",
+    "rumba_invocation_cycles",
+    "rumba_phase_spans_total",
+    "rumba_phase_seconds_total",
+]
+
+
+@pytest.fixture()
+def instrumented_system():
+    system = prepare_system("fft", scheme="treeErrors", seed=0)
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    telemetry = Telemetry(app="fft", scheme="treeErrors",
+                          registry=registry, tracer=tracer)
+    system.attach_telemetry(telemetry)
+    return system, telemetry
+
+
+@pytest.fixture(scope="module")
+def fft_inputs():
+    rng = np.random.default_rng(7)
+    return get_application("fft").test_inputs(rng)
+
+
+class TestInvocationEmitsMetricSet:
+    def test_documented_metric_families_registered(self, instrumented_system,
+                                                   fft_inputs):
+        system, telemetry = instrumented_system
+        system.run_invocation(fft_inputs[:1000])
+        for name in DOCUMENTED_METRICS:
+            assert name in telemetry.registry, name
+
+    def test_values_match_the_record(self, instrumented_system, fft_inputs):
+        system, telemetry = instrumented_system
+        record = system.run_invocation(fft_inputs[:1000])
+        labels = dict(app="fft", scheme="treeErrors")
+        registry = telemetry.registry
+
+        def value(name, **extra):
+            return registry.get(name).labels(**labels, **extra).value
+
+        assert value("rumba_invocations_total") == 1
+        assert value("rumba_elements_total") == 1000
+        assert value("rumba_checks_total") == 1000
+        assert value("rumba_fires_total") == record.detection.n_fired
+        assert value("rumba_fire_rate") == pytest.approx(
+            record.detection.fire_fraction
+        )
+        assert value("rumba_recovered_total") == record.recovery.n_recovered
+        assert value("rumba_recovered_fraction") == pytest.approx(
+            record.fix_fraction
+        )
+        assert value("rumba_measured_error") == pytest.approx(
+            record.measured_error
+        )
+        assert value("rumba_cpu_utilization") == pytest.approx(
+            record.pipeline.cpu_utilization
+        )
+        assert value("rumba_recovery_queue_capacity") >= 1000
+        assert value("rumba_recovery_queue_occupancy_peak") == 1000
+        latency = registry.get("rumba_invocation_latency_seconds")
+        assert latency.labels(**labels).count == 1
+        for phase in PHASES:
+            assert value("rumba_phase_spans_total", phase=phase) == 1
+            assert value("rumba_phase_seconds_total", phase=phase) > 0
+
+    def test_threshold_gauge_tracks_tuner(self, instrumented_system,
+                                          fft_inputs):
+        system, telemetry = instrumented_system
+        system.run_invocation(fft_inputs[:500])
+        gauge = telemetry.registry.get("rumba_threshold")
+        assert gauge.labels(app="fft", scheme="treeErrors").value == \
+            pytest.approx(system.tuner.threshold)
+
+    def test_tracer_spans_per_invocation(self, instrumented_system,
+                                         fft_inputs):
+        system, telemetry = instrumented_system
+        system.run_invocation(fft_inputs[:500])
+        system.run_invocation(fft_inputs[500:1000])
+        for invocation in (0, 1):
+            names = [
+                s.name for s in telemetry.tracer.spans_for(invocation)
+            ]
+            assert names == list(PHASES) + ["invocation"]
+        top = telemetry.tracer.spans_for(1)[-1]
+        assert top.attributes["n_elements"] == 500
+        assert top.attributes["makespan_cycles"] > 0
+
+    def test_aborted_invocation_is_flagged(self, instrumented_system,
+                                           fft_inputs):
+        system, telemetry = instrumented_system
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("accelerator died")
+
+        system.detection.detect = boom
+        with pytest.raises(RuntimeError):
+            system.run_invocation(fft_inputs[:100])
+        top = telemetry.tracer.spans_for(0)[-1]
+        assert top.name == "invocation"
+        assert top.attributes.get("aborted") is True
+        # Only completed invocations count.
+        counter = telemetry.registry.get("rumba_invocations_total")
+        assert counter.labels(app="fft", scheme="treeErrors").value == 0
+
+    def test_uninstrumented_system_records_nothing(self, fft_inputs):
+        system = prepare_system("fft", scheme="treeErrors", seed=0)
+        registry = MetricsRegistry()
+        system.run_invocation(fft_inputs[:200])
+        assert system.telemetry is None
+        assert registry.names() == []
+
+    def test_prometheus_exposition_from_live_system(self, instrumented_system,
+                                                    fft_inputs):
+        system, telemetry = instrumented_system
+        system.run_invocation(fft_inputs[:300])
+        text = prometheus_text(telemetry.registry)
+        assert 'rumba_fire_rate{app="fft",scheme="treeErrors"}' in text
+        assert "rumba_invocation_latency_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+
+
+class TestStreamDriftTelemetry:
+    def test_drift_metrics_emitted(self, fft_inputs):
+        system = prepare_system("fft", scheme="treeErrors", seed=0)
+        registry = MetricsRegistry()
+        system.attach_telemetry(Telemetry(app="fft", scheme="treeErrors",
+                                          registry=registry))
+        stream = QualityManagedStream(
+            system,
+            drift_detector=DriftDetector(calibration_invocations=2),
+        )
+        for i in range(4):
+            stream.feed(fft_inputs[i * 200:(i + 1) * 200])
+        drifted = registry.get("rumba_drifted")
+        assert drifted is not None
+        flags = registry.get("rumba_drift_flags_total")
+        child = flags.labels(app="fft", scheme="treeErrors")
+        assert child.value == len(stream.drift_flagged_at)
+
+
+class TestAmbientTelemetry:
+    def test_systems_auto_attach_while_armed(self, fft_inputs):
+        registry = MetricsRegistry()
+        enable_ambient_telemetry(registry)
+        try:
+            assert ambient_telemetry_registry() is registry
+            system = prepare_system("fft", scheme="treeErrors", seed=0)
+            assert system.telemetry is not None
+            system.run_invocation(fft_inputs[:200])
+        finally:
+            disable_ambient_telemetry()
+        assert "rumba_invocations_total" in registry
+        assert ambient_telemetry_registry() is None
+        later = prepare_system("fft", scheme="treeErrors", seed=0)
+        assert later.telemetry is None
+
+
+class TestDashboard:
+    def test_renders_after_invocations(self, instrumented_system, fft_inputs):
+        system, telemetry = instrumented_system
+        for i in range(3):
+            system.run_invocation(fft_inputs[i * 300:(i + 1) * 300])
+        frame = render_dashboard(telemetry)
+        assert "fire rate" in frame
+        assert "threshold trajectory" in frame
+        assert "cumulative wall time by phase" in frame
+        assert "3 invocations" in frame
+
+    def test_renders_with_no_data(self):
+        telemetry = Telemetry(app="fft", scheme="treeErrors",
+                              registry=MetricsRegistry())
+        frame = render_dashboard(telemetry)
+        assert "0 invocations" in frame

@@ -1,0 +1,157 @@
+"""Registry semantics: labels, cardinality, histogram buckets, threads."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_unlabelled_increment(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("c_total", "help", ("app",))
+        counter.labels(app="fft").inc(3)
+        counter.labels(app="sobel").inc(4)
+        assert counter.labels(app="fft").value == 3
+        assert counter.labels(app="sobel").value == 4
+
+    def test_labelled_requires_labels_call(self):
+        counter = Counter("c_total", "help", ("app",))
+        with pytest.raises(ConfigurationError):
+            counter.inc()
+
+    def test_wrong_label_names_rejected(self):
+        counter = Counter("c_total", "help", ("app",))
+        with pytest.raises(ConfigurationError):
+            counter.labels(scheme="x")
+        with pytest.raises(ConfigurationError):
+            counter.labels(app="x", scheme="y")
+
+
+class TestLabelCardinality:
+    def test_series_capped(self):
+        counter = Counter("c_total", "help", ("id",), max_series=5)
+        for i in range(5):
+            counter.labels(id=str(i)).inc()
+        with pytest.raises(ConfigurationError):
+            counter.labels(id="overflow")
+
+    def test_existing_series_still_usable_at_cap(self):
+        counter = Counter("c_total", "help", ("id",), max_series=2)
+        counter.labels(id="a").inc()
+        counter.labels(id="b").inc()
+        counter.labels(id="a").inc()  # no new series: fine
+        assert counter.labels(id="a").value == 2
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("0bad", "help")
+        with pytest.raises(ConfigurationError):
+            Counter("c_total", "help", ("le",))  # reserved
+        with pytest.raises(ConfigurationError):
+            Counter("c_total", "help", ("a", "a"))  # duplicate
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(0.5)
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 1.7, 4.0, 100.0):
+            hist.observe(value)
+        buckets = hist._self_child().bucket_counts()
+        assert buckets == [(1.0, 1), (2.0, 3), (5.0, 4), (float("inf"), 5)]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(107.7)
+
+    def test_boundary_lands_in_bucket(self):
+        hist = Histogram("h", "help", buckets=(1.0,))
+        hist.observe(1.0)  # le="1.0" is inclusive
+        assert hist._self_child().bucket_counts()[0] == (1.0, 1)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "help", ("app",))
+        b = registry.counter("c_total", "help", ("app",))
+        assert a is b
+
+    def test_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("m", "help")
+
+    def test_label_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", "help", ("app",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("m_total", "help", ("scheme",))
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz", "help")
+        registry.gauge("aa", "help")
+        assert [f["name"] for f in registry.collect()] == ["aa", "zz"]
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        old = set_default_registry(fresh)
+        try:
+            assert get_default_registry() is fresh
+        finally:
+            set_default_registry(old)
+        assert get_default_registry() is old
+
+    def test_thread_safety_of_counter(self):
+        counter = Counter("c_total", "help", ("t",))
+
+        def work():
+            child = counter.labels(t="x")
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Concurrent labels() calls converge on one child and no
+        # increment is lost.
+        assert len(counter._children) == 1
+        assert counter.labels(t="x").value == 8000

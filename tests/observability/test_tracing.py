@@ -1,0 +1,135 @@
+"""Tracer span ordering, attributes and the JSONL exporter."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.tracing import JsonlSpanExporter, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_never_negative(self):
+        span = Span(name="x", invocation=0, start=5.0, end=4.0)
+        assert span.duration == 0.0
+
+    def test_to_dict_round_trips_through_json(self):
+        span = Span(name="x", invocation=3, start=1.0, end=2.5,
+                    wall_time=100.0, attributes={"n": 7})
+        loaded = json.loads(json.dumps(span.to_dict()))
+        assert loaded["name"] == "x"
+        assert loaded["invocation"] == 3
+        assert loaded["duration_s"] == pytest.approx(1.5)
+        assert loaded["attributes"] == {"n": 7}
+
+
+class TestTracer:
+    def test_spans_commit_in_completion_order(self):
+        tracer = Tracer()
+        tracer.begin_invocation()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.end_invocation()
+        names = [s.name for s in tracer.spans]
+        assert names == ["inner", "outer"]  # inner finishes first
+        inner, outer = tracer.spans
+        assert inner.start >= outer.start
+        assert outer.end >= inner.end
+
+    def test_phase_order_preserved_within_invocation(self):
+        tracer = Tracer()
+        tracer.begin_invocation()
+        for phase in ("accelerate", "detect", "recover", "tune"):
+            with tracer.span(phase):
+                pass
+        tracer.end_invocation()
+        spans = tracer.spans_for(0)
+        assert [s.name for s in spans] == [
+            "accelerate", "detect", "recover", "tune"
+        ]
+        starts = [s.start for s in spans]
+        assert starts == sorted(starts)
+
+    def test_invocation_ids_are_monotonic(self):
+        tracer = Tracer()
+        assert tracer.begin_invocation() == 0
+        assert tracer.begin_invocation() == 1
+        with tracer.span("x"):
+            pass
+        tracer.end_invocation()
+        assert tracer.spans[0].invocation == 1
+
+    def test_pending_spans_invisible_until_invocation_ends(self):
+        tracer = Tracer()
+        tracer.begin_invocation()
+        with tracer.span("x"):
+            pass
+        assert len(tracer.spans) == 0
+        committed = tracer.end_invocation()
+        assert len(committed) == 1
+        assert len(tracer.spans) == 1
+
+    def test_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=3)
+        tracer.begin_invocation()
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.end_invocation()
+        assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_span_counts(self):
+        tracer = Tracer()
+        tracer.begin_invocation()
+        for _ in range(3):
+            with tracer.span("detect"):
+                pass
+        with tracer.span("tune"):
+            pass
+        tracer.end_invocation()
+        assert tracer.span_counts() == {"detect": 3, "tune": 1}
+
+    def test_bad_max_spans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_spans=0)
+
+    def test_attributes_set_inside_block_survive(self):
+        tracer = Tracer()
+        tracer.begin_invocation()
+        with tracer.span("detect", n_elements=10) as span:
+            span.attributes["n_fired"] = 4
+        tracer.end_invocation()
+        assert tracer.spans[0].attributes == {"n_elements": 10, "n_fired": 4}
+
+
+class TestJsonlExporter:
+    def test_exports_one_json_object_per_line(self):
+        sink = io.StringIO()
+        exporter = JsonlSpanExporter(sink)
+        tracer = Tracer(exporter=exporter)
+        tracer.begin_invocation()
+        with tracer.span("detect"):
+            pass
+        with tracer.span("recover"):
+            pass
+        tracer.end_invocation()
+        lines = sink.getvalue().strip().split("\n")
+        assert len(lines) == 2
+        assert [json.loads(line)["name"] for line in lines] == [
+            "detect", "recover"
+        ]
+        assert exporter.exported == 2
+
+    def test_file_destination(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        with JsonlSpanExporter(path) as exporter:
+            tracer = Tracer(exporter=exporter)
+            tracer.begin_invocation()
+            with tracer.span("x", answer=42):
+                pass
+            tracer.end_invocation()
+        with open(path) as handle:
+            record = json.loads(handle.readline())
+        assert record["attributes"] == {"answer": 42}

@@ -48,3 +48,48 @@ class TestCommands:
         assert main(["summary", "--apps", "fft"]) == 0
         out = capsys.readouterr().out
         assert "error reduction" in out
+
+
+class TestMonitor:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["monitor", "--app", "sobel"])
+        assert args.command == "monitor"
+        assert args.invocations == 20
+        assert args.export == ""
+
+    def test_monitor_requires_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["monitor"])
+
+    def test_monitor_exports_prometheus(self, capsys, tmp_path):
+        export = str(tmp_path / "metrics.prom")
+        trace = str(tmp_path / "spans.jsonl")
+        assert main([
+            "monitor", "--app", "fft", "--invocations", "3",
+            "--elements", "400", "--export", export, "--trace", trace,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fire rate" in out
+        with open(export) as handle:
+            text = handle.read()
+        assert "# TYPE rumba_fire_rate gauge" in text
+        assert "rumba_invocation_latency_seconds_bucket" in text
+        assert "rumba_phase_spans_total" in text
+        import json
+
+        with open(trace) as handle:
+            spans = [json.loads(line) for line in handle]
+        # 4 phases + 1 invocation span per invocation.
+        assert len(spans) == 3 * 5
+
+    def test_run_with_telemetry_snapshot(self, capsys, tmp_path):
+        snapshot = str(tmp_path / "telemetry.json")
+        assert main([
+            "run", "--app", "fft", "--elements", "500",
+            "--telemetry", snapshot,
+        ]) == 0
+        import json
+
+        with open(snapshot) as handle:
+            data = json.load(handle)
+        assert "rumba_invocations_total" in data["metrics"]
