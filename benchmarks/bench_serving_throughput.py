@@ -1,0 +1,117 @@
+"""Serving-layer throughput/latency sweep.
+
+Drives the :class:`~repro.serving.RumbaServer` with a closed-loop
+synthetic request load and sweeps the two first-order capacity knobs —
+worker count and max batch size — reporting requests/sec and p50/p95
+latency for each point, plus a machine-readable JSON block like the
+telemetry snapshots the other benches emit.
+
+Run directly::
+
+    python benchmarks/bench_serving_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from _bench_utils import emit, run_once
+
+from repro.core import prepare_system
+from repro.eval.reporting import banner, format_table
+from repro.serving import RumbaServer
+
+APP = "fft"
+SCHEME = "treeErrors"
+N_REQUESTS = 120
+ELEMENTS_PER_REQUEST = 64
+SWEEP = [
+    # (n_workers, n_recovery_workers, max_batch_requests)
+    (1, 1, 1),
+    (1, 1, 8),
+    (2, 1, 8),
+    (2, 2, 8),
+    (4, 2, 8),
+]
+
+
+def _drive(server: RumbaServer, pool: np.ndarray) -> Dict[str, float]:
+    latencies: List[float] = []
+    started = time.perf_counter()
+    with server:
+        handles = []
+        for i in range(N_REQUESTS):
+            lo = (i * ELEMENTS_PER_REQUEST) % (
+                pool.shape[0] - ELEMENTS_PER_REQUEST
+            )
+            handles.append(
+                server.submit(pool[lo: lo + ELEMENTS_PER_REQUEST])
+            )
+        for handle in handles:
+            latencies.append(handle.result(timeout=60.0).latency_s)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "requests_per_s": N_REQUESTS / elapsed,
+        "p50_ms": latencies[len(latencies) // 2] * 1e3,
+        "p95_ms": latencies[int(len(latencies) * 0.95)] * 1e3,
+    }
+
+
+def serving_throughput() -> List[Dict[str, float]]:
+    prototype = prepare_system(APP, scheme=SCHEME, seed=0)
+    pool = np.atleast_2d(prototype.app.test_inputs(np.random.default_rng(7)))
+    results: List[Dict[str, float]] = []
+    for n_workers, n_recovery, batch in SWEEP:
+        server = RumbaServer(
+            prototype=prototype.clone_shard(),
+            n_workers=n_workers,
+            n_recovery_workers=n_recovery,
+            max_batch_requests=batch,
+            flush_interval_s=0.002,
+            seed=0,
+        )
+        point = _drive(server, pool)
+        point.update(
+            workers=n_workers, recovery_workers=n_recovery,
+            batch_requests=batch,
+        )
+        results.append(point)
+    return results
+
+
+def test_serving_throughput(benchmark):
+    results = run_once(benchmark, serving_throughput)
+    emit(banner(
+        f"Serving throughput ({APP}/{SCHEME}, {N_REQUESTS} requests x "
+        f"{ELEMENTS_PER_REQUEST} elements, closed loop)"
+    ))
+    emit(format_table(
+        ["workers", "recovery", "batch", "req/s", "p50 ms", "p95 ms"],
+        [
+            [r["workers"], r["recovery_workers"], r["batch_requests"],
+             f"{r['requests_per_s']:.0f}", f"{r['p50_ms']:.2f}",
+             f"{r['p95_ms']:.2f}"]
+            for r in results
+        ],
+    ))
+    emit(json.dumps({"bench": "serving_throughput", "app": APP,
+                     "scheme": SCHEME, "results": results}, indent=2))
+    # Sanity floor, not a performance assertion: every configuration must
+    # complete the whole load, and batching must beat one-at-a-time
+    # dispatch on the single-worker configuration.
+    assert all(r["requests_per_s"] > 0 for r in results)
+    unbatched = next(r for r in results if r["batch_requests"] == 1)
+    batched = next(
+        r for r in results
+        if r["batch_requests"] == 8 and r["workers"] == 1
+    )
+    assert batched["requests_per_s"] > unbatched["requests_per_s"]
+
+
+if __name__ == "__main__":
+    test_serving_throughput(None)

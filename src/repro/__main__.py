@@ -12,6 +12,10 @@ Commands
     Run a quality-managed stream with full telemetry attached and render
     the live ASCII quality dashboard; optionally export the metrics
     snapshot and a JSONL span trace.
+``serve --app NAME [--workers N] [--requests R] [--rate RPS] ...``
+    Start the batched quality-managed serving layer (worker pool +
+    asynchronous recovery + backpressure), drive it with a synthetic
+    request load, and print the throughput/latency/health report.
 ``summary [--apps a,b,...]``
     Recompute the paper's headline numbers (trains every requested
     benchmark; the full suite takes ~30 s).
@@ -123,6 +127,77 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import OverloadedError
+    from repro.serving import RumbaServer
+
+    print(f"Preparing {args.app} with the {args.scheme} checker "
+          f"({args.workers} workers, {args.recovery_workers} recovery)...")
+    server = RumbaServer(
+        app=args.app,
+        scheme=args.scheme,
+        n_workers=args.workers,
+        n_recovery_workers=args.recovery_workers,
+        max_batch_requests=args.batch_requests,
+        flush_interval_s=args.flush_ms / 1000.0,
+        admission_capacity=args.admission_capacity,
+        recovery_backlog_capacity=args.recovery_capacity,
+        seed=args.seed,
+    )
+    server.prepare()
+    rng = np.random.default_rng(args.seed + 100)
+    pool = np.atleast_2d(server.prototype.app.test_inputs(rng))
+    latencies: List[float] = []
+    shed = 0
+    started = time.perf_counter()
+    with server:
+        handles = []
+        interval = 1.0 / args.rate if args.rate > 0 else 0.0
+        for i in range(args.requests):
+            lo = (i * args.elements) % max(pool.shape[0] - args.elements, 1)
+            try:
+                handles.append(server.submit(pool[lo: lo + args.elements]))
+            except OverloadedError:
+                shed += 1
+            if interval:
+                time.sleep(interval)
+        for handle in handles:
+            result = handle.result(timeout=60.0)
+            latencies.append(result.latency_s)
+        stats = server.stats()
+    elapsed = time.perf_counter() - started
+    completed = len(latencies)
+    latencies.sort()
+    p50 = latencies[completed // 2] if completed else float("nan")
+    p95 = latencies[int(completed * 0.95)] if completed else float("nan")
+    rows = [
+        ["requests completed", completed],
+        ["requests shed", shed],
+        ["throughput", f"{completed / elapsed:.1f} req/s"],
+        ["p50 latency", f"{p50 * 1e3:.2f} ms"],
+        ["p95 latency", f"{p95 * 1e3:.2f} ms"],
+        ["degradation events",
+         server.controller.degrade_events if server.controller else 0],
+        ["drift flagged", stats["drifted"]],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Serving session"))
+    worker_rows = [
+        [w["worker"], w["batches"], w["elements"],
+         f"{w['threshold']:.4g}", w["drifted"]]
+        for w in stats["workers"]
+    ]
+    print(format_table(
+        ["worker", "batches", "elements", "threshold", "drifted"],
+        worker_rows,
+    ))
+    if args.export:
+        fmt = write_snapshot(args.export, server.registry)
+        print(f"wrote {fmt} telemetry snapshot to {args.export}")
+    return 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     apps = args.apps.split(",") if args.apps else list(APPLICATION_NAMES)
     print(f"Computing headline summary over {', '.join(apps)} ...")
@@ -211,6 +286,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render only the final dashboard frame")
     monitor.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="run the batched quality-managed serving layer"
+    )
+    serve.add_argument("--app", required=True, choices=APPLICATION_NAMES)
+    serve.add_argument("--scheme", default="treeErrors", choices=SCHEME_NAMES)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--recovery-workers", type=int, default=1)
+    serve.add_argument("--requests", type=int, default=100,
+                       help="synthetic requests to drive through the server")
+    serve.add_argument("--elements", type=int, default=256,
+                       help="kernel iterations per request")
+    serve.add_argument("--batch-requests", type=int, default=8,
+                       help="max requests batched into one invocation")
+    serve.add_argument("--flush-ms", type=float, default=5.0,
+                       help="batch flush deadline in milliseconds")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="request arrival rate in req/s (0 = closed loop)")
+    serve.add_argument("--admission-capacity", type=int, default=256)
+    serve.add_argument("--recovery-capacity", type=int, default=16,
+                       help="bounded async recovery backlog (batches)")
+    serve.add_argument("--export", default="",
+                       help="write the final metrics snapshot here "
+                            "(.prom/.txt Prometheus text, .json JSON)")
+    serve.add_argument("--seed", type=int, default=0)
+
     summary = sub.add_parser("summary", help="recompute the headline numbers")
     summary.add_argument("--apps", default="",
                          help="comma-separated benchmark subset")
@@ -232,6 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "monitor": _cmd_monitor,
+        "serve": _cmd_serve,
         "summary": _cmd_summary,
         "survey": _cmd_survey,
         "report": _cmd_report,

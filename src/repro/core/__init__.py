@@ -24,7 +24,7 @@ from repro.core.purity_survey import (
     PuritySurvey,
     survey_purity,
 )
-from repro.core.runtime import InvocationRecord, RumbaSystem
+from repro.core.runtime import InvocationRecord, PendingInvocation, RumbaSystem
 from repro.core.sampling_monitor import QualitySamplingMonitor, SamplingReport
 from repro.core.stream import DriftDetector, QualityManagedStream, StreamStatus
 from repro.core.tuner import InvocationFeedback, OnlineTuner
@@ -51,6 +51,7 @@ __all__ = [
     "OffloadOverhead",
     "RumbaSystem",
     "InvocationRecord",
+    "PendingInvocation",
     "prepare_system",
     "prepare_backend",
     "clear_cache",

@@ -25,9 +25,12 @@ hooks cost one ``is None`` check each.
 
 from __future__ import annotations
 
+import copy
+import sys
+import threading
 from collections import deque
-from contextlib import nullcontext
-from dataclasses import dataclass
+from contextlib import ExitStack, nullcontext
+from dataclasses import dataclass, field
 from typing import List, MutableSequence, Optional
 
 import numpy as np
@@ -47,7 +50,7 @@ from repro.hardware.queues import ConfigQueue, RecoveryQueue
 from repro.observability.instrument import Telemetry, ambient_telemetry_registry
 from repro.predictors.base import ErrorPredictor
 
-__all__ = ["RumbaSystem", "InvocationRecord"]
+__all__ = ["RumbaSystem", "InvocationRecord", "PendingInvocation"]
 
 # Shared reusable no-op context for the uninstrumented hot path.
 _NOOP = nullcontext()
@@ -68,6 +71,32 @@ class InvocationRecord:
     @property
     def fix_fraction(self) -> float:
         return self.recovery.recovered_fraction
+
+
+@dataclass
+class PendingInvocation:
+    """The accelerator-side half of one invocation, awaiting CPU recovery.
+
+    Produced by :meth:`RumbaSystem.begin_invocation` (accelerate + detect)
+    and consumed by :meth:`RumbaSystem.complete_invocation` (recover +
+    tune).  This is the paper's producer/consumer pipeline made explicit:
+    the accelerator can begin the next invocation while the CPU is still
+    recovering this one — the serving layer's recovery workers drain
+    pending invocations from a shared queue.
+    """
+
+    inputs: np.ndarray
+    approx: np.ndarray
+    detection: DetectionResult
+    recovery_bits: np.ndarray
+    measure_quality: bool
+    exact: Optional[np.ndarray] = None
+    _stack: Optional[ExitStack] = field(default=None, repr=False)
+    _scope: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.inputs.shape[0])
 
 
 class RumbaSystem:
@@ -144,6 +173,14 @@ class RumbaSystem:
         )
         self.total_invocations = 0
         self._next_iteration_id = 0
+        # _mutex guards the short iteration-id/threshold handoff in
+        # begin_invocation; _complete_lock serializes the whole CPU-side
+        # half (recover + tune + record append).  Two locks so a worker
+        # thread can begin the next invocation while recovery workers are
+        # still completing earlier ones on the same shard — the paper's
+        # producer/consumer overlap.
+        self._mutex = threading.Lock()
+        self._complete_lock = threading.Lock()
         self.telemetry: Optional[Telemetry] = None
         if telemetry is None and ambient_telemetry_registry() is not None:
             telemetry = Telemetry(
@@ -176,13 +213,33 @@ class RumbaSystem:
         is the experimenter's measurement, not something the deployed
         system would do.
         """
+        return self.complete_invocation(
+            self.begin_invocation(inputs, measure_quality)
+        )
+
+    def begin_invocation(
+        self, inputs: np.ndarray, measure_quality: bool = True
+    ) -> PendingInvocation:
+        """Accelerator-side half of one invocation: accelerate + detect.
+
+        Returns a :class:`PendingInvocation` whose recovery bits are set;
+        pass it to :meth:`complete_invocation` (possibly from another
+        thread) to run CPU recovery, tuning and record-keeping.  The
+        caller is the accelerator-side producer: only one thread may drive
+        ``begin_invocation`` on a given system at a time.
+        """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
         n = inputs.shape[0]
         if n == 0:
             raise ConfigurationError("invocation needs at least one element")
 
         tel = self.telemetry
-        with (tel.invocation(n) if tel is not None else _NOOP) as scope:
+        stack: Optional[ExitStack] = None
+        scope = None
+        if tel is not None:
+            stack = ExitStack()
+            scope = stack.enter_context(tel.invocation(n))
+        try:
             with (scope.phase("accelerate") if scope else _NOOP):
                 approx = self.backend(inputs)
                 features = self.backend.features(inputs)
@@ -199,23 +256,22 @@ class RumbaSystem:
                 strict=True,
             )
             with (scope.phase("detect") if scope else _NOOP):
-                self.detection.threshold = self.tuner.threshold
+                with self._mutex:
+                    self.detection.threshold = self.tuner.threshold
+                    first_iteration_id = self._next_iteration_id
+                    self._next_iteration_id += n
                 detection = self.detection.detect(
                     features=features,
                     approx_outputs=approx,
                     true_errors=true_errors,
                     recovery_queue=queue,
-                    first_iteration_id=self._next_iteration_id,
+                    first_iteration_id=first_iteration_id,
                 )
-                self._next_iteration_id += n
 
                 flagged_ids = queue.drain_flagged()
                 bits = np.zeros(n, dtype=bool)
                 if flagged_ids:
-                    offsets = (
-                        np.asarray(flagged_ids)
-                        - (self._next_iteration_id - n)
-                    )
+                    offsets = np.asarray(flagged_ids) - first_iteration_id
                     bits[offsets] = True
             if tel is not None:
                 tel.on_queue(
@@ -224,67 +280,161 @@ class RumbaSystem:
                     queue.stats.stall_events,
                 )
                 scope.annotate("detect", n_fired=int(detection.n_fired))
-
-            with (scope.phase("recover") if scope else _NOOP):
-                recovery = self.recovery.recover(inputs, approx, bits)
-            if tel is not None:
-                scope.annotate(
-                    "recover", n_recovered=int(recovery.n_recovered)
-                )
-
-            with (scope.phase("tune") if scope else _NOOP):
-                pipeline = simulate_pipeline(
-                    bits,
-                    accel_cycles_per_iteration=(
-                        self.cost_model.npu.invocation_cycles(
-                            self.backend.topology
-                        )
-                    ),
-                    cpu_cycles_per_iteration=(
-                        self.cost_model.cpu_iteration_cycles()
-                    ),
-                    detector_placement=self.config.detector_placement,
-                    checker_cycles=self.detection.checker.check_cycles(),
-                )
-                costs = self.cost_model.whole_app_costs(
-                    topology=self.backend.topology,
-                    checker=self.detection.checker,
-                    fix_fraction=recovery.recovered_fraction,
-                    detector_placement=self.config.detector_placement,
-                    observed_kernel_cycles=pipeline.makespan / n,
-                )
-                self.tuner.update(
-                    InvocationFeedback(
-                        fix_fraction=recovery.recovered_fraction,
-                        cpu_kept_up=pipeline.cpu_kept_up,
-                        cpu_utilization=pipeline.cpu_utilization,
-                    )
-                )
-            if tel is not None:
-                scope.annotate("tune", threshold=float(self.tuner.threshold))
-
-            measured_error = None
-            unchecked_error = None
-            if measure_quality and exact is not None:
-                measured_error = self.app.output_error(
-                    recovery.merged_outputs, exact
-                )
-                unchecked_error = self.app.output_error(approx, exact)
-
-            record = InvocationRecord(
-                outputs=recovery.merged_outputs,
+            return PendingInvocation(
+                inputs=inputs,
+                approx=approx,
                 detection=detection,
-                recovery=recovery,
-                pipeline=pipeline,
-                costs=costs,
-                measured_error=measured_error,
-                unchecked_error=unchecked_error,
+                recovery_bits=bits,
+                measure_quality=measure_quality,
+                exact=exact,
+                _stack=stack,
+                _scope=scope,
             )
-            if scope:
-                scope.observe_record(record)
-        self.records.append(record)
-        self.total_invocations += 1
-        return record
+        except BaseException:
+            if stack is not None:
+                stack.__exit__(*sys.exc_info())
+            raise
+
+    def complete_invocation(
+        self, pending: PendingInvocation
+    ) -> InvocationRecord:
+        """CPU-side half of one invocation: recover + tune + record.
+
+        Safe to call from a different thread than the one that ran
+        :meth:`begin_invocation`; completions of one system serialize on
+        an internal lock, so several recovery workers may drain a shared
+        backlog of pending invocations without corrupting the tuner or
+        the record history.
+        """
+        scope = pending._scope
+        with self._complete_lock:
+            try:
+                with (scope.phase("recover") if scope else _NOOP):
+                    recovery = self.recovery.recover(
+                        pending.inputs, pending.approx, pending.recovery_bits
+                    )
+                if scope is not None:
+                    scope.annotate(
+                        "recover", n_recovered=int(recovery.n_recovered)
+                    )
+
+                n = pending.n_elements
+                with (scope.phase("tune") if scope else _NOOP):
+                    pipeline = simulate_pipeline(
+                        pending.recovery_bits,
+                        accel_cycles_per_iteration=(
+                            self.cost_model.npu.invocation_cycles(
+                                self.backend.topology
+                            )
+                        ),
+                        cpu_cycles_per_iteration=(
+                            self.cost_model.cpu_iteration_cycles()
+                        ),
+                        detector_placement=self.config.detector_placement,
+                        checker_cycles=self.detection.checker.check_cycles(),
+                    )
+                    costs = self.cost_model.whole_app_costs(
+                        topology=self.backend.topology,
+                        checker=self.detection.checker,
+                        fix_fraction=recovery.recovered_fraction,
+                        detector_placement=self.config.detector_placement,
+                        observed_kernel_cycles=pipeline.makespan / n,
+                    )
+                    self.tuner.update(
+                        InvocationFeedback(
+                            fix_fraction=recovery.recovered_fraction,
+                            cpu_kept_up=pipeline.cpu_kept_up,
+                            cpu_utilization=pipeline.cpu_utilization,
+                        )
+                    )
+                if scope is not None:
+                    scope.annotate(
+                        "tune", threshold=float(self.tuner.threshold)
+                    )
+
+                measured_error = None
+                unchecked_error = None
+                if pending.measure_quality and pending.exact is not None:
+                    measured_error = self.app.output_error(
+                        recovery.merged_outputs, pending.exact
+                    )
+                    unchecked_error = self.app.output_error(
+                        pending.approx, pending.exact
+                    )
+
+                record = InvocationRecord(
+                    outputs=recovery.merged_outputs,
+                    detection=pending.detection,
+                    recovery=recovery,
+                    pipeline=pipeline,
+                    costs=costs,
+                    measured_error=measured_error,
+                    unchecked_error=unchecked_error,
+                )
+                if scope:
+                    scope.observe_record(record)
+            except BaseException:
+                if pending._stack is not None:
+                    pending._stack.__exit__(*sys.exc_info())
+                raise
+            if pending._stack is not None:
+                pending._stack.close()
+            self.records.append(record)
+            self.total_invocations += 1
+            return record
+
+    def apply_backpressure(
+        self, direction: int, factor: Optional[float] = None
+    ) -> float:
+        """Thread-safe graceful degradation hook for the serving layer.
+
+        ``direction > 0`` raises the detection threshold one step
+        (:meth:`OnlineTuner.degrade` — fewer elements recovered, shedding
+        CPU-side work); ``direction < 0`` undoes one step
+        (:meth:`OnlineTuner.relax`).  Serialized against concurrent
+        :meth:`complete_invocation` tuner updates.  Returns the threshold.
+        """
+        with self._complete_lock:
+            if direction > 0:
+                return self.tuner.degrade(factor)
+            if direction < 0:
+                return self.tuner.relax(factor)
+            return self.tuner.threshold
+
+    def clone_shard(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        max_records: Optional[int] = None,
+    ) -> "RumbaSystem":
+        """A fresh system sharing this one's trained (immutable) models.
+
+        The expensive offline artifacts — accelerator backend, cost and
+        energy models, application — are shared by reference (they are
+        read-only at run time); the predictor is deep-copied because
+        output-history checkers like EMA carry running state; the mutable
+        online state (tuner, detection module, recovery module, records)
+        is rebuilt from scratch and seeded with the current thresholds.
+        This is how the serving layer stamps out one shard per worker from
+        a single prepared prototype.
+        """
+        clone = RumbaSystem(
+            app=self.app,
+            backend=self.backend,
+            predictor=copy.deepcopy(self.predictor),
+            config=self.config,
+            energy_model=self.cost_model.energy_model,
+            npu=self.cost_model.npu,
+            overhead=self.cost_model.overhead,
+            max_records=self.max_records if max_records is None else max_records,
+            telemetry=telemetry,
+        )
+        # Carry over any threshold calibration applied after construction
+        # (prepare_system calibrates EMA/Random/Uniform TOQ thresholds).
+        clone.tuner.threshold = self.tuner.threshold
+        clone.tuner.history = [clone.tuner.threshold]
+        clone.detection.threshold = self.detection.threshold
+        clone.recovery.verify = self.recovery.verify
+        return clone
 
     def run_stream(
         self, invocations: List[np.ndarray], measure_quality: bool = True

@@ -64,6 +64,7 @@ class OnlineTuner:
         self.history: List[float] = [self.threshold]
         self._gain = config.threshold_gain
         self._last_direction = 0
+        self._degradation_level = 0
         # Optional observability hook (set via RumbaSystem.attach_telemetry).
         self.telemetry = None
 
@@ -104,4 +105,50 @@ class OnlineTuner:
         self.history.append(self.threshold)
         if self.telemetry is not None:
             self.telemetry.on_threshold(self.threshold, direction)
+        return self.threshold
+
+    # ------------------------------------------------------------------ #
+    # Backpressure degradation (serving layer)                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def degradation_level(self) -> int:
+        """How many un-relaxed backpressure degradations are in effect."""
+        return self._degradation_level
+
+    def degrade(self, factor: float | None = None) -> float:
+        """Raise the threshold in response to external backpressure.
+
+        Unlike :meth:`update`, this applies in every tuner mode — when the
+        CPU-side recovery backlog grows faster than it drains, fixing
+        *fewer* elements is the only lever that sheds recovery work, even
+        in TOQ mode where the threshold is normally pinned to the error
+        budget.  Each call is one degradation step; :meth:`relax` undoes
+        one step.  Returns the new threshold.
+        """
+        factor = self.config.threshold_gain if factor is None else factor
+        if factor <= 1.0:
+            raise ConfigurationError("degrade factor must be > 1")
+        self.threshold *= factor
+        self._degradation_level += 1
+        self.history.append(self.threshold)
+        if self.telemetry is not None:
+            self.telemetry.on_threshold(self.threshold, +1)
+        return self.threshold
+
+    def relax(self, factor: float | None = None) -> float:
+        """Undo one :meth:`degrade` step once the backlog drains.
+
+        A no-op when no degradation is in effect, so callers can invoke it
+        opportunistically on every quiet period.  Returns the threshold.
+        """
+        if self._degradation_level == 0:
+            return self.threshold
+        factor = self.config.threshold_gain if factor is None else factor
+        if factor <= 1.0:
+            raise ConfigurationError("relax factor must be > 1")
+        self.threshold = max(self.threshold / factor, _MIN_THRESHOLD)
+        self._degradation_level -= 1
+        self.history.append(self.threshold)
+        if self.telemetry is not None:
+            self.telemetry.on_threshold(self.threshold, -1)
         return self.threshold

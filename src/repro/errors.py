@@ -35,3 +35,14 @@ class SimulationError(ReproError):
 
 class UnknownApplicationError(ReproError, KeyError):
     """An application name was looked up that is not in the registry."""
+
+
+class ServingError(ReproError):
+    """The serving layer was driven through an invalid lifecycle state."""
+
+
+class OverloadedError(ServingError):
+    """A request was shed because the admission queue is full.
+
+    Raised instead of queueing unboundedly — the caller is expected to
+    back off and retry, exactly like an HTTP 503."""

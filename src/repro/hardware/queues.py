@@ -7,11 +7,14 @@ iteration from the detection module back to the CPU.
 
 These are functional FIFO models with occupancy accounting; the pipeline
 simulator uses them to bound in-flight work and the tests use them to check
-ordering and loss-freedom invariants.
+ordering and loss-freedom invariants.  All mutating operations are guarded
+by a per-queue re-entrant lock so the serving layer's worker threads can
+share a queue without corrupting the deque or the statistics.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Generic, Iterable, List, Optional, Tuple, TypeVar
@@ -43,6 +46,13 @@ class FifoQueue(Generic[T]):
     ``push`` on a full queue raises :class:`SimulationError` when
     ``strict=True`` (the default) or records a stall event and drops into
     blocking semantics otherwise (the caller is expected to retry).
+    :meth:`try_push` never raises regardless of strictness — it returns
+    False on a full queue, which is the contract concurrent producers
+    should use.
+
+    Push/pop/peek/drain and the statistics they maintain are serialized on
+    an internal re-entrant lock, so one queue instance may be shared by
+    several threads (the serving layer's workers do exactly that).
     """
 
     def __init__(self, capacity: int = 64, name: str = "fifo", strict: bool = True):
@@ -52,50 +62,86 @@ class FifoQueue(Generic[T]):
         self.name = name
         self.strict = strict
         self._items: Deque[T] = deque()
+        self._mutex = threading.RLock()
         self.stats = QueueStats()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._mutex:
+            return len(self._items)
 
     @property
     def is_full(self) -> bool:
-        return len(self._items) >= self.capacity
+        with self._mutex:
+            return len(self._items) >= self.capacity
 
     @property
     def is_empty(self) -> bool:
-        return not self._items
+        with self._mutex:
+            return not self._items
 
-    def push(self, item: T) -> bool:
-        """Append an item; returns False (and records a stall) when full."""
-        if self.is_full:
-            self.stats.stall_events += 1
-            if self.strict:
-                raise SimulationError(
-                    f"queue {self.name!r} overflow (capacity {self.capacity})"
-                )
-            return False
+    def _append(self, item: T) -> None:
         self._items.append(item)
         self.stats.pushes += 1
         self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
-        return True
+
+    def push(self, item: T) -> bool:
+        """Append an item; returns False (and records a stall) when full."""
+        with self._mutex:
+            if len(self._items) >= self.capacity:
+                self.stats.stall_events += 1
+                if self.strict:
+                    raise SimulationError(
+                        f"queue {self.name!r} overflow (capacity {self.capacity})"
+                    )
+                return False
+            self._append(item)
+            return True
+
+    def try_push(self, item: T) -> bool:
+        """Append an item if there is room; never raises.
+
+        Returns True when the item was enqueued, False when the queue is
+        full (a stall event is recorded either way the push fails).  This
+        is the entry point concurrent producers should use: unlike
+        :meth:`push` it does not depend on the queue's ``strict`` flag, so
+        a full queue is an ordinary, observable outcome rather than an
+        exception.
+        """
+        with self._mutex:
+            if len(self._items) >= self.capacity:
+                self.stats.stall_events += 1
+                return False
+            self._append(item)
+            return True
 
     def pop(self) -> T:
         """Remove and return the oldest item."""
-        if self.is_empty:
-            raise SimulationError(f"pop from empty queue {self.name!r}")
-        self.stats.pops += 1
-        return self._items.popleft()
+        with self._mutex:
+            if not self._items:
+                raise SimulationError(f"pop from empty queue {self.name!r}")
+            self.stats.pops += 1
+            return self._items.popleft()
+
+    def try_pop(self) -> Optional[T]:
+        """Remove and return the oldest item, or None when empty."""
+        with self._mutex:
+            if not self._items:
+                return None
+            self.stats.pops += 1
+            return self._items.popleft()
 
     def peek(self) -> T:
-        if self.is_empty:
-            raise SimulationError(f"peek on empty queue {self.name!r}")
-        return self._items[0]
+        with self._mutex:
+            if not self._items:
+                raise SimulationError(f"peek on empty queue {self.name!r}")
+            return self._items[0]
 
     def drain(self) -> List[T]:
         """Pop everything, oldest first."""
-        out: List[T] = []
-        while not self.is_empty:
-            out.append(self.pop())
+        with self._mutex:
+            out: List[T] = list(self._items)
+            self.stats.pops += len(self._items)
+            self._items.clear()
         return out
 
 
@@ -107,12 +153,17 @@ class RecoveryQueue:
     re-executes iterations whose bit is set.  ``pending_recoveries`` exposes
     how many set bits are waiting — the online tuner's Quality mode uses
     this as its CPU-utilization signal.
+
+    The queue shares its FIFO's lock so the pending-set-bit count stays
+    consistent with the entries even when producer and consumer live on
+    different threads.
     """
 
     def __init__(self, capacity: int = 256, strict: bool = True):
         self._fifo: FifoQueue[Tuple[int, bool]] = FifoQueue(
             capacity=capacity, name="recovery", strict=strict
         )
+        self._mutex = self._fifo._mutex
         self._pending_set_bits = 0
         self._last_pushed_id: Optional[int] = None
 
@@ -138,23 +189,25 @@ class RecoveryQueue:
         Iteration ids must be strictly increasing — the detector sees
         iterations in order.
         """
-        if self._last_pushed_id is not None and iteration_id <= self._last_pushed_id:
-            raise SimulationError(
-                f"recovery queue push out of order: {iteration_id} after "
-                f"{self._last_pushed_id}"
-            )
-        ok = self._fifo.push((iteration_id, bool(recovery_bit)))
-        if ok:
-            self._last_pushed_id = iteration_id
-            if recovery_bit:
-                self._pending_set_bits += 1
-        return ok
+        with self._mutex:
+            if self._last_pushed_id is not None and iteration_id <= self._last_pushed_id:
+                raise SimulationError(
+                    f"recovery queue push out of order: {iteration_id} after "
+                    f"{self._last_pushed_id}"
+                )
+            ok = self._fifo.push((iteration_id, bool(recovery_bit)))
+            if ok:
+                self._last_pushed_id = iteration_id
+                if recovery_bit:
+                    self._pending_set_bits += 1
+            return ok
 
     def pop(self) -> Tuple[int, bool]:
-        iteration_id, bit = self._fifo.pop()
-        if bit:
-            self._pending_set_bits -= 1
-        return iteration_id, bit
+        with self._mutex:
+            iteration_id, bit = self._fifo.pop()
+            if bit:
+                self._pending_set_bits -= 1
+            return iteration_id, bit
 
     @property
     def is_empty(self) -> bool:
@@ -162,12 +215,13 @@ class RecoveryQueue:
 
     def drain_flagged(self) -> List[int]:
         """Pop all entries and return ids of iterations needing recovery."""
-        flagged: List[int] = []
-        while not self.is_empty:
-            iteration_id, bit = self.pop()
-            if bit:
-                flagged.append(iteration_id)
-        return flagged
+        with self._mutex:
+            flagged: List[int] = []
+            while not self.is_empty:
+                iteration_id, bit = self.pop()
+                if bit:
+                    flagged.append(iteration_id)
+            return flagged
 
 
 class ConfigQueue:
@@ -181,6 +235,7 @@ class ConfigQueue:
     """
 
     def __init__(self) -> None:
+        self._mutex = threading.Lock()
         self.words_transferred = 0
         self._payloads: List[Tuple[str, int]] = []
         self._values: List[Tuple[str, List[float]]] = []
@@ -189,14 +244,16 @@ class ConfigQueue:
         """Send a coefficient payload; returns its word count."""
         values = [float(w) for w in words]
         count = len(values)
-        self.words_transferred += count
-        self._payloads.append((label, count))
-        self._values.append((label, values))
+        with self._mutex:
+            self.words_transferred += count
+            self._payloads.append((label, count))
+            self._values.append((label, values))
         return count
 
     @property
     def payloads(self) -> List[Tuple[str, int]]:
-        return list(self._payloads)
+        with self._mutex:
+            return list(self._payloads)
 
     def received(self, label: str) -> List[float]:
         """The words delivered for ``label``, in transfer order.
@@ -204,8 +261,9 @@ class ConfigQueue:
         Multiple sends under the same label concatenate, mirroring a FIFO
         drained by the consumer.
         """
-        out: List[float] = []
-        for sent_label, values in self._values:
-            if sent_label == label:
-                out.extend(values)
-        return out
+        with self._mutex:
+            out: List[float] = []
+            for sent_label, values in self._values:
+                if sent_label == label:
+                    out.extend(values)
+            return out

@@ -19,11 +19,13 @@ threading a registry through thirty bench scripts.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator, Optional
+from typing import Deque, Dict, Iterator, Mapping, Optional
 
+from repro.errors import ConfigurationError
 from repro.observability.metrics import (
     DEFAULT_CYCLE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -44,27 +46,35 @@ __all__ = [
 PHASES = ("accelerate", "detect", "recover", "tune")
 
 _ambient_registry: Optional[MetricsRegistry] = None
+# Arming/disarming and reads race when worker threads construct systems
+# while the host toggles ambient mode; one lock keeps the handoff clean.
+_ambient_lock = threading.Lock()
 
 
 def enable_ambient_telemetry(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Arm auto-instrumentation for subsequently built systems.
 
     Returns the registry that ambient systems will record into (the
-    process default unless one is given).
+    process default unless one is given).  Safe to call from any thread.
     """
     global _ambient_registry
-    _ambient_registry = registry if registry is not None else get_default_registry()
-    return _ambient_registry
+    with _ambient_lock:
+        _ambient_registry = (
+            registry if registry is not None else get_default_registry()
+        )
+        return _ambient_registry
 
 
 def disable_ambient_telemetry() -> None:
     global _ambient_registry
-    _ambient_registry = None
+    with _ambient_lock:
+        _ambient_registry = None
 
 
 def ambient_telemetry_registry() -> Optional[MetricsRegistry]:
     """The armed ambient registry, or None when ambient mode is off."""
-    return _ambient_registry
+    with _ambient_lock:
+        return _ambient_registry
 
 
 class Telemetry:
@@ -80,6 +90,12 @@ class Telemetry:
         Optional :class:`Tracer`; when absent only metrics are kept.
     history:
         Length of the per-invocation history deques the dashboard plots.
+    extra_labels:
+        Additional constant labels stamped on every series, e.g.
+        ``{"worker": "w0"}`` for the serving layer's per-worker shards.
+        All telemetries sharing one registry must use the same extra
+        label *names* (the registry enforces consistent label sets per
+        metric family).
     """
 
     def __init__(
@@ -89,13 +105,20 @@ class Telemetry:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         history: int = 240,
+        extra_labels: Optional[Mapping[str, str]] = None,
     ):
         self.registry = registry if registry is not None else get_default_registry()
         self.tracer = tracer
         self.app = app
         self.scheme = scheme
-        labels = ("app", "scheme")
-        self._labels = {"app": app, "scheme": scheme}
+        extra = dict(extra_labels or {})
+        for reserved in ("app", "scheme", "direction", "kept_up", "phase"):
+            if reserved in extra:
+                raise ConfigurationError(
+                    f"extra label {reserved!r} is reserved"
+                )
+        labels = ("app", "scheme") + tuple(sorted(extra))
+        self._labels = {"app": app, "scheme": scheme, **extra}
         r = self.registry
         self._invocations = r.counter(
             "rumba_invocations_total", "Accelerator invocations processed", labels

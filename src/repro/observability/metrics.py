@@ -165,10 +165,12 @@ class _CounterChild:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def _snapshot(self) -> dict:
-        return {"value": self._value}
+        with self._lock:
+            return {"value": self._value}
 
 
 class Counter(_Metric):
@@ -208,10 +210,12 @@ class _GaugeChild:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def _snapshot(self) -> dict:
-        return {"value": self._value}
+        with self._lock:
+            return {"value": self._value}
 
 
 class Gauge(_Metric):
@@ -260,28 +264,41 @@ class _HistogramChild:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
         out: List[Tuple[float, int]] = []
         running = 0
-        for bound, count in zip(self._bounds, self._counts):
+        for bound, count in zip(self._bounds, counts):
             running += count
             out.append((bound, running))
-        out.append((float("inf"), running + self._counts[-1]))
+        out.append((float("inf"), running + counts[-1]))
         return out
 
     def _snapshot(self) -> dict:
-        return {
-            "buckets": [[b, c] for b, c in self.bucket_counts()],
-            "sum": self._sum,
-            "count": self._count,
-        }
+        # Read counts, sum and count under one lock acquisition so the
+        # exported triple is internally consistent even while other
+        # threads observe() concurrently.
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        out: List[List[float]] = []
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            out.append([bound, running])
+        out.append([float("inf"), running + counts[-1]])
+        return {"buckets": out, "sum": total_sum, "count": total_count}
 
 
 class Histogram(_Metric):
@@ -411,7 +428,8 @@ _default_lock = threading.Lock()
 
 def get_default_registry() -> MetricsRegistry:
     """The process-global registry (what ambient instrumentation uses)."""
-    return _default_registry
+    with _default_lock:
+        return _default_registry
 
 
 def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:

@@ -1,0 +1,38 @@
+"""Quality-managed inference serving on top of the Rumba runtime.
+
+The ROADMAP's north star is a deployment that serves heavy request
+traffic; the paper's runtime is the per-invocation loop.  This package is
+the tier between the two:
+
+* :class:`~repro.serving.batching.AdmissionQueue` — bounded request
+  admission with deadline-based batch flushing,
+* :class:`~repro.serving.server.RumbaServer` — a pool of worker threads,
+  each owning a :class:`~repro.core.RumbaSystem` shard cloned from one
+  prepared prototype, plus a recovery worker group that drains a shared
+  backlog of :class:`~repro.core.PendingInvocation` halves asynchronously
+  (the paper's Fig. 8 producer/consumer overlap, at service scale),
+* :class:`~repro.serving.backpressure.BackpressureController` — when the
+  recovery backlog exceeds its high watermark the detection threshold is
+  raised (graceful quality degradation) and admission stays bounded, so
+  backlogs cannot grow without bound.
+
+See ``docs/serving.md`` for the architecture and ``python -m repro
+serve`` for the command-line entry point.
+"""
+
+from repro.serving.backpressure import BackpressureController
+from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.request import ServeHandle, ServeRequest, ServeResult
+from repro.serving.server import RumbaServer, WorkerShard
+
+__all__ = [
+    "AdmissionQueue",
+    "BackpressureController",
+    "RumbaServer",
+    "ServeHandle",
+    "ServeRequest",
+    "ServeResult",
+    "WorkerShard",
+    "concat_inputs",
+    "split_outputs",
+]

@@ -1,0 +1,151 @@
+"""Bounded request admission and deadline-based batch formation.
+
+The admission queue is the server's front door and its first line of
+backpressure: capacity is fixed at construction, and an :meth:`offer`
+against a full queue returns False (the server sheds the request) instead
+of queueing unboundedly.
+
+Batches flush under a two-condition policy:
+
+* **size** — as soon as ``max_batch_requests`` requests are waiting, or
+* **deadline** — as soon as the *oldest* waiting request has been queued
+  for ``flush_interval_s`` seconds,
+
+whichever comes first.  Under heavy load batches fill instantly and the
+accelerator runs at full occupancy; under light load no request waits
+more than one flush interval — the classic throughput/latency batching
+trade.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serving.request import ServeRequest
+
+__all__ = ["AdmissionQueue", "concat_inputs", "split_outputs"]
+
+
+def concat_inputs(requests: Sequence[ServeRequest]) -> np.ndarray:
+    """Stack the requests' input rows into one accelerator invocation."""
+    if not requests:
+        raise ConfigurationError("cannot build a batch from zero requests")
+    return np.concatenate([np.atleast_2d(r.inputs) for r in requests], axis=0)
+
+
+def split_outputs(
+    outputs: np.ndarray, requests: Sequence[ServeRequest]
+) -> List[np.ndarray]:
+    """Slice a batch's merged outputs back into per-request blocks."""
+    outputs = np.atleast_2d(outputs)
+    total = sum(r.n_elements for r in requests)
+    if outputs.shape[0] != total:
+        raise ServingError(
+            f"batch outputs have {outputs.shape[0]} rows but the requests "
+            f"submitted {total}"
+        )
+    blocks: List[np.ndarray] = []
+    offset = 0
+    for request in requests:
+        blocks.append(outputs[offset: offset + request.n_elements])
+        offset += request.n_elements
+    return blocks
+
+
+class AdmissionQueue:
+    """Bounded FIFO of waiting requests with deadline-flushed batching.
+
+    Thread-safe: any number of producers may :meth:`offer` while worker
+    threads block in :meth:`take_batch`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        max_batch_requests: int = 8,
+        flush_interval_s: float = 0.01,
+    ):
+        if capacity < 1:
+            raise ConfigurationError("admission capacity must be >= 1")
+        if max_batch_requests < 1:
+            raise ConfigurationError("max_batch_requests must be >= 1")
+        if flush_interval_s < 0:
+            raise ConfigurationError("flush_interval_s must be >= 0")
+        self.capacity = capacity
+        self.max_batch_requests = max_batch_requests
+        self.flush_interval_s = flush_interval_s
+        self._pending: Deque[ServeRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.offered = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def is_closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def offer(self, request: ServeRequest) -> bool:
+        """Admit a request; returns False (sheds) when the queue is full."""
+        with self._cond:
+            if self._closed:
+                raise ServingError("admission queue is closed")
+            self.offered += 1
+            if len(self._pending) >= self.capacity:
+                self.shed += 1
+                return False
+            self._pending.append(request)
+            self._cond.notify()
+            return True
+
+    def take_batch(self) -> Optional[List[ServeRequest]]:
+        """Block until a batch is due; None once closed and drained.
+
+        A batch is due when ``max_batch_requests`` requests are waiting,
+        when the oldest waiting request reaches its flush deadline, or
+        immediately (with whatever is queued) once the queue is closed.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    now = time.monotonic()
+                    flush_at = (
+                        self._pending[0].submitted_at + self.flush_interval_s
+                    )
+                    if (
+                        len(self._pending) >= self.max_batch_requests
+                        or now >= flush_at
+                        or self._closed
+                    ):
+                        k = min(len(self._pending), self.max_batch_requests)
+                        return [self._pending.popleft() for _ in range(k)]
+                    # Wake at the oldest request's deadline (or earlier, if
+                    # new arrivals fill the batch and notify us).
+                    self._cond.wait(timeout=flush_at - now)
+                else:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+
+    def close(self) -> None:
+        """Stop admitting; blocked consumers flush what remains then stop."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_remaining(self) -> List[ServeRequest]:
+        """Remove and return every still-queued request (for teardown)."""
+        with self._cond:
+            out = list(self._pending)
+            self._pending.clear()
+            return out

@@ -1,0 +1,92 @@
+"""Request/response envelopes for the serving layer.
+
+A :class:`ServeRequest` carries one caller's input rows (one or more
+kernel iterations); the server batches several requests into one
+accelerator invocation and splits the merged outputs back out per
+request.  Completion is signalled through a :class:`ServeHandle`, a small
+thread-safe future the caller blocks on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = ["ServeRequest", "ServeResult", "ServeHandle"]
+
+
+@dataclass
+class ServeResult:
+    """What the caller gets back for one request."""
+
+    request_id: int
+    outputs: np.ndarray
+    worker: str
+    #: Seconds the request sat in the admission queue before dispatch.
+    queue_wait_s: float
+    #: Seconds from submission to completion (queue + service + recovery).
+    latency_s: float
+    #: Recovered fraction of the whole batch this request rode in.
+    fix_fraction: float
+    #: True when the server was operating under backpressure degradation
+    #: while this request was dispatched (quality may be reduced).
+    degraded: bool
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.outputs.shape[0])
+
+
+class ServeHandle:
+    """A minimal thread-safe future for one request's completion."""
+
+    __slots__ = ("_event", "_result", "_exception")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block until the request completes; raises on failure/timeout."""
+        if not self._event.wait(timeout):
+            raise ServingError("timed out waiting for the request to complete")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class ServeRequest:
+    """One admitted request, queued for batching.
+
+    ``submitted_at`` is a ``time.monotonic()`` reading taken at admission;
+    the server uses it both for the deadline-based batch flush and for the
+    latency accounting reported in :class:`ServeResult`.
+    """
+
+    request_id: int
+    inputs: np.ndarray
+    submitted_at: float
+    handle: ServeHandle = field(default_factory=ServeHandle)
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.inputs.shape[0])

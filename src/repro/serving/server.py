@@ -1,0 +1,573 @@
+"""The quality-managed inference server.
+
+Architecture (one box per thread group)::
+
+    callers ──submit()──► AdmissionQueue (bounded, deadline-flushed)
+                                │ take_batch()
+                      ┌─────────┴──────────┐
+                  worker w0 … worker wN     each owns a RumbaSystem shard
+                  (accelerate + detect)     cloned from one prototype
+                      │ PendingInvocation
+                      ▼ try_push (bounded; full → inline recovery)
+                 shared recovery backlog (FifoQueue)
+                      │
+              recovery worker r0 … rM       (recover + tune + complete)
+                      │
+                 ServeHandle.set_result ──► caller unblocks
+
+The accelerator-side halves and the CPU-side halves of invocations
+overlap exactly as in the paper's Fig. 8 pipeline: a worker begins its
+next batch while recovery workers are still re-executing flagged
+iterations of its previous ones.  The :class:`BackpressureController`
+watches the backlog and trades quality for stability when the recovery
+group falls behind; the bounded admission queue sheds load past that.
+
+Everything is observable: each worker shard attaches a per-worker
+:class:`~repro.observability.Telemetry` (``worker=w<i>`` label) to the
+server's metrics registry, and the server adds service-level series
+(``rumba_serve_*``).  :meth:`RumbaServer.stats` is the health endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.offline import prepare_system
+from repro.core.runtime import PendingInvocation, RumbaSystem
+from repro.core.stream import DriftDetector
+from repro.errors import ConfigurationError, OverloadedError, ServingError
+from repro.hardware.queues import FifoQueue
+from repro.observability.instrument import Telemetry
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.serving.backpressure import BackpressureController
+from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.request import ServeHandle, ServeRequest, ServeResult
+
+__all__ = ["RumbaServer", "WorkerShard"]
+
+
+@dataclass
+class WorkerShard:
+    """One worker's slice of the service: a cloned system + drift watch."""
+
+    name: str
+    system: RumbaSystem
+    drift: DriftDetector = field(default_factory=DriftDetector)
+    drift_flags: int = 0
+    batches: int = 0
+    elements: int = 0
+
+    @property
+    def drifted(self) -> bool:
+        """True once this shard's checker behaviour has left its band."""
+        return self.drift_flags > 0
+
+    def observe_drift(self, fire_fraction: float) -> bool:
+        drifted_now = self.drift.observe(fire_fraction)
+        if drifted_now:
+            self.drift_flags += 1
+        telemetry = self.system.telemetry
+        if telemetry is not None:
+            telemetry.on_drift(drifted_now, self.drifted)
+        return drifted_now
+
+
+@dataclass
+class _RecoveryTask:
+    """One batch whose accelerator half is done, awaiting CPU recovery."""
+
+    shard: WorkerShard
+    requests: List[ServeRequest]
+    pending: PendingInvocation
+    degraded: bool
+    dispatched_at: float
+
+
+class RumbaServer:
+    """Batched, parallel, quality-managed serving of one benchmark kernel.
+
+    Parameters
+    ----------
+    prototype:
+        A prepared :class:`RumbaSystem` to shard (tests inject doctored
+        systems here).  When None, :func:`prepare_system` builds one from
+        ``app``/``scheme``/``seed``.
+    n_workers, n_recovery_workers:
+        Sizes of the accelerator-side and CPU-side thread groups.
+    max_batch_requests, flush_interval_s, admission_capacity:
+        Batching policy and admission bound (see ``AdmissionQueue``).
+    recovery_backlog_capacity:
+        Bound of the shared pending-recovery queue.  A full backlog makes
+        the producing worker recover inline — the hard backstop behind
+        the watermark-based degradation.
+    high_watermark / low_watermark:
+        Backlog levels (pending batches) that trigger threshold
+        degradation / relaxation; default to 1/2 and 1/8 of the backlog
+        capacity.
+    measure_quality:
+        When True every batch also computes exact outputs for quality
+        measurement (experiment mode, not a deployment setting).
+    """
+
+    def __init__(
+        self,
+        app: str = "fft",
+        scheme: str = "treeErrors",
+        prototype: Optional[RumbaSystem] = None,
+        n_workers: int = 2,
+        n_recovery_workers: int = 1,
+        max_batch_requests: int = 8,
+        flush_interval_s: float = 0.005,
+        admission_capacity: int = 256,
+        recovery_backlog_capacity: int = 16,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        degrade_factor: float = 1.5,
+        max_degradation: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+        drift_detector_factory=DriftDetector,
+        measure_quality: bool = False,
+        seed: int = 0,
+    ):
+        if n_workers < 1 or n_recovery_workers < 1:
+            raise ConfigurationError("need at least one worker of each kind")
+        self.app_name = prototype.app.name if prototype is not None else app
+        self.scheme = (
+            prototype.predictor.name if prototype is not None else scheme
+        )
+        self._prototype = prototype
+        self.n_workers = n_workers
+        self.n_recovery_workers = n_recovery_workers
+        self.measure_quality = measure_quality
+        self.seed = seed
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+        self._admission = AdmissionQueue(
+            capacity=admission_capacity,
+            max_batch_requests=max_batch_requests,
+            flush_interval_s=flush_interval_s,
+        )
+        self._backlog: FifoQueue[_RecoveryTask] = FifoQueue(
+            capacity=recovery_backlog_capacity,
+            name="serve-recovery-backlog",
+            strict=False,
+        )
+        self._rcond = threading.Condition()
+        if high_watermark is None:
+            high_watermark = max(recovery_backlog_capacity // 2, 1)
+        if low_watermark is None:
+            low_watermark = max(recovery_backlog_capacity // 8, 0)
+        self._bp_config = (
+            high_watermark, low_watermark, degrade_factor, max_degradation
+        )
+        self._drift_factory = drift_detector_factory
+
+        self.shards: List[WorkerShard] = []
+        self.controller: Optional[BackpressureController] = None
+        self._threads: List[threading.Thread] = []
+        self._state = "new"
+        self._state_lock = threading.Lock()
+        self._recovery_stop = False
+        self._flight_cond = threading.Condition()
+        self._inflight = 0
+        self._next_request_id = 0
+        self._id_lock = threading.Lock()
+        self._build_metrics()
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+    def _build_metrics(self) -> None:
+        r = self.registry
+        base = ("app", "scheme")
+        self._m_requests = r.counter(
+            "rumba_serve_requests_total",
+            "Requests by admission/completion outcome", base + ("outcome",),
+        )
+        self._m_batches = r.counter(
+            "rumba_serve_batches_total",
+            "Batches dispatched, per worker", base + ("worker",),
+        )
+        self._m_batch_requests = r.counter(
+            "rumba_serve_batched_requests_total",
+            "Requests dispatched inside batches, per worker",
+            base + ("worker",),
+        )
+        self._m_inline = r.counter(
+            "rumba_serve_inline_recoveries_total",
+            "Batches recovered inline because the backlog was full",
+            base + ("worker",),
+        )
+        self._m_admission_depth = r.gauge(
+            "rumba_serve_admission_depth",
+            "Requests waiting in the admission queue", base,
+        )
+        self._m_backlog = r.gauge(
+            "rumba_serve_recovery_backlog",
+            "Batches awaiting asynchronous CPU recovery", base,
+        )
+        self._m_inflight = r.gauge(
+            "rumba_serve_inflight_requests",
+            "Admitted requests not yet completed", base,
+        )
+        self._m_degradation = r.gauge(
+            "rumba_serve_degradation_level",
+            "Backpressure degradation steps currently in effect", base,
+        )
+        self._m_latency = r.histogram(
+            "rumba_serve_request_latency_seconds",
+            "Submission-to-completion latency per request", base,
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._labels = {"app": self.app_name, "scheme": self.scheme}
+
+    def prepare(self) -> "RumbaServer":
+        """Train (or adopt) the prototype and clone one shard per worker."""
+        if self._state != "new":
+            raise ServingError(f"cannot prepare a {self._state} server")
+        if self._prototype is None:
+            self._prototype = prepare_system(
+                self.app_name, scheme=self.scheme, seed=self.seed
+            )
+        for i in range(self.n_workers):
+            name = f"w{i}"
+            telemetry = Telemetry(
+                app=self.app_name,
+                scheme=self.scheme,
+                registry=self.registry,
+                extra_labels={"worker": name},
+            )
+            system = self._prototype.clone_shard(telemetry=telemetry)
+            self.shards.append(
+                WorkerShard(
+                    name=name, system=system, drift=self._drift_factory()
+                )
+            )
+        high, low, factor, max_level = self._bp_config
+        self.controller = BackpressureController(
+            [s.system for s in self.shards],
+            high_watermark=high,
+            low_watermark=low,
+            factor=factor,
+            max_level=max_level,
+        )
+        self._state = "ready"
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def prototype(self) -> Optional[RumbaSystem]:
+        """The prepared system the worker shards were cloned from."""
+        return self._prototype
+
+    @property
+    def is_running(self) -> bool:
+        return self._state == "running"
+
+    def start(self) -> "RumbaServer":
+        """Spawn the worker and recovery thread groups."""
+        if self._state == "new":
+            self.prepare()
+        if self._state != "ready":
+            raise ServingError(f"cannot start a {self._state} server")
+        self._state = "running"
+        for shard in self.shards:
+            thread = threading.Thread(
+                target=self._worker_loop, args=(shard,),
+                name=f"rumba-serve-{shard.name}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        for i in range(self.n_recovery_workers):
+            thread = threading.Thread(
+                target=self._recovery_loop, name=f"rumba-recover-r{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight requests to finish.
+
+        Returns True when everything completed within ``timeout``.
+        """
+        if self._state not in ("running", "draining"):
+            raise ServingError(f"cannot drain a {self._state} server")
+        self._state = "draining"
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._flight_cond:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._flight_cond.wait(timeout=remaining)
+        return True
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain, then tear the thread groups down."""
+        if self._state in ("stopped", "new", "ready"):
+            self._state = "stopped" if self._state != "new" else self._state
+            return
+        self.drain(timeout=timeout)
+        self._admission.close()
+        with self._rcond:
+            self._recovery_stop = True
+            self._rcond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        # Fail anything that somehow survived the drain (e.g. timeout).
+        for request in self._admission.drain_remaining():
+            self._finish_request(
+                request, error=ServingError("server stopped"), record=None
+            )
+        if self.controller is not None:
+            self.controller.reset()
+            self._m_degradation.labels(**self._labels).set(
+                self.controller.level
+            )
+        self._threads = []
+        self._state = "stopped"
+
+    def __enter__(self) -> "RumbaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Admission                                                          #
+    # ------------------------------------------------------------------ #
+    def submit(self, inputs: np.ndarray) -> ServeHandle:
+        """Admit one request; raises :class:`OverloadedError` when shed."""
+        if self._state != "running":
+            raise ServingError(
+                f"server is {self._state}; submissions need a running server"
+            )
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[0] == 0:
+            raise ConfigurationError("a request needs at least one element")
+        with self._id_lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        request = ServeRequest(
+            request_id=request_id,
+            inputs=inputs,
+            submitted_at=time.monotonic(),
+        )
+        if not self._admission.offer(request):
+            self._m_requests.labels(outcome="shed", **self._labels).inc()
+            raise OverloadedError(
+                f"admission queue full ({self._admission.capacity} waiting); "
+                "back off and retry"
+            )
+        with self._flight_cond:
+            self._inflight += 1
+        self._m_requests.labels(outcome="accepted", **self._labels).inc()
+        self._m_inflight.labels(**self._labels).set(self._inflight)
+        self._m_admission_depth.labels(**self._labels).set(
+            len(self._admission)
+        )
+        return request.handle
+
+    def submit_wait(
+        self, inputs: np.ndarray, timeout: Optional[float] = None
+    ) -> ServeResult:
+        """Convenience: submit and block for the result."""
+        return self.submit(inputs).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Worker groups                                                      #
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, shard: WorkerShard) -> None:
+        while True:
+            batch = self._admission.take_batch()
+            if batch is None:
+                return
+            self._m_admission_depth.labels(**self._labels).set(
+                len(self._admission)
+            )
+            try:
+                self._dispatch_batch(shard, batch)
+            except BaseException as exc:  # pragma: no cover - defensive
+                for request in batch:
+                    self._finish_request(request, error=exc, record=None)
+
+    def _dispatch_batch(
+        self, shard: WorkerShard, batch: List[ServeRequest]
+    ) -> None:
+        inputs = concat_inputs(batch)
+        dispatched_at = time.monotonic()
+        try:
+            pending = shard.system.begin_invocation(
+                inputs, measure_quality=self.measure_quality
+            )
+        except BaseException as exc:
+            for request in batch:
+                self._finish_request(request, error=exc, record=None)
+            return
+        shard.batches += 1
+        shard.elements += inputs.shape[0]
+        shard.observe_drift(pending.detection.fire_fraction)
+        self._m_batches.labels(worker=shard.name, **self._labels).inc()
+        self._m_batch_requests.labels(worker=shard.name, **self._labels).inc(
+            len(batch)
+        )
+        task = _RecoveryTask(
+            shard=shard,
+            requests=batch,
+            pending=pending,
+            degraded=self.controller.degraded,
+            dispatched_at=dispatched_at,
+        )
+        with self._rcond:
+            queued = self._backlog.try_push(task)
+            if queued:
+                self._rcond.notify()
+            backlog = len(self._backlog)
+        self._m_backlog.labels(**self._labels).set(backlog)
+        self._apply_backpressure(backlog)
+        if not queued:
+            # Hard backstop: the backlog is at capacity, so this worker
+            # absorbs its own recovery synchronously.  That stalls the
+            # producer — which is precisely the backpressure we want.
+            self._m_inline.labels(worker=shard.name, **self._labels).inc()
+            self._complete_task(task)
+
+    def _recovery_loop(self) -> None:
+        while True:
+            with self._rcond:
+                task = self._backlog.try_pop()
+                while task is None and not self._recovery_stop:
+                    self._rcond.wait(timeout=0.1)
+                    task = self._backlog.try_pop()
+            if task is None:
+                return
+            backlog = len(self._backlog)
+            self._m_backlog.labels(**self._labels).set(backlog)
+            self._complete_task(task)
+            self._apply_backpressure(backlog)
+
+    def _apply_backpressure(self, backlog: int) -> None:
+        if self.controller is None:
+            return
+        if self.controller.update(backlog) != 0:
+            self._m_degradation.labels(**self._labels).set(
+                self.controller.level
+            )
+
+    def _complete_task(self, task: _RecoveryTask) -> None:
+        try:
+            record = task.shard.system.complete_invocation(task.pending)
+        except BaseException as exc:
+            for request in task.requests:
+                self._finish_request(request, error=exc, record=None)
+            return
+        blocks = split_outputs(record.outputs, task.requests)
+        for request, outputs in zip(task.requests, blocks):
+            self._finish_request(
+                request,
+                record=record,
+                outputs=outputs,
+                worker=task.shard.name,
+                degraded=task.degraded or self.controller.degraded,
+                dispatched_at=task.dispatched_at,
+            )
+
+    def _finish_request(
+        self,
+        request: ServeRequest,
+        record,
+        outputs: Optional[np.ndarray] = None,
+        worker: str = "",
+        degraded: bool = False,
+        dispatched_at: Optional[float] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        now = time.monotonic()
+        latency = now - request.submitted_at
+        queue_wait = (
+            max(dispatched_at - request.submitted_at, 0.0)
+            if dispatched_at is not None
+            else latency
+        )
+        if error is not None:
+            self._m_requests.labels(outcome="failed", **self._labels).inc()
+            request.handle.set_exception(error)
+        else:
+            self._m_requests.labels(outcome="completed", **self._labels).inc()
+            self._m_latency.labels(**self._labels).observe(latency)
+            request.handle.set_result(
+                ServeResult(
+                    request_id=request.request_id,
+                    outputs=outputs,
+                    worker=worker,
+                    queue_wait_s=queue_wait,
+                    latency_s=latency,
+                    fix_fraction=record.fix_fraction,
+                    degraded=degraded,
+                )
+            )
+        with self._flight_cond:
+            self._inflight -= 1
+            self._flight_cond.notify_all()
+        self._m_inflight.labels(**self._labels).set(self._inflight)
+
+    # ------------------------------------------------------------------ #
+    # Health / stats                                                     #
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """The health endpoint: lifecycle, queues, degradation, drift.
+
+        Everything here is also available as time series through the
+        metrics registry; this is the structured point-in-time view a
+        load balancer or operator would poll.
+        """
+        per_worker = []
+        for shard in self.shards:
+            per_worker.append({
+                "worker": shard.name,
+                "batches": shard.batches,
+                "elements": shard.elements,
+                "invocations": shard.system.total_invocations,
+                "threshold": float(shard.system.tuner.threshold),
+                "degradation_level": shard.system.tuner.degradation_level,
+                "drifted": shard.drifted,
+                "drift_flags": shard.drift_flags,
+            })
+        degradation = 0 if self.controller is None else self.controller.level
+        return {
+            "state": self._state,
+            "app": self.app_name,
+            "scheme": self.scheme,
+            "healthy": self._state == "running" and degradation == 0,
+            "n_workers": self.n_workers,
+            "n_recovery_workers": self.n_recovery_workers,
+            "inflight_requests": self._inflight,
+            "admission_depth": len(self._admission),
+            "admission_capacity": self._admission.capacity,
+            "requests_offered": self._admission.offered,
+            "requests_shed": self._admission.shed,
+            "recovery_backlog": len(self._backlog),
+            "recovery_backlog_capacity": self._backlog.capacity,
+            "degradation_level": degradation,
+            "degraded": degradation > 0,
+            "drifted": any(shard.drifted for shard in self.shards),
+            "workers": per_worker,
+        }

@@ -206,3 +206,85 @@ class TestMaxRecords:
     def test_bad_max_records_rejected(self, tree_system):
         with pytest.raises(ConfigurationError):
             self._capped_clone(tree_system, 0)
+
+
+class TestSplitPhaseInvocation:
+    """begin_invocation/complete_invocation must equal run_invocation —
+    the serving layer depends on the split producing identical records."""
+
+    def test_split_equals_monolithic(self, tree_system, fft_inputs):
+        x = fft_inputs[:1500]
+        a = tree_system.clone_shard()
+        b = tree_system.clone_shard()
+        whole = a.run_invocation(x)
+        pending = b.begin_invocation(x)
+        split = b.complete_invocation(pending)
+        assert split.measured_error == pytest.approx(whole.measured_error)
+        assert split.fix_fraction == pytest.approx(whole.fix_fraction)
+        assert split.detection.fire_fraction == pytest.approx(
+            whole.detection.fire_fraction
+        )
+        np.testing.assert_allclose(split.outputs, whole.outputs)
+
+    def test_pending_exposes_accelerator_half(self, tree_system, fft_inputs):
+        shard = tree_system.clone_shard()
+        pending = shard.begin_invocation(fft_inputs[:400])
+        assert pending.n_elements == 400
+        assert pending.approx.shape[0] == 400
+        # Detection has already happened on the accelerator side...
+        assert 0.0 <= pending.detection.fire_fraction <= 1.0
+        # ...but nothing was recorded yet: recovery is the CPU's half.
+        assert shard.total_invocations == 0
+        record = shard.complete_invocation(pending)
+        assert shard.total_invocations == 1
+        assert record.recovery.n_recovered == int(np.sum(pending.recovery_bits))
+
+    def test_begin_rejects_empty(self, tree_system):
+        with pytest.raises(ConfigurationError):
+            tree_system.clone_shard().begin_invocation(np.empty((0, 1)))
+
+
+class TestCloneShard:
+    def test_clone_shares_trained_artifacts(self, tree_system):
+        shard = tree_system.clone_shard()
+        assert shard.app is tree_system.app
+        assert shard.backend is tree_system.backend
+        # The predictor is stateful (EMA) — it must NOT be shared.
+        assert shard.predictor is not tree_system.predictor
+        assert shard.tuner.threshold == tree_system.tuner.threshold
+
+    def test_clone_state_is_independent(self, tree_system, fft_inputs):
+        shard = tree_system.clone_shard()
+        before = tree_system.total_invocations
+        threshold_before = tree_system.tuner.threshold
+        shard.run_invocation(fft_inputs[:800])
+        shard.tuner.degrade(factor=2.0)
+        assert tree_system.total_invocations == before
+        assert tree_system.tuner.threshold == threshold_before
+        assert shard.records is not tree_system.records
+
+    def test_clone_respects_max_records(self, tree_system, fft_inputs):
+        shard = tree_system.clone_shard(max_records=2)
+        for i in range(4):
+            shard.run_invocation(fft_inputs[i * 200:(i + 1) * 200])
+        assert len(shard.records) == 2
+        assert shard.total_invocations == 4
+
+
+class TestApplyBackpressure:
+    def test_roundtrip_restores_threshold(self, tree_system, fft_inputs):
+        shard = tree_system.clone_shard()
+        start = shard.tuner.threshold
+        raised = shard.apply_backpressure(+1, factor=2.0)
+        assert raised == pytest.approx(start * 2.0)
+        # The detection module reads the tuner's threshold at the next
+        # begin_invocation — that's the handoff point.
+        pending = shard.begin_invocation(fft_inputs[:200])
+        assert pending.detection.threshold == pytest.approx(start * 2.0)
+        shard.complete_invocation(pending)
+        restored = shard.apply_backpressure(-1, factor=2.0)
+        assert restored == pytest.approx(start)
+
+    def test_zero_direction_reads_threshold(self, tree_system):
+        shard = tree_system.clone_shard()
+        assert shard.apply_backpressure(0) == shard.tuner.threshold

@@ -59,6 +59,72 @@ class TestDriftDetector:
             detector.observe(1.5)
 
 
+class TestDriftDetectorEdges:
+    """Boundary configurations the serving layer exercises."""
+
+    def test_minimum_calibration_window_of_two(self):
+        detector = DriftDetector(
+            calibration_invocations=2, tolerance_sigmas=1.0,
+            min_band=0.01, max_band=0.05, smoothing=1.0,
+        )
+        assert not detector.observe(0.10)
+        assert not detector.is_calibrated
+        assert not detector.observe(0.12)
+        assert detector.is_calibrated
+        assert detector.reference_mean == pytest.approx(0.11)
+        # Below 2 the spread is undefined; the constructor refuses it.
+        with pytest.raises(ConfigurationError):
+            DriftDetector(calibration_invocations=1)
+
+    def test_band_clamped_to_min_band(self):
+        # Identical calibration rates give zero spread; the band must
+        # clamp up to min_band instead of flagging on any wiggle.
+        detector = DriftDetector(
+            calibration_invocations=3, tolerance_sigmas=4.0,
+            min_band=0.05, max_band=0.25,
+        )
+        for _ in range(3):
+            detector.observe(0.2)
+        assert detector.reference_band == pytest.approx(0.05)
+        assert not detector.observe(0.22)  # inside the clamped band
+
+    def test_band_clamped_to_max_band(self):
+        # Wildly noisy calibration would produce a band so wide nothing
+        # ever flags; max_band caps it.
+        detector = DriftDetector(
+            calibration_invocations=4, tolerance_sigmas=10.0,
+            min_band=0.05, max_band=0.10,
+        )
+        for rate in (0.0, 1.0, 0.0, 1.0):
+            detector.observe(rate)
+        assert detector.reference_band == pytest.approx(0.10)
+        # Mean is 0.5; a sustained rate beyond mean+max_band flags even
+        # though the raw sigma band would have swallowed it.
+        flagged = False
+        for _ in range(20):
+            flagged = detector.observe(0.95) or flagged
+        assert flagged
+
+    def test_smoothing_of_one_tracks_instantaneously(self):
+        # smoothing=1.0 is the no-memory boundary: the smoothed rate IS
+        # the last observation, so one spike outside the band flags and
+        # one return inside the band clears.
+        detector = DriftDetector(
+            calibration_invocations=2, tolerance_sigmas=1.0,
+            min_band=0.05, max_band=0.10, smoothing=1.0,
+        )
+        detector.observe(0.2)
+        detector.observe(0.2)
+        assert detector.observe(0.9)
+        assert not detector.observe(0.2)
+
+    def test_smoothing_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(smoothing=1.2)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(smoothing=0.0)
+
+
 class TestQualityManagedStream:
     @pytest.fixture(scope="class")
     def system(self):

@@ -86,6 +86,58 @@ class TestQualityMode:
         assert tuner.threshold == before
 
 
+class TestBackpressureDegradation:
+    """degrade()/relax() — the serving layer's overload lever (works in
+    every mode, including TOQ where update() holds the threshold fixed)."""
+
+    def test_degrade_scales_threshold_and_tracks_level(self):
+        tuner = _tuner(TunerMode.TOQ, target_output_quality=0.9)
+        before = tuner.threshold
+        assert tuner.degradation_level == 0
+        tuner.degrade(factor=2.0)
+        assert tuner.threshold == pytest.approx(before * 2.0)
+        assert tuner.degradation_level == 1
+        tuner.degrade(factor=2.0)
+        assert tuner.threshold == pytest.approx(before * 4.0)
+        assert tuner.degradation_level == 2
+
+    def test_relax_is_symmetric(self):
+        tuner = _tuner(TunerMode.ENERGY)
+        before = tuner.threshold
+        tuner.degrade(factor=1.5)
+        tuner.degrade(factor=1.5)
+        tuner.relax(factor=1.5)
+        tuner.relax(factor=1.5)
+        assert tuner.threshold == pytest.approx(before)
+        assert tuner.degradation_level == 0
+
+    def test_relax_at_level_zero_is_noop(self):
+        tuner = _tuner(TunerMode.QUALITY)
+        before = tuner.threshold
+        tuner.relax()
+        assert tuner.threshold == before
+        assert tuner.degradation_level == 0
+
+    def test_default_factor_is_threshold_gain(self):
+        tuner = _tuner(TunerMode.ENERGY, threshold_gain=1.25)
+        before = tuner.threshold
+        tuner.degrade()
+        assert tuner.threshold == pytest.approx(before * 1.25)
+
+    def test_degrade_recorded_in_history(self):
+        tuner = _tuner(TunerMode.TOQ)
+        tuner.degrade(factor=2.0)
+        assert len(tuner.history) == 2
+        assert tuner.history[-1] == tuner.threshold
+
+    def test_invalid_factor_rejected(self):
+        tuner = _tuner(TunerMode.ENERGY)
+        with pytest.raises(ConfigurationError):
+            tuner.degrade(factor=1.0)
+        with pytest.raises(ConfigurationError):
+            tuner.degrade(factor=0.5)
+
+
 class TestTunerGeneral:
     def test_history_recorded(self):
         tuner = _tuner(TunerMode.ENERGY)

@@ -76,6 +76,87 @@ class TestFifoQueue:
         assert q.drain() == items
 
 
+class TestFifoQueueThreaded:
+    """Non-raising ops + the concurrency contract the serving layer uses."""
+
+    def test_try_push_never_raises_on_full_strict_queue(self):
+        q = FifoQueue(capacity=1, strict=True)
+        assert q.try_push("a")
+        assert not q.try_push("b")
+        assert q.stats.stall_events == 1
+        assert len(q) == 1
+
+    def test_try_pop_returns_none_when_empty(self):
+        q = FifoQueue()
+        assert q.try_pop() is None
+        q.push(7)
+        assert q.try_pop() == 7
+        assert q.try_pop() is None
+
+    def test_concurrent_producers_consumers_lose_nothing(self):
+        import threading
+
+        q = FifoQueue(capacity=10_000)
+        n_producers, per_producer = 4, 500
+        consumed = []
+        consumed_lock = threading.Lock()
+        done = threading.Event()
+
+        def produce(base):
+            for i in range(per_producer):
+                q.push(base + i)
+
+        def consume():
+            while True:
+                item = q.try_pop()
+                if item is None:
+                    if done.is_set() and q.is_empty:
+                        return
+                    continue
+                with consumed_lock:
+                    consumed.append(item)
+
+        consumers = [threading.Thread(target=consume) for _ in range(2)]
+        producers = [
+            threading.Thread(target=produce, args=(k * per_producer,))
+            for k in range(n_producers)
+        ]
+        for t in consumers + producers:
+            t.start()
+        for t in producers:
+            t.join()
+        done.set()
+        for t in consumers:
+            t.join(timeout=10.0)
+
+        total = n_producers * per_producer
+        assert sorted(consumed) == list(range(total))
+        assert q.stats.pushes == total
+        assert q.stats.pops == total
+        assert q.stats.occupancy == 0
+
+    def test_concurrent_try_push_respects_capacity(self):
+        import threading
+
+        q = FifoQueue(capacity=32, strict=True)
+        accepted = []
+        lock = threading.Lock()
+
+        def hammer():
+            ok = sum(q.try_push(object()) for _ in range(100))
+            with lock:
+                accepted.append(ok)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(accepted) == 32
+        assert q.stats.max_occupancy == 32
+        assert q.stats.stall_events == 400 - 32
+
+
 class TestRecoveryQueue:
     def test_tracks_pending_recoveries(self):
         q = RecoveryQueue()

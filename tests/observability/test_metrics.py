@@ -155,3 +155,67 @@ class TestRegistry:
         # increment is lost.
         assert len(counter._children) == 1
         assert counter.labels(t="x").value == 8000
+
+
+class TestConcurrentReads:
+    def test_histogram_snapshot_consistent_under_writers(self):
+        """count/sum/buckets read while 4 threads observe must form a
+        consistent triple (sum of bucket counts == count)."""
+        hist = Histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        child = hist.labels()
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                child.observe(0.5)
+
+        writers = [threading.Thread(target=write) for _ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = child._snapshot()
+                # Cumulative +Inf bucket must equal the total count, and
+                # every observation was 0.5, so sum pins to count too.
+                assert snap["buckets"][-1][1] == snap["count"]
+                assert snap["sum"] == pytest.approx(0.5 * snap["count"])
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+
+
+class TestTelemetryExtraLabels:
+    def test_worker_label_produces_separate_series(self):
+        from repro.observability import Telemetry
+
+        registry = MetricsRegistry()
+        for worker in ("w0", "w1"):
+            tel = Telemetry(app="fft", scheme="treeErrors", registry=registry,
+                            extra_labels={"worker": worker})
+            tel.on_detection(n_checks=100, n_fired=10)
+        family = registry.get("rumba_checks_total")
+        series = {labels["worker"]: child.value
+                  for labels, child in family.series()}
+        assert series == {"w0": 100, "w1": 100}
+
+    def test_reserved_label_names_rejected(self):
+        from repro.observability import Telemetry
+
+        for name in ("app", "scheme", "phase"):
+            with pytest.raises(ConfigurationError):
+                Telemetry(app="fft", scheme="treeErrors",
+                          registry=MetricsRegistry(),
+                          extra_labels={name: "x"})
+
+    def test_unlabelled_telemetry_unchanged(self):
+        """No extra labels → exactly the PR 1 label set (the golden
+        exposition test depends on this)."""
+        from repro.observability import Telemetry
+
+        registry = MetricsRegistry()
+        tel = Telemetry(app="fft", scheme="treeErrors", registry=registry)
+        tel.on_detection(n_checks=10, n_fired=1)
+        family = registry.get("rumba_checks_total")
+        (labels, _), = family.series()
+        assert set(labels) == {"app", "scheme"}

@@ -1,0 +1,19 @@
+"""Serving-layer fixtures: one trained prototype shared by every test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import prepare_system
+
+
+@pytest.fixture(scope="session")
+def fft_prototype():
+    return prepare_system("fft", scheme="treeErrors", seed=0)
+
+
+@pytest.fixture(scope="session")
+def fft_input_pool(fft_prototype):
+    rng = np.random.default_rng(42)
+    return np.atleast_2d(fft_prototype.app.test_inputs(rng))

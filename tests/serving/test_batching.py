@@ -1,0 +1,107 @@
+"""Admission queue and batch formation semantics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serving import AdmissionQueue, ServeRequest, concat_inputs, split_outputs
+
+
+def _request(request_id=0, n=4, width=1, at=None):
+    return ServeRequest(
+        request_id=request_id,
+        inputs=np.ones((n, width)),
+        submitted_at=time.monotonic() if at is None else at,
+    )
+
+
+class TestAdmissionQueue:
+    def test_batch_flushes_at_max_size(self):
+        queue = AdmissionQueue(
+            capacity=16, max_batch_requests=3, flush_interval_s=60.0
+        )
+        for i in range(5):
+            assert queue.offer(_request(i))
+        batch = queue.take_batch()
+        assert [r.request_id for r in batch] == [0, 1, 2]
+        # Two leftovers are below max size; with a long flush interval
+        # they only come out once the queue is closed.
+        queue.close()
+        assert [r.request_id for r in queue.take_batch()] == [3, 4]
+        assert queue.take_batch() is None
+
+    def test_deadline_flushes_partial_batch(self):
+        queue = AdmissionQueue(
+            capacity=16, max_batch_requests=100, flush_interval_s=0.02
+        )
+        queue.offer(_request(7))
+        started = time.monotonic()
+        batch = queue.take_batch()
+        waited = time.monotonic() - started
+        assert [r.request_id for r in batch] == [7]
+        # Flushed by the deadline, not by size — and without busy-waiting
+        # far past it.
+        assert waited < 1.0
+
+    def test_full_queue_sheds(self):
+        queue = AdmissionQueue(capacity=2, max_batch_requests=2)
+        assert queue.offer(_request(0))
+        assert queue.offer(_request(1))
+        assert not queue.offer(_request(2))
+        assert queue.shed == 1
+        assert queue.offered == 3
+
+    def test_offer_after_close_raises(self):
+        queue = AdmissionQueue()
+        queue.close()
+        with pytest.raises(ServingError):
+            queue.offer(_request())
+
+    def test_take_batch_wakes_on_arrival(self):
+        queue = AdmissionQueue(
+            capacity=8, max_batch_requests=1, flush_interval_s=10.0
+        )
+        got = []
+
+        def consume():
+            got.append(queue.take_batch())
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        queue.offer(_request(9))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        # max_batch_requests=1 means a single arrival is already a full
+        # batch — no deadline wait.
+        assert [r.request_id for r in got[0]] == [9]
+
+    def test_validations(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(max_batch_requests=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(flush_interval_s=-1.0)
+
+
+class TestBatchSplitting:
+    def test_concat_then_split_roundtrips(self):
+        requests = [_request(0, n=2, width=3), _request(1, n=5, width=3)]
+        merged = concat_inputs(requests)
+        assert merged.shape == (7, 3)
+        outputs = np.arange(14.0).reshape(7, 2)
+        blocks = split_outputs(outputs, requests)
+        assert [b.shape[0] for b in blocks] == [2, 5]
+        assert np.array_equal(np.concatenate(blocks), outputs)
+
+    def test_split_row_mismatch_rejected(self):
+        with pytest.raises(ServingError):
+            split_outputs(np.ones((3, 1)), [_request(0, n=2)])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concat_inputs([])

@@ -93,3 +93,34 @@ class TestMonitor:
         with open(snapshot) as handle:
             data = json.load(handle)
         assert "rumba_invocations_total" in data["metrics"]
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--app", "fft"])
+        assert args.command == "serve"
+        assert args.workers == 2
+        assert args.recovery_workers == 1
+        assert args.requests == 100
+        assert args.batch_requests == 8
+        assert args.export == ""
+
+    def test_serve_requires_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_session(self, capsys, tmp_path):
+        snapshot = str(tmp_path / "serve.json")
+        assert main([
+            "serve", "--app", "fft", "--requests", "16", "--workers", "2",
+            "--elements", "64", "--flush-ms", "2", "--export", snapshot,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "throughput" in out
+        assert "w0" in out and "w1" in out
+        import json
+
+        with open(snapshot) as handle:
+            data = json.load(handle)
+        assert "rumba_serve_requests_total" in data["metrics"]
