@@ -1,0 +1,180 @@
+"""Thread-vs-process serving backend scaling bench.
+
+Sweeps both :class:`~repro.serving.RumbaServer` backends across worker
+counts and batch sizes under the same closed-loop load and writes the
+measurements — with a host fingerprint and the thread→process speedup per
+configuration — to ``BENCH_serving.json`` at the repo root.  CI runs the
+``--quick`` variant as a perf smoke and archives the JSON so backend
+regressions show up in the artifact history.
+
+Run directly::
+
+    python benchmarks/bench_backend_scaling.py           # full sweep
+    python benchmarks/bench_backend_scaling.py --quick   # CI smoke
+
+The process backend's advantage is GIL-free CPU parallelism, so the
+headline ≥2x-at-4-workers expectation only holds on hosts with 4+ cores;
+the emitted JSON records ``host.cpu_count`` so readers can judge the
+numbers (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _bench_utils import emit
+from perf_harness import drive_server, host_fingerprint, make_request_pool, speedup
+
+from repro.core import prepare_system
+from repro.eval.reporting import banner, format_table
+from repro.serving import RumbaServer
+
+APP = "fft"
+SCHEME = "treeErrors"
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(_REPO_ROOT, "BENCH_serving.json")
+
+FULL_SWEEP = {
+    "n_requests": 160,
+    "elements_per_request": 128,
+    "warmup_requests": 8,
+    "points": [  # (workers, max_batch_requests)
+        (1, 8),
+        (2, 8),
+        (4, 8),
+        (4, 1),
+    ],
+}
+QUICK_SWEEP = {
+    "n_requests": 32,
+    "elements_per_request": 64,
+    "warmup_requests": 2,
+    "points": [(1, 8), (2, 8)],
+}
+
+
+def run_sweep(quick: bool = False) -> Dict[str, object]:
+    sweep = QUICK_SWEEP if quick else FULL_SWEEP
+    prototype = prepare_system(APP, scheme=SCHEME, seed=0)
+    pool = make_request_pool(prototype)
+    results: List[Dict[str, object]] = []
+    for backend in ("thread", "process"):
+        for workers, batch in sweep["points"]:
+            server = RumbaServer(
+                prototype=prototype.clone_shard(),
+                backend=backend,
+                n_workers=workers,
+                n_recovery_workers=max(workers // 2, 1),
+                max_batch_requests=batch,
+                flush_interval_s=0.002,
+                seed=0,
+            )
+            point = drive_server(
+                server,
+                pool,
+                n_requests=sweep["n_requests"],
+                elements_per_request=sweep["elements_per_request"],
+                warmup_requests=sweep["warmup_requests"],
+            )
+            results.append(point)
+    return {
+        "bench": "backend_scaling",
+        "app": APP,
+        "scheme": SCHEME,
+        "quick": quick,
+        "host": host_fingerprint(),
+        "load": {
+            "n_requests": sweep["n_requests"],
+            "elements_per_request": sweep["elements_per_request"],
+            "warmup_requests": sweep["warmup_requests"],
+        },
+        "results": results,
+        "speedup": speedup(results),
+    }
+
+
+def _report(report: Dict[str, object]) -> None:
+    emit(banner(
+        f"Backend scaling ({APP}/{SCHEME}, "
+        f"{report['load']['n_requests']} requests x "
+        f"{report['load']['elements_per_request']} elements, "
+        f"{report['host']['cpu_count']} host cores)"
+    ))
+    emit(format_table(
+        ["backend", "workers", "batch", "req/s", "p50 ms", "p95 ms"],
+        [
+            [r["backend"], r["workers"], r["batch_requests"],
+             f"{r['requests_per_s']:.0f}", f"{r['p50_ms']:.2f}",
+             f"{r['p95_ms']:.2f}"]
+            for r in report["results"]
+        ],
+    ))
+    if report["speedup"]:
+        emit(format_table(
+            ["workers", "batch", "thread req/s", "process req/s", "speedup"],
+            [
+                [s["workers"], s["batch_requests"],
+                 f"{s['thread_req_per_s']:.0f}",
+                 f"{s['process_req_per_s']:.0f}",
+                 f"{s['speedup']:.2f}x"]
+                for s in report["speedup"]
+            ],
+            title="thread -> process",
+        ))
+
+
+def _check(report: Dict[str, object]) -> None:
+    """Sanity floors, not perf assertions (CI hosts vary wildly)."""
+    results = report["results"]
+    assert all(r["requests_per_s"] > 0 for r in results)
+    # Every configuration completed the whole load on both backends.
+    backends = {r["backend"] for r in results}
+    assert backends == {"thread", "process"}
+    # The paired speedup table covers every swept configuration.
+    n_points = len({(r["workers"], r["batch_requests"]) for r in results})
+    assert len(report["speedup"]) == n_points
+
+
+def test_backend_scaling(benchmark=None):
+    quick = os.environ.get("RUMBA_BENCH_QUICK", "") == "1"
+    if benchmark is None:
+        report = run_sweep(quick=quick)
+    else:
+        report = benchmark.pedantic(
+            run_sweep, kwargs={"quick": quick}, rounds=1, iterations=1
+        )
+    _report(report)
+    _check(report)
+    with open(OUTPUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+    emit(f"wrote {OUTPUT_PATH}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output", default=OUTPUT_PATH,
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+    report = run_sweep(quick=args.quick)
+    _report(report)
+    _check(report)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    emit(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

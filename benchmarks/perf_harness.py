@@ -1,0 +1,143 @@
+"""Reusable perf-measurement harness for the serving layer.
+
+The figure benches each print one table; this module is the *regression*
+side of the house: it drives a :class:`~repro.serving.RumbaServer` with a
+closed-loop offered load, measures throughput and latency percentiles,
+and packages the numbers — together with a host fingerprint — into a
+JSON-serializable report that CI archives (``BENCH_serving.json``) so
+perf changes are visible across commits.
+
+Used by ``bench_backend_scaling.py``; import it for custom sweeps::
+
+    from perf_harness import drive_server, host_fingerprint
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serving import RumbaServer
+
+__all__ = [
+    "host_fingerprint",
+    "make_request_pool",
+    "drive_server",
+    "percentile_ms",
+]
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """What the numbers were measured on — perf JSON without this is
+    uninterpretable once it leaves the machine."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def make_request_pool(prototype, seed: int = 7) -> np.ndarray:
+    """A deterministic pool of input rows to slice requests from."""
+    rng = np.random.default_rng(seed)
+    return np.atleast_2d(prototype.app.test_inputs(rng))
+
+
+def percentile_ms(latencies_s: List[float], q: float) -> float:
+    """Latency percentile in milliseconds (latencies need not be sorted)."""
+    if not latencies_s:
+        return float("nan")
+    return float(np.percentile(np.asarray(latencies_s), q) * 1e3)
+
+
+def drive_server(
+    server: RumbaServer,
+    pool: np.ndarray,
+    n_requests: int,
+    elements_per_request: int,
+    warmup_requests: int = 0,
+    timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """Closed-loop load: submit everything, then harvest every handle.
+
+    Warmup requests are driven (and waited for) before the timed window
+    so one-time costs — process spawn, the startup unpickle, predictor
+    warm paths — do not pollute the steady-state rate.  Returns one
+    measurement point: requests/sec, latency percentiles, and the
+    server's closing health stats.
+    """
+    span = max(pool.shape[0] - elements_per_request, 1)
+
+    def request_slice(i: int) -> np.ndarray:
+        lo = (i * elements_per_request) % span
+        return pool[lo: lo + elements_per_request]
+
+    with server:
+        for i in range(warmup_requests):
+            server.submit_wait(request_slice(i), timeout=timeout_s)
+        started = time.perf_counter()
+        handles = [
+            server.submit(request_slice(i)) for i in range(n_requests)
+        ]
+        latencies = [
+            handle.result(timeout=timeout_s).latency_s for handle in handles
+        ]
+        elapsed = time.perf_counter() - started
+        stats = server.stats()
+    elements = n_requests * elements_per_request
+    return {
+        "backend": server.backend,
+        "workers": server.n_workers,
+        "batch_requests": server._admission.max_batch_requests,
+        "requests": n_requests,
+        "elements_per_request": elements_per_request,
+        "elapsed_s": elapsed,
+        "requests_per_s": n_requests / elapsed,
+        "elements_per_s": elements / elapsed,
+        "p50_ms": percentile_ms(latencies, 50),
+        "p95_ms": percentile_ms(latencies, 95),
+        "p99_ms": percentile_ms(latencies, 99),
+        "degradation_events": (
+            server.controller.degrade_events if server.controller else 0
+        ),
+        "worker_invocations": [
+            w["invocations"] for w in stats["workers"]
+        ],
+    }
+
+
+def speedup(
+    results: List[Dict[str, object]],
+    baseline_backend: str = "thread",
+    other_backend: str = "process",
+) -> List[Dict[str, object]]:
+    """Pair up same-shape (workers, batch) points across two backends."""
+    rows: List[Dict[str, object]] = []
+    for point in results:
+        if point["backend"] != other_backend:
+            continue
+        base: Optional[Dict[str, object]] = next(
+            (
+                r for r in results
+                if r["backend"] == baseline_backend
+                and r["workers"] == point["workers"]
+                and r["batch_requests"] == point["batch_requests"]
+            ),
+            None,
+        )
+        if base is None:
+            continue
+        rows.append({
+            "workers": point["workers"],
+            "batch_requests": point["batch_requests"],
+            f"{baseline_backend}_req_per_s": base["requests_per_s"],
+            f"{other_backend}_req_per_s": point["requests_per_s"],
+            "speedup": point["requests_per_s"] / base["requests_per_s"],
+        })
+    return rows

@@ -12,10 +12,12 @@ Commands
     Run a quality-managed stream with full telemetry attached and render
     the live ASCII quality dashboard; optionally export the metrics
     snapshot and a JSONL span trace.
-``serve --app NAME [--workers N] [--requests R] [--rate RPS] ...``
+``serve --app NAME [--workers N] [--backend thread|process] ...``
     Start the batched quality-managed serving layer (worker pool +
     asynchronous recovery + backpressure), drive it with a synthetic
-    request load, and print the throughput/latency/health report.
+    request load, and print the throughput/latency/health report.  With
+    ``--backend process`` each worker is an OS process fed over
+    shared-memory rings (GIL-free scaling).
 ``summary [--apps a,b,...]``
     Recompute the paper's headline numbers (trains every requested
     benchmark; the full suite takes ~30 s).
@@ -134,7 +136,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import RumbaServer
 
     print(f"Preparing {args.app} with the {args.scheme} checker "
-          f"({args.workers} workers, {args.recovery_workers} recovery)...")
+          f"({args.workers} {args.backend} workers, "
+          f"{args.recovery_workers} recovery)...")
     server = RumbaServer(
         app=args.app,
         scheme=args.scheme,
@@ -145,6 +148,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission_capacity=args.admission_capacity,
         recovery_backlog_capacity=args.recovery_capacity,
         seed=args.seed,
+        backend=args.backend,
     )
     server.prepare()
     rng = np.random.default_rng(args.seed + 100)
@@ -292,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--app", required=True, choices=APPLICATION_NAMES)
     serve.add_argument("--scheme", default="treeErrors", choices=SCHEME_NAMES)
     serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--backend", default="thread",
+                       choices=("thread", "process"),
+                       help="worker engine: in-process threads, or one OS "
+                            "process per worker fed over shared memory")
     serve.add_argument("--recovery-workers", type=int, default=1)
     serve.add_argument("--requests", type=int, default=100,
                        help="synthetic requests to drive through the server")

@@ -223,6 +223,19 @@ class Application:
         """Application-level output error under the Table 1 metric."""
         return self.quality_metric_fn(approx, exact)
 
+    def __reduce_ex__(self, protocol):
+        # Kernels and input generators are closures, which pickle cannot
+        # serialize.  Registry-built applications are deterministic to
+        # reconstruct, so they pickle *by name* — the receiving process
+        # rebuilds an identical instance from the registry.  Hand-built
+        # applications fall back to default pickling (and fail loudly if
+        # they hold lambdas, as before).
+        if getattr(self, "_registry_backed", False):
+            from repro.apps.registry import get_application
+
+            return (get_application, (self.name,))
+        return super().__reduce_ex__(protocol)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Application({self.name!r}, rumba={self.rumba_topology}, "

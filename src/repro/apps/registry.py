@@ -47,9 +47,13 @@ def get_application(name: str) -> Application:
         raise UnknownApplicationError(
             f"unknown application {name!r}; known: {known}"
         ) from None
-    return factory()
+    app = factory()
+    # Mark the instance as reconstructible-by-name so it pickles by
+    # reference (see Application.__reduce_ex__) across process boundaries.
+    app._registry_backed = True
+    return app
 
 
 def all_applications() -> List[Application]:
     """The full Table 1 suite, in table order."""
-    return [factory() for factory in _FACTORIES.values()]
+    return [get_application(name) for name in APPLICATION_NAMES]

@@ -77,6 +77,13 @@ class DetectionModule:
         # Optional observability hook (set via RumbaSystem.attach_telemetry).
         self.telemetry = None
 
+    def __getstate__(self) -> dict:
+        # Telemetry binds to the parent process's registry; strip it so
+        # the module survives the serving layer's fork/spawn boundary.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        return state
+
     def detect(
         self,
         features: Optional[np.ndarray] = None,
@@ -109,8 +116,10 @@ class DetectionModule:
         if self.telemetry is not None:
             self.telemetry.on_detection(scores.shape[0], n_fired)
         if recovery_queue is not None:
-            for offset, bit in enumerate(bits):
-                recovery_queue.push(first_iteration_id + offset, bool(bit))
+            recovery_queue.push_many(
+                range(first_iteration_id, first_iteration_id + bits.shape[0]),
+                bits,
+            )
         return DetectionResult(scores=scores, recovery_bits=bits,
                                threshold=self.threshold)
 

@@ -90,6 +90,13 @@ class RecoveryModule:
         # Optional observability hook (set via RumbaSystem.attach_telemetry).
         self.telemetry = None
 
+    def __getstate__(self) -> dict:
+        # Telemetry binds to the parent process's registry; strip it so
+        # the module survives the serving layer's fork/spawn boundary.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        return state
+
     def recover(
         self,
         inputs: np.ndarray,

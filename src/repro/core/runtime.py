@@ -201,6 +201,30 @@ class RumbaSystem:
             telemetry.on_threshold(self.tuner.threshold, 0)
 
     # ------------------------------------------------------------------ #
+    # Serialization (process-backend serving)                            #
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle everything except locks and telemetry.
+
+        The process serving backend ships one prepared system to each
+        worker process exactly once, at startup; locks are per-process and
+        telemetry is bound to the parent's registry, so neither crosses the
+        fork/spawn boundary.  The submodules strip their own telemetry
+        hooks the same way.
+        """
+        state = self.__dict__.copy()
+        del state["_mutex"]
+        del state["_complete_lock"]
+        state["telemetry"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.Lock()
+        self._complete_lock = threading.Lock()
+        self.telemetry = None
+
+    # ------------------------------------------------------------------ #
     # Execution                                                          #
     # ------------------------------------------------------------------ #
     def run_invocation(

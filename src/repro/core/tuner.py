@@ -68,6 +68,13 @@ class OnlineTuner:
         # Optional observability hook (set via RumbaSystem.attach_telemetry).
         self.telemetry = None
 
+    def __getstate__(self) -> dict:
+        # Telemetry binds to the parent process's registry; strip it so
+        # the tuner survives the serving layer's fork/spawn boundary.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        return state
+
     @property
     def mode(self) -> TunerMode:
         return self.config.mode

@@ -65,6 +65,18 @@ class FifoQueue(Generic[T]):
         self._mutex = threading.RLock()
         self.stats = QueueStats()
 
+    def __getstate__(self) -> dict:
+        # Locks do not survive pickling (the process-backend serving layer
+        # ships queues across the fork/spawn boundary); contents and
+        # statistics do.
+        state = self.__dict__.copy()
+        del state["_mutex"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.RLock()
+
     def __len__(self) -> int:
         with self._mutex:
             return len(self._items)
@@ -167,6 +179,15 @@ class RecoveryQueue:
         self._pending_set_bits = 0
         self._last_pushed_id: Optional[int] = None
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_mutex"]  # rebound to the (restored) FIFO's lock
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = self._fifo._mutex
+
     def __len__(self) -> int:
         return len(self._fifo)
 
@@ -202,6 +223,55 @@ class RecoveryQueue:
                     self._pending_set_bits += 1
             return ok
 
+    def push_many(self, iteration_ids, recovery_bits) -> int:
+        """Bulk variant of :meth:`push`: one lock acquisition per invocation.
+
+        ``iteration_ids`` and ``recovery_bits`` are parallel sequences (the
+        detector's verdicts for one invocation, in iteration order).  The
+        same invariants as element-wise pushes hold: ids must be strictly
+        increasing and continue past the last pushed id, and capacity is
+        enforced exactly as :meth:`push` would — entries are appended until
+        the queue fills, at which point a stall is recorded and, under
+        ``strict`` FIFO semantics, :class:`SimulationError` is raised.
+        Returns the number of entries enqueued.
+        """
+        ids = [int(i) for i in iteration_ids]
+        bits = [bool(b) for b in recovery_bits]
+        if len(ids) != len(bits):
+            raise ConfigurationError(
+                "iteration_ids and recovery_bits must have equal length"
+            )
+        if not ids:
+            return 0
+        with self._mutex:
+            previous = self._last_pushed_id
+            for iteration_id in ids:
+                if previous is not None and iteration_id <= previous:
+                    raise SimulationError(
+                        f"recovery queue push out of order: {iteration_id} "
+                        f"after {previous}"
+                    )
+                previous = iteration_id
+            fifo = self._fifo
+            room = fifo.capacity - len(fifo._items)
+            n_accepted = min(room, len(ids))
+            if n_accepted:
+                fifo._items.extend(zip(ids[:n_accepted], bits[:n_accepted]))
+                fifo.stats.pushes += n_accepted
+                fifo.stats.max_occupancy = max(
+                    fifo.stats.max_occupancy, len(fifo._items)
+                )
+                self._last_pushed_id = ids[n_accepted - 1]
+                self._pending_set_bits += sum(bits[:n_accepted])
+            if n_accepted < len(ids):
+                fifo.stats.stall_events += 1
+                if fifo.strict:
+                    raise SimulationError(
+                        f"queue {fifo.name!r} overflow "
+                        f"(capacity {fifo.capacity})"
+                    )
+            return n_accepted
+
     def pop(self) -> Tuple[int, bool]:
         with self._mutex:
             iteration_id, bit = self._fifo.pop()
@@ -216,12 +286,11 @@ class RecoveryQueue:
     def drain_flagged(self) -> List[int]:
         """Pop all entries and return ids of iterations needing recovery."""
         with self._mutex:
-            flagged: List[int] = []
-            while not self.is_empty:
-                iteration_id, bit = self.pop()
-                if bit:
-                    flagged.append(iteration_id)
-            return flagged
+            items = list(self._fifo._items)
+            self._fifo._items.clear()
+            self._fifo.stats.pops += len(items)
+            self._pending_set_bits = 0
+            return [iteration_id for iteration_id, bit in items if bit]
 
 
 class ConfigQueue:
@@ -239,6 +308,15 @@ class ConfigQueue:
         self.words_transferred = 0
         self._payloads: List[Tuple[str, int]] = []
         self._values: List[Tuple[str, List[float]]] = []
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_mutex"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.Lock()
 
     def send(self, label: str, words: Iterable[float]) -> int:
         """Send a coefficient payload; returns its word count."""

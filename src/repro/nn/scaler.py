@@ -76,6 +76,39 @@ class MinMaxScaler:
         unit = np.where(self._constant, 0.0, unit)
         return unit * self._data_span + self._data_min
 
+    def transform_affine(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-column ``(scale, offset)`` with ``transform(x) == x*scale + offset``.
+
+        Constant columns get scale 0 (they map to the range midpoint
+        unconditionally, matching :meth:`transform`).  This is what lets the
+        NPU backend fold the input normalization into the first MLP layer.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("MinMaxScaler.transform_affine called before fit")
+        lo, hi = self.feature_range
+        scale = np.where(self._constant, 0.0, (hi - lo) / self._data_span)
+        offset = np.where(
+            self._constant,
+            lo + 0.5 * (hi - lo),
+            lo - self._data_min * scale,
+        )
+        return scale, offset
+
+    def inverse_affine(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-column ``(scale, offset)`` with ``inverse_transform(y) == y*scale + offset``.
+
+        Constant columns get scale 0 and map straight back to their fitted
+        value, matching :meth:`inverse_transform`.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("MinMaxScaler.inverse_affine called before fit")
+        lo, hi = self.feature_range
+        scale = np.where(self._constant, 0.0, self._data_span / (hi - lo))
+        offset = np.where(
+            self._constant, self._data_min, self._data_min - lo * scale
+        )
+        return scale, offset
+
 
 class StandardScaler:
     """Zero-mean / unit-variance scaling (used by the error-predictor trainer)."""

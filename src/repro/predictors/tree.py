@@ -117,33 +117,61 @@ class DecisionTreeErrorPredictor(ErrorPredictor):
     def _best_split(
         self, x: np.ndarray, y: np.ndarray
     ) -> Optional[Tuple[int, float]]:
-        """Best (feature, threshold) by SSE reduction over a quantile grid."""
+        """Best (feature, threshold) by SSE reduction over a quantile grid.
+
+        For each feature the column is sorted once; every candidate
+        threshold then reduces to a ``searchsorted`` index into the sorted
+        order, and the left/right sums of squares come from prefix sums —
+        O(features × (n log n + thresholds)) instead of the former
+        O(features × thresholds × n) Python double loop.  ``y`` is centred
+        first so the prefix-sum SSE identity stays numerically stable, and
+        candidates are evaluated in the same feature-major, ascending-
+        threshold order as before, with ties broken toward the earliest
+        candidate — training output is deterministic.
+        """
         n = y.shape[0]
-        base_sse = float(np.sum((y - y.mean()) ** 2))
+        y_centred = y - y.mean()
+        base_sse = float(np.sum(y_centred**2))
         best_gain = 1e-12
         best: Optional[Tuple[int, float]] = None
         quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
         for feature in range(x.shape[1]):
             col = x[:, feature]
-            unique = np.unique(col)
+            order = np.argsort(col, kind="stable")
+            col_sorted = col[order]
+            unique = np.unique(col_sorted)
             if unique.size <= 4 * self.n_thresholds:
                 # Few distinct values: exact CART midpoints.
                 thresholds = (unique[:-1] + unique[1:]) / 2.0
             else:
                 thresholds = np.unique(np.quantile(col, quantiles))
-            for threshold in thresholds:
-                mask = col <= threshold
-                n_left = int(mask.sum())
-                if n_left < self.min_samples_leaf or n - n_left < self.min_samples_leaf:
-                    continue
-                y_left, y_right = y[mask], y[~mask]
-                sse = float(np.sum((y_left - y_left.mean()) ** 2)) + float(
-                    np.sum((y_right - y_right.mean()) ** 2)
-                )
-                gain = base_sse - sse
-                if gain > best_gain:
-                    best_gain = gain
-                    best = (feature, float(threshold))
+            if thresholds.size == 0:
+                continue
+            y_sorted = y_centred[order]
+            prefix_sum = np.cumsum(y_sorted)
+            prefix_sq = np.cumsum(y_sorted**2)
+            n_left = np.searchsorted(col_sorted, thresholds, side="right")
+            valid = (n_left >= self.min_samples_leaf) & (
+                n - n_left >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+            n_left = n_left[valid]
+            sum_left = prefix_sum[n_left - 1]
+            sq_left = prefix_sq[n_left - 1]
+            n_right = n - n_left
+            # SSE about each side's own mean: Σy² - (Σy)²/m, per side.
+            sse = (
+                sq_left
+                - sum_left**2 / n_left
+                + (prefix_sq[-1] - sq_left)
+                - (prefix_sum[-1] - sum_left) ** 2 / n_right
+            )
+            gains = base_sse - sse
+            pick = int(np.argmax(gains))  # first maximum: stable tie-break
+            if gains[pick] > best_gain:
+                best_gain = float(gains[pick])
+                best = (feature, float(thresholds[valid][pick]))
         return best
 
     # ------------------------------------------------------------------ #

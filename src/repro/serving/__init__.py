@@ -14,7 +14,12 @@ the tier between the two:
 * :class:`~repro.serving.backpressure.BackpressureController` — when the
   recovery backlog exceeds its high watermark the detection threshold is
   raised (graceful quality degradation) and admission stays bounded, so
-  backlogs cannot grow without bound.
+  backlogs cannot grow without bound,
+* :class:`~repro.serving.procpool.ProcessWorkerPool` and
+  :class:`~repro.serving.shm.ShmRing` — the ``backend="process"``
+  engine: worker *processes* each owning a full system shard, fed
+  through shared-memory rings that move batches as raw float64 blocks
+  (pickle only at worker startup; see ``docs/performance.md``).
 
 See ``docs/serving.md`` for the architecture and ``python -m repro
 serve`` for the command-line entry point.
@@ -22,16 +27,22 @@ serve`` for the command-line entry point.
 
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
 from repro.serving.server import RumbaServer, WorkerShard
+from repro.serving.shm import ShmFrame, ShmRing
 
 __all__ = [
     "AdmissionQueue",
     "BackpressureController",
+    "ProcessWorker",
+    "ProcessWorkerPool",
     "RumbaServer",
     "ServeHandle",
     "ServeRequest",
     "ServeResult",
+    "ShmFrame",
+    "ShmRing",
     "WorkerShard",
     "concat_inputs",
     "split_outputs",

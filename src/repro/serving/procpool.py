@@ -1,0 +1,315 @@
+"""Process-based worker pool for the serving layer.
+
+Each worker is an OS process that owns a full :class:`RumbaSystem` shard,
+cloned (in the worker, after a single unpickle at startup) from the
+server's prepared prototype — the same ``clone_shard()`` path the thread
+backend uses, so both backends start from identical online state.
+
+Batches travel through per-worker :class:`~repro.serving.shm.ShmRing`
+pairs as raw float64 blocks; pickle never touches the data path after
+startup.  Each ``FRAME_RESULT`` carries, besides the merged outputs, a
+small pickled *metrics snapshot* of the worker's cumulative counters —
+the channel the parent uses to aggregate ``stats()`` and registry series
+across processes.
+
+Protocol (per worker, ``seq`` identifies the batch)::
+
+    parent ──FRAME_BATCH(seq, inputs)────────────► worker
+    parent ──FRAME_DEGRADE/FRAME_RELAX(factor)───► worker
+    parent ──FRAME_STOP──────────────────────────► worker
+    worker ──FRAME_RESULT(seq, outputs, snapshot)► parent
+    worker ──FRAME_ERROR(seq, pickled exception)─► parent
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serving.shm import (
+    FRAME_BATCH,
+    FRAME_DEGRADE,
+    FRAME_ERROR,
+    FRAME_RELAX,
+    FRAME_RESULT,
+    FRAME_STOP,
+    ShmFrame,
+    ShmRing,
+)
+
+__all__ = ["ProcessWorkerPool", "ProcessWorker", "worker_snapshot"]
+
+_POLL_S = 0.0005  # worker/parent idle poll interval
+_FACTOR_FMT = "<d"
+
+
+def worker_snapshot(system, record=None) -> Dict[str, float]:
+    """The per-batch metrics snapshot a worker ships with each result.
+
+    Cumulative counters (not deltas), so the parent's view is correct
+    even if a frame's snapshot is observed late.
+    """
+    snap = {
+        "invocations": int(system.total_invocations),
+        "threshold": float(system.tuner.threshold),
+        "degradation_level": int(system.tuner.degradation_level),
+        "total_checks": int(system.detection.total_checks),
+        "total_fires": int(system.detection.total_fires),
+        "total_recoveries": int(system.recovery.total_recoveries),
+    }
+    if record is not None:
+        snap["fire_fraction"] = float(record.detection.fire_fraction)
+        snap["fix_fraction"] = float(record.fix_fraction)
+        if record.measured_error is not None:
+            snap["measured_error"] = float(record.measured_error)
+        if record.unchecked_error is not None:
+            snap["unchecked_error"] = float(record.unchecked_error)
+    return snap
+
+
+def _worker_main(
+    system_blob: bytes,
+    in_name: str,
+    out_name: str,
+    measure_quality: bool,
+) -> None:
+    """Worker process entry point: unpickle once, then serve frames."""
+    in_ring = ShmRing.attach(in_name)
+    out_ring = ShmRing.attach(out_name)
+    try:
+        prototype = pickle.loads(system_blob)
+        system = prototype.clone_shard()
+        while True:
+            frame = in_ring.try_read()
+            if frame is None:
+                time.sleep(_POLL_S)
+                continue
+            if frame.kind == FRAME_STOP:
+                return
+            if frame.kind in (FRAME_DEGRADE, FRAME_RELAX):
+                (factor,) = struct.unpack(_FACTOR_FMT, frame.extra)
+                direction = +1 if frame.kind == FRAME_DEGRADE else -1
+                system.apply_backpressure(direction, factor)
+                continue
+            if frame.kind != FRAME_BATCH:
+                continue
+            try:
+                record = system.run_invocation(
+                    frame.payload, measure_quality=measure_quality
+                )
+                extra = pickle.dumps(worker_snapshot(system, record))
+                _write_blocking(
+                    out_ring, FRAME_RESULT, frame.seq, record.outputs, extra
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+                try:
+                    blob = pickle.dumps(exc)
+                except Exception:
+                    blob = pickle.dumps(ServingError(repr(exc)))
+                _write_blocking(out_ring, FRAME_ERROR, frame.seq, None, blob)
+    finally:
+        in_ring.close()
+        out_ring.close()
+
+
+def _write_blocking(
+    ring: ShmRing,
+    kind: int,
+    seq: int,
+    payload: Optional[np.ndarray],
+    extra: bytes,
+    timeout_s: Optional[float] = None,
+    still_alive=None,
+) -> bool:
+    """Spin (politely) until the frame fits; False on timeout/death."""
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    while not ring.try_write(kind, seq, payload=payload, extra=extra):
+        if still_alive is not None and not still_alive():
+            return False
+        if deadline is not None and time.monotonic() >= deadline:
+            return False
+        time.sleep(_POLL_S)
+    return True
+
+
+@dataclass
+class ProcessWorker:
+    """Parent-side handle for one worker process and its ring pair."""
+
+    name: str
+    process: mp.Process
+    in_ring: ShmRing   # parent writes, worker reads
+    out_ring: ShmRing  # worker writes, parent reads
+    outstanding: int = 0
+    dead: bool = False
+    snapshot: Dict[str, float] = field(default_factory=dict)
+
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+
+class _WorkerBackpressureProxy:
+    """Quacks like a RumbaSystem shard for the BackpressureController.
+
+    ``apply_backpressure`` becomes a control frame on the worker's input
+    ring; the worker applies the step to its own tuner, exactly as the
+    thread backend's direct call would.
+    """
+
+    def __init__(self, pool: "ProcessWorkerPool", worker: ProcessWorker):
+        self._pool = pool
+        self._worker = worker
+
+    def apply_backpressure(self, direction: int, factor: float) -> float:
+        kind = FRAME_DEGRADE if direction > 0 else FRAME_RELAX
+        self._pool.send_control(self._worker, kind, factor)
+        return 0.0  # the authoritative threshold lives in the worker
+
+
+class ProcessWorkerPool:
+    """Spawn/feed/harvest a group of process workers over shm rings.
+
+    Parameters
+    ----------
+    prototype:
+        The prepared system; pickled exactly once and shipped to every
+        worker at startup.
+    ring_capacity_bytes:
+        Per-direction ring size.  Must hold at least one frame of the
+        largest batch (inputs one way, outputs the other).
+    start_method:
+        ``multiprocessing`` start method; None = platform default.
+    """
+
+    def __init__(
+        self,
+        prototype,
+        n_workers: int,
+        ring_capacity_bytes: int = 1 << 22,
+        measure_quality: bool = False,
+        start_method: Optional[str] = None,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError("need at least one process worker")
+        self._prototype = prototype
+        self.n_workers = n_workers
+        self.ring_capacity_bytes = ring_capacity_bytes
+        self.measure_quality = measure_quality
+        self._ctx = mp.get_context(start_method)
+        self.workers: List[ProcessWorker] = []
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ProcessWorkerPool":
+        if self._started:
+            raise ServingError("pool already started")
+        blob = pickle.dumps(self._prototype)  # the one pickle on this path
+        for i in range(self.n_workers):
+            in_ring = ShmRing(self.ring_capacity_bytes)
+            out_ring = ShmRing(self.ring_capacity_bytes)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(blob, in_ring.name, out_ring.name,
+                      self.measure_quality),
+                name=f"rumba-serve-p{i}",
+                daemon=True,
+            )
+            process.start()
+            self.workers.append(
+                ProcessWorker(
+                    name=f"p{i}", process=process,
+                    in_ring=in_ring, out_ring=out_ring,
+                )
+            )
+        self._started = True
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        for worker in self.workers:
+            if worker.process.is_alive():
+                _write_blocking(
+                    worker.in_ring, FRAME_STOP, 0, None, b"",
+                    timeout_s=1.0, still_alive=worker.process.is_alive,
+                )
+        for worker in self.workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.dead = True
+            worker.in_ring.close()
+            worker.out_ring.close()
+            worker.in_ring.unlink()
+            worker.out_ring.unlink()
+        self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # Data path                                                          #
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        worker: ProcessWorker,
+        seq: int,
+        inputs: np.ndarray,
+        timeout_s: float = 30.0,
+    ) -> None:
+        """Ship one batch to ``worker``; raises when it cannot be sent."""
+        if not worker.alive():
+            raise ServingError(f"worker {worker.name} is not alive")
+        ok = _write_blocking(
+            worker.in_ring, FRAME_BATCH, seq, inputs, b"",
+            timeout_s=timeout_s, still_alive=worker.alive,
+        )
+        if not ok:
+            raise ServingError(
+                f"could not deliver batch {seq} to worker {worker.name} "
+                f"(ring full for {timeout_s:.0f}s or worker died)"
+            )
+
+    def poll(self, worker: ProcessWorker) -> List[ShmFrame]:
+        """Drain every completed frame currently on a worker's out ring."""
+        frames: List[ShmFrame] = []
+        while True:
+            frame = worker.out_ring.try_read()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def send_control(
+        self, worker: ProcessWorker, kind: int, factor: float
+    ) -> bool:
+        """Best-effort DEGRADE/RELAX delivery; False if the worker is gone."""
+        if self._stopped or not worker.alive():
+            return False
+        return _write_blocking(
+            worker.in_ring, kind, 0, None, struct.pack(_FACTOR_FMT, factor),
+            timeout_s=1.0, still_alive=worker.alive,
+        )
+
+    def backpressure_proxies(self) -> List[_WorkerBackpressureProxy]:
+        """Shard stand-ins wiring a BackpressureController to the pool."""
+        return [_WorkerBackpressureProxy(self, w) for w in self.workers]
+
+    @staticmethod
+    def decode_error(frame: ShmFrame) -> BaseException:
+        """Rehydrate a FRAME_ERROR's exception (ServingError fallback)."""
+        try:
+            exc = pickle.loads(frame.extra)
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:  # pragma: no cover - defensive
+            pass
+        return ServingError("worker reported an undecodable error")

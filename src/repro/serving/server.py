@@ -30,9 +30,11 @@ server's metrics registry, and the server adds service-level series
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -49,9 +51,13 @@ from repro.observability.metrics import (
 )
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
+from repro.serving.shm import FRAME_ERROR, FRAME_RESULT
 
 __all__ = ["RumbaServer", "WorkerShard"]
+
+_BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -91,6 +97,36 @@ class _RecoveryTask:
     dispatched_at: float
 
 
+@dataclass
+class _ProcShardView:
+    """Parent-side bookkeeping for one process worker.
+
+    The worker's system lives in another address space; this view holds
+    what the parent tracks itself (dispatch counts, drift on the reported
+    fire fractions) while the rest arrives in metrics snapshots.
+    """
+
+    name: str
+    drift: DriftDetector
+    drift_flags: int = 0
+    batches: int = 0
+    elements: int = 0
+
+    @property
+    def drifted(self) -> bool:
+        return self.drift_flags > 0
+
+
+@dataclass
+class _ProcPendingBatch:
+    """One batch in flight to a process worker, awaiting its RESULT."""
+
+    requests: List[ServeRequest]
+    worker: ProcessWorker
+    dispatched_at: float
+    degraded: bool
+
+
 class RumbaServer:
     """Batched, parallel, quality-managed serving of one benchmark kernel.
 
@@ -100,6 +136,16 @@ class RumbaServer:
         A prepared :class:`RumbaSystem` to shard (tests inject doctored
         systems here).  When None, :func:`prepare_system` builds one from
         ``app``/``scheme``/``seed``.
+    backend:
+        ``"thread"`` (default) runs workers as threads sharing this
+        process; ``"process"`` runs each worker as an OS process owning a
+        full system shard, with batches crossing the boundary through
+        shared-memory rings (see ``docs/performance.md``).  Semantics —
+        batching, backpressure degradation, stats — are identical; the
+        process backend sidesteps the GIL for CPU-bound recovery.  It
+        requires the prototype to be picklable (registry applications
+        are); ``n_recovery_workers`` is ignored there because each worker
+        process recovers its own batches.
     n_workers, n_recovery_workers:
         Sizes of the accelerator-side and CPU-side thread groups.
     max_batch_requests, flush_interval_s, admission_capacity:
@@ -136,9 +182,16 @@ class RumbaServer:
         drift_detector_factory=DriftDetector,
         measure_quality: bool = False,
         seed: int = 0,
+        backend: str = "thread",
+        ring_capacity_bytes: int = 1 << 22,
+        start_method: Optional[str] = None,
     ):
         if n_workers < 1 or n_recovery_workers < 1:
             raise ConfigurationError("need at least one worker of each kind")
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {_BACKENDS}"
+            )
         self.app_name = prototype.app.name if prototype is not None else app
         self.scheme = (
             prototype.predictor.name if prototype is not None else scheme
@@ -169,6 +222,16 @@ class RumbaServer:
             high_watermark, low_watermark, degrade_factor, max_degradation
         )
         self._drift_factory = drift_detector_factory
+
+        self.backend = backend
+        self.ring_capacity_bytes = ring_capacity_bytes
+        self.start_method = start_method
+        self.pool: Optional[ProcessWorkerPool] = None
+        self._proc_views: Dict[str, _ProcShardView] = {}
+        self._proc_pending: Dict[int, _ProcPendingBatch] = {}
+        self._proc_lock = threading.Lock()
+        self._proc_seq = 0
+        self._proc_stop = False
 
         self.shards: List[WorkerShard] = []
         self.controller: Optional[BackpressureController] = None
@@ -227,6 +290,19 @@ class RumbaServer:
             "Submission-to-completion latency per request", base,
             buckets=DEFAULT_LATENCY_BUCKETS,
         )
+        # Process backend: worker-internal state arrives via the metrics
+        # snapshot shipped with every RESULT frame and is re-exported here
+        # (the thread backend exports these through per-shard Telemetry).
+        self._m_worker_threshold = r.gauge(
+            "rumba_serve_worker_threshold",
+            "Detection threshold last reported by each worker",
+            base + ("worker",),
+        )
+        self._m_worker_invocations = r.gauge(
+            "rumba_serve_worker_invocations",
+            "Invocations completed, last reported by each worker",
+            base + ("worker",),
+        )
         self._labels = {"app": self.app_name, "scheme": self.scheme}
 
     def prepare(self) -> "RumbaServer":
@@ -237,6 +313,25 @@ class RumbaServer:
             self._prototype = prepare_system(
                 self.app_name, scheme=self.scheme, seed=self.seed
             )
+        if self.backend == "process":
+            # Fail at prepare time, not in a worker, if the prototype
+            # cannot cross the process boundary.
+            try:
+                pickle.dumps(self._prototype)
+            except Exception as exc:
+                raise ServingError(
+                    "process backend needs a picklable prototype "
+                    f"(registry applications are): {exc!r}"
+                ) from exc
+            self.pool = ProcessWorkerPool(
+                self._prototype,
+                n_workers=self.n_workers,
+                ring_capacity_bytes=self.ring_capacity_bytes,
+                measure_quality=self.measure_quality,
+                start_method=self.start_method,
+            )
+            self._state = "ready"
+            return self
         for i in range(self.n_workers):
             name = f"w{i}"
             telemetry = Telemetry(
@@ -279,12 +374,38 @@ class RumbaServer:
         return self._state == "running"
 
     def start(self) -> "RumbaServer":
-        """Spawn the worker and recovery thread groups."""
+        """Spawn the worker groups (threads, or processes + I/O threads)."""
         if self._state == "new":
             self.prepare()
         if self._state != "ready":
             raise ServingError(f"cannot start a {self._state} server")
         self._state = "running"
+        if self.backend == "process":
+            self.pool.start()
+            self._proc_views = {
+                w.name: _ProcShardView(name=w.name, drift=self._drift_factory())
+                for w in self.pool.workers
+            }
+            high, low, factor, max_level = self._bp_config
+            self.controller = BackpressureController(
+                self.pool.backpressure_proxies(),
+                high_watermark=high,
+                low_watermark=low,
+                factor=factor,
+                max_level=max_level,
+            )
+            dispatcher = threading.Thread(
+                target=self._process_dispatch_loop,
+                name="rumba-serve-dispatch", daemon=True,
+            )
+            collector = threading.Thread(
+                target=self._process_collect_loop,
+                name="rumba-serve-collect", daemon=True,
+            )
+            dispatcher.start()
+            collector.start()
+            self._threads.extend([dispatcher, collector])
+            return self
         for shard in self.shards:
             thread = threading.Thread(
                 target=self._worker_loop, args=(shard,),
@@ -321,7 +442,7 @@ class RumbaServer:
         return True
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Drain, then tear the thread groups down."""
+        """Drain, then tear the worker groups down."""
         if self._state in ("stopped", "new", "ready"):
             self._state = "stopped" if self._state != "new" else self._state
             return
@@ -330,8 +451,11 @@ class RumbaServer:
         with self._rcond:
             self._recovery_stop = True
             self._rcond.notify_all()
+        self._proc_stop = True
         for thread in self._threads:
             thread.join(timeout=timeout)
+        if self.pool is not None:
+            self.pool.stop(timeout=timeout)
         # Fail anything that somehow survived the drain (e.g. timeout).
         for request in self._admission.drain_remaining():
             self._finish_request(
@@ -490,6 +614,157 @@ class RumbaServer:
                 dispatched_at=task.dispatched_at,
             )
 
+    # ------------------------------------------------------------------ #
+    # Process backend loops                                              #
+    # ------------------------------------------------------------------ #
+    def _process_dispatch_loop(self) -> None:
+        """Parent-side producer: admission batches -> worker input rings."""
+        while True:
+            batch = self._admission.take_batch()
+            if batch is None:
+                return
+            self._m_admission_depth.labels(**self._labels).set(
+                len(self._admission)
+            )
+            try:
+                self._dispatch_batch_process(batch)
+            except BaseException as exc:  # pragma: no cover - defensive
+                for request in batch:
+                    self._finish_request(request, error=exc, record=None)
+
+    def _proc_backlog(self) -> int:
+        """Batches in flight to workers — the process backend's analogue
+        of the thread backend's recovery backlog, and what the
+        backpressure watermarks are applied to."""
+        return sum(w.outstanding for w in self.pool.workers)
+
+    def _dispatch_batch_process(self, batch: List[ServeRequest]) -> None:
+        inputs = concat_inputs(batch)
+        dispatched_at = time.monotonic()
+        with self._proc_lock:
+            alive = [w for w in self.pool.workers if w.alive()]
+            if alive:
+                worker = min(alive, key=lambda w: (w.outstanding, w.name))
+                seq = self._proc_seq
+                self._proc_seq += 1
+                self._proc_pending[seq] = _ProcPendingBatch(
+                    requests=batch,
+                    worker=worker,
+                    dispatched_at=dispatched_at,
+                    degraded=self.controller.degraded,
+                )
+                worker.outstanding += 1
+        if not alive:
+            error = ServingError("no live serving worker processes")
+            for request in batch:
+                self._finish_request(request, error=error, record=None)
+            return
+        try:
+            self.pool.submit(worker, seq, inputs)
+        except BaseException as exc:
+            with self._proc_lock:
+                if self._proc_pending.pop(seq, None) is not None:
+                    worker.outstanding -= 1
+            for request in batch:
+                self._finish_request(request, error=exc, record=None)
+            return
+        view = self._proc_views[worker.name]
+        view.batches += 1
+        view.elements += inputs.shape[0]
+        self._m_batches.labels(worker=worker.name, **self._labels).inc()
+        self._m_batch_requests.labels(worker=worker.name, **self._labels).inc(
+            len(batch)
+        )
+        backlog = self._proc_backlog()
+        self._m_backlog.labels(**self._labels).set(backlog)
+        self._apply_backpressure(backlog)
+
+    def _process_collect_loop(self) -> None:
+        """Parent-side consumer: worker output rings -> caller handles."""
+        while True:
+            progressed = False
+            for worker in self.pool.workers:
+                for frame in self.pool.poll(worker):
+                    progressed = True
+                    self._handle_worker_frame(worker, frame)
+                if not worker.process.is_alive() and not worker.dead:
+                    # Harvest anything it managed to publish before dying,
+                    # then fail what it took down with it.
+                    for frame in self.pool.poll(worker):
+                        self._handle_worker_frame(worker, frame)
+                    self._fail_worker_pending(worker)
+                    progressed = True
+            with self._proc_lock:
+                n_pending = len(self._proc_pending)
+            if self._proc_stop and n_pending == 0:
+                return
+            if not progressed:
+                time.sleep(0.0005)
+
+    def _handle_worker_frame(self, worker: ProcessWorker, frame) -> None:
+        with self._proc_lock:
+            pending = self._proc_pending.pop(frame.seq, None)
+            if pending is not None:
+                worker.outstanding -= 1
+            backlog = self._proc_backlog()
+        if pending is None:  # already failed (e.g. crash race)
+            return
+        if frame.kind == FRAME_RESULT:
+            snapshot = pickle.loads(frame.extra)
+            worker.snapshot = snapshot
+            view = self._proc_views[worker.name]
+            if view.drift.observe(snapshot.get("fire_fraction", 0.0)):
+                view.drift_flags += 1
+            self._m_worker_threshold.labels(
+                worker=worker.name, **self._labels
+            ).set(snapshot.get("threshold", 0.0))
+            self._m_worker_invocations.labels(
+                worker=worker.name, **self._labels
+            ).set(snapshot.get("invocations", 0))
+            try:
+                blocks = split_outputs(frame.payload, pending.requests)
+            except BaseException as exc:
+                for request in pending.requests:
+                    self._finish_request(request, error=exc, record=None)
+            else:
+                record = SimpleNamespace(
+                    fix_fraction=snapshot.get("fix_fraction", 0.0)
+                )
+                for request, outputs in zip(pending.requests, blocks):
+                    self._finish_request(
+                        request,
+                        record=record,
+                        outputs=outputs,
+                        worker=worker.name,
+                        degraded=pending.degraded or self.controller.degraded,
+                        dispatched_at=pending.dispatched_at,
+                    )
+        elif frame.kind == FRAME_ERROR:
+            error = ProcessWorkerPool.decode_error(frame)
+            for request in pending.requests:
+                self._finish_request(request, error=error, record=None)
+        self._m_backlog.labels(**self._labels).set(backlog)
+        self._apply_backpressure(backlog)
+
+    def _fail_worker_pending(self, worker: ProcessWorker) -> None:
+        """A worker process died: surface errors instead of hanging."""
+        worker.dead = True
+        with self._proc_lock:
+            seqs = [
+                seq for seq, p in self._proc_pending.items()
+                if p.worker is worker
+            ]
+            doomed = [self._proc_pending.pop(seq) for seq in seqs]
+            worker.outstanding = 0
+        error = ServingError(
+            f"serving worker {worker.name} "
+            f"(pid {worker.process.pid}, exit {worker.process.exitcode}) "
+            "died with batches in flight"
+        )
+        for pending in doomed:
+            for request in pending.requests:
+                self._finish_request(request, error=error, record=None)
+
     def _finish_request(
         self,
         request: ServeRequest,
@@ -551,11 +826,34 @@ class RumbaServer:
                 "drifted": shard.drifted,
                 "drift_flags": shard.drift_flags,
             })
+        if self.backend == "process" and self.pool is not None:
+            base_threshold = (
+                float(self._prototype.tuner.threshold)
+                if self._prototype is not None else 0.0
+            )
+            for worker in self.pool.workers:
+                view = self._proc_views.get(worker.name)
+                snap = worker.snapshot
+                per_worker.append({
+                    "worker": worker.name,
+                    "batches": view.batches if view else 0,
+                    "elements": view.elements if view else 0,
+                    "invocations": int(snap.get("invocations", 0)),
+                    "threshold": float(
+                        snap.get("threshold", base_threshold)
+                    ),
+                    "degradation_level": int(
+                        snap.get("degradation_level", 0)
+                    ),
+                    "drifted": view.drifted if view else False,
+                    "drift_flags": view.drift_flags if view else 0,
+                })
         degradation = 0 if self.controller is None else self.controller.level
         return {
             "state": self._state,
             "app": self.app_name,
             "scheme": self.scheme,
+            "backend": self.backend,
             "healthy": self._state == "running" and degradation == 0,
             "n_workers": self.n_workers,
             "n_recovery_workers": self.n_recovery_workers,
@@ -568,6 +866,6 @@ class RumbaServer:
             "recovery_backlog_capacity": self._backlog.capacity,
             "degradation_level": degradation,
             "degraded": degradation > 0,
-            "drifted": any(shard.drifted for shard in self.shards),
+            "drifted": any(entry["drifted"] for entry in per_worker),
             "workers": per_worker,
         }

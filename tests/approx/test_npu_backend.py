@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.apps import get_application
-from repro.approx.npu_backend import search_npu_backend, train_npu_backend
+from repro.approx.npu_backend import (
+    NPUBackend,
+    search_npu_backend,
+    train_npu_backend,
+)
 from repro.errors import ConfigurationError
 from repro.nn.trainer import RPropTrainer
 
@@ -101,3 +105,87 @@ class TestTrainNpuBackend:
         # Table 1's point: the unchecked NPU needs the bigger (more
         # accurate) network; Rumba tolerates the smaller one.
         assert err_npu < err_rumba
+
+
+class TestFusedScalerFolding:
+    def test_fused_matches_unfused_to_1e9(self, fft_app, fft_backend):
+        rng = np.random.default_rng(11)
+        x = fft_app.test_inputs(rng)[:800]
+        fused = fft_backend(x)
+        unfused = fft_backend.unfused_call(x)
+        np.testing.assert_allclose(fused, unfused, rtol=1e-9, atol=1e-9)
+
+    def test_fused_matches_on_constant_input_column(self):
+        # blackscholes' PARSEC data holds columns effectively constant;
+        # the scaler maps constant columns specially, and the fold must
+        # reproduce that handling.
+        from repro.nn.mlp import MLP
+        from repro.nn.scaler import MinMaxScaler
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        x[:, 1] = 2.5  # constant column
+        y = np.stack([x[:, 0] + x[:, 2], x[:, 0] * 0.5], axis=1)
+        in_scaler = MinMaxScaler().fit(x)
+        out_scaler = MinMaxScaler().fit(y)
+        network = MLP((3, 4, 2), rng=np.random.default_rng(3))
+        backend = NPUBackend(
+            network=network, input_scaler=in_scaler,
+            output_scaler=out_scaler,
+        )
+        np.testing.assert_allclose(
+            backend(x), backend.unfused_call(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_fused_single_layer_network(self):
+        from repro.nn.mlp import MLP
+        from repro.nn.scaler import MinMaxScaler
+
+        rng = np.random.default_rng(1)
+        x = rng.uniform(1.0, 4.0, size=(64, 2))
+        y = x @ np.array([[1.0], [-2.0]])
+        in_scaler = MinMaxScaler().fit(x)
+        out_scaler = MinMaxScaler().fit(y)
+        # No hidden layer: input and output folds hit the same matrix.
+        backend = NPUBackend(
+            network=MLP((2, 1), rng=np.random.default_rng(0)),
+            input_scaler=in_scaler, output_scaler=out_scaler,
+        )
+        np.testing.assert_allclose(
+            backend(x), backend.unfused_call(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_nonlinear_output_falls_back_to_unfused(self):
+        from repro.nn.mlp import MLP
+        from repro.nn.scaler import MinMaxScaler
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(32, 2))
+        in_scaler = MinMaxScaler().fit(x)
+        out_scaler = MinMaxScaler().fit(np.abs(x[:, :1]))
+        backend = NPUBackend(
+            network=MLP((2, 3, 1), rng=np.random.default_rng(0),
+                        output_activation="sigmoid"),
+            input_scaler=in_scaler, output_scaler=out_scaler,
+        )
+        with pytest.raises(ConfigurationError, match="linear output"):
+            backend.fused()
+        np.testing.assert_array_equal(backend(x), backend.unfused_call(x))
+
+    def test_refresh_fused_tracks_weight_updates(self, fft_backend):
+        rng = np.random.default_rng(13)
+        x = rng.uniform(-0.5, 0.5, size=(16, 1))
+        before = fft_backend(x)
+        original = fft_backend.network.get_flat_params().copy()
+        try:
+            fft_backend.network.set_flat_params(original * 1.01)
+            stale = fft_backend(x)  # cached fold: unchanged values
+            np.testing.assert_array_equal(stale, before)
+            fft_backend.refresh_fused()
+            np.testing.assert_allclose(
+                fft_backend(x), fft_backend.unfused_call(x),
+                rtol=1e-9, atol=1e-9,
+            )
+        finally:
+            fft_backend.network.set_flat_params(original)
+            fft_backend.refresh_fused()

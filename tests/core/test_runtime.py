@@ -288,3 +288,55 @@ class TestApplyBackpressure:
     def test_zero_direction_reads_threshold(self, tree_system):
         shard = tree_system.clone_shard()
         assert shard.apply_backpressure(0) == shard.tuner.threshold
+
+
+class TestPickleRoundTrip:
+    """The process serving backend ships systems across process
+    boundaries; a pickled system must behave identically when restored."""
+
+    def test_system_survives_pickle(self, tree_system, fft_inputs):
+        import pickle
+
+        restored = pickle.loads(pickle.dumps(tree_system))
+        x = np.atleast_2d(fft_inputs)[:256]
+        a = tree_system.clone_shard().run_invocation(x)
+        b = restored.clone_shard().run_invocation(x)
+        assert a.outputs.tobytes() == b.outputs.tobytes()
+        assert a.detection.n_fired == b.detection.n_fired
+        assert a.fix_fraction == b.fix_fraction
+
+    def test_restored_locks_are_fresh(self, tree_system):
+        import pickle
+        import threading
+
+        restored = pickle.loads(pickle.dumps(tree_system))
+        assert isinstance(restored._mutex, type(threading.Lock()))
+        # Telemetry binds to the origin process's registry: stripped.
+        assert restored.telemetry is None
+
+    def test_registry_application_pickles_by_name(self):
+        import pickle
+
+        from repro.apps import get_application
+
+        app = get_application("fft")
+        restored = pickle.loads(pickle.dumps(app))
+        assert restored.name == app.name
+        x = np.linspace(0.1, 1.0, 32).reshape(-1, 1)
+        assert np.array_equal(restored.exact(x), app.exact(x))
+
+    def test_hand_built_application_still_fails_loudly(self):
+        import pickle
+
+        from repro.apps import get_application
+
+        app = get_application("fft")
+        app._registry_backed = False  # as if constructed outside the registry
+        with pytest.raises(Exception):
+            pickle.dumps(app)
+
+    def test_shared_app_reference_restored_once(self, tree_system):
+        import pickle
+
+        restored = pickle.loads(pickle.dumps(tree_system))
+        assert restored.recovery.exact_kernel.__self__ is restored.app

@@ -201,6 +201,64 @@ class TestRecoveryQueue:
         assert q.drain_flagged() == expected
 
 
+class TestRecoveryQueuePushMany:
+    def test_matches_elementwise_pushes(self):
+        bits = [True, False, True, True, False]
+        bulk = RecoveryQueue(capacity=8)
+        loop = RecoveryQueue(capacity=8)
+        assert bulk.push_many(range(5), bits) == 5
+        for i, bit in enumerate(bits):
+            loop.push(i, bit)
+        assert [bulk.pop() for _ in range(5)] == [loop.pop() for _ in range(5)]
+
+    def test_bulk_stats_match_elementwise(self):
+        bits = [True, True, False]
+        bulk = RecoveryQueue(capacity=4)
+        bulk.push_many([3, 4, 5], bits)
+        assert bulk.stats.pushes == 3
+        assert bulk.stats.max_occupancy == 3
+        assert bulk.pending_recoveries == 2
+
+    def test_continues_past_last_pushed_id(self):
+        q = RecoveryQueue(capacity=16)
+        q.push(4, True)
+        q.push_many([5, 6], [False, True])
+        with pytest.raises(SimulationError, match="out of order"):
+            q.push_many([6, 7], [True, True])
+        with pytest.raises(SimulationError, match="out of order"):
+            q.push_many([10, 10], [True, True])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError, match="equal length"):
+            RecoveryQueue().push_many([0, 1], [True])
+
+    def test_empty_push_is_noop(self):
+        q = RecoveryQueue()
+        assert q.push_many([], []) == 0
+        assert q.stats.pushes == 0
+
+    def test_overflow_strict_raises_after_partial_fill(self):
+        q = RecoveryQueue(capacity=2, strict=True)
+        with pytest.raises(SimulationError, match="overflow"):
+            q.push_many(range(4), [True] * 4)
+        # The entries that fit were enqueued, exactly like the
+        # element-wise loop would have before its own overflow raise.
+        assert len(q) == 2
+        assert q.stats.stall_events == 1
+        assert q.pending_recoveries == 2
+
+    def test_overflow_nonstrict_truncates(self):
+        q = RecoveryQueue(capacity=3, strict=False)
+        assert q.push_many(range(5), [True] * 5) == 3
+        assert q.drain_flagged() == [0, 1, 2]
+
+    def test_accepts_numpy_bits(self):
+        q = RecoveryQueue(capacity=8)
+        bits = np.array([True, False, True])
+        q.push_many(np.arange(3), bits)
+        assert q.drain_flagged() == [0, 2]
+
+
 class TestConfigQueue:
     def test_counts_words(self):
         q = ConfigQueue()

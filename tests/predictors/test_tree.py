@@ -121,3 +121,90 @@ class TestDecisionTree:
         shallow_sse = np.sum((shallow.scores(features=x) - errors) ** 2)
         deeper_sse = np.sum((deeper.scores(features=x) - errors) ** 2)
         assert deeper_sse <= shallow_sse + 1e-9
+
+
+class TestVectorizedSplit:
+    """The prefix-sum split search must stay deterministic and agree with
+    the direct per-threshold SSE computation."""
+
+    def _brute_force_best(self, tree, x, y):
+        """Reference O(features x thresholds x n) search with the same
+        candidate grid and first-wins tie-breaking."""
+        n = y.shape[0]
+        yc = y - y.mean()
+        base_sse = float(np.sum(yc**2))
+        best_gain, best = 1e-12, None
+        quantiles = np.linspace(0.0, 1.0, tree.n_thresholds + 2)[1:-1]
+        for feature in range(x.shape[1]):
+            col = x[:, feature]
+            unique = np.unique(col)
+            if unique.size <= 4 * tree.n_thresholds:
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            else:
+                thresholds = np.unique(np.quantile(col, quantiles))
+            for threshold in thresholds:
+                mask = col <= threshold
+                n_left = int(mask.sum())
+                if (n_left < tree.min_samples_leaf
+                        or n - n_left < tree.min_samples_leaf):
+                    continue
+                left, right = yc[mask], yc[~mask]
+                sse = (np.sum((left - left.mean()) ** 2)
+                       + np.sum((right - right.mean()) ** 2))
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain, best = float(gain), (feature, float(threshold))
+        return best
+
+    def test_agrees_with_brute_force(self, rng):
+        for trial in range(5):
+            x = rng.normal(size=(300, 4))
+            y = np.abs(x[:, 0]) + 0.3 * (x[:, 2] > 0.5) + rng.normal(
+                scale=0.05, size=300
+            )
+            tree = DecisionTreeErrorPredictor(max_depth=3)
+            got = tree._best_split(x, y)
+            want = self._brute_force_best(tree, x, y)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got[0] == want[0]
+                assert got[1] == pytest.approx(want[1])
+
+    def test_deterministic_across_runs(self, rng):
+        x = rng.normal(size=(500, 3))
+        y = np.abs(x[:, 1]) + rng.normal(scale=0.1, size=500)
+        first = DecisionTreeErrorPredictor(max_depth=7)
+        second = DecisionTreeErrorPredictor(max_depth=7)
+        first.fit(x, y)
+        second.fit(x, y)
+        assert first.coefficients() == second.coefficients()
+
+    def test_tie_break_prefers_earliest_candidate(self):
+        # Two identical columns: the split must land on feature 0, and on
+        # the first of the equal-gain thresholds.
+        x = np.repeat(np.arange(40.0), 2).reshape(-1, 1)
+        x = np.hstack([x, x])
+        y = (x[:, 0] >= 20).astype(float)
+        tree = DecisionTreeErrorPredictor(max_depth=1, min_samples_leaf=1)
+        feature, threshold = tree._best_split(x, y)
+        assert feature == 0
+        assert threshold == pytest.approx(19.5)
+
+    def test_duplicate_heavy_column(self, rng):
+        # Many repeated values: searchsorted boundaries must stay exact.
+        x = rng.integers(0, 4, size=(200, 2)).astype(float)
+        y = (x[:, 0] >= 2).astype(float)
+        tree = DecisionTreeErrorPredictor(max_depth=2, min_samples_leaf=5)
+        tree.fit(x, y)
+        pred = tree.scores(features=x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.99
+
+    def test_large_offset_targets_stay_stable(self, rng):
+        # Centring y guards the prefix-sum SSE identity against
+        # catastrophic cancellation under a huge constant offset.
+        x = rng.normal(size=(400, 2))
+        y = 1e9 + np.abs(x[:, 0])
+        tree = DecisionTreeErrorPredictor(max_depth=3)
+        split = tree._best_split(x, y)
+        assert split is not None
+        assert split[0] == 0

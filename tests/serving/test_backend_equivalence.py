@@ -1,0 +1,75 @@
+"""Thread and process backends must be semantically interchangeable.
+
+With one worker and lockstep submission both backends drive an identical
+clone of the same prototype through the same invocation sequence, so the
+outputs must match byte for byte and the quality stats exactly."""
+
+import numpy as np
+import pytest
+
+from repro.serving import RumbaServer
+
+
+def _lockstep(backend, prototype, requests):
+    """One worker, one request in flight at a time: a deterministic
+    serial schedule on either backend."""
+    server = RumbaServer(
+        prototype=prototype.clone_shard(),
+        backend=backend,
+        n_workers=1,
+        max_batch_requests=1,
+        flush_interval_s=0.0,
+    )
+    outputs, fixes, degraded = [], [], []
+    with server:
+        for request in requests:
+            result = server.submit_wait(request, timeout=60)
+            outputs.append(result.outputs)
+            fixes.append(result.fix_fraction)
+            degraded.append(result.degraded)
+        stats = server.stats()
+    return outputs, fixes, degraded, stats
+
+
+@pytest.fixture(scope="module")
+def request_stream(fft_input_pool):
+    return [fft_input_pool[i * 48:(i + 1) * 48] for i in range(8)]
+
+
+class TestBackendEquivalence:
+    def test_outputs_byte_identical(self, fft_prototype, request_stream):
+        thread_out, _, _, _ = _lockstep("thread", fft_prototype,
+                                        request_stream)
+        process_out, _, _, _ = _lockstep("process", fft_prototype,
+                                         request_stream)
+        for a, b in zip(thread_out, process_out):
+            assert a.dtype == b.dtype and a.shape == b.shape
+            assert a.tobytes() == b.tobytes()
+
+    def test_quality_stats_identical(self, fft_prototype, request_stream):
+        _, thread_fix, thread_deg, thread_stats = _lockstep(
+            "thread", fft_prototype, request_stream
+        )
+        _, process_fix, process_deg, process_stats = _lockstep(
+            "process", fft_prototype, request_stream
+        )
+        assert thread_fix == process_fix
+        assert thread_deg == process_deg
+        tw = thread_stats["workers"][0]
+        pw = process_stats["workers"][0]
+        for key in ("batches", "elements", "invocations", "threshold",
+                    "degradation_level", "drifted", "drift_flags"):
+            assert tw[key] == pw[key], key
+        for key in ("inflight_requests", "degradation_level", "degraded",
+                    "drifted"):
+            assert thread_stats[key] == process_stats[key], key
+
+    def test_stats_shape_matches_across_backends(self, fft_prototype,
+                                                 request_stream):
+        _, _, _, thread_stats = _lockstep("thread", fft_prototype,
+                                          request_stream[:2])
+        _, _, _, process_stats = _lockstep("process", fft_prototype,
+                                           request_stream[:2])
+        assert set(thread_stats) == set(process_stats)
+        assert (set(thread_stats["workers"][0])
+                == set(process_stats["workers"][0]))

@@ -1,0 +1,125 @@
+"""Unit tests for the shared-memory ring transport (frame round trips,
+wraparound, capacity behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serving.shm import (
+    FRAME_BATCH,
+    FRAME_RESULT,
+    FRAME_STOP,
+    ShmRing,
+)
+
+
+@pytest.fixture()
+def ring():
+    ring = ShmRing(capacity_bytes=1 << 12)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+class TestFraming:
+    def test_round_trip_payload_and_extra(self, ring):
+        payload = np.arange(30, dtype=float).reshape(5, 6) * 0.5
+        assert ring.try_write(FRAME_BATCH, seq=42, payload=payload,
+                              extra=b"metadata")
+        frame = ring.try_read()
+        assert frame.kind == FRAME_BATCH
+        assert frame.seq == 42
+        assert frame.extra == b"metadata"
+        assert frame.payload.shape == (5, 6)
+        assert frame.payload.dtype == np.float64
+        np.testing.assert_array_equal(frame.payload, payload)
+
+    def test_empty_ring_reads_none(self, ring):
+        assert ring.try_read() is None
+
+    def test_control_frame_without_payload(self, ring):
+        assert ring.try_write(FRAME_STOP)
+        frame = ring.try_read()
+        assert frame.kind == FRAME_STOP
+        assert frame.payload is None
+        assert frame.extra == b""
+
+    def test_fifo_order_preserved(self, ring):
+        for seq in range(5):
+            assert ring.try_write(FRAME_RESULT, seq=seq,
+                                  payload=np.full((1, 2), float(seq)))
+        seqs = [ring.try_read().seq for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+        assert ring.try_read() is None
+
+    def test_payload_must_be_2d(self, ring):
+        with pytest.raises(ConfigurationError, match="2-D"):
+            ring.try_write(FRAME_BATCH, payload=np.arange(4.0))
+
+    def test_unaligned_extra_is_padded_not_corrupted(self, ring):
+        # 3-byte extra forces padding; the next frame must still decode.
+        assert ring.try_write(FRAME_RESULT, seq=1, extra=b"abc")
+        assert ring.try_write(FRAME_RESULT, seq=2, extra=b"defgh")
+        assert ring.try_read().extra == b"abc"
+        assert ring.try_read().extra == b"defgh"
+
+
+class TestCapacity:
+    def test_full_ring_rejects_then_accepts_after_drain(self, ring):
+        payload = np.zeros((16, 8))  # 1 KiB + header per frame
+        written = 0
+        while ring.try_write(FRAME_BATCH, seq=written, payload=payload):
+            written += 1
+        assert written >= 2  # the 4 KiB ring holds a few frames
+        assert not ring.try_write(FRAME_BATCH, seq=99, payload=payload)
+        assert ring.try_read().seq == 0
+        assert ring.try_write(FRAME_BATCH, seq=99, payload=payload)
+
+    def test_oversized_frame_raises_instead_of_spinning(self, ring):
+        with pytest.raises(ServingError, match="cannot ever fit"):
+            ring.try_write(FRAME_BATCH, payload=np.zeros((1024, 8)))
+
+    def test_wraparound_preserves_content(self, ring):
+        # Drive enough traffic through a small ring that frames straddle
+        # the physical end many times over.
+        rng = np.random.default_rng(0)
+        for seq in range(200):
+            payload = rng.normal(size=(7, 3))
+            assert ring.try_write(FRAME_BATCH, seq=seq, payload=payload,
+                                  extra=bytes([seq % 251]))
+            frame = ring.try_read()
+            assert frame.seq == seq
+            np.testing.assert_array_equal(frame.payload, payload)
+            assert frame.extra == bytes([seq % 251])
+        assert ring.used_bytes() == 0
+
+    def test_interleaved_write_read_tracks_usage(self, ring):
+        payload = np.ones((4, 4))
+        per_frame = ring.frame_bytes(payload=payload)
+        ring.try_write(FRAME_BATCH, payload=payload)
+        ring.try_write(FRAME_BATCH, payload=payload)
+        assert ring.used_bytes() == 2 * per_frame
+        ring.try_read()
+        assert ring.used_bytes() == per_frame
+
+
+class TestAttach:
+    def test_attached_ring_shares_frames(self):
+        owner = ShmRing(capacity_bytes=1 << 12)
+        try:
+            other = ShmRing.attach(owner.name)
+            payload = np.eye(3)
+            assert owner.try_write(FRAME_BATCH, seq=5, payload=payload)
+            frame = other.try_read()
+            assert frame.seq == 5
+            np.testing.assert_array_equal(frame.payload, payload)
+            # Consumption is visible to the owner too.
+            assert owner.used_bytes() == 0
+            other.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_capacity_floor(self):
+        with pytest.raises(ConfigurationError):
+            ShmRing(capacity_bytes=16)
