@@ -17,7 +17,10 @@ Commands
     asynchronous recovery + backpressure), drive it with a synthetic
     request load, and print the throughput/latency/health report.  With
     ``--backend process`` each worker is an OS process fed over
-    shared-memory rings (GIL-free scaling).
+    shared-memory rings (GIL-free scaling).  ``--chaos kill=2,...``
+    injects faults (worker kills, batch faults, control-frame damage) and
+    ``--selftest`` verifies every request completed exactly once or
+    failed fast — the fault-tolerance acceptance check.
 ``summary [--apps a,b,...]``
     Recompute the paper's headline numbers (trains every requested
     benchmark; the full suite takes ~30 s).
@@ -132,12 +135,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.errors import OverloadedError
-    from repro.serving import RumbaServer
+    from repro.errors import OverloadedError, ServingError
+    from repro.serving import ChaosConfig, RumbaServer
 
+    chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
     print(f"Preparing {args.app} with the {args.scheme} checker "
           f"({args.workers} {args.backend} workers, "
-          f"{args.recovery_workers} recovery)...")
+          f"{args.recovery_workers} recovery"
+          + (f", chaos {args.chaos!r}" if chaos and chaos.enabled else "")
+          + ")...")
     server = RumbaServer(
         app=args.app,
         scheme=args.scheme,
@@ -149,12 +155,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         recovery_backlog_capacity=args.recovery_capacity,
         seed=args.seed,
         backend=args.backend,
+        default_deadline_s=args.deadline_s,
+        chaos=chaos,
     )
     server.prepare()
     rng = np.random.default_rng(args.seed + 100)
     pool = np.atleast_2d(server.prototype.app.test_inputs(rng))
     latencies: List[float] = []
     shed = 0
+    failed = 0
+    hung = 0
     started = time.perf_counter()
     with server:
         handles = []
@@ -167,9 +177,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 shed += 1
             if interval:
                 time.sleep(interval)
+        # A hard wall-clock bound per request: under --selftest a handle
+        # that neither completes nor fails within it counts as a hang,
+        # which is exactly the bug class the chaos harness exists to find.
         for handle in handles:
-            result = handle.result(timeout=60.0)
-            latencies.append(result.latency_s)
+            try:
+                result = handle.result(timeout=args.deadline_s + 30.0)
+                latencies.append(result.latency_s)
+            except ServingError as exc:
+                if handle.done():
+                    failed += 1
+                else:
+                    hung += 1
+                    print(f"HUNG request: {exc}")
         stats = server.stats()
     elapsed = time.perf_counter() - started
     completed = len(latencies)
@@ -178,6 +198,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     p95 = latencies[int(completed * 0.95)] if completed else float("nan")
     rows = [
         ["requests completed", completed],
+        ["requests failed", failed],
         ["requests shed", shed],
         ["throughput", f"{completed / elapsed:.1f} req/s"],
         ["p50 latency", f"{p50 * 1e3:.2f} ms"],
@@ -185,20 +206,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["degradation events",
          server.controller.degrade_events if server.controller else 0],
         ["drift flagged", stats["drifted"]],
+        ["worker restarts", stats["worker_restarts"]],
+        ["batch retries", stats["retries"]],
     ]
+    if stats.get("chaos"):
+        rows.extend([
+            ["chaos kills", stats["chaos"]["kills"]],
+            ["chaos injected faults", stats["chaos"]["injected_faults"]],
+            ["chaos dropped controls", stats["chaos"]["dropped_controls"]],
+        ])
     print(format_table(["quantity", "value"], rows, title="Serving session"))
     worker_rows = [
         [w["worker"], w["batches"], w["elements"],
-         f"{w['threshold']:.4g}", w["drifted"]]
+         f"{w['threshold']:.4g}", w["drifted"], w.get("restarts", 0)]
         for w in stats["workers"]
     ]
     print(format_table(
-        ["worker", "batches", "elements", "threshold", "drifted"],
+        ["worker", "batches", "elements", "threshold", "drifted", "restarts"],
         worker_rows,
     ))
     if args.export:
         fmt = write_snapshot(args.export, server.registry)
         print(f"wrote {fmt} telemetry snapshot to {args.export}")
+    if args.selftest:
+        accounted = completed + failed + shed
+        ok = hung == 0 and accounted == args.requests
+        print(f"selftest: {completed} completed + {failed} failed + "
+              f"{shed} shed = {accounted} of {args.requests} submitted, "
+              f"{hung} hung -> {'OK' if ok else 'FAIL'}")
+        if not ok:
+            return 1
     return 0
 
 
@@ -314,6 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--admission-capacity", type=int, default=256)
     serve.add_argument("--recovery-capacity", type=int, default=16,
                        help="bounded async recovery backlog (batches)")
+    serve.add_argument("--deadline-s", type=float, default=30.0,
+                       help="per-request deadline budget in seconds "
+                            "(dispatch + fault retries + recovery)")
+    serve.add_argument("--chaos", default="",
+                       help="fault-injection spec, e.g. "
+                            "'kill=2,fail=0.05,drop=0.1,delay=0.005,"
+                            "corrupt=0.01,seed=1' (see docs/serving.md)")
+    serve.add_argument("--selftest", action="store_true",
+                       help="verify every request completed exactly once "
+                            "or failed fast (exit 1 on any hang or drop)")
     serve.add_argument("--export", default="",
                        help="write the final metrics snapshot here "
                             "(.prom/.txt Prometheus text, .json JSON)")

@@ -452,6 +452,10 @@ class RumbaSystem:
             max_records=self.max_records if max_records is None else max_records,
             telemetry=telemetry,
         )
+        # Each shard watches its own output stream: drop any EMA history
+        # the prototype accumulated (calibration, earlier invocations) so
+        # shards stay independent.
+        clone.predictor.reset_state()
         # Carry over any threshold calibration applied after construction
         # (prepare_system calibrates EMA/Random/Uniform TOQ thresholds).
         clone.tuner.threshold = self.tuner.threshold

@@ -46,3 +46,13 @@ class OverloadedError(ServingError):
 
     Raised instead of queueing unboundedly — the caller is expected to
     back off and retry, exactly like an HTTP 503."""
+
+
+class WorkerCrashError(ServingError):
+    """A serving worker died (or was killed) with batches in flight.
+
+    This is the *retryable* failure class: the batch itself is not at
+    fault, so the server re-dispatches it to a healthy worker until the
+    request's deadline budget or retry bound is exhausted.  Application
+    errors (bad inputs, kernel failures) deliberately do not derive from
+    this — re-running them would fail identically."""

@@ -77,6 +77,15 @@ class ErrorPredictor(ABC):
     def _fit(self, features: np.ndarray, errors: np.ndarray) -> None:
         """Subclass hook; default is stateless."""
 
+    def reset_state(self) -> None:
+        """Clear any *online* state carried between invocations.
+
+        Output-history checkers (EMA) track the signal across
+        :meth:`scores` calls; sharding a system must reset that state so
+        each shard sees only its own stream.  Trained parameters are not
+        touched.  Default is a no-op for stateless predictors.
+        """
+
     @abstractmethod
     def scores(
         self,

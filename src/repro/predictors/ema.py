@@ -63,11 +63,16 @@ class EMAPredictor(ErrorPredictor):
         if history < 1:
             raise ConfigurationError("history must be at least 1")
         self.history = history
+        #: Running average carried across invocations (None = unseeded).
+        self._ema: Optional[float] = None
 
     @property
     def alpha(self) -> float:
         """The smoothing factor ``2 / (1 + N)``."""
         return 2.0 / (1.0 + self.history)
+
+    def reset_state(self) -> None:
+        self._ema = None
 
     def scores(self, features=None, approx_outputs=None, true_errors=None):
         if approx_outputs is None:
@@ -77,14 +82,26 @@ class EMAPredictor(ErrorPredictor):
         if n == 0:
             return np.empty(0)
         # Reduce multi-output elements to one representative value per
-        # element, then track its moving average in stream order.
+        # element, then track its moving average in stream order.  The
+        # average persists across invocations (Eq. 2 is an *online*
+        # filter): only the very first element the predictor ever sees
+        # seeds it — not each batch's first element, which would blind
+        # the detector to element 0 and forget the trend between calls.
         stream = outputs.mean(axis=1)
         scores = np.empty(n, dtype=float)
-        ema = stream[0]
+        ema = self._ema
         alpha = self.alpha
         for i, value in enumerate(stream):
-            scores[i] = abs(value - ema)
-            ema = value * alpha + ema * (1.0 - alpha)
+            if ema is None:
+                # Seeding element: no history to deviate from.
+                scores[i] = 0.0 if np.isfinite(value) else np.nan
+            else:
+                scores[i] = abs(value - ema)
+            # Non-finite values fire unconditionally downstream; folding
+            # them in would poison the average for every later element.
+            if np.isfinite(value):
+                ema = value if ema is None else value * alpha + ema * (1.0 - alpha)
+        self._ema = ema
         return scores
 
     def coefficient_count(self) -> int:

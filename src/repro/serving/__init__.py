@@ -19,7 +19,12 @@ the tier between the two:
   :class:`~repro.serving.shm.ShmRing` — the ``backend="process"``
   engine: worker *processes* each owning a full system shard, fed
   through shared-memory rings that move batches as raw float64 blocks
-  (pickle only at worker startup; see ``docs/performance.md``).
+  (pickle only at worker startup; see ``docs/performance.md``),
+* :mod:`~repro.serving.faults` — the chaos harness
+  (:class:`ChaosConfig` / :class:`ChaosMonkey`): kills workers, injects
+  batch faults, and drops/delays/corrupts control frames so the
+  supervisor's restart + deadline-budgeted retry machinery can be proven
+  under sustained churn (``python -m repro serve --chaos ...``).
 
 See ``docs/serving.md`` for the architecture and ``python -m repro
 serve`` for the command-line entry point.
@@ -27,6 +32,7 @@ serve`` for the command-line entry point.
 
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.faults import ChaosConfig, ChaosMonkey, InjectedFault
 from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
 from repro.serving.server import RumbaServer, WorkerShard
@@ -35,6 +41,9 @@ from repro.serving.shm import ShmFrame, ShmRing
 __all__ = [
     "AdmissionQueue",
     "BackpressureController",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "InjectedFault",
     "ProcessWorker",
     "ProcessWorkerPool",
     "RumbaServer",

@@ -108,6 +108,22 @@ class AdmissionQueue:
             self._cond.notify()
             return True
 
+    def requeue(self, request: ServeRequest) -> None:
+        """Put a retried request back at the *front* of the queue.
+
+        Bypasses the capacity bound: the request was already admitted
+        once and is still counted in flight, so shedding it here would
+        turn a transient worker fault into an :class:`OverloadedError`.
+        Its original ``submitted_at`` makes the front-of-queue flush
+        deadline fire immediately, so retries never wait out another
+        full flush interval.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServingError("admission queue is closed")
+            self._pending.appendleft(request)
+            self._cond.notify()
+
     def take_batch(self) -> Optional[List[ServeRequest]]:
         """Block until a batch is due; None once closed and drained.
 

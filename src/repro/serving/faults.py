@@ -1,0 +1,285 @@
+"""Fault injection for the serving stack (chaos harness).
+
+Rumba's premise is that an unreliable fast path is safe as long as a
+supervisor detects bad results and re-executes them; this module turns
+that philosophy on the serving layer itself.  A :class:`ChaosMonkey`
+drives configurable faults into a running :class:`RumbaServer` so tests,
+``python -m repro serve --chaos``, and ``benchmarks/bench_chaos.py`` can
+prove that every request still completes exactly once (or fails fast
+with :class:`~repro.errors.ServingError`) under sustained churn:
+
+* **worker kills** — SIGKILL a random live worker process at a
+  configurable rate (process backend; exercises supervisor restart and
+  batch re-dispatch),
+* **injected batch faults** — raise :class:`InjectedFault` from a worker
+  with a configurable probability (thread backend's analogue of a crash;
+  exercises the retry path without OS processes),
+* **control-frame faults** — drop, delay, or corrupt DEGRADE/RELAX
+  frames on their way to a worker (a corrupted factor crashes the worker
+  loop, which the supervisor then restarts — corruption is a kill with
+  extra steps),
+* **frame corruption** — :func:`corrupt_next_frame` flips a byte in the
+  next unread frame of a ring so tests can prove the transport *detects*
+  torn frames (``ShmRing.try_read`` raises) instead of decoding garbage.
+
+Configuration comes from :class:`ChaosConfig`, parseable from the CLI's
+``--chaos kill=2,fail=0.05,drop=0.1,delay=0.005,corrupt=0.01,seed=1``
+spec string.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, WorkerCrashError
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosMonkey",
+    "InjectedFault",
+    "corrupt_next_frame",
+]
+
+
+class InjectedFault(WorkerCrashError):
+    """A synthetic worker fault raised by the chaos harness.
+
+    Derives from :class:`WorkerCrashError`, so the server treats it like
+    a real crash: the batch is retried within its deadline budget.
+    """
+
+
+@dataclass
+class ChaosConfig:
+    """What the monkey is allowed to break, and how often.
+
+    Parameters
+    ----------
+    kill_rate:
+        Expected worker-process kills per second (Poisson arrivals);
+        0 disables the killer thread.  Process backend only.
+    fail_prob:
+        Per-batch probability of raising :class:`InjectedFault` at
+        dispatch time.  Works in both backends; the thread backend's
+        stand-in for a crash.
+    control_drop_prob / control_delay_s / control_corrupt_prob:
+        Probability of dropping a DEGRADE/RELAX control frame, a uniform
+        upper bound on an injected delivery delay, and the probability of
+        corrupting the frame's factor payload.
+    seed:
+        Seeds the monkey's private RNG so chaos runs are reproducible.
+    """
+
+    kill_rate: float = 0.0
+    fail_prob: float = 0.0
+    control_drop_prob: float = 0.0
+    control_delay_s: float = 0.0
+    control_corrupt_prob: float = 0.0
+    seed: int = 0
+
+    #: short CLI spec keys -> field names
+    _SPEC_KEYS = {
+        "kill": "kill_rate",
+        "fail": "fail_prob",
+        "drop": "control_drop_prob",
+        "delay": "control_delay_s",
+        "corrupt": "control_corrupt_prob",
+        "seed": "seed",
+    }
+
+    def __post_init__(self) -> None:
+        for prob in (self.fail_prob, self.control_drop_prob,
+                     self.control_corrupt_prob):
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigurationError(
+                    "chaos probabilities must be in [0, 1]"
+                )
+        if self.kill_rate < 0 or self.control_delay_s < 0:
+            raise ConfigurationError(
+                "chaos rates and delays must be >= 0"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            getattr(self, f.name) for f in fields(self) if f.name != "seed"
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Build a config from a ``key=value,...`` CLI spec string.
+
+        ``--chaos kill=2`` kills one worker every ~0.5 s on average;
+        an empty spec (``--chaos ""``) enables nothing.
+        """
+        kwargs: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad chaos spec entry {part!r}; expected key=value"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            field = cls._SPEC_KEYS.get(key, key)
+            if field not in {f.name for f in fields(cls)}:
+                raise ConfigurationError(
+                    f"unknown chaos key {key!r}; choose from "
+                    f"{sorted(cls._SPEC_KEYS)}"
+                )
+            try:
+                kwargs[field] = int(value) if field == "seed" else float(value)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad chaos value for {key!r}: {value!r}"
+                ) from exc
+        return cls(**kwargs)
+
+
+class ChaosMonkey:
+    """Applies a :class:`ChaosConfig` to a live serving stack.
+
+    The server owns the monkey's lifecycle: ``start()`` spawns the
+    killer thread (when a pool is attached and ``kill_rate > 0``) and
+    ``stop()`` halts it before the server drains, so shutdown is always
+    chaos-free.  All fault counters are plain ints guarded by the GIL —
+    they are statistics, not synchronization.
+    """
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._pool = None
+        self._stop_event = threading.Event()
+        self._killer: Optional[threading.Thread] = None
+        self.kills = 0
+        self.injected_faults = 0
+        self.dropped_controls = 0
+        self.delayed_controls = 0
+        self.corrupted_controls = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    def attach_pool(self, pool) -> None:
+        """Point the monkey at a ProcessWorkerPool (and hook its
+        control-frame path)."""
+        self._pool = pool
+        pool.chaos = self
+
+    def start(self) -> "ChaosMonkey":
+        self._stop_event.clear()
+        if self.config.kill_rate > 0 and self._pool is not None:
+            self._killer = threading.Thread(
+                target=self._kill_loop, name="rumba-chaos-killer", daemon=True
+            )
+            self._killer.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        if self._killer is not None:
+            self._killer.join(timeout=10.0)
+            self._killer = None
+
+    # ------------------------------------------------------------------ #
+    # Fault channels                                                     #
+    # ------------------------------------------------------------------ #
+    def _kill_loop(self) -> None:
+        while not self._stop_event.is_set():
+            delay = self._rng.expovariate(self.config.kill_rate)
+            if self._stop_event.wait(timeout=max(delay, 0.005)):
+                return
+            self.kill_one_worker()
+
+    def kill_one_worker(self) -> bool:
+        """SIGKILL one random live worker; False when none is killable."""
+        pool = self._pool
+        if pool is None:
+            return False
+        live = [
+            w for w in pool.workers
+            if w.alive() and w.process.pid is not None
+        ]
+        if not live:
+            return False
+        victim = self._rng.choice(live)
+        try:
+            if hasattr(signal, "SIGKILL"):
+                os.kill(victim.process.pid, signal.SIGKILL)
+            else:  # pragma: no cover - non-POSIX fallback
+                victim.process.terminate()
+        except (ProcessLookupError, OSError):  # pragma: no cover - race
+            return False
+        self.kills += 1
+        return True
+
+    def maybe_fail(self, where: str = "") -> None:
+        """Raise :class:`InjectedFault` with ``fail_prob`` probability."""
+        if self.config.fail_prob and self._rng.random() < self.config.fail_prob:
+            self.injected_faults += 1
+            raise InjectedFault(
+                f"chaos-injected worker fault ({where or 'dispatch'})"
+            )
+
+    def filter_control(self, extra: bytes) -> Optional[bytes]:
+        """Chaos for one outgoing control frame's payload.
+
+        Returns None to drop the frame, possibly after an injected
+        delay; corruption flips one payload byte (the worker will apply
+        a garbage factor or crash — either way, the supervisor's
+        problem, which is the point).
+        """
+        cfg = self.config
+        if cfg.control_delay_s:
+            self.delayed_controls += 1
+            time.sleep(self._rng.uniform(0.0, cfg.control_delay_s))
+        if cfg.control_drop_prob and self._rng.random() < cfg.control_drop_prob:
+            self.dropped_controls += 1
+            return None
+        if (
+            cfg.control_corrupt_prob
+            and extra
+            and self._rng.random() < cfg.control_corrupt_prob
+        ):
+            self.corrupted_controls += 1
+            index = self._rng.randrange(len(extra))
+            corrupted = bytearray(extra)
+            corrupted[index] ^= 0xFF
+            return bytes(corrupted)
+        return extra
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "kills": self.kills,
+            "injected_faults": self.injected_faults,
+            "dropped_controls": self.dropped_controls,
+            "delayed_controls": self.delayed_controls,
+            "corrupted_controls": self.corrupted_controls,
+        }
+
+
+def corrupt_next_frame(ring, rng: Optional[random.Random] = None) -> bool:
+    """Flip one byte in the next *unread* frame's header.
+
+    Returns False when the ring has no unread frame.  The consumer's next
+    ``try_read`` must then raise (bad magic) rather than decode garbage —
+    the property the transport tests pin down.
+    """
+    head = ring._head()
+    if ring._tail() - head < 8:
+        return False
+    rng = rng or random.Random(0)
+    # Byte 0..7 of the header is the magic word; flipping any of them
+    # guarantees detection.
+    offset = 16 + (head + rng.randrange(8)) % ring.capacity
+    ring._shm.buf[offset] ^= 0xFF
+    return True

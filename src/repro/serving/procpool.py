@@ -108,7 +108,10 @@ def _worker_main(
                 _write_blocking(
                     out_ring, FRAME_RESULT, frame.seq, record.outputs, extra
                 )
-            except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            except Exception as exc:  # forwarded to parent as FRAME_ERROR;
+                # KeyboardInterrupt/SystemExit deliberately propagate so a
+                # signalled worker actually dies instead of pickling the
+                # interrupt into a batch error and looping forever.
                 try:
                     blob = pickle.dumps(exc)
                 except Exception:
@@ -141,7 +144,13 @@ def _write_blocking(
 
 @dataclass
 class ProcessWorker:
-    """Parent-side handle for one worker process and its ring pair."""
+    """Parent-side handle for one worker process and its ring pair.
+
+    The handle is *stable across restarts*: when the supervisor replaces
+    a dead worker it swaps ``process`` and both rings in place, so
+    anything holding the handle (backpressure proxies, shard views) keeps
+    addressing the same logical worker slot.
+    """
 
     name: str
     process: mp.Process
@@ -149,6 +158,7 @@ class ProcessWorker:
     out_ring: ShmRing  # worker writes, parent reads
     outstanding: int = 0
     dead: bool = False
+    restarts: int = 0
     snapshot: Dict[str, float] = field(default_factory=dict)
 
     def alive(self) -> bool:
@@ -206,33 +216,114 @@ class ProcessWorkerPool:
         self.workers: List[ProcessWorker] = []
         self._started = False
         self._stopped = False
+        self._blob: Optional[bytes] = None  # kept for supervisor restarts
+        self.total_restarts = 0
+        #: Optional fault injector (see :mod:`repro.serving.faults`);
+        #: consulted on the control-frame path when set.
+        self.chaos = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #
     # ------------------------------------------------------------------ #
-    def start(self) -> "ProcessWorkerPool":
-        if self._started:
-            raise ServingError("pool already started")
-        blob = pickle.dumps(self._prototype)  # the one pickle on this path
-        for i in range(self.n_workers):
-            in_ring = ShmRing(self.ring_capacity_bytes)
+    def _spawn(self, index: int) -> "tuple[mp.Process, ShmRing, ShmRing]":
+        """Create one worker's ring pair and (started) process.
+
+        On any failure nothing leaks: rings created before the failing
+        step are closed and unlinked before the exception propagates.
+        """
+        in_ring = ShmRing(self.ring_capacity_bytes)
+        try:
             out_ring = ShmRing(self.ring_capacity_bytes)
+        except Exception:
+            in_ring.close()
+            in_ring.unlink()
+            raise
+        try:
             process = self._ctx.Process(
                 target=_worker_main,
-                args=(blob, in_ring.name, out_ring.name,
+                args=(self._blob, in_ring.name, out_ring.name,
                       self.measure_quality),
-                name=f"rumba-serve-p{i}",
+                name=f"rumba-serve-p{index}",
                 daemon=True,
             )
             process.start()
-            self.workers.append(
-                ProcessWorker(
-                    name=f"p{i}", process=process,
-                    in_ring=in_ring, out_ring=out_ring,
+        except Exception:
+            in_ring.close()
+            out_ring.close()
+            in_ring.unlink()
+            out_ring.unlink()
+            raise
+        return process, in_ring, out_ring
+
+    @staticmethod
+    def _dismantle(worker: ProcessWorker, timeout: float = 5.0) -> None:
+        """Kill a worker's process (if any) and destroy its rings."""
+        worker.dead = True
+        try:
+            if worker.process.pid is not None and worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=timeout)
+        except Exception:  # pragma: no cover - teardown races
+            pass
+        worker.in_ring.close()
+        worker.out_ring.close()
+        worker.in_ring.unlink()
+        worker.out_ring.unlink()
+
+    def start(self) -> "ProcessWorkerPool":
+        if self._started:
+            raise ServingError("pool already started")
+        self._blob = pickle.dumps(self._prototype)  # one pickle per lifetime
+        try:
+            for i in range(self.n_workers):
+                process, in_ring, out_ring = self._spawn(i)
+                self.workers.append(
+                    ProcessWorker(
+                        name=f"p{i}", process=process,
+                        in_ring=in_ring, out_ring=out_ring,
+                    )
                 )
-            )
+        except Exception:
+            # Partial start: reap every worker (and shm segment) that did
+            # come up, then surface the original failure.  Without this a
+            # mid-loop Process.start() error leaves _started False, stop()
+            # early-returns, and every already-created ring leaks.
+            for worker in self.workers:
+                self._dismantle(worker)
+            self.workers = []
+            raise
         self._started = True
         return self
+
+    def restart_worker(
+        self,
+        worker: ProcessWorker,
+        degradation_level: int = 0,
+        degrade_factor: float = 1.5,
+    ) -> bool:
+        """Replace a dead worker's process and rings in place.
+
+        The new process clones a fresh shard from the startup prototype
+        blob, after which ``degradation_level`` backpressure steps (the
+        dead worker's last reported level) are re-applied so the restart
+        does not silently jump the fleet back to nominal quality under
+        load.  Returns False when the pool is not in a restartable state.
+        """
+        if not self._started or self._stopped or self._blob is None:
+            return False
+        index = self.workers.index(worker)
+        self._dismantle(worker)
+        process, in_ring, out_ring = self._spawn(index)
+        worker.process = process
+        worker.in_ring = in_ring
+        worker.out_ring = out_ring
+        worker.outstanding = 0
+        worker.dead = False
+        worker.restarts += 1
+        self.total_restarts += 1
+        for _ in range(max(int(degradation_level), 0)):
+            self.send_control(worker, FRAME_DEGRADE, degrade_factor)
+        return True
 
     def stop(self, timeout: float = 10.0) -> None:
         if not self._started or self._stopped:
@@ -294,8 +385,13 @@ class ProcessWorkerPool:
         """Best-effort DEGRADE/RELAX delivery; False if the worker is gone."""
         if self._stopped or not worker.alive():
             return False
+        extra = struct.pack(_FACTOR_FMT, factor)
+        if self.chaos is not None:
+            extra = self.chaos.filter_control(extra)
+            if extra is None:  # injected drop
+                return False
         return _write_blocking(
-            worker.in_ring, kind, 0, None, struct.pack(_FACTOR_FMT, factor),
+            worker.in_ring, kind, 0, None, extra,
             timeout_s=1.0, still_alive=worker.alive,
         )
 

@@ -79,14 +79,27 @@ class ServeRequest:
 
     ``submitted_at`` is a ``time.monotonic()`` reading taken at admission;
     the server uses it both for the deadline-based batch flush and for the
-    latency accounting reported in :class:`ServeResult`.
+    latency accounting reported in :class:`ServeResult`.  ``deadline_s``
+    is the request's total time budget: dispatch, any fault-triggered
+    re-dispatches (counted in ``attempts``), and recovery must all fit
+    inside it, after which the server fails the request with
+    :class:`ServingError` rather than retrying further.
     """
 
     request_id: int
     inputs: np.ndarray
     submitted_at: float
     handle: ServeHandle = field(default_factory=ServeHandle)
+    #: Total deadline budget in seconds (None = the server's default).
+    deadline_s: Optional[float] = None
+    #: Fault-triggered re-dispatches so far (0 = first attempt).
+    attempts: int = 0
 
     @property
     def n_elements(self) -> int:
         return int(self.inputs.shape[0])
+
+    def deadline_at(self, default_deadline_s: float) -> float:
+        """Absolute ``time.monotonic()`` instant the budget expires."""
+        budget = self.deadline_s if self.deadline_s is not None else default_deadline_s
+        return self.submitted_at + budget

@@ -30,19 +30,25 @@ server's metrics registry, and the server adds service-level series
 
 from __future__ import annotations
 
+import heapq
 import pickle
 import threading
 import time
 from dataclasses import dataclass, field
 from types import SimpleNamespace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.offline import prepare_system
 from repro.core.runtime import PendingInvocation, RumbaSystem
 from repro.core.stream import DriftDetector
-from repro.errors import ConfigurationError, OverloadedError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    OverloadedError,
+    ServingError,
+    WorkerCrashError,
+)
 from repro.hardware.queues import FifoQueue
 from repro.observability.instrument import Telemetry
 from repro.observability.metrics import (
@@ -51,6 +57,7 @@ from repro.observability.metrics import (
 )
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.faults import ChaosConfig, ChaosMonkey
 from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
 from repro.serving.shm import FRAME_ERROR, FRAME_RESULT
@@ -161,6 +168,24 @@ class RumbaServer:
     measure_quality:
         When True every batch also computes exact outputs for quality
         measurement (experiment mode, not a deployment setting).
+    max_retries, default_deadline_s, retry_backoff_s:
+        Fault-recovery policy.  A batch whose worker dies (or whose
+        dispatch hits an injected fault) is re-dispatched up to
+        ``max_retries`` times with exponential backoff
+        (``retry_backoff_s * 2**attempt``), as long as the re-dispatch
+        still fits inside the request's deadline budget
+        (``submit(deadline_s=...)``, defaulting to
+        ``default_deadline_s``).  Exhaustion surfaces ``ServingError`` to
+        the caller — never a hang.  Application errors are not retried.
+    restart_workers, max_worker_restarts:
+        Process-backend supervision.  When True (default) a dead worker
+        process is restarted from the startup prototype blob with fresh
+        shm rings and its last reported degradation level re-applied;
+        ``max_worker_restarts`` caps total restarts (None = unbounded).
+    chaos:
+        A :class:`~repro.serving.faults.ChaosConfig` (or prebuilt
+        :class:`~repro.serving.faults.ChaosMonkey`) enabling fault
+        injection for resilience testing; see ``docs/serving.md``.
     """
 
     def __init__(
@@ -185,9 +210,21 @@ class RumbaServer:
         backend: str = "thread",
         ring_capacity_bytes: int = 1 << 22,
         start_method: Optional[str] = None,
+        max_retries: int = 2,
+        default_deadline_s: float = 30.0,
+        retry_backoff_s: float = 0.05,
+        restart_workers: bool = True,
+        max_worker_restarts: Optional[int] = None,
+        chaos: Optional[ChaosConfig] = None,
     ):
         if n_workers < 1 or n_recovery_workers < 1:
             raise ConfigurationError("need at least one worker of each kind")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if default_deadline_s <= 0:
+            raise ConfigurationError("default_deadline_s must be > 0")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
         if backend not in _BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose from {_BACKENDS}"
@@ -243,6 +280,21 @@ class RumbaServer:
         self._inflight = 0
         self._next_request_id = 0
         self._id_lock = threading.Lock()
+
+        # Fault tolerance: deadline-budgeted retries + worker supervision.
+        self.max_retries = max_retries
+        self.default_deadline_s = default_deadline_s
+        self.retry_backoff_s = retry_backoff_s
+        self.restart_workers = restart_workers
+        self.max_worker_restarts = max_worker_restarts
+        self._retry_cond = threading.Condition()
+        self._retry_heap: List[Tuple[float, int, ServeRequest]] = []
+        self._retry_seq = 0
+        self._retry_stop = False
+        self._retries_total = 0
+        self.chaos_monkey: Optional[ChaosMonkey] = (
+            ChaosMonkey(chaos) if isinstance(chaos, ChaosConfig) else chaos
+        )
         self._build_metrics()
 
     # ------------------------------------------------------------------ #
@@ -289,6 +341,16 @@ class RumbaServer:
             "rumba_serve_request_latency_seconds",
             "Submission-to-completion latency per request", base,
             buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_worker_restarts = r.counter(
+            "rumba_serve_worker_restarts",
+            "Dead worker processes restarted by the supervisor",
+            base + ("worker",),
+        )
+        self._m_retries = r.counter(
+            "rumba_serve_retries",
+            "Requests re-dispatched after a worker fault",
+            base + ("worker",),
         )
         # Process backend: worker-internal state arrives via the metrics
         # snapshot shipped with every RESULT frame and is re-exported here
@@ -380,6 +442,11 @@ class RumbaServer:
         if self._state != "ready":
             raise ServingError(f"cannot start a {self._state} server")
         self._state = "running"
+        retry_thread = threading.Thread(
+            target=self._retry_loop, name="rumba-serve-retry", daemon=True,
+        )
+        retry_thread.start()
+        self._threads.append(retry_thread)
         if self.backend == "process":
             self.pool.start()
             self._proc_views = {
@@ -405,7 +472,12 @@ class RumbaServer:
             dispatcher.start()
             collector.start()
             self._threads.extend([dispatcher, collector])
+            if self.chaos_monkey is not None:
+                self.chaos_monkey.attach_pool(self.pool)
+                self.chaos_monkey.start()
             return self
+        if self.chaos_monkey is not None:
+            self.chaos_monkey.start()
         for shard in self.shards:
             thread = threading.Thread(
                 target=self._worker_loop, args=(shard,),
@@ -446,17 +518,30 @@ class RumbaServer:
         if self._state in ("stopped", "new", "ready"):
             self._state = "stopped" if self._state != "new" else self._state
             return
+        # Chaos stops before the drain so shutdown itself is fault-free.
+        if self.chaos_monkey is not None:
+            self.chaos_monkey.stop()
         self.drain(timeout=timeout)
         self._admission.close()
         with self._rcond:
             self._recovery_stop = True
             self._rcond.notify_all()
+        with self._retry_cond:
+            self._retry_stop = True
+            self._retry_cond.notify_all()
         self._proc_stop = True
         for thread in self._threads:
             thread.join(timeout=timeout)
         if self.pool is not None:
             self.pool.stop(timeout=timeout)
         # Fail anything that somehow survived the drain (e.g. timeout).
+        with self._retry_cond:
+            abandoned = [entry[2] for entry in self._retry_heap]
+            self._retry_heap.clear()
+        for request in abandoned:
+            self._finish_request(
+                request, error=ServingError("server stopped"), record=None
+            )
         for request in self._admission.drain_remaining():
             self._finish_request(
                 request, error=ServingError("server stopped"), record=None
@@ -478,12 +563,21 @@ class RumbaServer:
     # ------------------------------------------------------------------ #
     # Admission                                                          #
     # ------------------------------------------------------------------ #
-    def submit(self, inputs: np.ndarray) -> ServeHandle:
-        """Admit one request; raises :class:`OverloadedError` when shed."""
+    def submit(
+        self, inputs: np.ndarray, deadline_s: Optional[float] = None
+    ) -> ServeHandle:
+        """Admit one request; raises :class:`OverloadedError` when shed.
+
+        ``deadline_s`` bounds the request's total time budget (dispatch,
+        fault-triggered retries, recovery); it defaults to the server's
+        ``default_deadline_s``.
+        """
         if self._state != "running":
             raise ServingError(
                 f"server is {self._state}; submissions need a running server"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be > 0")
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
         if inputs.shape[0] == 0:
             raise ConfigurationError("a request needs at least one element")
@@ -494,6 +588,7 @@ class RumbaServer:
             request_id=request_id,
             inputs=inputs,
             submitted_at=time.monotonic(),
+            deadline_s=deadline_s,
         )
         if not self._admission.offer(request):
             self._m_requests.labels(outcome="shed", **self._labels).inc()
@@ -511,10 +606,13 @@ class RumbaServer:
         return request.handle
 
     def submit_wait(
-        self, inputs: np.ndarray, timeout: Optional[float] = None
+        self,
+        inputs: np.ndarray,
+        timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ) -> ServeResult:
         """Convenience: submit and block for the result."""
-        return self.submit(inputs).result(timeout)
+        return self.submit(inputs, deadline_s=deadline_s).result(timeout)
 
     # ------------------------------------------------------------------ #
     # Worker groups                                                      #
@@ -529,9 +627,8 @@ class RumbaServer:
             )
             try:
                 self._dispatch_batch(shard, batch)
-            except BaseException as exc:  # pragma: no cover - defensive
-                for request in batch:
-                    self._finish_request(request, error=exc, record=None)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._retry_or_fail(batch, exc, worker=shard.name)
 
     def _dispatch_batch(
         self, shard: WorkerShard, batch: List[ServeRequest]
@@ -539,12 +636,13 @@ class RumbaServer:
         inputs = concat_inputs(batch)
         dispatched_at = time.monotonic()
         try:
+            if self.chaos_monkey is not None:
+                self.chaos_monkey.maybe_fail(where=shard.name)
             pending = shard.system.begin_invocation(
                 inputs, measure_quality=self.measure_quality
             )
-        except BaseException as exc:
-            for request in batch:
-                self._finish_request(request, error=exc, record=None)
+        except Exception as exc:
+            self._retry_or_fail(batch, exc, worker=shard.name)
             return
         shard.batches += 1
         shard.elements += inputs.shape[0]
@@ -599,9 +697,10 @@ class RumbaServer:
     def _complete_task(self, task: _RecoveryTask) -> None:
         try:
             record = task.shard.system.complete_invocation(task.pending)
-        except BaseException as exc:
-            for request in task.requests:
-                self._finish_request(request, error=exc, record=None)
+        except Exception as exc:
+            # A retry re-runs the invocation from the top on a healthy
+            # shard; kernels are pure, so re-execution is safe.
+            self._retry_or_fail(task.requests, exc, worker=task.shard.name)
             return
         blocks = split_outputs(record.outputs, task.requests)
         for request, outputs in zip(task.requests, blocks):
@@ -628,9 +727,8 @@ class RumbaServer:
             )
             try:
                 self._dispatch_batch_process(batch)
-            except BaseException as exc:  # pragma: no cover - defensive
-                for request in batch:
-                    self._finish_request(request, error=exc, record=None)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._retry_or_fail(batch, exc)
 
     def _proc_backlog(self) -> int:
         """Batches in flight to workers — the process backend's analogue
@@ -641,6 +739,12 @@ class RumbaServer:
     def _dispatch_batch_process(self, batch: List[ServeRequest]) -> None:
         inputs = concat_inputs(batch)
         dispatched_at = time.monotonic()
+        if self.chaos_monkey is not None:
+            try:
+                self.chaos_monkey.maybe_fail(where="dispatch")
+            except Exception as exc:
+                self._retry_or_fail(batch, exc)
+                return
         with self._proc_lock:
             alive = [w for w in self.pool.workers if w.alive()]
             if alive:
@@ -655,18 +759,29 @@ class RumbaServer:
                 )
                 worker.outstanding += 1
         if not alive:
-            error = ServingError("no live serving worker processes")
-            for request in batch:
-                self._finish_request(request, error=error, record=None)
+            # Retryable: the supervisor may restart a worker before the
+            # deadline budget runs out; exhaustion fails fast.
+            self._retry_or_fail(
+                batch, WorkerCrashError("no live serving worker processes")
+            )
             return
         try:
             self.pool.submit(worker, seq, inputs)
-        except BaseException as exc:
+        except Exception as exc:
             with self._proc_lock:
-                if self._proc_pending.pop(seq, None) is not None:
+                owned = self._proc_pending.pop(seq, None) is not None
+                if owned:
                     worker.outstanding -= 1
-            for request in batch:
-                self._finish_request(request, error=exc, record=None)
+            if not owned:
+                # The collector reaped this worker concurrently and now
+                # owns (has already retried or failed) the batch.
+                return
+            if not worker.alive():
+                exc = WorkerCrashError(
+                    f"worker {worker.name} died while batch {seq} "
+                    f"was being delivered: {exc}"
+                )
+            self._retry_or_fail(batch, exc, worker=worker.name)
             return
         view = self._proc_views[worker.name]
         view.batches += 1
@@ -688,11 +803,13 @@ class RumbaServer:
                     progressed = True
                     self._handle_worker_frame(worker, frame)
                 if not worker.process.is_alive() and not worker.dead:
-                    # Harvest anything it managed to publish before dying,
-                    # then fail what it took down with it.
+                    # Harvest anything it managed to publish before dying
+                    # (death is final, so every pre-death write is visible
+                    # by now), then supervise: restart the worker and
+                    # re-dispatch what it took down with it.
                     for frame in self.pool.poll(worker):
                         self._handle_worker_frame(worker, frame)
-                    self._fail_worker_pending(worker)
+                    self._reap_worker(worker)
                     progressed = True
             with self._proc_lock:
                 n_pending = len(self._proc_pending)
@@ -723,7 +840,7 @@ class RumbaServer:
             ).set(snapshot.get("invocations", 0))
             try:
                 blocks = split_outputs(frame.payload, pending.requests)
-            except BaseException as exc:
+            except Exception as exc:
                 for request in pending.requests:
                     self._finish_request(request, error=exc, record=None)
             else:
@@ -746,24 +863,136 @@ class RumbaServer:
         self._m_backlog.labels(**self._labels).set(backlog)
         self._apply_backpressure(backlog)
 
-    def _fail_worker_pending(self, worker: ProcessWorker) -> None:
-        """A worker process died: surface errors instead of hanging."""
-        worker.dead = True
+    def _reap_worker(self, worker: ProcessWorker) -> None:
+        """Supervise a dead worker: restart it, re-dispatch its batches.
+
+        The paper's recovery unit re-executes iterations the checker
+        flagged; the supervisor applies the same move one level up — a
+        worker death flags every batch it held, and each is re-executed
+        on a healthy worker within its request's deadline budget.
+        """
+        error = WorkerCrashError(
+            f"serving worker {worker.name} "
+            f"(pid {worker.process.pid}, exit {worker.process.exitcode}) "
+            "died with batches in flight"
+        )
         with self._proc_lock:
+            worker.dead = True
             seqs = [
                 seq for seq, p in self._proc_pending.items()
                 if p.worker is worker
             ]
             doomed = [self._proc_pending.pop(seq) for seq in seqs]
             worker.outstanding = 0
-        error = ServingError(
-            f"serving worker {worker.name} "
-            f"(pid {worker.process.pid}, exit {worker.process.exitcode}) "
-            "died with batches in flight"
-        )
+        if self._should_restart():
+            # Restart from the startup prototype blob, then re-apply the
+            # worker's last reported degradation level so a mid-overload
+            # restart does not silently jump back to nominal quality.
+            level = int(worker.snapshot.get(
+                "degradation_level",
+                self.controller.level if self.controller is not None else 0,
+            ))
+            try:
+                restarted = self.pool.restart_worker(
+                    worker,
+                    degradation_level=level,
+                    degrade_factor=self._bp_config[2],
+                )
+            except Exception:  # pragma: no cover - spawn failed mid-teardown
+                restarted = False
+            if restarted:
+                self._m_worker_restarts.labels(
+                    worker=worker.name, **self._labels
+                ).inc()
         for pending in doomed:
-            for request in pending.requests:
-                self._finish_request(request, error=error, record=None)
+            self._retry_or_fail(pending.requests, error, worker=worker.name)
+
+    def _should_restart(self) -> bool:
+        return (
+            self.restart_workers
+            and not self._proc_stop
+            and self._state in ("running", "draining")
+            and (
+                self.max_worker_restarts is None
+                or self.pool.total_restarts < self.max_worker_restarts
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Deadline-budgeted retries                                          #
+    # ------------------------------------------------------------------ #
+    def _retry_or_fail(
+        self,
+        requests: List[ServeRequest],
+        error: BaseException,
+        worker: str = "",
+    ) -> None:
+        """Route a failed batch: re-dispatch retryable faults, fail the rest.
+
+        Only :class:`WorkerCrashError` (real or injected worker death) is
+        retryable — application errors would fail identically on replay.
+        A retry must fit inside the request's deadline budget *including*
+        its exponential backoff; otherwise the caller gets a
+        :class:`ServingError` immediately rather than a doomed wait.
+        """
+        retryable = isinstance(error, WorkerCrashError)
+        now = time.monotonic()
+        for request in requests:
+            backoff = self.retry_backoff_s * (2 ** request.attempts)
+            if (
+                retryable
+                and request.attempts < self.max_retries
+                and now + backoff < request.deadline_at(self.default_deadline_s)
+                and self._state in ("running", "draining")
+            ):
+                request.attempts += 1
+                self._retries_total += 1
+                self._m_retries.labels(
+                    worker=worker or "none", **self._labels
+                ).inc()
+                with self._retry_cond:
+                    self._retry_seq += 1
+                    heapq.heappush(
+                        self._retry_heap,
+                        (now + backoff, self._retry_seq, request),
+                    )
+                    self._retry_cond.notify()
+                continue
+            final = error
+            if retryable:
+                if request.attempts >= self.max_retries:
+                    final = ServingError(
+                        f"request {request.request_id} failed after "
+                        f"{request.attempts + 1} attempts "
+                        f"(retry bound {self.max_retries}): {error}"
+                    )
+                else:
+                    final = ServingError(
+                        f"request {request.request_id} deadline budget "
+                        "exhausted after "
+                        f"{request.attempts + 1} attempt(s): {error}"
+                    )
+            self._finish_request(request, error=final, record=None)
+
+    def _retry_loop(self) -> None:
+        """Re-offer backed-off requests to the admission queue when due."""
+        while True:
+            with self._retry_cond:
+                if self._retry_stop:
+                    return
+                if not self._retry_heap:
+                    self._retry_cond.wait(timeout=0.1)
+                    continue
+                ready_at = self._retry_heap[0][0]
+                now = time.monotonic()
+                if ready_at > now:
+                    self._retry_cond.wait(timeout=min(ready_at - now, 0.1))
+                    continue
+                _, _, request = heapq.heappop(self._retry_heap)
+            try:
+                self._admission.requeue(request)
+            except ServingError as exc:
+                self._finish_request(request, error=exc, record=None)
 
     def _finish_request(
         self,
@@ -775,6 +1004,8 @@ class RumbaServer:
         dispatched_at: Optional[float] = None,
         error: Optional[BaseException] = None,
     ) -> None:
+        if request.handle.done():  # pragma: no cover - defensive backstop
+            return
         now = time.monotonic()
         latency = now - request.submitted_at
         queue_wait = (
@@ -825,6 +1056,10 @@ class RumbaServer:
                 "degradation_level": shard.system.tuner.degradation_level,
                 "drifted": shard.drifted,
                 "drift_flags": shard.drift_flags,
+                # Shape parity with process workers: thread shards live
+                # and die with the server, so they never restart.
+                "restarts": 0,
+                "alive": True,
             })
         if self.backend == "process" and self.pool is not None:
             base_threshold = (
@@ -847,8 +1082,17 @@ class RumbaServer:
                     ),
                     "drifted": view.drifted if view else False,
                     "drift_flags": view.drift_flags if view else 0,
+                    "restarts": worker.restarts,
+                    "alive": worker.alive(),
                 })
         degradation = 0 if self.controller is None else self.controller.level
+        worker_restarts = (
+            self.pool.total_restarts if self.pool is not None else 0
+        )
+        chaos_summary = (
+            self.chaos_monkey.summary()
+            if self.chaos_monkey is not None else None
+        )
         return {
             "state": self._state,
             "app": self.app_name,
@@ -867,5 +1111,9 @@ class RumbaServer:
             "degradation_level": degradation,
             "degraded": degradation > 0,
             "drifted": any(entry["drifted"] for entry in per_worker),
+            "worker_restarts": worker_restarts,
+            "retries": self._retries_total,
+            "retry_queue_depth": len(self._retry_heap),
+            "chaos": chaos_summary,
             "workers": per_worker,
         }

@@ -106,8 +106,22 @@ class ShmRing:
             # attaching process does not try to clean up the owner's
             # segment at exit.
             ring._shm = shared_memory.SharedMemory(name=name, track=False)
-        except TypeError:  # pragma: no cover - older interpreters
-            ring._shm = shared_memory.SharedMemory(name=name)
+        except TypeError:
+            # Python < 3.13 has no ``track`` parameter and registers the
+            # segment with the resource tracker, which would warn about
+            # (and unlink!) the parent-owned segment when the worker
+            # exits.  Suppressing ``register`` during attach keeps the
+            # tracker out of it entirely; sending ``unregister`` instead
+            # would strip the *owner's* registration too (the tracker
+            # process is shared), making the owner's later unlink error.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *a, **kw: None
+            try:
+                ring._shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
         ring.capacity = ring._shm.size - _CTRL_BYTES
         ring._owner = False
         return ring

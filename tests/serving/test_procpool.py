@@ -2,7 +2,9 @@
 surfacing, and the ProcessWorkerPool data path."""
 
 import os
+import pickle
 import signal
+import threading
 import time
 
 import numpy as np
@@ -10,7 +12,8 @@ import pytest
 
 from repro.errors import ServingError
 from repro.serving import ProcessWorkerPool, RumbaServer
-from repro.serving.shm import FRAME_ERROR, FRAME_RESULT
+from repro.serving.procpool import _worker_main
+from repro.serving.shm import FRAME_BATCH, FRAME_ERROR, FRAME_RESULT, ShmRing
 
 
 def _wait_frames(pool, worker, n=1, timeout_s=30.0):
@@ -87,6 +90,53 @@ class TestProcessWorkerPool:
             pool.stop()
 
 
+class _InterruptingSystem:
+    """Picklable stand-in whose invocation raises like a delivered signal."""
+
+    def clone_shard(self):
+        return self
+
+    def run_invocation(self, *_args, **_kwargs):
+        raise KeyboardInterrupt
+
+
+class TestWorkerMainInterrupts:
+    def test_keyboard_interrupt_kills_worker_loop(self):
+        # KeyboardInterrupt/SystemExit must propagate out of the worker
+        # loop (killing the process) — NOT be pickled into a FRAME_ERROR
+        # like an ordinary batch failure.  A worker that swallows its
+        # interrupt can never be stopped by signal.
+        in_ring = ShmRing(1 << 12)
+        out_ring = ShmRing(1 << 12)
+        try:
+            in_ring_w = ShmRing.attach(in_ring.name)
+            in_ring_w.try_write(FRAME_BATCH, seq=0, payload=np.ones((2, 2)))
+            in_ring_w.close()
+            caught = []
+
+            def run():
+                try:
+                    _worker_main(
+                        pickle.dumps(_InterruptingSystem()),
+                        in_ring.name, out_ring.name, False,
+                    )
+                except BaseException as exc:  # noqa: BLE001 - the assertion
+                    caught.append(exc)
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert len(caught) == 1
+            assert isinstance(caught[0], KeyboardInterrupt)
+            # No error frame was produced: the interrupt escaped the loop.
+            assert out_ring.try_read() is None
+        finally:
+            for ring in (in_ring, out_ring):
+                ring.close()
+                ring.unlink()
+
+
 class TestProcessServerLifecycle:
     def test_clean_start_serve_stop(self, fft_prototype, fft_input_pool):
         server = RumbaServer(
@@ -108,9 +158,13 @@ class TestProcessServerLifecycle:
 
     def test_worker_crash_surfaces_error_not_hang(self, fft_prototype,
                                                   fft_input_pool):
+        # With supervision off, a dead worker's requests must fail fast —
+        # never hang.  (The restart path that makes them *succeed* is
+        # covered in test_resilience.py.)
         server = RumbaServer(
             prototype=fft_prototype.clone_shard(), backend="process",
             n_workers=1, flush_interval_s=0.001,
+            restart_workers=False, max_retries=1, retry_backoff_s=0.01,
         )
         server.start()
         try:

@@ -1,6 +1,10 @@
 """Unit tests for the shared-memory ring transport (frame round trips,
 wraparound, capacity behaviour)."""
 
+import multiprocessing as mp
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -123,3 +127,41 @@ class TestAttach:
     def test_capacity_floor(self):
         with pytest.raises(ConfigurationError):
             ShmRing(capacity_bytes=16)
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                        reason="needs a POSIX shm filesystem to observe")
+    def test_child_attach_does_not_destroy_owner_segment(self):
+        # On Python < 3.13 a plain attach registers the segment with the
+        # child's resource tracker, which unlinks it when the child exits
+        # — yanking the shared memory out from under the owner.  The
+        # attach path must keep the tracker out of it (``track=False`` on
+        # 3.13+, register-suppression before).
+        owner = ShmRing(capacity_bytes=1 << 12)
+        path = f"/dev/shm/{owner.name.lstrip('/')}"
+        assert os.path.exists(path)
+        try:
+            ctx = mp.get_context("spawn")
+            child = ctx.Process(target=_attach_read_and_exit,
+                                args=(owner.name,))
+            owner.try_write(FRAME_BATCH, seq=7, payload=np.eye(2))
+            child.start()
+            child.join(timeout=60)
+            assert child.exitcode == 0
+            # Give the child's resource tracker time to do damage if the
+            # attach had (wrongly) registered the segment.
+            time.sleep(1.0)
+            assert os.path.exists(path)
+            # The owner's end still works after the child detached.
+            assert owner.try_write(FRAME_BATCH, seq=8, payload=np.eye(2))
+        finally:
+            owner.close()
+            owner.unlink()
+        assert not os.path.exists(path)
+
+
+def _attach_read_and_exit(name):
+    """Child-process body for the resource-tracker test."""
+    ring = ShmRing.attach(name)
+    frame = ring.try_read()
+    assert frame is not None and frame.seq == 7
+    ring.close()
