@@ -33,7 +33,7 @@ from perf_harness import drive_server, host_fingerprint, make_request_pool, spee
 
 from repro.core import prepare_system
 from repro.eval.reporting import banner, format_table
-from repro.serving import RumbaServer
+from repro.serving import BatchingConfig, RumbaServer, ServerConfig
 
 APP = "fft"
 SCHEME = "treeErrors"
@@ -68,12 +68,16 @@ def run_sweep(quick: bool = False) -> Dict[str, object]:
         for workers, batch in sweep["points"]:
             server = RumbaServer(
                 prototype=prototype.clone_shard(),
-                backend=backend,
-                n_workers=workers,
-                n_recovery_workers=max(workers // 2, 1),
-                max_batch_requests=batch,
-                flush_interval_s=0.002,
-                seed=0,
+                config=ServerConfig(
+                    backend=backend,
+                    n_workers=workers,
+                    n_recovery_workers=max(workers // 2, 1),
+                    seed=0,
+                    batching=BatchingConfig(
+                        max_batch_requests=batch,
+                        flush_interval_s=0.002,
+                    ),
+                ),
             )
             point = drive_server(
                 server,

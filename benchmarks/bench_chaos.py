@@ -31,7 +31,13 @@ from _bench_utils import emit, run_once
 from repro.core import prepare_system
 from repro.errors import ServingError
 from repro.eval.reporting import banner, format_table
-from repro.serving import ChaosConfig, RumbaServer
+from repro.serving import (
+    BatchingConfig,
+    ChaosConfig,
+    RetryConfig,
+    RumbaServer,
+    ServerConfig,
+)
 
 APP = "fft"
 SCHEME = "treeErrors"
@@ -97,14 +103,17 @@ def chaos_soak() -> List[Dict[str, float]]:
             "/dev/shm") else set()
         server = RumbaServer(
             prototype=prototype.clone_shard(),
-            backend=backend,
-            n_workers=2,
-            n_recovery_workers=1,
-            max_batch_requests=8,
-            flush_interval_s=0.002,
-            retry_backoff_s=0.01,
-            seed=0,
-            chaos=ChaosConfig.parse(spec) if spec else None,
+            config=ServerConfig(
+                backend=backend,
+                n_workers=2,
+                n_recovery_workers=1,
+                seed=0,
+                batching=BatchingConfig(
+                    max_batch_requests=8, flush_interval_s=0.002,
+                ),
+                retry=RetryConfig(retry_backoff_s=0.01),
+                chaos=ChaosConfig.parse(spec) if spec else None,
+            ),
         )
         point = _soak(server, pool)
         shm_after = set(os.listdir("/dev/shm")) if os.path.isdir(

@@ -1,0 +1,260 @@
+"""Network serving edge throughput/latency sweep.
+
+Stands up a :class:`~repro.serving.NetServer` on an ephemeral localhost
+port and hammers it with a multi-process load generator: each client
+process opens one TCP connection and keeps a fixed number of requests in
+flight on it (request-id multiplexing), so the sweep exercises both
+axes the wire protocol was built for — concurrent connections and
+per-connection pipelining.  Results (req/s, p50/p95/p99, per-point
+decode/connection counters) land in ``BENCH_net.json`` at the repo root
+with a host fingerprint, mirroring ``BENCH_serving.json``.
+
+Run directly::
+
+    python benchmarks/bench_net_throughput.py           # full sweep
+    python benchmarks/bench_net_throughput.py --quick   # CI smoke
+
+``--quick`` additionally asserts the best point sustains >= 1000 req/s
+on localhost — the acceptance floor for the network edge.  Requests are
+deliberately small (a few kernel iterations each) so the floor measures
+protocol + batching overhead, not accelerator math.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _bench_utils import emit
+from perf_harness import host_fingerprint, percentile_ms
+
+from repro.core import prepare_system
+from repro.eval.reporting import banner, format_table
+from repro.serving import (
+    BatchingConfig,
+    NetServer,
+    RumbaClient,
+    RumbaServer,
+    ServerConfig,
+)
+
+APP = "fft"
+SCHEME = "treeErrors"
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(_REPO_ROOT, "BENCH_net.json")
+
+#: Rows per request — small on purpose; the floor measures the edge.
+ELEMENTS_PER_REQUEST = 8
+MIN_QUICK_REQ_PER_S = 1000.0
+
+FULL_SWEEP = {
+    "requests_per_client": 400,
+    "warmup_requests": 20,
+    "points": [  # (connections, in-flight depth per connection)
+        (1, 8),
+        (1, 32),
+        (2, 16),
+        (4, 16),
+        (4, 32),
+    ],
+}
+QUICK_SWEEP = {
+    "requests_per_client": 250,
+    "warmup_requests": 10,
+    "points": [(1, 32), (2, 32)],
+}
+
+SERVER_CONFIG = dict(
+    n_workers=2,
+    n_recovery_workers=1,
+    batching=BatchingConfig(
+        max_batch_requests=64,
+        flush_interval_s=0.001,
+        admission_capacity=1024,
+    ),
+)
+
+
+def _client_proc(host, port, n_requests, depth, warmup, features, out_q):
+    """One load-generator process: one connection, ``depth`` in flight."""
+    import numpy as np
+
+    rng = np.random.default_rng(os.getpid())
+    block = rng.random((ELEMENTS_PER_REQUEST, max(features, 1)))
+    latencies: List[float] = []
+    try:
+        with RumbaClient(host, port, timeout_s=120.0) as client:
+            for _ in range(warmup):
+                client.submit_wait(block, timeout=120.0)
+            inflight = []
+            started = time.perf_counter()
+            for _ in range(n_requests):
+                inflight.append((time.perf_counter(), client.submit(block)))
+                if len(inflight) >= depth:
+                    sent_at, handle = inflight.pop(0)
+                    handle.result(120.0)
+                    latencies.append(time.perf_counter() - sent_at)
+            for sent_at, handle in inflight:
+                handle.result(120.0)
+                latencies.append(time.perf_counter() - sent_at)
+            elapsed = time.perf_counter() - started
+        out_q.put({"ok": True, "elapsed_s": elapsed, "latencies": latencies})
+    except Exception as exc:  # surfaced (and failed on) by the parent
+        out_q.put({"ok": False, "error": repr(exc)})
+
+
+def _drive_point(
+    address, connections, depth, requests_per_client, warmup, features
+) -> Dict[str, object]:
+    host, port = address
+    out_q: "mp.Queue" = mp.Queue()
+    procs = [
+        mp.Process(
+            target=_client_proc,
+            args=(host, port, requests_per_client, depth, warmup,
+                  features, out_q),
+            daemon=True,
+        )
+        for _ in range(connections)
+    ]
+    started = time.perf_counter()
+    for proc in procs:
+        proc.start()
+    reports = [out_q.get(timeout=300.0) for _ in procs]
+    elapsed = time.perf_counter() - started
+    for proc in procs:
+        proc.join(timeout=30.0)
+    failures = [r["error"] for r in reports if not r["ok"]]
+    if failures:
+        raise RuntimeError(f"load generator failed: {failures}")
+    latencies = [lat for r in reports for lat in r["latencies"]]
+    n_requests = connections * requests_per_client
+    # Wall-clock spans process start -> last report, so the rate is the
+    # conservative (whole-experiment) one, not a per-client best case.
+    return {
+        "connections": connections,
+        "depth": depth,
+        "requests": n_requests,
+        "elements_per_request": ELEMENTS_PER_REQUEST,
+        "elapsed_s": elapsed,
+        "requests_per_s": n_requests / elapsed,
+        "p50_ms": percentile_ms(latencies, 50),
+        "p95_ms": percentile_ms(latencies, 95),
+        "p99_ms": percentile_ms(latencies, 99),
+    }
+
+
+def run_sweep(quick: bool = False) -> Dict[str, object]:
+    sweep = QUICK_SWEEP if quick else FULL_SWEEP
+    prototype = prepare_system(APP, scheme=SCHEME, seed=0)
+    config = ServerConfig(**SERVER_CONFIG)
+    server = RumbaServer(prototype=prototype, config=config)
+    features = int(prototype.app.npu_topology.n_inputs)
+    results: List[Dict[str, object]] = []
+    net = NetServer(server, "127.0.0.1", 0)
+    with net:
+        for connections, depth in sweep["points"]:
+            results.append(_drive_point(
+                net.address, connections, depth,
+                sweep["requests_per_client"], sweep["warmup_requests"],
+                features,
+            ))
+        stats = server.stats()
+    return {
+        "bench": "net_throughput",
+        "app": APP,
+        "scheme": SCHEME,
+        "quick": quick,
+        "host": host_fingerprint(),
+        "load": {
+            "requests_per_client": sweep["requests_per_client"],
+            "elements_per_request": ELEMENTS_PER_REQUEST,
+            "warmup_requests": sweep["warmup_requests"],
+        },
+        "server": {
+            "backend": config.backend,
+            "workers": config.n_workers,
+            "batch_requests": config.batching.max_batch_requests,
+            "flush_interval_s": config.batching.flush_interval_s,
+            "batches": sum(w["batches"] for w in stats["workers"]),
+            "retries": stats["retries"],
+        },
+        "results": results,
+    }
+
+
+def _report(report: Dict[str, object]) -> None:
+    emit(banner(
+        f"Network serving throughput ({APP}/{SCHEME}, "
+        f"{report['load']['elements_per_request']} elements/request, "
+        f"{report['host']['cpu_count']} host cores)"
+    ))
+    emit(format_table(
+        ["conns", "depth", "requests", "req/s", "p50 ms", "p95 ms",
+         "p99 ms"],
+        [
+            [r["connections"], r["depth"], r["requests"],
+             f"{r['requests_per_s']:.0f}", f"{r['p50_ms']:.2f}",
+             f"{r['p95_ms']:.2f}", f"{r['p99_ms']:.2f}"]
+            for r in report["results"]
+        ],
+    ))
+
+
+def _check(report: Dict[str, object]) -> None:
+    results = report["results"]
+    assert all(r["requests_per_s"] > 0 for r in results)
+    assert all(r["p99_ms"] == r["p99_ms"] for r in results)  # not NaN
+    if report["quick"]:
+        best = max(r["requests_per_s"] for r in results)
+        assert best >= MIN_QUICK_REQ_PER_S, (
+            f"network edge sustained only {best:.0f} req/s "
+            f"(floor {MIN_QUICK_REQ_PER_S:.0f})"
+        )
+
+
+def test_net_throughput(benchmark=None):
+    quick = os.environ.get("RUMBA_BENCH_QUICK", "") == "1"
+    if benchmark is None:
+        report = run_sweep(quick=quick)
+    else:
+        report = benchmark.pedantic(
+            run_sweep, kwargs={"quick": quick}, rounds=1, iterations=1
+        )
+    _report(report)
+    _check(report)
+    with open(OUTPUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+    emit(f"wrote {OUTPUT_PATH}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep for CI smoke runs (asserts the 1000 req/s floor)",
+    )
+    parser.add_argument(
+        "--output", default=OUTPUT_PATH,
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+    report = run_sweep(quick=args.quick)
+    _report(report)
+    if args.quick:
+        _check(report)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    emit(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

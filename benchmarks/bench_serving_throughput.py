@@ -23,7 +23,7 @@ from _bench_utils import emit, run_once
 
 from repro.core import prepare_system
 from repro.eval.reporting import banner, format_table
-from repro.serving import RumbaServer
+from repro.serving import BatchingConfig, RumbaServer, ServerConfig
 
 APP = "fft"
 SCHEME = "treeErrors"
@@ -69,11 +69,15 @@ def serving_throughput() -> List[Dict[str, float]]:
     for n_workers, n_recovery, batch in SWEEP:
         server = RumbaServer(
             prototype=prototype.clone_shard(),
-            n_workers=n_workers,
-            n_recovery_workers=n_recovery,
-            max_batch_requests=batch,
-            flush_interval_s=0.002,
-            seed=0,
+            config=ServerConfig(
+                n_workers=n_workers,
+                n_recovery_workers=n_recovery,
+                seed=0,
+                batching=BatchingConfig(
+                    max_batch_requests=batch,
+                    flush_interval_s=0.002,
+                ),
+            ),
         )
         point = _drive(server, pool)
         point.update(

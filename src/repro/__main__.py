@@ -20,7 +20,15 @@ Commands
     shared-memory rings (GIL-free scaling).  ``--chaos kill=2,...``
     injects faults (worker kills, batch faults, control-frame damage) and
     ``--selftest`` verifies every request completed exactly once or
-    failed fast — the fault-tolerance acceptance check.
+    failed fast — the fault-tolerance acceptance check.  With
+    ``--listen HOST:PORT`` the server is instead exposed over TCP
+    (``docs/protocol.md``) and runs until interrupted or ``--duration``
+    elapses; ``--port-file`` records the bound ``host:port`` for
+    scripting against an ephemeral port.
+``client --connect HOST:PORT [--requests N] [--depth D] ...``
+    Drive a remotely served Rumba over the wire protocol: multiplexed
+    in-flight requests, per-request deadlines, and a ``--selftest``
+    accounting check mirroring ``serve --selftest``.
 ``summary [--apps a,b,...]``
     Recompute the paper's headline numbers (trains every requested
     benchmark; the full suite takes ~30 s).
@@ -132,33 +140,96 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    """Build the ServerConfig shared by the local and network modes."""
+    from repro.serving import (
+        BackpressureConfig,
+        BatchingConfig,
+        ChaosConfig,
+        RetryConfig,
+        ServerConfig,
+    )
+
+    chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
+    return ServerConfig(
+        app=args.app,
+        scheme=args.scheme,
+        n_workers=args.workers,
+        n_recovery_workers=args.recovery_workers,
+        backend=args.backend,
+        seed=args.seed,
+        batching=BatchingConfig(
+            max_batch_requests=args.batch_requests,
+            flush_interval_s=args.flush_ms / 1000.0,
+            admission_capacity=args.admission_capacity,
+        ),
+        backpressure=BackpressureConfig(
+            recovery_backlog_capacity=args.recovery_capacity,
+        ),
+        retry=RetryConfig(default_deadline_s=args.deadline_s),
+        chaos=chaos,
+    )
+
+
+def _cmd_serve_listen(args: argparse.Namespace, server) -> int:
+    """``serve --listen``: expose the server over TCP until stopped."""
+    import signal
+    import time
+
+    from repro.serving import NetServer, parse_address
+
+    host, port = parse_address(args.listen)
+    net = NetServer(server, host, port)
+    net.start()
+    bound = f"{net.address[0]}:{net.address[1]}"
+    print(f"listening on {bound} (ctrl-C to stop)", flush=True)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(bound + "\n")
+    # Shells start background jobs with SIGINT ignored, so scripted
+    # shutdown (the CI smoke) arrives as SIGTERM; treat both as "stop".
+    interrupted = []
+    previous = signal.signal(
+        signal.SIGTERM, lambda *_: interrupted.append(True)
+    )
+    try:
+        deadline = (
+            time.monotonic() + args.duration if args.duration > 0 else None
+        )
+        while net.is_running and not interrupted:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            net.serve_forever(timeout=0.2)
+    except KeyboardInterrupt:
+        interrupted.append(True)
+    finally:
+        if interrupted:
+            print("interrupted; shutting down", flush=True)
+        signal.signal(signal.SIGTERM, previous)
+        net.stop()
+    if args.export:
+        fmt = write_snapshot(args.export, server.registry)
+        print(f"wrote {fmt} telemetry snapshot to {args.export}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.errors import OverloadedError, ServingError
-    from repro.serving import ChaosConfig, RumbaServer
+    from repro.serving import RumbaServer
 
-    chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
+    config = _serve_config(args)
+    chaos = config.chaos
     print(f"Preparing {args.app} with the {args.scheme} checker "
           f"({args.workers} {args.backend} workers, "
           f"{args.recovery_workers} recovery"
           + (f", chaos {args.chaos!r}" if chaos and chaos.enabled else "")
           + ")...")
-    server = RumbaServer(
-        app=args.app,
-        scheme=args.scheme,
-        n_workers=args.workers,
-        n_recovery_workers=args.recovery_workers,
-        max_batch_requests=args.batch_requests,
-        flush_interval_s=args.flush_ms / 1000.0,
-        admission_capacity=args.admission_capacity,
-        recovery_backlog_capacity=args.recovery_capacity,
-        seed=args.seed,
-        backend=args.backend,
-        default_deadline_s=args.deadline_s,
-        chaos=chaos,
-    )
+    server = RumbaServer(config=config)
     server.prepare()
+    if args.listen:
+        return _cmd_serve_listen(args, server)
     rng = np.random.default_rng(args.seed + 100)
     pool = np.atleast_2d(server.prototype.app.test_inputs(rng))
     latencies: List[float] = []
@@ -234,6 +305,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"selftest: {completed} completed + {failed} failed + "
               f"{shed} shed = {accounted} of {args.requests} submitted, "
               f"{hung} hung -> {'OK' if ok else 'FAIL'}")
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.errors import OverloadedError, ServingError
+    from repro.serving import connect
+
+    with connect(args.connect, timeout_s=args.timeout_s) as client:
+        print(f"connected: app={client.app} scheme={client.scheme} "
+              f"features={client.features} protocol={client.protocol_version}")
+        rng = np.random.default_rng(args.seed)
+        latencies: List[float] = []
+        overloaded = 0
+        failed = 0
+        submitted = 0
+        inflight: List = []
+        started = time.perf_counter()
+
+        def drain(down_to: int) -> None:
+            nonlocal failed, overloaded
+            while len(inflight) > down_to:
+                handle = inflight.pop(0)
+                try:
+                    result = handle.result(args.timeout_s)
+                    latencies.append(result.latency_s)
+                except OverloadedError:
+                    overloaded += 1
+                except ServingError:
+                    failed += 1
+
+        for i in range(args.requests):
+            # An optional burst of back-to-back submissions designed to
+            # overflow a small admission queue and prove the typed
+            # OverloadedError round-trips over the wire.
+            burst = args.overload_burst if i == args.requests // 2 else 0
+            for _ in range(max(burst, 1)):
+                inflight.append(client.submit(
+                    rng.random((args.elements, max(client.features, 1))),
+                    deadline_s=args.deadline_s,
+                ))
+                submitted += 1
+            drain(args.depth)
+        drain(0)
+        elapsed = time.perf_counter() - started
+        completed = len(latencies)
+        latencies.sort()
+        p50 = latencies[completed // 2] if completed else float("nan")
+        p95 = latencies[int(completed * 0.95)] if completed else float("nan")
+        rows = [
+            ["requests submitted", submitted],
+            ["requests completed", completed],
+            ["requests overloaded", overloaded],
+            ["requests failed", failed],
+            ["throughput", f"{completed / elapsed:.1f} req/s"],
+            ["p50 latency", f"{p50 * 1e3:.2f} ms"],
+            ["p95 latency", f"{p95 * 1e3:.2f} ms"],
+        ]
+        print(format_table(["quantity", "value"], rows,
+                           title=f"Client session against {args.connect}"))
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    if args.selftest:
+        accounted = completed + overloaded + failed
+        ok = accounted == submitted
+        if args.overload_burst > 0:
+            ok = ok and overloaded > 0
+        print(f"selftest: {completed} completed + {overloaded} overloaded + "
+              f"{failed} failed = {accounted} of {submitted} submitted "
+              f"-> {'OK' if ok else 'FAIL'}")
         if not ok:
             return 1
     return 0
@@ -365,6 +510,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final metrics snapshot here "
                             "(.prom/.txt Prometheus text, .json JSON)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--listen", default="",
+                       help="expose the server over TCP at HOST:PORT "
+                            "(port 0 = ephemeral) instead of driving a "
+                            "synthetic load; see docs/protocol.md")
+    serve.add_argument("--port-file", default="",
+                       help="with --listen: write the bound host:port here")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="with --listen: serve for this many seconds "
+                            "then exit (0 = until interrupted)")
+
+    client = sub.add_parser(
+        "client", help="drive a remotely served Rumba over TCP"
+    )
+    client.add_argument("--connect", required=True,
+                        help="server address, HOST:PORT")
+    client.add_argument("--requests", type=int, default=100)
+    client.add_argument("--elements", type=int, default=256,
+                        help="kernel iterations per request")
+    client.add_argument("--depth", type=int, default=8,
+                        help="in-flight requests kept multiplexed on the "
+                             "one connection")
+    client.add_argument("--deadline-s", type=float, default=30.0,
+                        help="per-request deadline budget sent on the wire")
+    client.add_argument("--timeout-s", type=float, default=60.0,
+                        help="client-side wait bound per request")
+    client.add_argument("--overload-burst", type=int, default=0,
+                        help="midway through, submit this many extra "
+                             "back-to-back requests to force admission "
+                             "shedding (proves OverloadedError round-trips)")
+    client.add_argument("--stats", action="store_true",
+                        help="print the server's stats() document as JSON")
+    client.add_argument("--selftest", action="store_true",
+                        help="verify completed+overloaded+failed accounts "
+                             "for every submission (exit 1 otherwise)")
+    client.add_argument("--seed", type=int, default=0)
 
     summary = sub.add_parser("summary", help="recompute the headline numbers")
     summary.add_argument("--apps", default="",
@@ -388,6 +568,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "monitor": _cmd_monitor,
         "serve": _cmd_serve,
+        "client": _cmd_client,
         "summary": _cmd_summary,
         "survey": _cmd_survey,
         "report": _cmd_report,

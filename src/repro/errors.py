@@ -48,6 +48,16 @@ class OverloadedError(ServingError):
     back off and retry, exactly like an HTTP 503."""
 
 
+class ProtocolError(ServingError):
+    """A network wire-protocol frame was malformed or unacceptable.
+
+    Raised by the :mod:`repro.serving.net` codecs for truncated frames,
+    bad magic, unsupported protocol versions, CRC mismatches, and
+    oversized length prefixes.  A server that hits one of these closes
+    the offending connection (after a best-effort typed error frame);
+    it never crashes and never strands an admitted request."""
+
+
 class WorkerCrashError(ServingError):
     """A serving worker died (or was killed) with batches in flight.
 

@@ -26,13 +26,45 @@ the tier between the two:
   supervisor's restart + deadline-budgeted retry machinery can be proven
   under sustained churn (``python -m repro serve --chaos ...``).
 
+* :mod:`~repro.serving.net` — the network edge: an asyncio TCP
+  front-end (:class:`~repro.serving.net.NetServer`) speaking a
+  versioned, CRC-checked binary protocol (``docs/protocol.md``), plus
+  blocking and asyncio clients with request-id multiplexing.
+
+Most callers need only the two facade functions::
+
+    from repro import serving
+
+    server = serving.serve("fft", config=serving.ServerConfig(n_workers=4))
+    result = server.submit_wait(inputs, deadline_s=5.0)
+    server.stop()
+
+    net = serving.serve("fft", listen="127.0.0.1:0")   # network edge
+    with serving.connect(net.address) as client:
+        result = client.submit_wait(inputs, deadline_s=5.0)
+    net.stop()
+
 See ``docs/serving.md`` for the architecture and ``python -m repro
-serve`` for the command-line entry point.
+serve`` / ``python -m repro client`` for the command-line entry points.
 """
+
+from typing import Optional
 
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.config import (
+    BackpressureConfig,
+    BatchingConfig,
+    RetryConfig,
+    ServerConfig,
+)
 from repro.serving.faults import ChaosConfig, ChaosMonkey, InjectedFault
+from repro.serving.net import (
+    AsyncRumbaClient,
+    NetServer,
+    RumbaClient,
+    parse_address,
+)
 from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
 from repro.serving.server import RumbaServer, WorkerShard
@@ -40,19 +72,78 @@ from repro.serving.shm import ShmFrame, ShmRing
 
 __all__ = [
     "AdmissionQueue",
+    "AsyncRumbaClient",
+    "BackpressureConfig",
     "BackpressureController",
+    "BatchingConfig",
     "ChaosConfig",
     "ChaosMonkey",
     "InjectedFault",
+    "NetServer",
     "ProcessWorker",
     "ProcessWorkerPool",
+    "RetryConfig",
+    "RumbaClient",
     "RumbaServer",
     "ServeHandle",
     "ServeRequest",
     "ServeResult",
+    "ServerConfig",
     "ShmFrame",
     "ShmRing",
     "WorkerShard",
     "concat_inputs",
+    "connect",
+    "parse_address",
+    "serve",
     "split_outputs",
 ]
+
+
+def serve(
+    app: Optional[str] = None,
+    scheme: Optional[str] = None,
+    config: Optional[ServerConfig] = None,
+    *,
+    prototype=None,
+    listen=None,
+    registry=None,
+):
+    """Build and start a quality-managed server in one call.
+
+    Without ``listen``, returns a started :class:`RumbaServer` — call
+    ``submit_wait`` on it directly.  With ``listen`` (``"host:port"`` or
+    a ``(host, port)`` tuple; port 0 binds an ephemeral port), the
+    server is additionally fronted by a :class:`~repro.serving.net.NetServer`
+    and that is returned instead; read the bound address from its
+    ``address`` attribute and talk to it with :func:`connect`.
+
+    ``app``/``scheme`` override the matching fields of ``config`` (a
+    default :class:`ServerConfig` when omitted).  Stop whichever object
+    is returned with ``.stop()`` — the net front-end stops the server it
+    started.
+    """
+    server = RumbaServer(
+        app=app,
+        scheme=scheme,
+        prototype=prototype,
+        config=config,
+        registry=registry,
+    )
+    if listen is None:
+        server.start()
+        return server
+    host, port = parse_address(listen)
+    return NetServer(server, host, port).start()
+
+
+def connect(address, **kwargs) -> RumbaClient:
+    """Open a :class:`~repro.serving.net.RumbaClient` to a served address.
+
+    ``address`` is ``"host:port"`` or a ``(host, port)`` tuple — e.g. the
+    ``address`` attribute of the :class:`NetServer` that :func:`serve`
+    returned.  Extra keyword arguments go to the client constructor
+    (``timeout_s``, ``max_frame_bytes``).
+    """
+    host, port = parse_address(address)
+    return RumbaClient(host, port, **kwargs)

@@ -1,0 +1,260 @@
+"""Typed configuration for the serving stack.
+
+:class:`~repro.serving.server.RumbaServer` grew one keyword argument per
+PR until its constructor carried ~two dozen flat knobs.  This module is
+the redesigned surface: a frozen :class:`ServerConfig` whose fields are
+grouped by concern —
+
+* :class:`BatchingConfig` — the admission queue and batch formation,
+* :class:`BackpressureConfig` — the recovery backlog and the watermark
+  controller that trades quality for stability,
+* :class:`RetryConfig` — deadline budgets, fault retries, and worker
+  supervision,
+
+plus the engine fields (workers, backend, chaos) that do not fit a
+group.  Every section validates itself in ``__post_init__``, so an
+invalid configuration fails at construction with
+:class:`~repro.errors.ConfigurationError`, before any thread or process
+is spawned.
+
+``RumbaServer(config=ServerConfig(...))`` is the primary constructor.
+The legacy flat kwargs (``RumbaServer(n_workers=4, max_retries=1)``)
+still work through :meth:`ServerConfig.from_flat` but emit a
+:class:`DeprecationWarning`; new code — including the CLI, the network
+edge, and the benchmarks — should build a config object.
+
+Configs are immutable; derive variants with :func:`dataclasses.replace`::
+
+    base = ServerConfig(n_workers=4)
+    quick = replace(base, batching=replace(base.batching, flush_interval_s=0.001))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BatchingConfig",
+    "BackpressureConfig",
+    "RetryConfig",
+    "ServerConfig",
+    "replace",
+]
+
+_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Admission bound and batch-formation policy (see ``AdmissionQueue``)."""
+
+    #: Max requests merged into one accelerator invocation.
+    max_batch_requests: int = 8
+    #: Flush deadline: the oldest waiting request departs after this long.
+    flush_interval_s: float = 0.005
+    #: Bound of the admission queue; a full queue sheds (``OverloadedError``).
+    admission_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests < 1:
+            raise ConfigurationError("max_batch_requests must be >= 1")
+        if self.flush_interval_s < 0:
+            raise ConfigurationError("flush_interval_s must be >= 0")
+        if self.admission_capacity < 1:
+            raise ConfigurationError("admission capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Recovery-backlog bound and the watermark degradation controller."""
+
+    #: Bound of the shared pending-recovery queue (batches).
+    recovery_backlog_capacity: int = 16
+    #: Backlog above this triggers one degradation step (None = capacity/2).
+    high_watermark: Optional[int] = None
+    #: Backlog at/below this relaxes one step (None = capacity/8).
+    low_watermark: Optional[int] = None
+    #: Multiplicative threshold step per degradation level.
+    degrade_factor: float = 1.5
+    #: Max degradation steps the controller may stack.
+    max_degradation: int = 8
+
+    def __post_init__(self) -> None:
+        if self.recovery_backlog_capacity < 1:
+            raise ConfigurationError(
+                "recovery_backlog_capacity must be >= 1"
+            )
+        if self.degrade_factor <= 1.0:
+            raise ConfigurationError("degrade_factor must be > 1")
+        if self.max_degradation < 1:
+            raise ConfigurationError("max_degradation must be >= 1")
+        high, low = self.resolved_watermarks()
+        if high <= low:
+            raise ConfigurationError(
+                "high_watermark must be above low_watermark"
+            )
+        if low < 0:
+            raise ConfigurationError("low_watermark must be >= 0")
+
+    def resolved_watermarks(self) -> "tuple[int, int]":
+        """The (high, low) pair with the capacity-derived defaults filled."""
+        high = (
+            self.high_watermark
+            if self.high_watermark is not None
+            else max(self.recovery_backlog_capacity // 2, 1)
+        )
+        low = (
+            self.low_watermark
+            if self.low_watermark is not None
+            else max(self.recovery_backlog_capacity // 8, 0)
+        )
+        return high, low
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Deadline budgets, fault-retry policy, and worker supervision."""
+
+    #: Re-dispatches allowed per request after a worker fault.
+    max_retries: int = 2
+    #: Default per-request deadline budget (``submit(deadline_s=...)``).
+    default_deadline_s: float = 30.0
+    #: Base of the exponential retry backoff (``backoff * 2**attempt``).
+    retry_backoff_s: float = 0.05
+    #: Process backend: restart dead worker processes in place.
+    restart_workers: bool = True
+    #: Cap on total supervisor restarts (None = unbounded).
+    max_worker_restarts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.default_deadline_s <= 0:
+            raise ConfigurationError("default_deadline_s must be > 0")
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
+        if (
+            self.max_worker_restarts is not None
+            and self.max_worker_restarts < 0
+        ):
+            raise ConfigurationError("max_worker_restarts must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a :class:`RumbaServer` needs, grouped by concern.
+
+    The engine fields live at the top level; policy lives in the
+    ``batching`` / ``backpressure`` / ``retry`` sections.  ``chaos``
+    takes a :class:`~repro.serving.faults.ChaosConfig` (or a prebuilt
+    :class:`~repro.serving.faults.ChaosMonkey`) for fault injection.
+    """
+
+    app: str = "fft"
+    scheme: str = "treeErrors"
+    n_workers: int = 2
+    n_recovery_workers: int = 1
+    backend: str = "thread"
+    ring_capacity_bytes: int = 1 << 22
+    start_method: Optional[str] = None
+    measure_quality: bool = False
+    seed: int = 0
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
+    backpressure: BackpressureConfig = field(
+        default_factory=BackpressureConfig
+    )
+    retry: RetryConfig = field(default_factory=RetryConfig)
+    chaos: Optional[object] = None
+
+    #: Flat legacy kwarg name -> (section attribute or None, field name).
+    _FLAT_FIELDS = {
+        "n_workers": (None, "n_workers"),
+        "n_recovery_workers": (None, "n_recovery_workers"),
+        "backend": (None, "backend"),
+        "ring_capacity_bytes": (None, "ring_capacity_bytes"),
+        "start_method": (None, "start_method"),
+        "measure_quality": (None, "measure_quality"),
+        "seed": (None, "seed"),
+        "chaos": (None, "chaos"),
+        "max_batch_requests": ("batching", "max_batch_requests"),
+        "flush_interval_s": ("batching", "flush_interval_s"),
+        "admission_capacity": ("batching", "admission_capacity"),
+        "recovery_backlog_capacity": (
+            "backpressure", "recovery_backlog_capacity"
+        ),
+        "high_watermark": ("backpressure", "high_watermark"),
+        "low_watermark": ("backpressure", "low_watermark"),
+        "degrade_factor": ("backpressure", "degrade_factor"),
+        "max_degradation": ("backpressure", "max_degradation"),
+        "max_retries": ("retry", "max_retries"),
+        "default_deadline_s": ("retry", "default_deadline_s"),
+        "retry_backoff_s": ("retry", "retry_backoff_s"),
+        "restart_workers": ("retry", "restart_workers"),
+        "max_worker_restarts": ("retry", "max_worker_restarts"),
+    }
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1 or self.n_recovery_workers < 1:
+            raise ConfigurationError("need at least one worker of each kind")
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {_BACKENDS}"
+            )
+        if self.ring_capacity_bytes < 128:
+            raise ConfigurationError("ring_capacity_bytes is too small")
+
+    @classmethod
+    def from_flat(cls, **flat: object) -> "ServerConfig":
+        """Build a config from the legacy flat kwarg namespace.
+
+        This is the compatibility shim behind ``RumbaServer(**kwargs)``:
+        every pre-redesign keyword maps onto its grouped field.  Unknown
+        names raise :class:`~repro.errors.ConfigurationError` (exactly
+        like an unexpected keyword argument used to raise ``TypeError``,
+        but catchable with the library's base exception).
+        """
+        top: Dict[str, object] = {}
+        grouped: Dict[str, Dict[str, object]] = {
+            "batching": {}, "backpressure": {}, "retry": {},
+        }
+        for key in ("app", "scheme"):
+            if key in flat:
+                top[key] = flat.pop(key)
+        for name, value in flat.items():
+            try:
+                section, attr = cls._FLAT_FIELDS[name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown RumbaServer/ServerConfig option {name!r}"
+                ) from None
+            if section is None:
+                top[attr] = value
+            else:
+                grouped[section][attr] = value
+        return cls(
+            batching=BatchingConfig(**grouped["batching"]),
+            backpressure=BackpressureConfig(**grouped["backpressure"]),
+            retry=RetryConfig(**grouped["retry"]),
+            **top,
+        )
+
+    def flat(self) -> Dict[str, object]:
+        """The config as the legacy flat kwarg dict (shim round-trip)."""
+        out: Dict[str, object] = {"app": self.app, "scheme": self.scheme}
+        for name, (section, attr) in self._FLAT_FIELDS.items():
+            source = self if section is None else getattr(self, section)
+            out[name] = getattr(source, attr)
+        return out
+
+    def with_overrides(self, **flat: object) -> "ServerConfig":
+        """A new config with flat-named fields replaced (CLI helper)."""
+        merged = self.flat()
+        merged.update(flat)
+        return type(self).from_flat(**merged)
+
+
+# ``replace`` is re-exported so callers can derive config variants with
+# ``from repro.serving.config import ServerConfig, replace``.

@@ -1,0 +1,450 @@
+"""Client library for the Rumba network edge.
+
+Two clients over the same wire protocol:
+
+* :class:`RumbaClient` — blocking, thread-backed.  One socket carries
+  many in-flight requests (request-id multiplexing); a background reader
+  thread demultiplexes responses into per-request :class:`NetHandle`
+  futures.  This is the client the CLI, benchmarks, and most tests use.
+* :class:`AsyncRumbaClient` — the same multiplexing on asyncio, for
+  callers that already live in an event loop.
+
+Both map ERROR frames back to the typed exception hierarchy
+(:class:`~repro.errors.OverloadedError`,
+:class:`~repro.errors.ConfigurationError`, ...) via
+:func:`~repro.serving.net.protocol.code_to_exception`, so remote calls
+fail exactly like in-process ``submit_wait`` calls do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError, ServingError
+from repro.serving.net import protocol as wire
+
+__all__ = ["AsyncRumbaClient", "NetHandle", "NetResult", "RumbaClient"]
+
+
+@dataclass(frozen=True)
+class NetResult:
+    """One completed remote request (mirrors ``ServeResult``)."""
+
+    request_id: int
+    outputs: np.ndarray
+    worker: str
+    queue_wait_s: float
+    latency_s: float
+    fix_fraction: float
+    degraded: bool
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.outputs.shape[0])
+
+
+class NetHandle:
+    """Thread-safe future for one in-flight remote request."""
+
+    __slots__ = ("request_id", "_event", "_result", "_exception")
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result: Optional[NetResult] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _set_result(self, result: NetResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> NetResult:
+        """Block until the response arrives; raises the typed failure."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"timed out waiting for remote request {self.request_id}"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+
+def _result_from_frame(frame: wire.Frame) -> NetResult:
+    fields = wire.unpack_result(frame.body)
+    return NetResult(request_id=frame.request_id, **fields)
+
+
+class RumbaClient:
+    """Blocking TCP client with connection reuse and multiplexing.
+
+    Opens one socket, reads the server's WELCOME (exposed as
+    :attr:`app` / :attr:`scheme` / :attr:`features` /
+    :attr:`protocol_version`), then keeps the connection for any number
+    of requests.  :meth:`submit` is non-blocking — it returns a
+    :class:`NetHandle` immediately, so a single client can keep many
+    requests in flight; :meth:`submit_wait` is the one-shot convenience.
+
+    Thread-safe: multiple threads may submit on one client.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._pending: Dict[int, NetHandle] = {}
+        self._next_id = itertools.count(1)
+        self._closed = False
+        # The WELCOME is read synchronously so connection metadata is
+        # available before the reader thread takes over the socket.
+        welcome = self._read_frame_blocking()
+        if welcome.frame_type != wire.FT_WELCOME:
+            self._sock.close()
+            raise ProtocolError(
+                f"expected a WELCOME frame, got {welcome.type_name}"
+            )
+        doc = wire.unpack_json(welcome.body)
+        self.protocol_version = int(doc.get("protocol", 0))
+        self.app = str(doc.get("app", ""))
+        self.scheme = str(doc.get("scheme", ""))
+        self.features = int(doc.get("features", 0))
+        self.server_max_frame_bytes = int(
+            doc.get("max_frame_bytes", wire.DEFAULT_MAX_FRAME_BYTES)
+        )
+        if self.protocol_version != wire.PROTOCOL_VERSION:
+            self._sock.close()
+            raise ProtocolError(
+                f"server speaks protocol {self.protocol_version}, "
+                f"this client speaks {wire.PROTOCOL_VERSION}"
+            )
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="rumba-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------ #
+    # Socket plumbing                                                    #
+    # ------------------------------------------------------------------ #
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame_blocking(self) -> wire.Frame:
+        (length,) = struct.unpack("<I", self._recv_exactly(4))
+        wire.check_frame_length(length, self.max_frame_bytes)
+        return wire.decode_frame(self._recv_exactly(length))
+
+    def _send_frame(self, blob: bytes) -> None:
+        with self._send_lock:
+            if self._closed:
+                raise ServingError("client is closed")
+            self._sock.sendall(blob)
+
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                frame = self._read_frame_blocking()
+                self._dispatch(frame)
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            self._fail_all_pending(exc)
+
+    def _dispatch(self, frame: wire.Frame) -> None:
+        with self._lock:
+            handle = self._pending.pop(frame.request_id, None)
+        if handle is None:
+            return  # response for a request we gave up on
+        if frame.frame_type == wire.FT_RESULT:
+            try:
+                handle._set_result(_result_from_frame(frame))
+            except ProtocolError as exc:
+                handle._set_exception(exc)
+        elif frame.frame_type == wire.FT_STATS_RESULT:
+            handle._set_result(wire.unpack_json(frame.body))  # type: ignore[arg-type]
+        elif frame.frame_type == wire.FT_ERROR:
+            code, message = wire.unpack_error(frame.body)
+            handle._set_exception(wire.code_to_exception(code, message))
+        else:
+            handle._set_exception(ProtocolError(
+                f"unexpected {frame.type_name} frame for request "
+                f"{frame.request_id}"
+            ))
+
+    def _fail_all_pending(self, cause: BaseException) -> None:
+        with self._lock:
+            if self._closed and not self._pending:
+                return
+            pending, self._pending = self._pending, {}
+        if isinstance(cause, ProtocolError):
+            exc: BaseException = cause
+        else:
+            exc = ServingError(f"connection to the server was lost: {cause}")
+        for handle in pending.values():
+            handle._set_exception(exc)
+
+    # ------------------------------------------------------------------ #
+    # Public API                                                         #
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        inputs: np.ndarray,
+        deadline_s: Optional[float] = None,
+        scheme: Optional[str] = None,
+    ) -> NetHandle:
+        """Send one request; returns immediately with a :class:`NetHandle`."""
+        request_id = next(self._next_id)
+        handle = NetHandle(request_id)
+        body = wire.pack_request(
+            inputs, deadline_s=deadline_s, scheme=scheme or ""
+        )
+        blob = wire.encode_frame(wire.FT_REQUEST, request_id, body)
+        with self._lock:
+            if self._closed:
+                raise ServingError("client is closed")
+            self._pending[request_id] = handle
+        try:
+            self._send_frame(blob)
+        except (ConnectionError, OSError) as exc:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise ServingError(
+                f"could not send request to the server: {exc}"
+            ) from exc
+        return handle
+
+    def submit_wait(
+        self,
+        inputs: np.ndarray,
+        deadline_s: Optional[float] = None,
+        scheme: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> NetResult:
+        """Submit and block for the result (default timeout: ``timeout_s``)."""
+        handle = self.submit(inputs, deadline_s=deadline_s, scheme=scheme)
+        return handle.result(self.timeout_s if timeout is None else timeout)
+
+    def stats(self, timeout: Optional[float] = None) -> dict:
+        """Fetch the server's ``stats()`` document over the wire."""
+        request_id = next(self._next_id)
+        handle = NetHandle(request_id)
+        with self._lock:
+            if self._closed:
+                raise ServingError("client is closed")
+            self._pending[request_id] = handle
+        self._send_frame(wire.encode_frame(wire.FT_STATS, request_id))
+        return handle.result(self.timeout_s if timeout is None else timeout)  # type: ignore[return-value]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+        self._fail_all_pending(ServingError("client closed"))
+
+    def __enter__(self) -> "RumbaClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncRumbaClient:
+    """Asyncio client with the same multiplexed protocol.
+
+    Build with :meth:`connect`::
+
+        client = await AsyncRumbaClient.connect(host, port)
+        result = await client.request(inputs, deadline_s=5.0)
+        await client.close()
+    """
+
+    def __init__(self, reader, writer, welcome: dict, max_frame_bytes: int):
+        self._reader = reader
+        self._writer = writer
+        self.max_frame_bytes = max_frame_bytes
+        self.protocol_version = int(welcome.get("protocol", 0))
+        self.app = str(welcome.get("app", ""))
+        self.scheme = str(welcome.get("scheme", ""))
+        self.features = int(welcome.get("features", 0))
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = itertools.count(1)
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._reader_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncRumbaClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            frame = await cls._read_frame(reader, max_frame_bytes)
+            if frame.frame_type != wire.FT_WELCOME:
+                raise ProtocolError(
+                    f"expected a WELCOME frame, got {frame.type_name}"
+                )
+            welcome = wire.unpack_json(frame.body)
+            if int(welcome.get("protocol", 0)) != wire.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"server speaks protocol {welcome.get('protocol')}, "
+                    f"this client speaks {wire.PROTOCOL_VERSION}"
+                )
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, welcome, max_frame_bytes)
+
+    @staticmethod
+    async def _read_frame(reader, max_frame_bytes: int) -> wire.Frame:
+        prefix = await reader.readexactly(4)
+        length = wire.check_frame_length(
+            int.from_bytes(prefix, "little"), max_frame_bytes
+        )
+        return wire.decode_frame(await reader.readexactly(length))
+
+    async def _reader_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._read_frame(
+                    self._reader, self.max_frame_bytes
+                )
+                future = self._pending.pop(frame.request_id, None)
+                if future is None or future.done():
+                    continue
+                if frame.frame_type == wire.FT_RESULT:
+                    try:
+                        future.set_result(_result_from_frame(frame))
+                    except ProtocolError as exc:
+                        future.set_exception(exc)
+                elif frame.frame_type == wire.FT_STATS_RESULT:
+                    future.set_result(wire.unpack_json(frame.body))
+                elif frame.frame_type == wire.FT_ERROR:
+                    code, message = wire.unpack_error(frame.body)
+                    future.set_exception(
+                        wire.code_to_exception(code, message)
+                    )
+                else:
+                    future.set_exception(ProtocolError(
+                        f"unexpected {frame.type_name} frame"
+                    ))
+        except asyncio.CancelledError:
+            self._drop_pending(ServingError("client closed"))
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                ProtocolError) as exc:
+            self._drop_pending(
+                exc if isinstance(exc, ProtocolError)
+                else ServingError(f"connection to the server was lost: {exc}")
+            )
+
+    def _drop_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _roundtrip(self, frame_type: int, body: bytes):
+        if self._closed:
+            raise ServingError("client is closed")
+        request_id = next(self._next_id)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(wire.encode_frame(frame_type, request_id, body))
+        await self._writer.drain()
+        return await future
+
+    def submit(
+        self,
+        inputs: np.ndarray,
+        deadline_s: Optional[float] = None,
+        scheme: Optional[str] = None,
+    ) -> "asyncio.Future[NetResult]":
+        """Send one request; returns an awaitable future (not yet sent-safe
+        against backpressure — prefer :meth:`request` unless fanning out)."""
+        if self._closed:
+            raise ServingError("client is closed")
+        request_id = next(self._next_id)
+        future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        body = wire.pack_request(
+            inputs, deadline_s=deadline_s, scheme=scheme or ""
+        )
+        self._writer.write(wire.encode_frame(wire.FT_REQUEST, request_id, body))
+        return future
+
+    async def request(
+        self,
+        inputs: np.ndarray,
+        deadline_s: Optional[float] = None,
+        scheme: Optional[str] = None,
+    ) -> NetResult:
+        """Submit one request and await its result."""
+        return await self._roundtrip(
+            wire.FT_REQUEST,
+            wire.pack_request(inputs, deadline_s=deadline_s,
+                              scheme=scheme or ""),
+        )
+
+    async def stats(self) -> dict:
+        return await self._roundtrip(wire.FT_STATS, b"")
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncRumbaClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,412 @@
+"""The versioned binary wire protocol (spec: ``docs/protocol.md``).
+
+Every message on the TCP stream is one **frame**::
+
+    uint32 LE   length       bytes that follow (header + body + crc)
+    uint32 LE   magic        0x52554D42  ("RUMB", same as the shm rings)
+    uint16 LE   version      PROTOCOL_VERSION
+    uint16 LE   frame type   FT_* below
+    uint64 LE   request id   caller-chosen; echoed on the response
+    bytes       body         type-specific payload
+    uint32 LE   crc32        zlib.crc32 over magic..body
+
+The CRC closes the same integrity gap the shm transport closes with its
+framed magic: a torn or corrupted frame is *detected* (typed
+:class:`~repro.errors.ProtocolError`, connection closed) rather than
+decoded into garbage inputs.  The hot path — request inputs, result
+outputs — is raw float64 blocks; control bodies (WELCOME, STATS) are
+small JSON documents.
+
+Decoders in this module raise :class:`ProtocolError` on any malformed
+frame and never raise anything else for bad bytes; both the server and
+the clients rely on that contract.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    ServingError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FT_WELCOME",
+    "FT_REQUEST",
+    "FT_RESULT",
+    "FT_ERROR",
+    "FT_STATS",
+    "FT_STATS_RESULT",
+    "FRAME_TYPE_NAMES",
+    "ERR_INTERNAL",
+    "ERR_SERVING",
+    "ERR_OVERLOADED",
+    "ERR_CONFIGURATION",
+    "ERR_WORKER_CRASH",
+    "ERR_PROTOCOL",
+    "ProtocolError",
+    "Frame",
+    "MIN_FRAME_LENGTH",
+    "encode_frame",
+    "decode_frame",
+    "check_frame_length",
+    "pack_request",
+    "unpack_request",
+    "pack_result",
+    "unpack_result",
+    "pack_error",
+    "unpack_error",
+    "pack_json",
+    "unpack_json",
+    "exception_to_code",
+    "code_to_exception",
+    "parse_address",
+]
+
+PROTOCOL_VERSION = 1
+MAGIC = 0x52554D42  # "RUMB" — shared with the shm ring frames
+#: Default bound on one frame; an advertised length beyond this is a
+#: protocol error and closes the connection before any allocation.
+DEFAULT_MAX_FRAME_BYTES = 16 << 20
+
+# Frame types.
+FT_WELCOME = 1       # server -> client, once per connection (JSON body)
+FT_REQUEST = 2       # client -> server: one invocation request
+FT_RESULT = 3        # server -> client: one completed request
+FT_ERROR = 4         # server -> client: one failed request (typed)
+FT_STATS = 5         # client -> server: health/stats probe (empty body)
+FT_STATS_RESULT = 6  # server -> client: stats() as JSON
+
+FRAME_TYPE_NAMES: Dict[int, str] = {
+    FT_WELCOME: "WELCOME",
+    FT_REQUEST: "REQUEST",
+    FT_RESULT: "RESULT",
+    FT_ERROR: "ERROR",
+    FT_STATS: "STATS",
+    FT_STATS_RESULT: "STATS_RESULT",
+}
+
+# Error codes carried by FT_ERROR frames.
+ERR_INTERNAL = 0       # unexpected server-side failure
+ERR_SERVING = 1        # ServingError (lifecycle, retry/deadline exhaustion)
+ERR_OVERLOADED = 2     # OverloadedError (admission shed; back off + retry)
+ERR_CONFIGURATION = 3  # ConfigurationError (bad inputs/options)
+ERR_WORKER_CRASH = 4   # WorkerCrashError surfaced unretried
+ERR_PROTOCOL = 5       # malformed frame; the connection is closing
+
+_HEADER_FMT = "<IHHQ"                      # magic, version, type, request id
+_HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+_CRC_BYTES = 4
+_LEN_BYTES = 4
+#: Smallest legal value of the length prefix (empty body).
+MIN_FRAME_LENGTH = _HEADER_BYTES + _CRC_BYTES
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: type, request id, raw body bytes."""
+
+    frame_type: int
+    request_id: int
+    body: bytes
+
+    @property
+    def type_name(self) -> str:
+        return FRAME_TYPE_NAMES.get(self.frame_type, f"#{self.frame_type}")
+
+
+# --------------------------------------------------------------------- #
+# Frame envelope                                                        #
+# --------------------------------------------------------------------- #
+def encode_frame(frame_type: int, request_id: int, body: bytes = b"") -> bytes:
+    """Serialize one frame, length prefix through CRC."""
+    header = struct.pack(
+        _HEADER_FMT, MAGIC, PROTOCOL_VERSION, frame_type, request_id
+    )
+    checked = header + body
+    crc = zlib.crc32(checked) & 0xFFFFFFFF
+    return (
+        struct.pack("<I", len(checked) + _CRC_BYTES) + checked
+        + struct.pack("<I", crc)
+    )
+
+
+def decode_frame(blob: bytes) -> Frame:
+    """Decode the bytes after the length prefix; raises ProtocolError."""
+    if len(blob) < MIN_FRAME_LENGTH:
+        raise ProtocolError(
+            f"truncated frame: {len(blob)} bytes < minimum "
+            f"{MIN_FRAME_LENGTH}"
+        )
+    checked, crc_bytes = blob[:-_CRC_BYTES], blob[-_CRC_BYTES:]
+    (crc,) = struct.unpack("<I", crc_bytes)
+    actual = zlib.crc32(checked) & 0xFFFFFFFF
+    if crc != actual:
+        raise ProtocolError(
+            f"frame CRC mismatch: header says {crc:#010x}, "
+            f"payload hashes to {actual:#010x}"
+        )
+    magic, version, frame_type, request_id = struct.unpack_from(
+        _HEADER_FMT, checked
+    )
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic:#010x}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this end speaks {PROTOCOL_VERSION})"
+        )
+    if frame_type not in FRAME_TYPE_NAMES:
+        raise ProtocolError(f"unknown frame type {frame_type}")
+    return Frame(
+        frame_type=frame_type,
+        request_id=request_id,
+        body=checked[_HEADER_BYTES:],
+    )
+
+
+def check_frame_length(length: int, max_frame_bytes: int) -> int:
+    """Validate a just-read length prefix before allocating for it."""
+    if length < MIN_FRAME_LENGTH:
+        raise ProtocolError(
+            f"frame length prefix {length} below minimum {MIN_FRAME_LENGTH}"
+        )
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return length
+
+
+# --------------------------------------------------------------------- #
+# Bodies                                                                #
+# --------------------------------------------------------------------- #
+def _matrix_bytes(matrix: np.ndarray) -> Tuple[bytes, int, int]:
+    matrix = np.ascontiguousarray(np.atleast_2d(matrix), dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConfigurationError("wire payloads must be 2-D float64 blocks")
+    return matrix.tobytes(order="C"), matrix.shape[0], matrix.shape[1]
+
+
+def _read_matrix(body: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    if len(body) < offset + 8:
+        raise ProtocolError("frame body truncated before matrix header")
+    n_rows, n_cols = struct.unpack_from("<II", body, offset)
+    offset += 8
+    n_bytes = n_rows * n_cols * 8
+    if len(body) < offset + n_bytes:
+        raise ProtocolError(
+            f"frame body truncated: matrix claims {n_rows}x{n_cols} "
+            f"({n_bytes} bytes) but only {len(body) - offset} remain"
+        )
+    data = np.frombuffer(
+        body, dtype=np.float64, count=n_rows * n_cols, offset=offset
+    ).reshape(n_rows, n_cols).copy()
+    return data, offset + n_bytes
+
+
+def _read_str(body: bytes, offset: int, width_fmt: str = "<H") -> Tuple[str, int]:
+    width = struct.calcsize(width_fmt)
+    if len(body) < offset + width:
+        raise ProtocolError("frame body truncated before string length")
+    (n,) = struct.unpack_from(width_fmt, body, offset)
+    offset += width
+    if len(body) < offset + n:
+        raise ProtocolError("frame body truncated inside string")
+    try:
+        text = body[offset: offset + n].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable string field: {exc}") from None
+    return text, offset + n
+
+
+def pack_request(
+    inputs: np.ndarray,
+    deadline_s: Optional[float] = None,
+    scheme: str = "",
+) -> bytes:
+    """REQUEST body: deadline, scheme steering option, input block.
+
+    ``deadline_s`` is the request's total time budget (NaN on the wire
+    means "use the server default"); ``scheme`` is the per-request
+    steering option — the empty string accepts whatever scheme the
+    server runs.
+    """
+    data, n_rows, n_cols = _matrix_bytes(inputs)
+    scheme_b = scheme.encode("utf-8")
+    return (
+        struct.pack("<d", float("nan") if deadline_s is None else deadline_s)
+        + struct.pack("<H", len(scheme_b)) + scheme_b
+        + struct.pack("<II", n_rows, n_cols) + data
+    )
+
+
+def unpack_request(body: bytes) -> Tuple[np.ndarray, Optional[float], str]:
+    if len(body) < 8:
+        raise ProtocolError("REQUEST body truncated before deadline")
+    (deadline,) = struct.unpack_from("<d", body, 0)
+    scheme, offset = _read_str(body, 8)
+    inputs, offset = _read_matrix(body, offset)
+    if offset != len(body):
+        raise ProtocolError(
+            f"REQUEST body has {len(body) - offset} trailing bytes"
+        )
+    deadline_s = None if not np.isfinite(deadline) else float(deadline)
+    return inputs, deadline_s, scheme
+
+
+def pack_result(
+    outputs: np.ndarray,
+    worker: str,
+    queue_wait_s: float,
+    latency_s: float,
+    fix_fraction: float,
+    degraded: bool,
+) -> bytes:
+    """RESULT body: quality/latency metadata + output block."""
+    data, n_rows, n_cols = _matrix_bytes(outputs)
+    worker_b = worker.encode("utf-8")
+    return (
+        struct.pack(
+            "<dddB", queue_wait_s, latency_s, fix_fraction, int(degraded)
+        )
+        + struct.pack("<H", len(worker_b)) + worker_b
+        + struct.pack("<II", n_rows, n_cols) + data
+    )
+
+
+def unpack_result(body: bytes) -> Dict[str, object]:
+    if len(body) < 25:
+        raise ProtocolError("RESULT body truncated before metadata")
+    queue_wait, latency, fix_fraction, degraded = struct.unpack_from(
+        "<dddB", body, 0
+    )
+    worker, offset = _read_str(body, 25)
+    outputs, offset = _read_matrix(body, offset)
+    if offset != len(body):
+        raise ProtocolError(
+            f"RESULT body has {len(body) - offset} trailing bytes"
+        )
+    return {
+        "outputs": outputs,
+        "worker": worker,
+        "queue_wait_s": float(queue_wait),
+        "latency_s": float(latency),
+        "fix_fraction": float(fix_fraction),
+        "degraded": bool(degraded),
+    }
+
+
+def pack_error(code: int, message: str) -> bytes:
+    """ERROR body: error code + human-readable message."""
+    message_b = message.encode("utf-8")[:65000]
+    return struct.pack("<H", code) + struct.pack(
+        "<I", len(message_b)
+    ) + message_b
+
+
+def unpack_error(body: bytes) -> Tuple[int, str]:
+    if len(body) < 2:
+        raise ProtocolError("ERROR body truncated before code")
+    (code,) = struct.unpack_from("<H", body, 0)
+    message, offset = _read_str(body, 2, width_fmt="<I")
+    if offset != len(body):
+        raise ProtocolError(
+            f"ERROR body has {len(body) - offset} trailing bytes"
+        )
+    return code, message
+
+
+def pack_json(document: Dict[str, object]) -> bytes:
+    """Control body (WELCOME / STATS_RESULT): compact UTF-8 JSON."""
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")
+
+
+def unpack_json(body: bytes) -> Dict[str, object]:
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable JSON control body: {exc}") from None
+    if not isinstance(document, dict):
+        raise ProtocolError("JSON control body must be an object")
+    return document
+
+
+# --------------------------------------------------------------------- #
+# Error mapping                                                         #
+# --------------------------------------------------------------------- #
+#: Most-specific-first: the first row an exception isinstance-matches wins.
+_EXCEPTION_CODES = (
+    (ProtocolError, ERR_PROTOCOL),
+    (OverloadedError, ERR_OVERLOADED),
+    (WorkerCrashError, ERR_WORKER_CRASH),
+    (ConfigurationError, ERR_CONFIGURATION),
+    (ServingError, ERR_SERVING),
+)
+
+_CODE_EXCEPTIONS = {
+    ERR_INTERNAL: ServingError,
+    ERR_SERVING: ServingError,
+    ERR_OVERLOADED: OverloadedError,
+    ERR_CONFIGURATION: ConfigurationError,
+    ERR_WORKER_CRASH: WorkerCrashError,
+    ERR_PROTOCOL: ProtocolError,
+}
+
+
+def exception_to_code(exc: BaseException) -> int:
+    """The wire code for a server-side exception (ERR_INTERNAL fallback)."""
+    for exc_type, code in _EXCEPTION_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return ERR_INTERNAL
+
+
+def code_to_exception(code: int, message: str) -> ReproError:
+    """Rehydrate a typed client-side exception from an ERROR frame."""
+    return _CODE_EXCEPTIONS.get(code, ServingError)(message)
+
+
+# --------------------------------------------------------------------- #
+# Addresses                                                             #
+# --------------------------------------------------------------------- #
+def parse_address(address) -> Tuple[str, int]:
+    """Normalize ``"host:port"`` / ``(host, port)`` into a (host, port).
+
+    IPv6 literals use the bracketed form (``"[::1]:9000"``).
+    """
+    if isinstance(address, tuple) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if not isinstance(address, str):
+        raise ConfigurationError(
+            f"address must be 'host:port' or a (host, port) tuple, "
+            f"got {address!r}"
+        )
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"address {address!r} is missing a ':port' suffix"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"address {address!r} has a non-numeric port"
+        ) from None

@@ -1,0 +1,428 @@
+"""Asyncio TCP front-end over a :class:`RumbaServer`.
+
+The :class:`NetServer` is deliberately thin: it owns sockets, frames,
+and per-connection bookkeeping — *nothing else*.  Every decoded REQUEST
+frame goes straight into the wrapped server's admission queue via
+``RumbaServer.submit``, so batching, backpressure degradation, shedding,
+deadline-budgeted retries, supervision, and chaos injection all apply to
+remote traffic exactly as they do in process.  Completion flows back
+through :meth:`ServeHandle.add_done_callback`: the worker thread that
+finishes a request hands the encoded response to the event loop with
+``call_soon_threadsafe``, so no thread ever parks per in-flight request.
+
+The event loop runs on one dedicated background thread
+(``rumba-net-loop``), which keeps the public API blocking-friendly:
+``start()`` / ``stop()`` / ``serve_forever()`` from ordinary code, tests
+included.
+
+Malformed frames follow the contract in ``docs/protocol.md``: the server
+answers with a best-effort typed ERROR frame (code ``ERR_PROTOCOL``) and
+closes the connection.  Requests already admitted keep running — their
+results are simply discarded at completion if the connection is gone, so
+a hostile or broken client can never crash the service or strand its own
+requests in the in-flight ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError, ServingError
+from repro.serving.net import protocol as wire
+from repro.serving.server import RumbaServer
+
+__all__ = ["NetServer"]
+
+_STOP_JOIN_S = 10.0
+
+
+class _Connection:
+    """Per-connection state, touched only from the event-loop thread."""
+
+    __slots__ = ("peer", "out_q", "outstanding", "closed")
+
+    def __init__(self, peer: str):
+        self.peer = peer
+        self.out_q: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self.outstanding: Set[int] = set()
+        self.closed = False
+
+
+class NetServer:
+    """Serve a :class:`RumbaServer` over TCP (see ``docs/protocol.md``).
+
+    Parameters
+    ----------
+    server:
+        The quality-managed server to front.  If it has not been started
+        yet, :meth:`start` starts it (and :meth:`stop` then stops it);
+        an already-running server is left running on :meth:`stop`.
+    host, port:
+        Listen address.  Port 0 binds an ephemeral port; read the bound
+        address from :attr:`address` after :meth:`start`.
+    max_frame_bytes:
+        Upper bound on one wire frame.  A length prefix beyond this is
+        answered with a typed error and a closed connection *before* any
+        allocation happens.
+    """
+
+    def __init__(
+        self,
+        server: RumbaServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if max_frame_bytes < wire.MIN_FRAME_LENGTH + 64:
+            raise ConfigurationError("max_frame_bytes is too small")
+        self.server = server
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._finished = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._bound: Optional[Tuple[str, int]] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._owns_server = False
+        self._open_connections = 0
+        self._inflight = 0
+        self._build_metrics()
+
+    # ------------------------------------------------------------------ #
+    # Metrics                                                            #
+    # ------------------------------------------------------------------ #
+    def _build_metrics(self) -> None:
+        r = self.server.registry
+        base = ("app", "scheme")
+        self._m_conns_total = r.counter(
+            "rumba_net_connections_total",
+            "TCP connections accepted", base,
+        )
+        self._m_conns_open = r.gauge(
+            "rumba_net_connections",
+            "TCP connections currently open", base,
+        )
+        self._m_bytes = r.counter(
+            "rumba_net_bytes_total",
+            "Wire bytes moved, by direction", base + ("direction",),
+        )
+        self._m_decode_errors = r.counter(
+            "rumba_net_decode_errors_total",
+            "Malformed frames that closed a connection", base,
+        )
+        self._m_inflight = r.gauge(
+            "rumba_net_inflight_requests",
+            "Remote requests admitted but not yet answered", base,
+        )
+        self._m_requests = r.counter(
+            "rumba_net_requests_total",
+            "Remote requests by outcome", base + ("outcome",),
+        )
+        self._labels = {
+            "app": self.server.app_name, "scheme": self.server.scheme,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid once :meth:`start` returned."""
+        if self._bound is None:
+            raise ServingError("NetServer is not listening yet")
+        return self._bound
+
+    @property
+    def is_running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, timeout: float = 30.0) -> "NetServer":
+        if self._thread is not None:
+            raise ServingError("NetServer already started")
+        if self.server.state in ("new", "ready"):
+            self.server.start()
+            self._owns_server = True
+        elif self.server.state != "running":
+            raise ServingError(
+                f"cannot front a {self.server.state} server"
+            )
+        self._thread = threading.Thread(
+            target=self._run_loop, name="rumba-net-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            raise ServingError("NetServer failed to bind in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=_STOP_JOIN_S)
+            self._thread = None
+            raise ServingError(
+                f"NetServer could not listen on "
+                f"{self.host}:{self.port}: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = _STOP_JOIN_S) -> None:
+        """Close the listener and connections; stop an owned server."""
+        if self._thread is None:
+            return
+        loop, stop_async = self._loop, self._stop_async
+        if loop is not None and stop_async is not None:
+            try:
+                loop.call_soon_threadsafe(stop_async.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout=timeout)
+        self._thread = None
+        if self._owns_server:
+            self.server.stop()
+
+    def serve_forever(self, timeout: Optional[float] = None) -> None:
+        """Block the calling thread until the server stops."""
+        if self._thread is None:
+            raise ServingError("NetServer is not running")
+        self._finished.wait(timeout=timeout)
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Event loop                                                         #
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if self._startup_error is None:
+                self._startup_error = exc
+        finally:
+            self._ready.set()
+            self._finished.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        try:
+            listener = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        sock = listener.sockets[0].getsockname()
+        self._bound = (sock[0], sock[1])
+        self._ready.set()
+        async with listener:
+            await self._stop_async.wait()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        peername = writer.get_extra_info("peername")
+        conn = _Connection(peer=str(peername))
+        self._open_connections += 1
+        self._m_conns_total.labels(**self._labels).inc()
+        self._m_conns_open.labels(**self._labels).set(self._open_connections)
+        writer_task = asyncio.ensure_future(self._writer_loop(conn, writer))
+        conn.out_q.put_nowait(
+            wire.encode_frame(
+                wire.FT_WELCOME, 0, wire.pack_json(self._welcome_document())
+            )
+        )
+        try:
+            await self._reader_loop(conn, reader)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            conn.closed = True
+            # In-flight requests of a gone connection are not failed: they
+            # finish in the serving core (keeping its exactly-once ledger
+            # intact) and their responses are dropped in _deliver.
+            self._inflight -= len(conn.outstanding)
+            conn.outstanding.clear()
+            self._m_inflight.labels(**self._labels).set(self._inflight)
+            conn.out_q.put_nowait(None)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._open_connections -= 1
+            self._m_conns_open.labels(**self._labels).set(
+                self._open_connections
+            )
+            self._conn_tasks.discard(task)
+
+    async def _reader_loop(self, conn: _Connection, reader) -> None:
+        while True:
+            try:
+                prefix = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return  # clean (or already-reported) close
+            try:
+                length = wire.check_frame_length(
+                    int.from_bytes(prefix, "little"), self.max_frame_bytes
+                )
+                blob = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                self._protocol_error(conn, ProtocolError(
+                    "connection closed mid-frame"
+                ))
+                return
+            except ProtocolError as exc:
+                self._protocol_error(conn, exc)
+                return
+            self._m_bytes.labels(direction="rx", **self._labels).inc(
+                4 + length
+            )
+            try:
+                frame = wire.decode_frame(blob)
+            except ProtocolError as exc:
+                self._protocol_error(conn, exc)
+                return
+            if frame.frame_type == wire.FT_REQUEST:
+                self._on_request(conn, frame)
+            elif frame.frame_type == wire.FT_STATS:
+                conn.out_q.put_nowait(
+                    wire.encode_frame(
+                        wire.FT_STATS_RESULT,
+                        frame.request_id,
+                        wire.pack_json(self.server.stats()),
+                    )
+                )
+            else:
+                self._protocol_error(conn, ProtocolError(
+                    f"unexpected {frame.type_name} frame from a client"
+                ))
+                return
+
+    async def _writer_loop(self, conn: _Connection, writer) -> None:
+        while True:
+            chunk = await conn.out_q.get()
+            if chunk is None:
+                return
+            try:
+                writer.write(chunk)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Peer vanished mid-write; the reader loop will see EOF
+                # and tear the connection down.  Keep draining the queue
+                # so late completions never block the loop.
+                continue
+            self._m_bytes.labels(direction="tx", **self._labels).inc(
+                len(chunk)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Frame handling (event-loop thread)                                 #
+    # ------------------------------------------------------------------ #
+    def _welcome_document(self) -> dict:
+        prototype = self.server.prototype
+        features = (
+            int(prototype.app.npu_topology.n_inputs)
+            if prototype is not None else 0
+        )
+        return {
+            "server": "rumba",
+            "protocol": wire.PROTOCOL_VERSION,
+            "app": self.server.app_name,
+            "scheme": self.server.scheme,
+            "backend": self.server.backend,
+            "features": features,
+            "max_frame_bytes": self.max_frame_bytes,
+        }
+
+    def _protocol_error(self, conn: _Connection, exc: ProtocolError) -> None:
+        """Best-effort typed error frame, then let the connection close."""
+        self._m_decode_errors.labels(**self._labels).inc()
+        conn.out_q.put_nowait(
+            wire.encode_frame(
+                wire.FT_ERROR,
+                0,
+                wire.pack_error(wire.ERR_PROTOCOL, str(exc)),
+            )
+        )
+
+    def _on_request(self, conn: _Connection, frame: wire.Frame) -> None:
+        request_id = frame.request_id
+        try:
+            inputs, deadline_s, scheme = wire.unpack_request(frame.body)
+            if scheme and scheme != self.server.scheme:
+                raise ConfigurationError(
+                    f"this server runs scheme {self.server.scheme!r}; "
+                    f"cannot steer request to {scheme!r}"
+                )
+            handle = self.server.submit(inputs, deadline_s=deadline_s)
+        except Exception as exc:
+            self._m_requests.labels(
+                outcome="rejected", **self._labels
+            ).inc()
+            conn.out_q.put_nowait(
+                wire.encode_frame(
+                    wire.FT_ERROR,
+                    request_id,
+                    wire.pack_error(wire.exception_to_code(exc), str(exc)),
+                )
+            )
+            return
+        conn.outstanding.add(request_id)
+        self._inflight += 1
+        self._m_inflight.labels(**self._labels).set(self._inflight)
+        loop = self._loop
+
+        def _completed(handle) -> None:
+            # Runs on the completing worker thread: hop to the loop.
+            try:
+                loop.call_soon_threadsafe(
+                    self._deliver, conn, request_id, handle
+                )
+            except RuntimeError:  # loop closed during shutdown
+                pass
+
+        handle.add_done_callback(_completed)
+
+    def _deliver(self, conn: _Connection, request_id: int, handle) -> None:
+        """Event-loop half of completion: encode and enqueue the answer."""
+        if conn.closed or request_id not in conn.outstanding:
+            return
+        conn.outstanding.discard(request_id)
+        self._inflight -= 1
+        self._m_inflight.labels(**self._labels).set(self._inflight)
+        try:
+            result = handle.result(timeout=0)
+        except Exception as exc:
+            self._m_requests.labels(outcome="failed", **self._labels).inc()
+            payload = wire.pack_error(wire.exception_to_code(exc), str(exc))
+            conn.out_q.put_nowait(
+                wire.encode_frame(wire.FT_ERROR, request_id, payload)
+            )
+            return
+        self._m_requests.labels(outcome="completed", **self._labels).inc()
+        payload = wire.pack_result(
+            outputs=result.outputs,
+            worker=result.worker,
+            queue_wait_s=result.queue_wait_s,
+            latency_s=result.latency_s,
+            fix_fraction=result.fix_fraction,
+            degraded=result.degraded,
+        )
+        conn.out_q.put_nowait(
+            wire.encode_frame(wire.FT_RESULT, request_id, payload)
+        )

@@ -43,25 +43,55 @@ class ServeResult:
 
 
 class ServeHandle:
-    """A minimal thread-safe future for one request's completion."""
+    """A minimal thread-safe future for one request's completion.
 
-    __slots__ = ("_event", "_result", "_exception")
+    Besides the blocking :meth:`result`, completion can be observed with
+    :meth:`add_done_callback` — the hook the network edge uses to bridge
+    worker-thread completions back into its event loop without parking a
+    thread per in-flight request.  Callbacks run on whichever thread
+    completes the request (or immediately, on the registering thread, if
+    the handle is already done), so they must be cheap and must not
+    block.
+    """
+
+    __slots__ = ("_event", "_result", "_exception", "_lock", "_callbacks")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
         self._exception: Optional[BaseException] = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
 
     def done(self) -> bool:
         return self._event.is_set()
 
     def set_result(self, result: ServeResult) -> None:
         self._result = result
-        self._event.set()
+        self._finish()
 
     def set_exception(self, exc: BaseException) -> None:
         self._exception = exc
-        self._event.set()
+        self._finish()
+
+    def _finish(self) -> None:
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(handle)`` once the request completes.
+
+        Exactly-once per registration: a callback registered after
+        completion fires immediately on the calling thread.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def result(self, timeout: Optional[float] = None) -> ServeResult:
         """Block until the request completes; raises on failure/timeout."""

@@ -34,6 +34,7 @@ import heapq
 import pickle
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
@@ -57,6 +58,7 @@ from repro.observability.metrics import (
 )
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.config import ServerConfig
 from repro.serving.faults import ChaosConfig, ChaosMonkey
 from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
@@ -137,132 +139,122 @@ class _ProcPendingBatch:
 class RumbaServer:
     """Batched, parallel, quality-managed serving of one benchmark kernel.
 
+    The primary constructor takes a
+    :class:`~repro.serving.config.ServerConfig`::
+
+        config = ServerConfig(
+            n_workers=4,
+            backend="process",
+            batching=BatchingConfig(max_batch_requests=16),
+            retry=RetryConfig(default_deadline_s=10.0),
+        )
+        server = RumbaServer(config=config)
+
     Parameters
     ----------
+    app, scheme:
+        Which benchmark kernel and checker scheme to serve.  Explicit
+        arguments override the values in ``config``; both default to the
+        config's (``fft`` / ``treeErrors``).
     prototype:
         A prepared :class:`RumbaSystem` to shard (tests inject doctored
         systems here).  When None, :func:`prepare_system` builds one from
-        ``app``/``scheme``/``seed``.
-    backend:
-        ``"thread"`` (default) runs workers as threads sharing this
-        process; ``"process"`` runs each worker as an OS process owning a
-        full system shard, with batches crossing the boundary through
-        shared-memory rings (see ``docs/performance.md``).  Semantics —
-        batching, backpressure degradation, stats — are identical; the
-        process backend sidesteps the GIL for CPU-bound recovery.  It
-        requires the prototype to be picklable (registry applications
-        are); ``n_recovery_workers`` is ignored there because each worker
-        process recovers its own batches.
-    n_workers, n_recovery_workers:
-        Sizes of the accelerator-side and CPU-side thread groups.
-    max_batch_requests, flush_interval_s, admission_capacity:
-        Batching policy and admission bound (see ``AdmissionQueue``).
-    recovery_backlog_capacity:
-        Bound of the shared pending-recovery queue.  A full backlog makes
-        the producing worker recover inline — the hard backstop behind
-        the watermark-based degradation.
-    high_watermark / low_watermark:
-        Backlog levels (pending batches) that trigger threshold
-        degradation / relaxation; default to 1/2 and 1/8 of the backlog
-        capacity.
-    measure_quality:
-        When True every batch also computes exact outputs for quality
-        measurement (experiment mode, not a deployment setting).
-    max_retries, default_deadline_s, retry_backoff_s:
-        Fault-recovery policy.  A batch whose worker dies (or whose
-        dispatch hits an injected fault) is re-dispatched up to
-        ``max_retries`` times with exponential backoff
-        (``retry_backoff_s * 2**attempt``), as long as the re-dispatch
-        still fits inside the request's deadline budget
-        (``submit(deadline_s=...)``, defaulting to
-        ``default_deadline_s``).  Exhaustion surfaces ``ServingError`` to
-        the caller — never a hang.  Application errors are not retried.
-    restart_workers, max_worker_restarts:
-        Process-backend supervision.  When True (default) a dead worker
-        process is restarted from the startup prototype blob with fresh
-        shm rings and its last reported degradation level re-applied;
-        ``max_worker_restarts`` caps total restarts (None = unbounded).
-    chaos:
-        A :class:`~repro.serving.faults.ChaosConfig` (or prebuilt
-        :class:`~repro.serving.faults.ChaosMonkey`) enabling fault
-        injection for resilience testing; see ``docs/serving.md``.
+        the app/scheme/seed.  A prototype's own app and scheme names win
+        over both ``app``/``scheme`` and the config.
+    config:
+        The grouped server configuration; see
+        :class:`~repro.serving.config.ServerConfig` for every knob
+        (batching, backpressure, retries/supervision, backend, chaos).
+    registry:
+        Metrics registry to export into (a private one by default).
+    drift_detector_factory:
+        Factory for the per-worker drift detectors (tests inject
+        tightened ones).
+
+    .. deprecated::
+        The historical flat keyword arguments
+        (``RumbaServer(n_workers=4, max_retries=1, ...)``) still work but
+        emit :class:`DeprecationWarning`; they are folded into a
+        :class:`ServerConfig` via :meth:`ServerConfig.from_flat` and
+        behave identically.  Mixing ``config=`` with flat kwargs is an
+        error.
+
+    Backend semantics, batching policy, backpressure, deadline-budgeted
+    retries, and supervision are documented on the config sections and in
+    ``docs/serving.md`` / ``docs/performance.md``.
     """
 
     def __init__(
         self,
-        app: str = "fft",
-        scheme: str = "treeErrors",
+        app: Optional[str] = None,
+        scheme: Optional[str] = None,
         prototype: Optional[RumbaSystem] = None,
-        n_workers: int = 2,
-        n_recovery_workers: int = 1,
-        max_batch_requests: int = 8,
-        flush_interval_s: float = 0.005,
-        admission_capacity: int = 256,
-        recovery_backlog_capacity: int = 16,
-        high_watermark: Optional[int] = None,
-        low_watermark: Optional[int] = None,
-        degrade_factor: float = 1.5,
-        max_degradation: int = 8,
+        config: Optional[ServerConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         drift_detector_factory=DriftDetector,
-        measure_quality: bool = False,
-        seed: int = 0,
-        backend: str = "thread",
-        ring_capacity_bytes: int = 1 << 22,
-        start_method: Optional[str] = None,
-        max_retries: int = 2,
-        default_deadline_s: float = 30.0,
-        retry_backoff_s: float = 0.05,
-        restart_workers: bool = True,
-        max_worker_restarts: Optional[int] = None,
-        chaos: Optional[ChaosConfig] = None,
+        **legacy_kwargs,
     ):
-        if n_workers < 1 or n_recovery_workers < 1:
-            raise ConfigurationError("need at least one worker of each kind")
-        if max_retries < 0:
-            raise ConfigurationError("max_retries must be >= 0")
-        if default_deadline_s <= 0:
-            raise ConfigurationError("default_deadline_s must be > 0")
-        if retry_backoff_s < 0:
-            raise ConfigurationError("retry_backoff_s must be >= 0")
-        if backend not in _BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; choose from {_BACKENDS}"
+        if legacy_kwargs:
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either config=ServerConfig(...) or legacy flat "
+                    f"kwargs, not both: {sorted(legacy_kwargs)}"
+                )
+            warnings.warn(
+                "RumbaServer(" + ", ".join(sorted(legacy_kwargs)) + "=...) "
+                "flat kwargs are deprecated; build a "
+                "repro.serving.ServerConfig and pass config=... instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        self.app_name = prototype.app.name if prototype is not None else app
+            config = ServerConfig.from_flat(**legacy_kwargs)
+        elif config is None:
+            config = ServerConfig()
+        if app is not None or scheme is not None:
+            config = config.with_overrides(
+                **{k: v for k, v in (("app", app), ("scheme", scheme))
+                   if v is not None}
+            )
+        self.config = config
+        self.app_name = (
+            prototype.app.name if prototype is not None else config.app
+        )
         self.scheme = (
-            prototype.predictor.name if prototype is not None else scheme
+            prototype.predictor.name if prototype is not None
+            else config.scheme
         )
         self._prototype = prototype
-        self.n_workers = n_workers
-        self.n_recovery_workers = n_recovery_workers
-        self.measure_quality = measure_quality
-        self.seed = seed
+        self.n_workers = config.n_workers
+        self.n_recovery_workers = config.n_recovery_workers
+        self.measure_quality = config.measure_quality
+        self.seed = config.seed
         self.registry = registry if registry is not None else MetricsRegistry()
 
         self._admission = AdmissionQueue(
-            capacity=admission_capacity,
-            max_batch_requests=max_batch_requests,
-            flush_interval_s=flush_interval_s,
+            capacity=config.batching.admission_capacity,
+            max_batch_requests=config.batching.max_batch_requests,
+            flush_interval_s=config.batching.flush_interval_s,
         )
         self._backlog: FifoQueue[_RecoveryTask] = FifoQueue(
-            capacity=recovery_backlog_capacity,
+            capacity=config.backpressure.recovery_backlog_capacity,
             name="serve-recovery-backlog",
             strict=False,
         )
         self._rcond = threading.Condition()
-        if high_watermark is None:
-            high_watermark = max(recovery_backlog_capacity // 2, 1)
-        if low_watermark is None:
-            low_watermark = max(recovery_backlog_capacity // 8, 0)
+        high_watermark, low_watermark = (
+            config.backpressure.resolved_watermarks()
+        )
         self._bp_config = (
-            high_watermark, low_watermark, degrade_factor, max_degradation
+            high_watermark,
+            low_watermark,
+            config.backpressure.degrade_factor,
+            config.backpressure.max_degradation,
         )
         self._drift_factory = drift_detector_factory
 
-        self.backend = backend
-        self.ring_capacity_bytes = ring_capacity_bytes
-        self.start_method = start_method
+        self.backend = config.backend
+        self.ring_capacity_bytes = config.ring_capacity_bytes
+        self.start_method = config.start_method
         self.pool: Optional[ProcessWorkerPool] = None
         self._proc_views: Dict[str, _ProcShardView] = {}
         self._proc_pending: Dict[int, _ProcPendingBatch] = {}
@@ -282,16 +274,17 @@ class RumbaServer:
         self._id_lock = threading.Lock()
 
         # Fault tolerance: deadline-budgeted retries + worker supervision.
-        self.max_retries = max_retries
-        self.default_deadline_s = default_deadline_s
-        self.retry_backoff_s = retry_backoff_s
-        self.restart_workers = restart_workers
-        self.max_worker_restarts = max_worker_restarts
+        self.max_retries = config.retry.max_retries
+        self.default_deadline_s = config.retry.default_deadline_s
+        self.retry_backoff_s = config.retry.retry_backoff_s
+        self.restart_workers = config.retry.restart_workers
+        self.max_worker_restarts = config.retry.max_worker_restarts
         self._retry_cond = threading.Condition()
         self._retry_heap: List[Tuple[float, int, ServeRequest]] = []
         self._retry_seq = 0
         self._retry_stop = False
         self._retries_total = 0
+        chaos = config.chaos
         self.chaos_monkey: Optional[ChaosMonkey] = (
             ChaosMonkey(chaos) if isinstance(chaos, ChaosConfig) else chaos
         )
