@@ -18,6 +18,14 @@ Run directly::
 on localhost — the acceptance floor for the network edge.  Requests are
 deliberately small (a few kernel iterations each) so the floor measures
 protocol + batching overhead, not accelerator math.
+
+``--tracing-overhead`` (or ``RUMBA_BENCH_TELEMETRY=1`` in the
+environment) additionally measures the cost of request tracing: the
+same load point is driven with tracing disabled and then with the
+default production setup (sample 1 in 64, flight recorder attached),
+and the run asserts the traced throughput stays within
+``MAX_TRACING_OVERHEAD`` (5%) of the untraced baseline — the
+observability acceptance gate.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from repro.serving import (
     RumbaClient,
     RumbaServer,
     ServerConfig,
+    TracingConfig,
 )
 
 APP = "fft"
@@ -53,6 +62,14 @@ OUTPUT_PATH = os.path.join(_REPO_ROOT, "BENCH_net.json")
 #: Rows per request — small on purpose; the floor measures the edge.
 ELEMENTS_PER_REQUEST = 8
 MIN_QUICK_REQ_PER_S = 1000.0
+
+#: Tracing may cost at most this fraction of untraced throughput.
+MAX_TRACING_OVERHEAD = 0.05
+#: (connections, depth) the overhead A/B comparison is measured at.
+TRACING_OVERHEAD_POINT = (1, 32)
+#: Noisy-neighbour tolerance: re-measure the A/B pair up to this many
+#: times and keep the best ratio, stopping early once it passes.
+TRACING_OVERHEAD_ATTEMPTS = 3
 
 FULL_SWEEP = {
     "requests_per_client": 400,
@@ -151,6 +168,53 @@ def _drive_point(
     }
 
 
+def measure_tracing_overhead(quick: bool = False) -> Dict[str, object]:
+    """A/B throughput: tracing off vs the default production setup.
+
+    "On" is the shipped configuration — sample 1 in 64, errors always
+    sampled, flight recorder writing to a throwaway file — because that
+    is the cost an operator actually pays, not a worst case.
+    """
+    import tempfile
+
+    sweep = QUICK_SWEEP if quick else FULL_SWEEP
+    requests = sweep["requests_per_client"]
+    warmup = sweep["warmup_requests"]
+    connections, depth = TRACING_OVERHEAD_POINT
+    prototype = prepare_system(APP, scheme=SCHEME, seed=0)
+    features = int(prototype.app.npu_topology.n_inputs)
+
+    def rate(tracing: TracingConfig) -> float:
+        config = ServerConfig(tracing=tracing, **SERVER_CONFIG)
+        server = RumbaServer(prototype=prototype, config=config)
+        with NetServer(server, "127.0.0.1", 0) as net:
+            point = _drive_point(
+                net.address, connections, depth, requests, warmup, features,
+            )
+        return float(point["requests_per_s"])
+
+    best: Dict[str, object] = {}
+    with tempfile.TemporaryDirectory(prefix="rumba-bench-") as tmp:
+        for attempt in range(TRACING_OVERHEAD_ATTEMPTS):
+            off = rate(TracingConfig(enabled=False))
+            on = rate(TracingConfig(
+                flight_log_path=os.path.join(tmp, f"flight-{attempt}.bin"),
+            ))
+            ratio = on / off
+            if not best or ratio > best["ratio"]:
+                best = {
+                    "off_req_per_s": off,
+                    "on_req_per_s": on,
+                    "ratio": ratio,
+                    "attempts": attempt + 1,
+                    "sample_every": TracingConfig().sample_every,
+                    "max_overhead": MAX_TRACING_OVERHEAD,
+                }
+            if ratio >= 1.0 - MAX_TRACING_OVERHEAD:
+                break
+    return best
+
+
 def run_sweep(quick: bool = False) -> Dict[str, object]:
     sweep = QUICK_SWEEP if quick else FULL_SWEEP
     prototype = prepare_system(APP, scheme=SCHEME, seed=0)
@@ -206,6 +270,15 @@ def _report(report: Dict[str, object]) -> None:
             for r in report["results"]
         ],
     ))
+    overhead = report.get("tracing_overhead")
+    if overhead:
+        emit(
+            f"tracing overhead: {overhead['off_req_per_s']:.0f} req/s off "
+            f"-> {overhead['on_req_per_s']:.0f} req/s on "
+            f"(1/{overhead['sample_every']} sampling + flight log), "
+            f"ratio {overhead['ratio']:.3f} over {overhead['attempts']} "
+            f"attempt(s)"
+        )
 
 
 def _check(report: Dict[str, object]) -> None:
@@ -218,6 +291,14 @@ def _check(report: Dict[str, object]) -> None:
             f"network edge sustained only {best:.0f} req/s "
             f"(floor {MIN_QUICK_REQ_PER_S:.0f})"
         )
+    overhead = report.get("tracing_overhead")
+    if overhead:
+        assert overhead["ratio"] >= 1.0 - MAX_TRACING_OVERHEAD, (
+            f"tracing costs {(1.0 - overhead['ratio']) * 100:.1f}% of "
+            f"throughput ({overhead['on_req_per_s']:.0f} vs "
+            f"{overhead['off_req_per_s']:.0f} req/s); budget is "
+            f"{MAX_TRACING_OVERHEAD * 100:.0f}%"
+        )
 
 
 def test_net_throughput(benchmark=None):
@@ -228,6 +309,8 @@ def test_net_throughput(benchmark=None):
         report = benchmark.pedantic(
             run_sweep, kwargs={"quick": quick}, rounds=1, iterations=1
         )
+    if bool(os.environ.get("RUMBA_BENCH_TELEMETRY")):
+        report["tracing_overhead"] = measure_tracing_overhead(quick=quick)
     _report(report)
     _check(report)
     with open(OUTPUT_PATH, "w") as fh:
@@ -242,13 +325,23 @@ def main() -> int:
         help="small sweep for CI smoke runs (asserts the 1000 req/s floor)",
     )
     parser.add_argument(
+        "--tracing-overhead", action="store_true",
+        help="also A/B the request-tracing cost and assert it stays "
+             "within the 5% throughput budget",
+    )
+    parser.add_argument(
         "--output", default=OUTPUT_PATH,
         help="where to write the JSON report",
     )
     args = parser.parse_args()
     report = run_sweep(quick=args.quick)
+    if (args.tracing_overhead
+            or bool(os.environ.get("RUMBA_BENCH_TELEMETRY"))):
+        report["tracing_overhead"] = measure_tracing_overhead(
+            quick=args.quick
+        )
     _report(report)
-    if args.quick:
+    if args.quick or "tracing_overhead" in report:
         _check(report)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -28,7 +28,15 @@ Commands
 ``client --connect HOST:PORT [--requests N] [--depth D] ...``
     Drive a remotely served Rumba over the wire protocol: multiplexed
     in-flight requests, per-request deadlines, and a ``--selftest``
-    accounting check mirroring ``serve --selftest``.
+    accounting check mirroring ``serve --selftest``.  ``--trace``
+    force-samples every request and prints the trace ids the server
+    echoed back, ready for ``python -m repro trace <id>``.
+``trace --log FILE [ID] [--tail N]``
+    Browse a flight-recorder log (``serve --flight-log``).  With no ID:
+    a per-stage p50/p95/p99 aggregate plus a one-line tail of the most
+    recent records.  With an ID (decimal or ``0x...`` hex, matched
+    against request *and* trace ids): the full per-stage waterfall for
+    each matching record.
 ``summary [--apps a,b,...]``
     Recompute the paper's headline numbers (trains every requested
     benchmark; the full suite takes ~30 s).
@@ -148,9 +156,15 @@ def _serve_config(args: argparse.Namespace):
         ChaosConfig,
         RetryConfig,
         ServerConfig,
+        TracingConfig,
     )
 
     chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
+    tracing = TracingConfig(
+        enabled=args.trace_sample > 0,
+        sample_every=max(args.trace_sample, 1),
+        flight_log_path=args.flight_log or None,
+    )
     return ServerConfig(
         app=args.app,
         scheme=args.scheme,
@@ -168,6 +182,7 @@ def _serve_config(args: argparse.Namespace):
         ),
         retry=RetryConfig(default_deadline_s=args.deadline_s),
         chaos=chaos,
+        tracing=tracing,
     )
 
 
@@ -286,6 +301,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ["chaos injected faults", stats["chaos"]["injected_faults"]],
             ["chaos dropped controls", stats["chaos"]["dropped_controls"]],
         ])
+    tracing = stats.get("tracing") or {}
+    if tracing.get("enabled"):
+        rows.append(["requests traced", tracing["traced_requests"]])
+        if tracing.get("flight_log"):
+            rows.append(["flight records", tracing["flight_records"]])
     print(format_table(["quantity", "value"], rows, title="Serving session"))
     worker_rows = [
         [w["worker"], w["batches"], w["elements"],
@@ -299,6 +319,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.export:
         fmt = write_snapshot(args.export, server.registry)
         print(f"wrote {fmt} telemetry snapshot to {args.export}")
+    if args.flight_log:
+        print(f"wrote {tracing.get('flight_records', 0)} flight records "
+              f"to {args.flight_log} (browse: python -m repro trace "
+              f"--log {args.flight_log})")
     if args.selftest:
         accounted = completed + failed + shed
         ok = hung == 0 and accounted == args.requests
@@ -322,6 +346,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
               f"features={client.features} protocol={client.protocol_version}")
         rng = np.random.default_rng(args.seed)
         latencies: List[float] = []
+        trace_ids: List[int] = []
         overloaded = 0
         failed = 0
         submitted = 0
@@ -335,6 +360,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 try:
                     result = handle.result(args.timeout_s)
                     latencies.append(result.latency_s)
+                    if result.trace_sampled:
+                        trace_ids.append(result.trace_id)
                 except OverloadedError:
                     overloaded += 1
                 except ServingError:
@@ -349,6 +376,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 inflight.append(client.submit(
                     rng.random((args.elements, max(client.features, 1))),
                     deadline_s=args.deadline_s,
+                    trace=args.trace,
                 ))
                 submitted += 1
             drain(args.depth)
@@ -369,6 +397,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
         ]
         print(format_table(["quantity", "value"], rows,
                            title=f"Client session against {args.connect}"))
+        if args.trace and trace_ids:
+            shown = ", ".join(f"{t:#x}" for t in trace_ids[:8])
+            more = len(trace_ids) - min(len(trace_ids), 8)
+            print(f"sampled trace ids ({len(trace_ids)}): {shown}"
+                  + (f" ... +{more} more" if more else ""))
         if args.stats:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
     if args.selftest:
@@ -381,6 +414,57 @@ def _cmd_client(args: argparse.Namespace) -> int:
               f"-> {'OK' if ok else 'FAIL'}")
         if not ok:
             return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.flightlog import (
+        aggregate_stages,
+        format_record_line,
+        format_waterfall,
+        read_flight_log,
+    )
+
+    records = read_flight_log(args.log)
+    if not records:
+        print(f"no flight records in {args.log}")
+        return 1
+    if args.id:
+        try:
+            wanted = int(args.id, 0)  # decimal or 0x-prefixed hex
+        except ValueError:
+            print(f"not a request or trace id: {args.id!r}")
+            return 2
+        matches = [
+            r for r in records
+            if int(r.get("request_id", -1)) == wanted
+            or int(r.get("trace_id", 0)) == wanted
+        ]
+        if not matches:
+            print(f"no record matching id {wanted:#x} ({wanted}) "
+                  f"in {args.log}")
+            return 1
+        for i, record in enumerate(matches):
+            if i:
+                print()
+            print(format_waterfall(record))
+        return 0
+    aggregate = aggregate_stages(records)
+    rows = [
+        [stage, int(d["count"]), f"{d['mean'] * 1e3:.3f}",
+         f"{d['p50'] * 1e3:.3f}", f"{d['p95'] * 1e3:.3f}",
+         f"{d['p99'] * 1e3:.3f}"]
+        for stage, d in aggregate.items()
+    ]
+    print(format_table(
+        ["stage", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms"], rows,
+        title=f"{len(records)} flight records in {args.log}",
+    ))
+    tail = records[-max(args.tail, 0):] if args.tail else []
+    if tail:
+        print(f"last {len(tail)} records:")
+        for record in tail:
+            print("  " + format_record_line(record))
     return 0
 
 
@@ -519,6 +603,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=0.0,
                        help="with --listen: serve for this many seconds "
                             "then exit (0 = until interrupted)")
+    serve.add_argument("--flight-log", default="",
+                       help="record sampled request traces to this file "
+                            "(browse with 'python -m repro trace')")
+    serve.add_argument("--trace-sample", type=int, default=64,
+                       help="trace every Nth request (0 disables tracing; "
+                            "errors and retries are always sampled)")
 
     client = sub.add_parser(
         "client", help="drive a remotely served Rumba over TCP"
@@ -539,12 +629,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="midway through, submit this many extra "
                              "back-to-back requests to force admission "
                              "shedding (proves OverloadedError round-trips)")
+    client.add_argument("--trace", action="store_true",
+                        help="force-sample a trace for every request and "
+                             "print the returned trace ids")
     client.add_argument("--stats", action="store_true",
                         help="print the server's stats() document as JSON")
     client.add_argument("--selftest", action="store_true",
                         help="verify completed+overloaded+failed accounts "
                              "for every submission (exit 1 otherwise)")
     client.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser(
+        "trace", help="browse a serving flight-recorder log"
+    )
+    trace.add_argument("id", nargs="?", default="",
+                       help="request or trace id to show a waterfall for "
+                            "(decimal or 0x-prefixed hex); omit for the "
+                            "aggregate view")
+    trace.add_argument("--log", required=True,
+                       help="flight log written by serve --flight-log")
+    trace.add_argument("--tail", type=int, default=10,
+                       help="one-line summaries of the last N records in "
+                            "the aggregate view (0 = none)")
 
     summary = sub.add_parser("summary", help="recompute the headline numbers")
     summary.add_argument("--apps", default="",
@@ -569,6 +675,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "monitor": _cmd_monitor,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "trace": _cmd_trace,
         "summary": _cmd_summary,
         "survey": _cmd_survey,
         "report": _cmd_report,

@@ -17,7 +17,14 @@ operator must watch in production.  This package makes them first-class:
 * :mod:`repro.observability.export` — Prometheus text exposition and JSON
   snapshots,
 * :mod:`repro.observability.dashboard` — a live ASCII dashboard for
-  terminals (``python -m repro monitor``).
+  terminals (``python -m repro monitor``),
+* :mod:`repro.observability.reqtrace` — per-request traces for the
+  serving stack: stage-stamped timelines that follow a request through
+  admission, batching, the shm hop, compute, detection, recovery, and
+  retries (``rumba_stage_seconds``),
+* :mod:`repro.observability.flightlog` — the append-only, size-capped
+  flight recorder for sampled request traces, browsed with
+  ``python -m repro trace``.
 
 The metric catalog is documented in ``docs/observability.md``.
 """
@@ -27,6 +34,14 @@ from repro.observability.export import (
     json_snapshot,
     prometheus_text,
     write_snapshot,
+)
+from repro.observability.flightlog import (
+    FlightRecorder,
+    aggregate_stages,
+    format_record_line,
+    format_waterfall,
+    iter_flight_records,
+    read_flight_log,
 )
 from repro.observability.instrument import (
     Telemetry,
@@ -41,6 +56,12 @@ from repro.observability.metrics import (
     MetricsRegistry,
     get_default_registry,
     set_default_registry,
+)
+from repro.observability.reqtrace import (
+    STAGES,
+    RequestTrace,
+    TracingPolicy,
+    new_trace_id,
 )
 from repro.observability.tracing import JsonlSpanExporter, Span, Tracer
 
@@ -62,4 +83,14 @@ __all__ = [
     "json_snapshot",
     "write_snapshot",
     "render_dashboard",
+    "RequestTrace",
+    "TracingPolicy",
+    "STAGES",
+    "new_trace_id",
+    "FlightRecorder",
+    "read_flight_log",
+    "iter_flight_records",
+    "aggregate_stages",
+    "format_record_line",
+    "format_waterfall",
 ]

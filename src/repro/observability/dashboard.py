@@ -42,7 +42,7 @@ def _fmt_pct(value: Optional[float]) -> str:
 def render_dashboard(telemetry: Telemetry, width: int = 60) -> str:
     """One frame of the quality dashboard as a multi-line string."""
     history = telemetry.history
-    labels = telemetry._labels
+    labels = telemetry.labels
     lines: List[str] = []
     n_inv = telemetry.registry.get("rumba_invocations_total")
     count = int(n_inv.labels(**labels).value) if n_inv is not None else 0

@@ -218,6 +218,16 @@ class Telemetry:
             )
         }
 
+    @property
+    def labels(self) -> Dict[str, str]:
+        """The label set this telemetry writes under (a copy).
+
+        The public handle for dashboards and exporters that need to read
+        back the series this instance created — no reaching into
+        privates.
+        """
+        return dict(self._labels)
+
     # ------------------------------------------------------------------ #
     # Invocation scope (used by RumbaSystem.run_invocation)              #
     # ------------------------------------------------------------------ #

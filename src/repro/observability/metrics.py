@@ -36,6 +36,7 @@ __all__ = [
     "get_default_registry",
     "set_default_registry",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_FINE_LATENCY_BUCKETS",
     "DEFAULT_CYCLE_BUCKETS",
 ]
 
@@ -52,6 +53,34 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 DEFAULT_CYCLE_BUCKETS: Tuple[float, ...] = tuple(
     10.0 ** e for e in range(3, 11)
 )
+
+#: Log-spaced 50 µs – 1 s grid for sub-millisecond quantities: network
+#: hops, shm transfers, and the per-stage trace segments, which would
+#: all pile into the first bucket of the coarse default.
+DEFAULT_FINE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Per-metric bucket defaults used when ``histogram`` is called without
+#: an explicit ``buckets``: exact name match wins, then the longest
+#: matching name prefix, then ``DEFAULT_LATENCY_BUCKETS``.
+_BUCKET_OVERRIDES: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
+    ("rumba_stage_seconds", DEFAULT_FINE_LATENCY_BUCKETS),
+    ("rumba_net_", DEFAULT_FINE_LATENCY_BUCKETS),
+)
+
+
+def _resolve_buckets(name: str) -> Tuple[float, ...]:
+    """The default bucket grid for ``name`` (see ``_BUCKET_OVERRIDES``)."""
+    best: Optional[Tuple[float, ...]] = None
+    best_len = -1
+    for prefix, buckets in _BUCKET_OVERRIDES:
+        if name == prefix:
+            return buckets
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best, best_len = buckets, len(prefix)
+    return best if best is not None else DEFAULT_LATENCY_BUCKETS
 
 
 def _validate_name(name: str) -> str:
@@ -398,8 +427,17 @@ class MetricsRegistry:
         name: str,
         help: str,
         labelnames: Sequence[str] = (),
-        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        buckets: Optional[Iterable[float]] = None,
     ) -> Histogram:
+        """Create-or-get a histogram family.
+
+        When ``buckets`` is omitted the grid comes from the per-metric
+        override table (``rumba_net_*`` and ``rumba_stage_seconds`` get
+        the fine 50 µs grid), falling back to
+        ``DEFAULT_LATENCY_BUCKETS``.
+        """
+        if buckets is None:
+            buckets = _resolve_buckets(name)
         return self._get_or_create(
             Histogram, name, help, labelnames, buckets=buckets
         )

@@ -1,0 +1,243 @@
+"""Request-scoped distributed tracing across the serving pipeline.
+
+PR 1's :class:`~repro.observability.tracing.Tracer` sees one invocation
+inside one process; since the network edge landed, a request crosses six
+runtime hops (TCP client → asyncio front-end → admission/batch queue →
+shm ring → process worker → recovery/completion) and none of them were
+causally linked.  This module is the linking layer:
+
+* :class:`RequestTrace` — one request's trace context: a u64 trace id, an
+  optional parent span id (reserved for callers that already carry a
+  trace), a sampling flag, and an append-only list of **stage events**
+  — ``(stage_name, time.monotonic())`` pairs stamped at every pipeline
+  hop.  Stages are *points*; the waterfall segment attributed to a stage
+  is the time from the previous stamp to that stage's stamp.
+* :class:`TracingPolicy` — the server's sampling decision: 1/N counter
+  sampling with force/promote overrides (errors and retries are always
+  promoted to sampled so the flight recorder never misses a failure).
+* :func:`new_trace_id` — process-unique, non-zero u64 ids (zero is the
+  wire sentinel for "server, assign me one").
+
+Stamps from process workers arrive with explicit ``at`` readings taken
+in the worker.  ``CLOCK_MONOTONIC`` is system-wide per boot on Linux so
+those readings are directly comparable with the parent's; on platforms
+where that may not hold, remote stamps are applied with ``clamp=True``
+which keeps the event chain monotonic by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "RequestTrace",
+    "TracingPolicy",
+    "new_trace_id",
+    "STAGES",
+    "STAGE_NET_RECV",
+    "STAGE_ADMIT",
+    "STAGE_DEQUEUE",
+    "STAGE_DISPATCH",
+    "STAGE_SHM_WRITE",
+    "STAGE_SHM_READ",
+    "STAGE_COMPUTE",
+    "STAGE_DETECT",
+    "STAGE_RECOVERY_WAIT",
+    "STAGE_RECOVER",
+    "STAGE_COLLECT",
+    "STAGE_RETRY",
+    "STAGE_COMPLETE",
+    "STAGE_NET_SEND",
+]
+
+# Stage catalog (see docs/observability.md for the full narrative).  The
+# tuple order is the canonical pipeline order; a request's event list is
+# ordered by stamping time and may repeat stages across retry attempts.
+STAGE_NET_RECV = "net_recv"            # NetServer decoded the REQUEST frame
+STAGE_ADMIT = "admit"                  # admission queue accepted the request
+STAGE_DEQUEUE = "dequeue"              # a dispatcher took it out of the queue
+STAGE_DISPATCH = "dispatch"            # batch formed, about to hit a worker
+STAGE_SHM_WRITE = "shm_write"          # batch frame published on the in-ring
+STAGE_SHM_READ = "shm_read"            # worker popped the frame (worker clock)
+STAGE_COMPUTE = "compute"              # accelerator half done (worker clock)
+STAGE_DETECT = "detect"                # detection half done
+STAGE_RECOVERY_WAIT = "recovery_wait"  # batch landed in the recovery backlog
+STAGE_RECOVER = "recover"              # CPU recovery + tuning finished
+STAGE_COLLECT = "collect"              # parent read the worker's RESULT frame
+STAGE_RETRY = "retry"                  # re-dispatch scheduled after a fault
+STAGE_COMPLETE = "complete"            # handle resolved (result or error)
+STAGE_NET_SEND = "net_send"            # response frame handed to the writer
+
+STAGES: Tuple[str, ...] = (
+    STAGE_NET_RECV,
+    STAGE_ADMIT,
+    STAGE_DEQUEUE,
+    STAGE_DISPATCH,
+    STAGE_SHM_WRITE,
+    STAGE_SHM_READ,
+    STAGE_COMPUTE,
+    STAGE_DETECT,
+    STAGE_RECOVERY_WAIT,
+    STAGE_RECOVER,
+    STAGE_COLLECT,
+    STAGE_RETRY,
+    STAGE_COMPLETE,
+    STAGE_NET_SEND,
+)
+
+_ID_MASK = (1 << 64) - 1
+# Weyl-sequence increment (2^64 / golden ratio): consecutive counter
+# values map to well-spread ids, and the random per-process base keeps
+# ids from colliding across servers sharing one flight log.
+_ID_STEP = 0x9E3779B97F4A7C15
+_id_base = int.from_bytes(os.urandom(8), "little")
+_id_counter = itertools.count(1)
+
+
+def new_trace_id() -> int:
+    """A process-unique non-zero u64 (0 means "assign me one" on the wire)."""
+    n = next(_id_counter)
+    trace_id = (_id_base + n * _ID_STEP) & _ID_MASK
+    return trace_id or 1
+
+
+class RequestTrace:
+    """One request's trace context: identity + stage event chain.
+
+    Thread-safe: stamps arrive from the admission thread, dispatcher
+    threads, recovery threads, the collector, and the event loop.  The
+    event list is append-only; every read method returns a copy.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id", "sampled", "_events", "_lock")
+
+    def __init__(
+        self,
+        trace_id: Optional[int] = None,
+        parent_span_id: int = 0,
+        sampled: bool = True,
+    ):
+        self.trace_id = int(trace_id) if trace_id else new_trace_id()
+        self.parent_span_id = int(parent_span_id)
+        self.sampled = bool(sampled)
+        self._events: List[Tuple[str, float]] = []
+        self._lock = threading.Lock()
+
+    def stamp(
+        self, stage: str, at: Optional[float] = None, clamp: bool = False
+    ) -> float:
+        """Append one stage event; returns the recorded instant.
+
+        ``at`` lets a caller apply a reading taken earlier (or in a
+        worker process); ``clamp=True`` additionally pins the reading to
+        be no earlier than the previous event, which keeps chains
+        monotonic even if the remote clock is not comparable.
+        """
+        t = time.monotonic() if at is None else float(at)
+        with self._lock:
+            if clamp and self._events and t < self._events[-1][1]:
+                t = self._events[-1][1]
+            self._events.append((stage, t))
+        return t
+
+    def mark_sampled(self) -> None:
+        """Promote this trace to sampled (errors/retries are always kept)."""
+        self.sampled = True
+
+    # ------------------------------------------------------------------ #
+    # Read side                                                          #
+    # ------------------------------------------------------------------ #
+    def events(self) -> List[Tuple[str, float]]:
+        """The ``(stage, monotonic_instant)`` chain in stamping order."""
+        with self._lock:
+            return list(self._events)
+
+    def stage_names(self) -> List[str]:
+        return [stage for stage, _ in self.events()]
+
+    def segments(self) -> List[Tuple[str, float]]:
+        """Waterfall segments: each stage's delta from the previous stamp.
+
+        The first event anchors the waterfall and gets a zero-width
+        segment; segment durations therefore sum to :meth:`duration`.
+        """
+        events = self.events()
+        out: List[Tuple[str, float]] = []
+        previous: Optional[float] = None
+        for stage, t in events:
+            out.append((stage, 0.0 if previous is None else t - previous))
+            previous = t
+        return out
+
+    def duration(self) -> float:
+        """Seconds from the first stamp to the last (0 with <2 events)."""
+        events = self.events()
+        if len(events) < 2:
+            return 0.0
+        return events[-1][1] - events[0][1]
+
+    def is_monotonic(self) -> bool:
+        """True when the event chain never goes backwards in time."""
+        events = self.events()
+        return all(
+            t1 <= t2 for (_, t1), (_, t2) in zip(events, events[1:])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestTrace(trace_id={self.trace_id:#018x}, "
+            f"sampled={self.sampled}, events={len(self.events())})"
+        )
+
+
+class TracingPolicy:
+    """The server's per-request sampling decision.
+
+    ``sample_every=N`` keeps every N-th request (counter-based, so the
+    rate is exact, not probabilistic); errors and retries are promoted
+    to sampled regardless when ``always_sample_errors`` is set.  When
+    tracing is disabled :meth:`new_trace` returns None and every stamp
+    site stays a cheap ``is None`` check.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_every: int = 64,
+        always_sample_errors: bool = True,
+    ):
+        self.enabled = bool(enabled)
+        self.sample_every = max(int(sample_every), 1)
+        self.always_sample_errors = bool(always_sample_errors)
+        self._counter = itertools.count()
+
+    @classmethod
+    def from_config(cls, config) -> "TracingPolicy":
+        """Build from any object with the ``TracingConfig`` attributes."""
+        return cls(
+            enabled=config.enabled,
+            sample_every=config.sample_every,
+            always_sample_errors=config.always_sample_errors,
+        )
+
+    def new_trace(
+        self, trace_id: int = 0, force: Optional[bool] = None
+    ) -> Optional[RequestTrace]:
+        """A trace for one admitted request; None when tracing is off.
+
+        ``trace_id`` propagates a caller-supplied id (0 = assign one);
+        ``force`` overrides the 1/N decision in either direction (the
+        wire's force-sample flag maps to ``force=True``).
+        """
+        if not self.enabled:
+            return None
+        n = next(self._counter)
+        if force is not None:
+            sampled = bool(force)
+        else:
+            sampled = n % self.sample_every == 0
+        return RequestTrace(trace_id=trace_id or None, sampled=sampled)

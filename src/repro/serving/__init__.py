@@ -57,6 +57,7 @@ from repro.serving.config import (
     BatchingConfig,
     RetryConfig,
     ServerConfig,
+    TracingConfig,
 )
 from repro.serving.faults import ChaosConfig, ChaosMonkey, InjectedFault
 from repro.serving.net import (
@@ -91,6 +92,7 @@ __all__ = [
     "ServerConfig",
     "ShmFrame",
     "ShmRing",
+    "TracingConfig",
     "WorkerShard",
     "concat_inputs",
     "connect",

@@ -10,6 +10,8 @@ grouped by concern —
   controller that trades quality for stability,
 * :class:`RetryConfig` — deadline budgets, fault retries, and worker
   supervision,
+* :class:`TracingConfig` — request-trace sampling and the flight
+  recorder (see :mod:`repro.observability.reqtrace`),
 
 plus the engine fields (workers, backend, chaos) that do not fit a
 group.  Every section validates itself in ``__post_init__``, so an
@@ -40,6 +42,7 @@ __all__ = [
     "BatchingConfig",
     "BackpressureConfig",
     "RetryConfig",
+    "TracingConfig",
     "ServerConfig",
     "replace",
 ]
@@ -144,6 +147,45 @@ class RetryConfig:
 
 
 @dataclass(frozen=True)
+class TracingConfig:
+    """Request-trace sampling and flight-recorder settings.
+
+    Every request gets a stamped trace when ``enabled`` (stamps are
+    cheap appends); ``sample_every`` gates the *export* — stage
+    histograms and the flight-recorder record — to one request in N.
+    Errors and retried requests are promoted to sampled regardless when
+    ``always_sample_errors`` is set, so failures always leave a record.
+    """
+
+    #: Master switch; False makes every stamp site a no-op.
+    enabled: bool = True
+    #: Export one request in N (counter-based; 1 = export everything).
+    sample_every: int = 64
+    #: Promote failed and retried requests to sampled.
+    always_sample_errors: bool = True
+    #: Flight-recorder path (None = no flight log, histograms only).
+    flight_log_path: Optional[str] = None
+    #: Size cap per flight-log generation (rotate-once, so ~2x on disk).
+    flight_log_max_bytes: int = 16 << 20
+    #: Completed requests at/above this latency become slow exemplars.
+    slow_threshold_s: float = 0.1
+    #: Top-k slow exemplars kept in ``RumbaServer.stats()``.
+    max_exemplars: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ConfigurationError("sample_every must be >= 1")
+        if self.flight_log_max_bytes < 4096:
+            raise ConfigurationError(
+                "flight_log_max_bytes must be at least 4096"
+            )
+        if self.slow_threshold_s < 0:
+            raise ConfigurationError("slow_threshold_s must be >= 0")
+        if self.max_exemplars < 0:
+            raise ConfigurationError("max_exemplars must be >= 0")
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Everything a :class:`RumbaServer` needs, grouped by concern.
 
@@ -167,6 +209,7 @@ class ServerConfig:
         default_factory=BackpressureConfig
     )
     retry: RetryConfig = field(default_factory=RetryConfig)
+    tracing: TracingConfig = field(default_factory=TracingConfig)
     chaos: Optional[object] = None
 
     #: Flat legacy kwarg name -> (section attribute or None, field name).
@@ -194,6 +237,13 @@ class ServerConfig:
         "retry_backoff_s": ("retry", "retry_backoff_s"),
         "restart_workers": ("retry", "restart_workers"),
         "max_worker_restarts": ("retry", "max_worker_restarts"),
+        "trace_enabled": ("tracing", "enabled"),
+        "trace_sample_every": ("tracing", "sample_every"),
+        "trace_always_sample_errors": ("tracing", "always_sample_errors"),
+        "flight_log_path": ("tracing", "flight_log_path"),
+        "flight_log_max_bytes": ("tracing", "flight_log_max_bytes"),
+        "trace_slow_threshold_s": ("tracing", "slow_threshold_s"),
+        "trace_max_exemplars": ("tracing", "max_exemplars"),
     }
 
     def __post_init__(self) -> None:
@@ -218,7 +268,7 @@ class ServerConfig:
         """
         top: Dict[str, object] = {}
         grouped: Dict[str, Dict[str, object]] = {
-            "batching": {}, "backpressure": {}, "retry": {},
+            "batching": {}, "backpressure": {}, "retry": {}, "tracing": {},
         }
         for key in ("app", "scheme"):
             if key in flat:
@@ -238,6 +288,7 @@ class ServerConfig:
             batching=BatchingConfig(**grouped["batching"]),
             backpressure=BackpressureConfig(**grouped["backpressure"]),
             retry=RetryConfig(**grouped["retry"]),
+            tracing=TracingConfig(**grouped["tracing"]),
             **top,
         )
 

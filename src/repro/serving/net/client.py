@@ -45,6 +45,11 @@ class NetResult:
     latency_s: float
     fix_fraction: float
     degraded: bool
+    #: Server-assigned request-trace id (0 on v1 servers / untraced).
+    trace_id: int = 0
+    #: True when the server exported this request's trace (flight log +
+    #: stage histograms); look it up with ``python -m repro trace``.
+    trace_sampled: bool = False
 
     @property
     def n_elements(self) -> int:
@@ -86,8 +91,25 @@ class NetHandle:
 
 
 def _result_from_frame(frame: wire.Frame) -> NetResult:
-    fields = wire.unpack_result(frame.body)
+    fields = wire.unpack_result(frame.body, version=frame.version)
     return NetResult(request_id=frame.request_id, **fields)
+
+
+def _negotiate_version(welcome: dict) -> int:
+    """Pick the wire version to speak from a WELCOME document.
+
+    The server advertises its newest (``protocol``) and oldest
+    (``min_protocol``, absent on v1 servers) generations; the client
+    speaks the newest both sides understand and only refuses servers
+    that predate the protocol entirely.
+    """
+    server_version = int(welcome.get("protocol", 0))
+    if server_version < wire.MIN_SUPPORTED_VERSION:
+        raise ProtocolError(
+            f"server speaks protocol {server_version}, this client "
+            f"needs at least {wire.MIN_SUPPORTED_VERSION}"
+        )
+    return min(server_version, wire.PROTOCOL_VERSION)
 
 
 class RumbaClient:
@@ -137,12 +159,11 @@ class RumbaClient:
         self.server_max_frame_bytes = int(
             doc.get("max_frame_bytes", wire.DEFAULT_MAX_FRAME_BYTES)
         )
-        if self.protocol_version != wire.PROTOCOL_VERSION:
+        try:
+            self._wire_version = _negotiate_version(doc)
+        except ProtocolError:
             self._sock.close()
-            raise ProtocolError(
-                f"server speaks protocol {self.protocol_version}, "
-                f"this client speaks {wire.PROTOCOL_VERSION}"
-            )
+            raise
         self._reader = threading.Thread(
             target=self._reader_loop, name="rumba-client-reader", daemon=True
         )
@@ -222,14 +243,23 @@ class RumbaClient:
         inputs: np.ndarray,
         deadline_s: Optional[float] = None,
         scheme: Optional[str] = None,
+        trace: bool = False,
     ) -> NetHandle:
-        """Send one request; returns immediately with a :class:`NetHandle`."""
+        """Send one request; returns immediately with a :class:`NetHandle`.
+
+        ``trace=True`` forces the server to sample this request's trace
+        (flight record + stage histograms) regardless of its sampling
+        rate; the assigned id comes back in ``NetResult.trace_id``.
+        """
         request_id = next(self._next_id)
         handle = NetHandle(request_id)
         body = wire.pack_request(
-            inputs, deadline_s=deadline_s, scheme=scheme or ""
+            inputs, deadline_s=deadline_s, scheme=scheme or "",
+            force_sample=trace, version=self._wire_version,
         )
-        blob = wire.encode_frame(wire.FT_REQUEST, request_id, body)
+        blob = wire.encode_frame(
+            wire.FT_REQUEST, request_id, body, version=self._wire_version
+        )
         with self._lock:
             if self._closed:
                 raise ServingError("client is closed")
@@ -250,9 +280,12 @@ class RumbaClient:
         deadline_s: Optional[float] = None,
         scheme: Optional[str] = None,
         timeout: Optional[float] = None,
+        trace: bool = False,
     ) -> NetResult:
         """Submit and block for the result (default timeout: ``timeout_s``)."""
-        handle = self.submit(inputs, deadline_s=deadline_s, scheme=scheme)
+        handle = self.submit(
+            inputs, deadline_s=deadline_s, scheme=scheme, trace=trace
+        )
         return handle.result(self.timeout_s if timeout is None else timeout)
 
     def stats(self, timeout: Optional[float] = None) -> dict:
@@ -263,7 +296,9 @@ class RumbaClient:
             if self._closed:
                 raise ServingError("client is closed")
             self._pending[request_id] = handle
-        self._send_frame(wire.encode_frame(wire.FT_STATS, request_id))
+        self._send_frame(wire.encode_frame(
+            wire.FT_STATS, request_id, version=self._wire_version
+        ))
         return handle.result(self.timeout_s if timeout is None else timeout)  # type: ignore[return-value]
 
     def close(self) -> None:
@@ -304,6 +339,7 @@ class AsyncRumbaClient:
         self.app = str(welcome.get("app", ""))
         self.scheme = str(welcome.get("scheme", ""))
         self.features = int(welcome.get("features", 0))
+        self._wire_version = _negotiate_version(welcome)
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_id = itertools.count(1)
         self._closed = False
@@ -324,11 +360,7 @@ class AsyncRumbaClient:
                     f"expected a WELCOME frame, got {frame.type_name}"
                 )
             welcome = wire.unpack_json(frame.body)
-            if int(welcome.get("protocol", 0)) != wire.PROTOCOL_VERSION:
-                raise ProtocolError(
-                    f"server speaks protocol {welcome.get('protocol')}, "
-                    f"this client speaks {wire.PROTOCOL_VERSION}"
-                )
+            _negotiate_version(welcome)  # raises on pre-v1 servers
         except BaseException:
             writer.close()
             raise
@@ -389,7 +421,9 @@ class AsyncRumbaClient:
         request_id = next(self._next_id)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(wire.encode_frame(frame_type, request_id, body))
+        self._writer.write(wire.encode_frame(
+            frame_type, request_id, body, version=self._wire_version
+        ))
         await self._writer.drain()
         return await future
 
@@ -398,6 +432,7 @@ class AsyncRumbaClient:
         inputs: np.ndarray,
         deadline_s: Optional[float] = None,
         scheme: Optional[str] = None,
+        trace: bool = False,
     ) -> "asyncio.Future[NetResult]":
         """Send one request; returns an awaitable future (not yet sent-safe
         against backpressure — prefer :meth:`request` unless fanning out)."""
@@ -407,9 +442,12 @@ class AsyncRumbaClient:
         future = asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
         body = wire.pack_request(
-            inputs, deadline_s=deadline_s, scheme=scheme or ""
+            inputs, deadline_s=deadline_s, scheme=scheme or "",
+            force_sample=trace, version=self._wire_version,
         )
-        self._writer.write(wire.encode_frame(wire.FT_REQUEST, request_id, body))
+        self._writer.write(wire.encode_frame(
+            wire.FT_REQUEST, request_id, body, version=self._wire_version
+        ))
         return future
 
     async def request(
@@ -417,12 +455,15 @@ class AsyncRumbaClient:
         inputs: np.ndarray,
         deadline_s: Optional[float] = None,
         scheme: Optional[str] = None,
+        trace: bool = False,
     ) -> NetResult:
         """Submit one request and await its result."""
         return await self._roundtrip(
             wire.FT_REQUEST,
             wire.pack_request(inputs, deadline_s=deadline_s,
-                              scheme=scheme or ""),
+                              scheme=scheme or "",
+                              force_sample=trace,
+                              version=self._wire_version),
         )
 
     async def stats(self) -> dict:

@@ -4,11 +4,19 @@ Every message on the TCP stream is one **frame**::
 
     uint32 LE   length       bytes that follow (header + body + crc)
     uint32 LE   magic        0x52554D42  ("RUMB", same as the shm rings)
-    uint16 LE   version      PROTOCOL_VERSION
+    uint16 LE   version      a member of SUPPORTED_VERSIONS
     uint16 LE   frame type   FT_* below
     uint64 LE   request id   caller-chosen; echoed on the response
     bytes       body         type-specific payload
     uint32 LE   crc32        zlib.crc32 over magic..body
+
+Version 2 (the current :data:`PROTOCOL_VERSION`) extends the REQUEST
+and RESULT bodies with a trailing **trace block** (u64 trace id + u8
+flags) carrying the distributed-tracing context of
+:mod:`repro.observability.reqtrace`.  Version 1 frames remain fully
+accepted: decoders parse each body according to the *frame's* version,
+and the server answers every frame in the version it arrived with, so
+old clients keep working unchanged.
 
 The CRC closes the same integrity gap the shm transport closes with its
 framed magic: a torn or corrupted frame is *detected* (typed
@@ -43,6 +51,8 @@ from repro.errors import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_SUPPORTED_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAGIC",
     "DEFAULT_MAX_FRAME_BYTES",
     "FT_WELCOME",
@@ -51,7 +61,9 @@ __all__ = [
     "FT_ERROR",
     "FT_STATS",
     "FT_STATS_RESULT",
+    "FT_FLIGHT",
     "FRAME_TYPE_NAMES",
+    "FLAG_TRACE_SAMPLED",
     "ERR_INTERNAL",
     "ERR_SERVING",
     "ERR_OVERLOADED",
@@ -77,7 +89,11 @@ __all__ = [
     "parse_address",
 ]
 
-PROTOCOL_VERSION = 1
+#: The version this end emits by default.  v2 added the request/result
+#: trace block; v1 frames are still accepted (and answered in v1).
+PROTOCOL_VERSION = 2
+MIN_SUPPORTED_VERSION = 1
+SUPPORTED_VERSIONS = (1, 2)
 MAGIC = 0x52554D42  # "RUMB" — shared with the shm ring frames
 #: Default bound on one frame; an advertised length beyond this is a
 #: protocol error and closes the connection before any allocation.
@@ -90,6 +106,7 @@ FT_RESULT = 3        # server -> client: one completed request
 FT_ERROR = 4         # server -> client: one failed request (typed)
 FT_STATS = 5         # client -> server: health/stats probe (empty body)
 FT_STATS_RESULT = 6  # server -> client: stats() as JSON
+FT_FLIGHT = 7        # flight-recorder log record (never sent on a socket)
 
 FRAME_TYPE_NAMES: Dict[int, str] = {
     FT_WELCOME: "WELCOME",
@@ -98,7 +115,16 @@ FRAME_TYPE_NAMES: Dict[int, str] = {
     FT_ERROR: "ERROR",
     FT_STATS: "STATS",
     FT_STATS_RESULT: "STATS_RESULT",
+    FT_FLIGHT: "FLIGHT",
 }
+
+#: Trace-block flag bits (v2 REQUEST/RESULT bodies).  On a REQUEST the
+#: bit asks the server to force-sample this request; on a RESULT it
+#: reports whether the request was sampled into the flight recorder.
+FLAG_TRACE_SAMPLED = 0x01
+
+_TRACE_FMT = "<QB"  # trace id, flags
+_TRACE_BYTES = struct.calcsize(_TRACE_FMT)
 
 # Error codes carried by FT_ERROR frames.
 ERR_INTERNAL = 0       # unexpected server-side failure
@@ -118,11 +144,12 @@ MIN_FRAME_LENGTH = _HEADER_BYTES + _CRC_BYTES
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: type, request id, raw body bytes."""
+    """One decoded frame: type, request id, raw body bytes, wire version."""
 
     frame_type: int
     request_id: int
     body: bytes
+    version: int = PROTOCOL_VERSION
 
     @property
     def type_name(self) -> str:
@@ -132,10 +159,20 @@ class Frame:
 # --------------------------------------------------------------------- #
 # Frame envelope                                                        #
 # --------------------------------------------------------------------- #
-def encode_frame(frame_type: int, request_id: int, body: bytes = b"") -> bytes:
+def encode_frame(
+    frame_type: int,
+    request_id: int,
+    body: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
     """Serialize one frame, length prefix through CRC."""
+    if version not in SUPPORTED_VERSIONS:
+        raise ConfigurationError(
+            f"cannot encode protocol version {version}; "
+            f"supported: {SUPPORTED_VERSIONS}"
+        )
     header = struct.pack(
-        _HEADER_FMT, MAGIC, PROTOCOL_VERSION, frame_type, request_id
+        _HEADER_FMT, MAGIC, version, frame_type, request_id
     )
     checked = header + body
     crc = zlib.crc32(checked) & 0xFFFFFFFF
@@ -165,10 +202,10 @@ def decode_frame(blob: bytes) -> Frame:
     )
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic:#010x}")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version} "
-            f"(this end speaks {PROTOCOL_VERSION})"
+            f"(this end speaks {SUPPORTED_VERSIONS})"
         )
     if frame_type not in FRAME_TYPE_NAMES:
         raise ProtocolError(f"unknown frame type {frame_type}")
@@ -176,6 +213,7 @@ def decode_frame(blob: bytes) -> Frame:
         frame_type=frame_type,
         request_id=request_id,
         body=checked[_HEADER_BYTES:],
+        version=version,
     )
 
 
@@ -235,39 +273,73 @@ def _read_str(body: bytes, offset: int, width_fmt: str = "<H") -> Tuple[str, int
     return text, offset + n
 
 
+def _read_trace_block(
+    body: bytes, offset: int, kind: str
+) -> Tuple[int, int]:
+    """The v2 trailing trace block: (trace_id, flags)."""
+    if len(body) < offset + _TRACE_BYTES:
+        raise ProtocolError(f"{kind} body truncated before trace block")
+    trace_id, flags = struct.unpack_from(_TRACE_FMT, body, offset)
+    return trace_id, flags
+
+
 def pack_request(
     inputs: np.ndarray,
     deadline_s: Optional[float] = None,
     scheme: str = "",
+    trace_id: int = 0,
+    force_sample: bool = False,
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
     """REQUEST body: deadline, scheme steering option, input block.
 
     ``deadline_s`` is the request's total time budget (NaN on the wire
     means "use the server default"); ``scheme`` is the per-request
     steering option — the empty string accepts whatever scheme the
-    server runs.
+    server runs.  From version 2 a trailing trace block follows the
+    input block: ``trace_id`` propagates a caller-held trace (0 asks
+    the server to assign one) and ``force_sample`` requests promotion
+    past the server's 1/N sampling.  Version 1 omits the block.
     """
     data, n_rows, n_cols = _matrix_bytes(inputs)
     scheme_b = scheme.encode("utf-8")
-    return (
+    body = (
         struct.pack("<d", float("nan") if deadline_s is None else deadline_s)
         + struct.pack("<H", len(scheme_b)) + scheme_b
         + struct.pack("<II", n_rows, n_cols) + data
     )
+    if version >= 2:
+        flags = FLAG_TRACE_SAMPLED if force_sample else 0
+        body += struct.pack(_TRACE_FMT, trace_id, flags)
+    return body
 
 
-def unpack_request(body: bytes) -> Tuple[np.ndarray, Optional[float], str]:
+def unpack_request(
+    body: bytes, version: int = PROTOCOL_VERSION
+) -> Tuple[np.ndarray, Optional[float], str, int, bool]:
+    """Decode a REQUEST body of the given wire ``version``.
+
+    Returns ``(inputs, deadline_s, scheme, trace_id, force_sample)``;
+    v1 bodies carry no trace block and report ``(0, False)``.
+    """
     if len(body) < 8:
         raise ProtocolError("REQUEST body truncated before deadline")
     (deadline,) = struct.unpack_from("<d", body, 0)
     scheme, offset = _read_str(body, 8)
     inputs, offset = _read_matrix(body, offset)
+    trace_id, flags = 0, 0
+    if version >= 2:
+        trace_id, flags = _read_trace_block(body, offset, "REQUEST")
+        offset += _TRACE_BYTES
     if offset != len(body):
         raise ProtocolError(
             f"REQUEST body has {len(body) - offset} trailing bytes"
         )
     deadline_s = None if not np.isfinite(deadline) else float(deadline)
-    return inputs, deadline_s, scheme
+    return (
+        inputs, deadline_s, scheme,
+        int(trace_id), bool(flags & FLAG_TRACE_SAMPLED),
+    )
 
 
 def pack_result(
@@ -277,20 +349,34 @@ def pack_result(
     latency_s: float,
     fix_fraction: float,
     degraded: bool,
+    trace_id: int = 0,
+    trace_sampled: bool = False,
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
-    """RESULT body: quality/latency metadata + output block."""
+    """RESULT body: quality/latency metadata + output block.
+
+    From version 2 a trailing trace block echoes the server-assigned
+    ``trace_id`` (clients surface it on :class:`NetResult`) and reports
+    whether the request was sampled into the flight recorder.
+    """
     data, n_rows, n_cols = _matrix_bytes(outputs)
     worker_b = worker.encode("utf-8")
-    return (
+    body = (
         struct.pack(
             "<dddB", queue_wait_s, latency_s, fix_fraction, int(degraded)
         )
         + struct.pack("<H", len(worker_b)) + worker_b
         + struct.pack("<II", n_rows, n_cols) + data
     )
+    if version >= 2:
+        flags = FLAG_TRACE_SAMPLED if trace_sampled else 0
+        body += struct.pack(_TRACE_FMT, trace_id, flags)
+    return body
 
 
-def unpack_result(body: bytes) -> Dict[str, object]:
+def unpack_result(
+    body: bytes, version: int = PROTOCOL_VERSION
+) -> Dict[str, object]:
     if len(body) < 25:
         raise ProtocolError("RESULT body truncated before metadata")
     queue_wait, latency, fix_fraction, degraded = struct.unpack_from(
@@ -298,6 +384,10 @@ def unpack_result(body: bytes) -> Dict[str, object]:
     )
     worker, offset = _read_str(body, 25)
     outputs, offset = _read_matrix(body, offset)
+    trace_id, flags = 0, 0
+    if version >= 2:
+        trace_id, flags = _read_trace_block(body, offset, "RESULT")
+        offset += _TRACE_BYTES
     if offset != len(body):
         raise ProtocolError(
             f"RESULT body has {len(body) - offset} trailing bytes"
@@ -309,6 +399,8 @@ def unpack_result(body: bytes) -> Dict[str, object]:
         "latency_s": float(latency),
         "fix_fraction": float(fix_fraction),
         "degraded": bool(degraded),
+        "trace_id": int(trace_id),
+        "trace_sampled": bool(flags & FLAG_TRACE_SAMPLED),
     }
 
 

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError, ServingError
+from repro.observability.reqtrace import STAGE_NET_RECV, STAGE_NET_SEND
 from repro.serving.net import protocol as wire
 from repro.serving.server import RumbaServer
 
@@ -123,6 +125,13 @@ class NetServer:
         self._m_requests = r.counter(
             "rumba_net_requests_total",
             "Remote requests by outcome", base + ("outcome",),
+        )
+        # Decode-to-enqueue time per remote request; rides the fine
+        # bucket grid via the registry's rumba_net_* override.
+        self._m_request_seconds = r.histogram(
+            "rumba_net_request_seconds",
+            "Server-side time from request decode to response enqueue",
+            base,
         )
         self._labels = {
             "app": self.server.app_name, "scheme": self.server.scheme,
@@ -237,9 +246,12 @@ class NetServer:
         self._m_conns_total.labels(**self._labels).inc()
         self._m_conns_open.labels(**self._labels).set(self._open_connections)
         writer_task = asyncio.ensure_future(self._writer_loop(conn, writer))
+        # The WELCOME rides the *lowest* supported envelope so clients of
+        # any protocol generation can decode it and then negotiate.
         conn.out_q.put_nowait(
             wire.encode_frame(
-                wire.FT_WELCOME, 0, wire.pack_json(self._welcome_document())
+                wire.FT_WELCOME, 0, wire.pack_json(self._welcome_document()),
+                version=wire.MIN_SUPPORTED_VERSION,
             )
         )
         try:
@@ -305,6 +317,7 @@ class NetServer:
                         wire.FT_STATS_RESULT,
                         frame.request_id,
                         wire.pack_json(self.server.stats()),
+                        version=frame.version,
                     )
                 )
             else:
@@ -342,6 +355,7 @@ class NetServer:
         return {
             "server": "rumba",
             "protocol": wire.PROTOCOL_VERSION,
+            "min_protocol": wire.MIN_SUPPORTED_VERSION,
             "app": self.server.app_name,
             "scheme": self.server.scheme,
             "backend": self.server.backend,
@@ -362,14 +376,27 @@ class NetServer:
 
     def _on_request(self, conn: _Connection, frame: wire.Frame) -> None:
         request_id = frame.request_id
+        received_at = time.monotonic()
         try:
-            inputs, deadline_s, scheme = wire.unpack_request(frame.body)
+            inputs, deadline_s, scheme, trace_id, force_sample = (
+                wire.unpack_request(frame.body, version=frame.version)
+            )
             if scheme and scheme != self.server.scheme:
                 raise ConfigurationError(
                     f"this server runs scheme {self.server.scheme!r}; "
                     f"cannot steer request to {scheme!r}"
                 )
-            handle = self.server.submit(inputs, deadline_s=deadline_s)
+            # A client-proposed trace id is honoured (distributed-trace
+            # continuation); the sampled flag forces export when set and
+            # otherwise leaves the decision to the server's policy.
+            trace = self.server.tracing.new_trace(
+                trace_id=trace_id, force=True if force_sample else None
+            )
+            if trace is not None:
+                trace.stamp(STAGE_NET_RECV, at=received_at)
+            handle = self.server.submit(
+                inputs, deadline_s=deadline_s, trace=trace
+            )
         except Exception as exc:
             self._m_requests.labels(
                 outcome="rejected", **self._labels
@@ -379,6 +406,7 @@ class NetServer:
                     wire.FT_ERROR,
                     request_id,
                     wire.pack_error(wire.exception_to_code(exc), str(exc)),
+                    version=frame.version,
                 )
             )
             return
@@ -386,32 +414,64 @@ class NetServer:
         self._inflight += 1
         self._m_inflight.labels(**self._labels).set(self._inflight)
         loop = self._loop
+        version = frame.version
 
         def _completed(handle) -> None:
             # Runs on the completing worker thread: hop to the loop.
             try:
                 loop.call_soon_threadsafe(
-                    self._deliver, conn, request_id, handle
+                    self._deliver, conn, request_id, handle, version,
+                    trace, received_at,
                 )
             except RuntimeError:  # loop closed during shutdown
                 pass
 
         handle.add_done_callback(_completed)
 
-    def _deliver(self, conn: _Connection, request_id: int, handle) -> None:
-        """Event-loop half of completion: encode and enqueue the answer."""
+    def _deliver(
+        self,
+        conn: _Connection,
+        request_id: int,
+        handle,
+        version: int = wire.PROTOCOL_VERSION,
+        trace=None,
+        received_at: Optional[float] = None,
+    ) -> None:
+        """Event-loop half of completion: encode and enqueue the answer.
+
+        Replies are encoded in the same protocol version the request
+        arrived in, so mixed-generation clients each get frames they can
+        decode.
+        """
         if conn.closed or request_id not in conn.outstanding:
             return
         conn.outstanding.discard(request_id)
         self._inflight -= 1
         self._m_inflight.labels(**self._labels).set(self._inflight)
+        now = time.monotonic()
+        if received_at is not None:
+            self._m_request_seconds.labels(**self._labels).observe(
+                now - received_at
+            )
+        if trace is not None:
+            # ``complete`` (stamped in the core) already closed the
+            # exported record; the send hop is observed directly so the
+            # stage histogram still covers it.
+            events = trace.events()
+            sent_at = trace.stamp(STAGE_NET_SEND, at=now, clamp=True)
+            if trace.sampled and events:
+                self.server.observe_stage(
+                    STAGE_NET_SEND, sent_at - events[-1][1]
+                )
         try:
             result = handle.result(timeout=0)
         except Exception as exc:
             self._m_requests.labels(outcome="failed", **self._labels).inc()
             payload = wire.pack_error(wire.exception_to_code(exc), str(exc))
             conn.out_q.put_nowait(
-                wire.encode_frame(wire.FT_ERROR, request_id, payload)
+                wire.encode_frame(
+                    wire.FT_ERROR, request_id, payload, version=version
+                )
             )
             return
         self._m_requests.labels(outcome="completed", **self._labels).inc()
@@ -422,7 +482,12 @@ class NetServer:
             latency_s=result.latency_s,
             fix_fraction=result.fix_fraction,
             degraded=result.degraded,
+            trace_id=result.trace_id,
+            trace_sampled=trace.sampled if trace is not None else False,
+            version=version,
         )
         conn.out_q.put_nowait(
-            wire.encode_frame(wire.FT_RESULT, request_id, payload)
+            wire.encode_frame(
+                wire.FT_RESULT, request_id, payload, version=version
+            )
         )

@@ -91,6 +91,7 @@ def _worker_main(
             if frame is None:
                 time.sleep(_POLL_S)
                 continue
+            read_at = time.monotonic()
             if frame.kind == FRAME_STOP:
                 return
             if frame.kind in (FRAME_DEGRADE, FRAME_RELAX):
@@ -104,9 +105,16 @@ def _worker_main(
                 record = system.run_invocation(
                     frame.payload, measure_quality=measure_quality
                 )
-                extra = pickle.dumps(worker_snapshot(system, record))
+                snapshot = worker_snapshot(system, record)
+                # Stage stamps for request tracing: CLOCK_MONOTONIC is
+                # system-wide per boot on Linux, so the parent can place
+                # these readings on its own timeline (clamped on apply).
+                snapshot["shm_read_at"] = read_at
+                snapshot["compute_done_at"] = time.monotonic()
+                extra = pickle.dumps(snapshot)
                 _write_blocking(
-                    out_ring, FRAME_RESULT, frame.seq, record.outputs, extra
+                    out_ring, FRAME_RESULT, frame.seq, record.outputs, extra,
+                    trace_id=frame.trace_id,
                 )
             except Exception as exc:  # forwarded to parent as FRAME_ERROR;
                 # KeyboardInterrupt/SystemExit deliberately propagate so a
@@ -130,10 +138,13 @@ def _write_blocking(
     extra: bytes,
     timeout_s: Optional[float] = None,
     still_alive=None,
+    trace_id: int = 0,
 ) -> bool:
     """Spin (politely) until the frame fits; False on timeout/death."""
     deadline = None if timeout_s is None else time.monotonic() + timeout_s
-    while not ring.try_write(kind, seq, payload=payload, extra=extra):
+    while not ring.try_write(
+        kind, seq, payload=payload, extra=extra, trace_id=trace_id
+    ):
         if still_alive is not None and not still_alive():
             return False
         if deadline is not None and time.monotonic() >= deadline:
@@ -356,13 +367,19 @@ class ProcessWorkerPool:
         seq: int,
         inputs: np.ndarray,
         timeout_s: float = 30.0,
+        trace_id: int = 0,
     ) -> None:
-        """Ship one batch to ``worker``; raises when it cannot be sent."""
+        """Ship one batch to ``worker``; raises when it cannot be sent.
+
+        ``trace_id`` rides in the frame header (the batch-representative
+        request trace) and is echoed back on the worker's RESULT frame.
+        """
         if not worker.alive():
             raise ServingError(f"worker {worker.name} is not alive")
         ok = _write_blocking(
             worker.in_ring, FRAME_BATCH, seq, inputs, b"",
             timeout_s=timeout_s, still_alive=worker.alive,
+            trace_id=trace_id,
         )
         if not ok:
             raise ServingError(

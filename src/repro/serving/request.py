@@ -36,6 +36,9 @@ class ServeResult:
     #: True when the server was operating under backpressure degradation
     #: while this request was dispatched (quality may be reduced).
     degraded: bool
+    #: Request-trace id (0 when tracing was disabled for this request);
+    #: the key into the flight recorder and ``python -m repro trace``.
+    trace_id: int = 0
 
     @property
     def n_elements(self) -> int:
@@ -124,6 +127,10 @@ class ServeRequest:
     deadline_s: Optional[float] = None
     #: Fault-triggered re-dispatches so far (0 = first attempt).
     attempts: int = 0
+    #: Request-trace context (see :mod:`repro.observability.reqtrace`);
+    #: None when tracing is disabled.  The same object rides through
+    #: every retry attempt, so one trace id spans all attempts.
+    trace: Optional[object] = None
 
     @property
     def n_elements(self) -> int:

@@ -56,6 +56,21 @@ from repro.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
 )
+from repro.observability.reqtrace import (
+    STAGE_ADMIT,
+    STAGE_COLLECT,
+    STAGE_COMPLETE,
+    STAGE_COMPUTE,
+    STAGE_DEQUEUE,
+    STAGE_DETECT,
+    STAGE_DISPATCH,
+    STAGE_RECOVER,
+    STAGE_RECOVERY_WAIT,
+    STAGE_RETRY,
+    STAGE_SHM_READ,
+    STAGE_SHM_WRITE,
+    TracingPolicy,
+)
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
 from repro.serving.config import ServerConfig
@@ -288,6 +303,24 @@ class RumbaServer:
         self.chaos_monkey: Optional[ChaosMonkey] = (
             ChaosMonkey(chaos) if isinstance(chaos, ChaosConfig) else chaos
         )
+
+        # Request tracing: sampling policy, flight recorder, slow-request
+        # exemplars (see docs/observability.md and observability/reqtrace).
+        self.tracing = TracingPolicy.from_config(config.tracing)
+        self.flight_recorder = None
+        if config.tracing.enabled and config.tracing.flight_log_path:
+            # Imported lazily: flightlog reuses the wire codec, and the
+            # serving.net package imports this module at its own import
+            # time — by construction time the cycle has resolved.
+            from repro.observability.flightlog import FlightRecorder
+
+            self.flight_recorder = FlightRecorder(
+                config.tracing.flight_log_path,
+                max_bytes=config.tracing.flight_log_max_bytes,
+            )
+        self._slow_lock = threading.Lock()
+        self._slow_exemplars: List[Dict[str, object]] = []
+        self._traced_total = 0
         self._build_metrics()
 
     # ------------------------------------------------------------------ #
@@ -334,6 +367,14 @@ class RumbaServer:
             "rumba_serve_request_latency_seconds",
             "Submission-to-completion latency per request", base,
             buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        # Per-stage waterfall segments from sampled request traces; the
+        # registry's bucket overrides give this family the fine 50 µs
+        # grid (sub-millisecond shm/queue hops need it).
+        self._m_stage = r.histogram(
+            "rumba_stage_seconds",
+            "Per-stage latency segments from sampled request traces",
+            base + ("stage",),
         )
         self._m_worker_restarts = r.counter(
             "rumba_serve_worker_restarts",
@@ -510,6 +551,8 @@ class RumbaServer:
         """Drain, then tear the worker groups down."""
         if self._state in ("stopped", "new", "ready"):
             self._state = "stopped" if self._state != "new" else self._state
+            if self.flight_recorder is not None:
+                self.flight_recorder.close()
             return
         # Chaos stops before the drain so shutdown itself is fault-free.
         if self.chaos_monkey is not None:
@@ -544,6 +587,10 @@ class RumbaServer:
             self._m_degradation.labels(**self._labels).set(
                 self.controller.level
             )
+        if self.flight_recorder is not None:
+            # After the abandoned requests above, so their (promoted)
+            # error records still land in the log.
+            self.flight_recorder.close()
         self._threads = []
         self._state = "stopped"
 
@@ -557,13 +604,18 @@ class RumbaServer:
     # Admission                                                          #
     # ------------------------------------------------------------------ #
     def submit(
-        self, inputs: np.ndarray, deadline_s: Optional[float] = None
+        self,
+        inputs: np.ndarray,
+        deadline_s: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> ServeHandle:
         """Admit one request; raises :class:`OverloadedError` when shed.
 
         ``deadline_s`` bounds the request's total time budget (dispatch,
         fault-triggered retries, recovery); it defaults to the server's
-        ``default_deadline_s``.
+        ``default_deadline_s``.  ``trace`` lets a fronting edge (the TCP
+        server) hand in a :class:`RequestTrace` it already started; when
+        None, the server's sampling policy decides.
         """
         if self._state != "running":
             raise ServingError(
@@ -577,12 +629,17 @@ class RumbaServer:
         with self._id_lock:
             request_id = self._next_request_id
             self._next_request_id += 1
+        if trace is None:
+            trace = self.tracing.new_trace()
         request = ServeRequest(
             request_id=request_id,
             inputs=inputs,
             submitted_at=time.monotonic(),
             deadline_s=deadline_s,
+            trace=trace,
         )
+        if trace is not None:
+            trace.stamp(STAGE_ADMIT, at=request.submitted_at)
         if not self._admission.offer(request):
             self._m_requests.labels(outcome="shed", **self._labels).inc()
             raise OverloadedError(
@@ -607,6 +664,17 @@ class RumbaServer:
         """Convenience: submit and block for the result."""
         return self.submit(inputs, deadline_s=deadline_s).result(timeout)
 
+    @staticmethod
+    def _stamp_batch(
+        batch: List[ServeRequest], stage: str, at: Optional[float] = None
+    ) -> None:
+        """Stamp one stage event on every traced request of a batch."""
+        if at is None:
+            at = time.monotonic()
+        for request in batch:
+            if request.trace is not None:
+                request.trace.stamp(stage, at=at)
+
     # ------------------------------------------------------------------ #
     # Worker groups                                                      #
     # ------------------------------------------------------------------ #
@@ -615,6 +683,7 @@ class RumbaServer:
             batch = self._admission.take_batch()
             if batch is None:
                 return
+            self._stamp_batch(batch, STAGE_DEQUEUE)
             self._m_admission_depth.labels(**self._labels).set(
                 len(self._admission)
             )
@@ -628,6 +697,7 @@ class RumbaServer:
     ) -> None:
         inputs = concat_inputs(batch)
         dispatched_at = time.monotonic()
+        self._stamp_batch(batch, STAGE_DISPATCH, at=dispatched_at)
         try:
             if self.chaos_monkey is not None:
                 self.chaos_monkey.maybe_fail(where=shard.name)
@@ -637,6 +707,13 @@ class RumbaServer:
         except Exception as exc:
             self._retry_or_fail(batch, exc, worker=shard.name)
             return
+        # ``begin_invocation`` runs the approximate kernel and the error
+        # detector back to back, so both stages land on one instant: the
+        # compute segment carries the combined cost and detect is the
+        # boundary marker.
+        computed_at = time.monotonic()
+        self._stamp_batch(batch, STAGE_COMPUTE, at=computed_at)
+        self._stamp_batch(batch, STAGE_DETECT, at=computed_at)
         shard.batches += 1
         shard.elements += inputs.shape[0]
         shard.observe_drift(pending.detection.fire_fraction)
@@ -688,6 +765,9 @@ class RumbaServer:
             )
 
     def _complete_task(self, task: _RecoveryTask) -> None:
+        # Popped off the recovery backlog: the gap back to ``detect`` is
+        # the time the batch sat waiting for a recovery worker.
+        self._stamp_batch(task.requests, STAGE_RECOVERY_WAIT)
         try:
             record = task.shard.system.complete_invocation(task.pending)
         except Exception as exc:
@@ -695,6 +775,7 @@ class RumbaServer:
             # shard; kernels are pure, so re-execution is safe.
             self._retry_or_fail(task.requests, exc, worker=task.shard.name)
             return
+        self._stamp_batch(task.requests, STAGE_RECOVER)
         blocks = split_outputs(record.outputs, task.requests)
         for request, outputs in zip(task.requests, blocks):
             self._finish_request(
@@ -715,6 +796,7 @@ class RumbaServer:
             batch = self._admission.take_batch()
             if batch is None:
                 return
+            self._stamp_batch(batch, STAGE_DEQUEUE)
             self._m_admission_depth.labels(**self._labels).set(
                 len(self._admission)
             )
@@ -732,6 +814,7 @@ class RumbaServer:
     def _dispatch_batch_process(self, batch: List[ServeRequest]) -> None:
         inputs = concat_inputs(batch)
         dispatched_at = time.monotonic()
+        self._stamp_batch(batch, STAGE_DISPATCH, at=dispatched_at)
         if self.chaos_monkey is not None:
             try:
                 self.chaos_monkey.maybe_fail(where="dispatch")
@@ -758,8 +841,13 @@ class RumbaServer:
                 batch, WorkerCrashError("no live serving worker processes")
             )
             return
+        # The batch shares one ring frame, so the frame header carries
+        # the first traced request's id (0 when none is traced).
+        batch_trace_id = next(
+            (r.trace.trace_id for r in batch if r.trace is not None), 0
+        )
         try:
-            self.pool.submit(worker, seq, inputs)
+            self.pool.submit(worker, seq, inputs, trace_id=batch_trace_id)
         except Exception as exc:
             with self._proc_lock:
                 owned = self._proc_pending.pop(seq, None) is not None
@@ -776,6 +864,7 @@ class RumbaServer:
                 )
             self._retry_or_fail(batch, exc, worker=worker.name)
             return
+        self._stamp_batch(batch, STAGE_SHM_WRITE)
         view = self._proc_views[worker.name]
         view.batches += 1
         view.elements += inputs.shape[0]
@@ -822,6 +911,25 @@ class RumbaServer:
         if frame.kind == FRAME_RESULT:
             snapshot = pickle.loads(frame.extra)
             worker.snapshot = snapshot
+            # The worker stamped its side of the shm hop with the shared
+            # system monotonic clock; ``clamp`` guards against the small
+            # cross-process skew that would otherwise break stage order.
+            collected_at = time.monotonic()
+            shm_read_at = snapshot.get("shm_read_at")
+            compute_done_at = snapshot.get("compute_done_at")
+            for request in pending.requests:
+                trace = request.trace
+                if trace is None:
+                    continue
+                if shm_read_at is not None:
+                    trace.stamp(
+                        STAGE_SHM_READ, at=float(shm_read_at), clamp=True
+                    )
+                if compute_done_at is not None:
+                    trace.stamp(
+                        STAGE_COMPUTE, at=float(compute_done_at), clamp=True
+                    )
+                trace.stamp(STAGE_COLLECT, at=collected_at, clamp=True)
             view = self._proc_views[worker.name]
             if view.drift.observe(snapshot.get("fire_fraction", 0.0)):
                 view.drift_flags += 1
@@ -939,6 +1047,11 @@ class RumbaServer:
                 and self._state in ("running", "draining")
             ):
                 request.attempts += 1
+                if request.trace is not None:
+                    request.trace.stamp(STAGE_RETRY, at=now)
+                    if self.tracing.always_sample_errors:
+                        # Retried requests always leave a flight record.
+                        request.trace.mark_sampled()
                 self._retries_total += 1
                 self._m_retries.labels(
                     worker=worker or "none", **self._labels
@@ -1006,6 +1119,29 @@ class RumbaServer:
             if dispatched_at is not None
             else latency
         )
+        trace = request.trace
+        if trace is not None:
+            trace.stamp(STAGE_COMPLETE, at=now)
+            if error is not None and self.tracing.always_sample_errors:
+                trace.mark_sampled()
+            if trace.sampled:
+                # Before the handle resolves: resolution wakes the net
+                # edge, whose net_send stamp must not race into this
+                # record.  complete is therefore always the final stage
+                # on disk.
+                self._export_trace(
+                    request,
+                    trace,
+                    latency=latency,
+                    queue_wait=queue_wait,
+                    worker=worker,
+                    degraded=degraded,
+                    fix_fraction=(
+                        record.fix_fraction
+                        if record is not None and error is None else 0.0
+                    ),
+                    error=error,
+                )
         if error is not None:
             self._m_requests.labels(outcome="failed", **self._labels).inc()
             request.handle.set_exception(error)
@@ -1021,12 +1157,90 @@ class RumbaServer:
                     latency_s=latency,
                     fix_fraction=record.fix_fraction,
                     degraded=degraded,
+                    trace_id=trace.trace_id if trace is not None else 0,
                 )
             )
         with self._flight_cond:
             self._inflight -= 1
             self._flight_cond.notify_all()
         self._m_inflight.labels(**self._labels).set(self._inflight)
+
+    def observe_stage(self, stage: str, duration: float) -> None:
+        """Record one stage segment in ``rumba_stage_seconds``.
+
+        Public hook for fronting edges (the TCP server) whose stages —
+        ``net_recv`` / ``net_send`` — happen outside the core pipeline.
+        """
+        self._m_stage.labels(stage=stage, **self._labels).observe(duration)
+
+    def _export_trace(
+        self,
+        request: ServeRequest,
+        trace,
+        *,
+        latency: float,
+        queue_wait: float,
+        worker: str,
+        degraded: bool,
+        fix_fraction: float,
+        error: Optional[BaseException],
+    ) -> None:
+        """Export one sampled trace: stage histograms, flight record,
+        and the slow-request exemplar list.  Tracing must never fail a
+        request, so recorder I/O errors are swallowed."""
+        # Imported lazily to keep serving importable without dragging in
+        # the wire codec at module-import time (see __init__).
+        from repro.observability.flightlog import FLIGHT_LOG_VERSION
+        from repro.serving.net import protocol as wire
+
+        for stage, duration in trace.segments():
+            self._m_stage.labels(stage=stage, **self._labels).observe(
+                duration
+            )
+        events = trace.events()
+        t0 = events[0][1] if events else 0.0
+        document = {
+            "v": FLIGHT_LOG_VERSION,
+            "trace_id": trace.trace_id,
+            "request_id": request.request_id,
+            "app": self.app_name,
+            "scheme": self.scheme,
+            "worker": worker,
+            "elements": request.n_elements,
+            "attempts": request.attempts,
+            "latency_s": latency,
+            "queue_wait_s": queue_wait,
+            "fix_fraction": float(fix_fraction),
+            "degraded": bool(degraded),
+            "error": (
+                wire.exception_to_code(error) if error is not None else None
+            ),
+            "error_message": str(error) if error is not None else None,
+            "stages": [[stage, at - t0] for stage, at in events],
+        }
+        if self.flight_recorder is not None:
+            try:
+                self.flight_recorder.record(document)
+            except OSError:  # pragma: no cover - disk full / fs races
+                pass
+        cfg = self.config.tracing
+        with self._slow_lock:
+            self._traced_total += 1
+            if cfg.max_exemplars > 0 and latency >= cfg.slow_threshold_s:
+                self._slow_exemplars.append({
+                    "request_id": request.request_id,
+                    "trace_id": trace.trace_id,
+                    "latency_s": latency,
+                    "queue_wait_s": queue_wait,
+                    "worker": worker,
+                    "attempts": request.attempts,
+                    "error": document["error"],
+                    "stages": document["stages"],
+                })
+                self._slow_exemplars.sort(
+                    key=lambda e: e["latency_s"], reverse=True
+                )
+                del self._slow_exemplars[cfg.max_exemplars:]
 
     # ------------------------------------------------------------------ #
     # Health / stats                                                     #
@@ -1086,6 +1300,21 @@ class RumbaServer:
             self.chaos_monkey.summary()
             if self.chaos_monkey is not None else None
         )
+        with self._slow_lock:
+            traced_total = self._traced_total
+            slow_requests = [dict(entry) for entry in self._slow_exemplars]
+        tracing_summary = {
+            "enabled": self.tracing.enabled,
+            "sample_every": self.tracing.sample_every,
+            "always_sample_errors": self.tracing.always_sample_errors,
+            "traced_requests": traced_total,
+            "flight_log": self.config.tracing.flight_log_path,
+            "flight_records": (
+                self.flight_recorder.written
+                if self.flight_recorder is not None else 0
+            ),
+            "slow_threshold_s": self.config.tracing.slow_threshold_s,
+        }
         return {
             "state": self._state,
             "app": self.app_name,
@@ -1108,5 +1337,7 @@ class RumbaServer:
             "retries": self._retries_total,
             "retry_queue_depth": len(self._retry_heap),
             "chaos": chaos_summary,
+            "tracing": tracing_summary,
+            "slow_requests": slow_requests,
             "workers": per_worker,
         }

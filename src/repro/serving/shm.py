@@ -19,9 +19,14 @@ published, and fully read *before* the head is published.
 Every message is a **frame**::
 
     64-byte header  — 8 little-endian int64 slots:
-        [magic, kind, seq, n_rows, n_cols, payload_bytes, extra_bytes, 0]
+        [magic, kind, seq, n_rows, n_cols, payload_bytes, extra_bytes,
+         trace_id]
     payload         — n_rows × n_cols float64 block (C order), may be empty
     extra           — opaque bytes (small metadata), padded to 8 bytes
+
+The final header slot carries the request-trace id of the batch the
+frame belongs to (0 = untraced) so stage timing can be correlated
+across the process boundary; see :mod:`repro.observability.reqtrace`.
 
 Frame kinds (see :mod:`repro.serving.procpool` for the protocol):
 ``FRAME_BATCH``, ``FRAME_RESULT``, ``FRAME_ERROR``, ``FRAME_DEGRADE``,
@@ -75,6 +80,8 @@ class ShmFrame:
     seq: int
     payload: Optional[np.ndarray]  # (n_rows, n_cols) float64, or None
     extra: bytes
+    #: Request-trace id of the batch this frame belongs to (0 = untraced).
+    trace_id: int = 0
 
 
 class ShmRing:
@@ -191,11 +198,13 @@ class ShmRing:
         seq: int = 0,
         payload: Optional[np.ndarray] = None,
         extra: bytes = b"",
+        trace_id: int = 0,
     ) -> bool:
         """Append one frame; returns False when the ring lacks space.
 
         ``payload`` must be 2-D; it is written as a contiguous float64
         block directly into shared memory (no serialization).
+        ``trace_id`` rides in the header's final slot (0 = untraced).
         """
         if payload is not None:
             payload = np.ascontiguousarray(payload, dtype=np.float64)
@@ -214,9 +223,14 @@ class ShmRing:
         if needed > self.free_bytes():
             return False
         tail = self._tail()
+        # The slot is a signed int64; u64 trace ids wrap into the sign
+        # bit and are unwrapped symmetrically on the read side.
+        trace_slot = int(trace_id) & ((1 << 64) - 1)
+        if trace_slot >= 1 << 63:
+            trace_slot -= 1 << 64
         header = struct.pack(
             _HEADER_FMT, _MAGIC, kind, seq, n_rows, n_cols,
-            payload_bytes, len(extra), 0,
+            payload_bytes, len(extra), trace_slot,
         )
         self._copy_in(tail, header)
         offset = tail + _HEADER_BYTES
@@ -238,7 +252,8 @@ class ShmRing:
         header = struct.unpack(
             _HEADER_FMT, bytes(self._copy_out(head, _HEADER_BYTES))
         )
-        magic, kind, seq, n_rows, n_cols, payload_bytes, extra_bytes, _ = header
+        (magic, kind, seq, n_rows, n_cols, payload_bytes, extra_bytes,
+         trace_slot) = header
         if magic != _MAGIC:
             raise ServingError(
                 f"shm ring corrupted: bad frame magic {magic:#x}"
@@ -261,7 +276,10 @@ class ShmRing:
         self._set_head(
             head + _HEADER_BYTES + _pad8(payload_bytes) + _pad8(extra_bytes)
         )
-        return ShmFrame(kind=kind, seq=seq, payload=payload, extra=extra)
+        return ShmFrame(
+            kind=kind, seq=seq, payload=payload, extra=extra,
+            trace_id=trace_slot & ((1 << 64) - 1),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifetime                                                           #

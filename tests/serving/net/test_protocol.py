@@ -45,17 +45,29 @@ class TestRoundTrips:
     def test_request_body(self):
         inputs = np.arange(12, dtype=np.float64).reshape(4, 3)
         body = wire.pack_request(inputs, deadline_s=2.5, scheme="treeErrors")
-        out, deadline, scheme = wire.unpack_request(body)
+        out, deadline, scheme, trace_id, force = wire.unpack_request(body)
         np.testing.assert_array_equal(out, inputs)
         assert deadline == 2.5
         assert scheme == "treeErrors"
+        assert trace_id == 0
+        assert force is False
 
     def test_request_body_defaults(self):
         body = wire.pack_request(np.zeros((1, 1)))
-        out, deadline, scheme = wire.unpack_request(body)
+        out, deadline, scheme, trace_id, force = wire.unpack_request(body)
         assert deadline is None
         assert scheme == ""
         assert out.shape == (1, 1)
+        assert trace_id == 0
+        assert force is False
+
+    def test_request_trace_block(self):
+        body = wire.pack_request(
+            np.zeros((1, 1)), trace_id=0xDEADBEEFCAFEF00D, force_sample=True
+        )
+        _, _, _, trace_id, force = wire.unpack_request(body)
+        assert trace_id == 0xDEADBEEFCAFEF00D
+        assert force is True
 
     def test_result_body(self):
         outputs = np.linspace(0.0, 1.0, 10).reshape(5, 2)
@@ -70,6 +82,18 @@ class TestRoundTrips:
         assert fields["latency_s"] == 0.25
         assert fields["fix_fraction"] == 0.125
         assert fields["degraded"] is True
+        assert fields["trace_id"] == 0
+        assert fields["trace_sampled"] is False
+
+    def test_result_trace_echo(self):
+        body = wire.pack_result(
+            np.zeros((1, 1)), worker="w0", queue_wait_s=0.0, latency_s=0.0,
+            fix_fraction=0.0, degraded=False,
+            trace_id=(1 << 63) + 17, trace_sampled=True,
+        )
+        fields = wire.unpack_result(body)
+        assert fields["trace_id"] == (1 << 63) + 17
+        assert fields["trace_sampled"] is True
 
     def test_error_body(self):
         body = wire.pack_error(wire.ERR_OVERLOADED, "queue is full")
@@ -84,9 +108,44 @@ class TestRoundTrips:
         inputs = np.random.default_rng(0).random((8, 2))
         blob = _frame_blob(body=wire.pack_request(inputs, deadline_s=1.0))
         frame = wire.decode_frame(blob)
-        out, deadline, _ = wire.unpack_request(frame.body)
+        assert frame.version == wire.PROTOCOL_VERSION
+        out, deadline, _, _, _ = wire.unpack_request(
+            frame.body, version=frame.version
+        )
         np.testing.assert_array_equal(out, inputs)
         assert deadline == 1.0
+
+    def test_v1_frames_still_accepted(self):
+        """Version-1 peers remain speakable: no trace block, same fields."""
+        inputs = np.arange(4, dtype=np.float64).reshape(2, 2)
+        body = wire.pack_request(inputs, deadline_s=0.5, scheme="s",
+                                 version=1)
+        blob = wire.encode_frame(wire.FT_REQUEST, 9, body, version=1)
+        frame = wire.decode_frame(blob[4:])
+        assert frame.version == 1
+        out, deadline, scheme, trace_id, force = wire.unpack_request(
+            frame.body, version=frame.version
+        )
+        np.testing.assert_array_equal(out, inputs)
+        assert (deadline, scheme, trace_id, force) == (0.5, "s", 0, False)
+        # A v1 body must not carry (or tolerate) the v2 trailer.
+        v2_body = wire.pack_request(inputs)
+        assert len(v2_body) == len(wire.pack_request(inputs, version=1)) + 9
+        with pytest.raises(ProtocolError, match="trailing"):
+            wire.unpack_request(v2_body, version=1)
+
+    def test_v1_result_round_trip(self):
+        body = wire.pack_result(
+            np.ones((1, 1)), worker="w", queue_wait_s=0.0, latency_s=0.0,
+            fix_fraction=0.0, degraded=False, version=1,
+        )
+        fields = wire.unpack_result(body, version=1)
+        assert fields["trace_id"] == 0
+        assert fields["trace_sampled"] is False
+
+    def test_unsupported_encode_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wire.encode_frame(wire.FT_REQUEST, 1, b"", version=99)
 
 
 class TestErrorMapping:

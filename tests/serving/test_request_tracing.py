@@ -1,0 +1,194 @@
+"""End-to-end request tracing through the serving pipeline.
+
+The acceptance bar from the observability PR: a traced request must show
+a waterfall of at least six distinct pipeline stages whose segment
+durations sum to within 10% of the end-to-end latency — on both
+backends, under chaos, and over TCP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.observability.flightlog import read_flight_log, stage_segments
+from repro.observability.reqtrace import RequestTrace
+from repro.serving import (
+    BatchingConfig,
+    ChaosConfig,
+    NetServer,
+    RetryConfig,
+    RumbaClient,
+    RumbaServer,
+    ServerConfig,
+    TracingConfig,
+)
+
+#: The acceptance floor: distinct stages a backend waterfall must show.
+MIN_STAGES = 6
+#: Stage segments must cover the end-to-end latency within this factor.
+COVERAGE_TOLERANCE = 0.10
+
+
+def _config(tmp_path, backend="thread", **overrides):
+    base = dict(
+        backend=backend,
+        n_workers=1,
+        n_recovery_workers=1,
+        batching=BatchingConfig(max_batch_requests=4,
+                                flush_interval_s=0.002),
+        tracing=TracingConfig(
+            sample_every=1,
+            flight_log_path=str(tmp_path / "flight.bin"),
+        ),
+    )
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+def _assert_acceptable_waterfall(record):
+    """The ISSUE's acceptance check, applied to one flight record."""
+    stages = record["stages"]
+    offsets = [offset for _, offset in stages]
+    assert offsets == sorted(offsets), f"non-monotonic chain: {stages}"
+    distinct = {stage for stage, _ in stages}
+    assert len(distinct) >= MIN_STAGES, f"only {sorted(distinct)}"
+    covered = sum(duration for _, duration in stage_segments(record))
+    latency = record["latency_s"]
+    assert covered == pytest.approx(latency, rel=COVERAGE_TOLERANCE), (
+        f"stages cover {covered * 1e3:.3f} ms of {latency * 1e3:.3f} ms"
+    )
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backend_waterfall_acceptance(
+    backend, tmp_path, fft_prototype, fft_input_pool
+):
+    config = _config(tmp_path, backend=backend)
+    server = RumbaServer(prototype=fft_prototype.clone_shard(),
+                         config=config)
+    with server:
+        for i in range(6):
+            server.submit_wait(fft_input_pool[i * 32:(i + 1) * 32],
+                               timeout=60)
+        stats = server.stats()
+    records = read_flight_log(config.tracing.flight_log_path)
+    assert len(records) == 6
+    assert stats["tracing"]["enabled"]
+    assert stats["tracing"]["flight_records"] >= 5
+    for record in records:
+        assert record["trace_id"] != 0
+        assert record["error"] is None
+        _assert_acceptable_waterfall(record)
+
+
+def test_trace_ids_are_distinct_per_request(
+    tmp_path, fft_prototype, fft_input_pool
+):
+    config = _config(tmp_path)
+    server = RumbaServer(prototype=fft_prototype.clone_shard(),
+                         config=config)
+    with server:
+        for i in range(4):
+            server.submit_wait(fft_input_pool[i * 16:(i + 1) * 16],
+                               timeout=60)
+    records = read_flight_log(config.tracing.flight_log_path)
+    assert len({r["trace_id"] for r in records}) == len(records) == 4
+
+
+def test_chaos_soak_traces_stay_coherent(
+    tmp_path, fft_prototype, fft_input_pool
+):
+    """Under injected faults every trace chain stays monotonic, retried
+    requests keep ONE trace id across attempts (same object rides
+    through the retry path), and the retry promotes the trace to
+    sampled."""
+    config = _config(
+        tmp_path,
+        chaos=ChaosConfig(fail_prob=0.4, seed=7),
+        retry=RetryConfig(max_retries=4, default_deadline_s=60.0,
+                          retry_backoff_s=0.001),
+    )
+    server = RumbaServer(prototype=fft_prototype.clone_shard(),
+                         config=config)
+    traces = [RequestTrace(sampled=False) for _ in range(24)]
+    failed = 0
+    with server:
+        handles = [
+            server.submit(fft_input_pool[i * 8:(i + 1) * 8], trace=trace)
+            for i, trace in enumerate(traces)
+        ]
+        for handle in handles:
+            try:
+                handle.result(timeout=120)
+            except ServingError:
+                failed += 1
+    retried = [t for t in traces if "retry" in t.stage_names()]
+    assert retried, "chaos at fail_prob=0.4 should have forced retries"
+    for trace in traces:
+        assert trace.is_monotonic()
+        assert trace.stage_names().count("complete") == 1
+    for trace in retried:
+        assert trace.sampled, "a retry must promote the trace to sampled"
+        assert "dispatch" in trace.stage_names()
+    # Each submitted trace id appears at most once in the flight log —
+    # attempts fold into one record, they don't duplicate it.
+    records = read_flight_log(config.tracing.flight_log_path)
+    by_id = [r["trace_id"] for r in records]
+    assert len(by_id) == len(set(by_id))
+    recorded_retries = [r for r in records if r["attempts"] > 0]
+    assert len(recorded_retries) >= len(retried) - failed
+    for record in recorded_retries:
+        assert "retry" in {stage for stage, _ in record["stages"]}
+
+
+def test_tcp_lockstep_matches_in_process(
+    tmp_path, fft_prototype, fft_input_pool
+):
+    """A remote caller gets byte-identical outputs AND an equivalent
+    trace: the TCP waterfall contains every in-process stage plus the
+    net hops, and covers the (server-side) latency just as well."""
+    requests = [fft_input_pool[i * 24:(i + 1) * 24] for i in range(5)]
+    lockstep = BatchingConfig(max_batch_requests=1, flush_interval_s=0.0)
+
+    local_config = _config(tmp_path / "local", batching=lockstep)
+    (tmp_path / "local").mkdir()
+    local = RumbaServer(prototype=fft_prototype.clone_shard(),
+                        config=local_config)
+    local_outputs = []
+    with local:
+        for block in requests:
+            local_outputs.append(local.submit_wait(block, timeout=60).outputs)
+
+    remote_config = _config(tmp_path / "remote", batching=lockstep)
+    (tmp_path / "remote").mkdir()
+    remote = RumbaServer(prototype=fft_prototype.clone_shard(),
+                         config=remote_config)
+    remote_outputs = []
+    trace_ids = []
+    with NetServer(remote, "127.0.0.1", 0) as net:
+        with RumbaClient(*net.address, timeout_s=60.0) as client:
+            for block in requests:
+                result = client.submit_wait(block, trace=True)
+                remote_outputs.append(result.outputs)
+                assert result.trace_sampled
+                trace_ids.append(result.trace_id)
+
+    for a, b in zip(local_outputs, remote_outputs):
+        assert a.tobytes() == b.tobytes()
+
+    local_records = read_flight_log(local_config.tracing.flight_log_path)
+    remote_records = read_flight_log(remote_config.tracing.flight_log_path)
+    assert len(local_records) == len(remote_records) == len(requests)
+    for local_rec, remote_rec, trace_id in zip(
+        local_records, remote_records, trace_ids
+    ):
+        assert remote_rec["trace_id"] == trace_id
+        local_stages = {stage for stage, _ in local_rec["stages"]}
+        remote_stages = {stage for stage, _ in remote_rec["stages"]}
+        # The remote pipeline is the local one plus the network edge;
+        # net_send post-dates the record by design (docs/observability.md).
+        assert remote_stages - local_stages == {"net_recv"}
+        _assert_acceptable_waterfall(local_rec)
+        _assert_acceptable_waterfall(remote_rec)
