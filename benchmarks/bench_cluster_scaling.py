@@ -1,0 +1,327 @@
+"""Cluster-tier scaling sweep: 1 → N router-fronted nodes.
+
+Spawns N independent serving-node *processes* (each its own interpreter
+— GIL-free of its siblings) with :func:`spawn_local_fleet`, fronts them
+with a :class:`~repro.serving.ClusterRouter`, and drives the gateway
+with a multi-connection pipelined load.  Three measurements land in
+``BENCH_cluster.json`` at the repo root:
+
+* a **direct single node** baseline (no router) — what one node does on
+  its own,
+* the **scaling sweep** — requests/sec through the router at each fleet
+  size (1, 2, 4; ``--quick`` stops at 2),
+* the **chaos drill** — a fresh 2-node fleet, 200 requests, one node
+  SIGKILLed mid-run via the reused :class:`ChaosMonkey`; the run
+  asserts *exactly-once* accounting: every submitted request completes
+  exactly one time, zero lost with the murdered node, zero duplicated
+  by the router's redelivery.
+
+Acceptance: on a multi-core host (the recorded ``host.cpu_count`` >= 2)
+two router-fronted nodes must sustain >= 1.5x the direct single-node
+baseline.  On a single-core host the scaling numbers are recorded but
+the ratio assertion is skipped — there is no parallelism to win; the
+JSON says which case it was measured under.
+
+Run directly::
+
+    python benchmarks/bench_cluster_scaling.py           # full sweep
+    python benchmarks/bench_cluster_scaling.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _bench_utils import emit
+from perf_harness import host_fingerprint, percentile_ms
+
+import numpy as np
+
+from repro.eval.reporting import banner, format_table
+from repro.serving import (
+    ChaosConfig,
+    ChaosMonkey,
+    ClusterConfig,
+    RumbaClient,
+    parse_address,
+    serve_cluster,
+    spawn_local_fleet,
+)
+
+APP = "fft"
+SCHEME = "treeErrors"
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(_REPO_ROOT, "BENCH_cluster.json")
+
+ELEMENTS_PER_REQUEST = 32
+SPEEDUP_THRESHOLD = 1.5
+CHAOS_REQUESTS = 200
+
+FULL_SWEEP = {
+    "fleet_sizes": (1, 2, 4),
+    "requests_per_client": 300,
+    "clients": 2,
+    "depth": 16,
+    "warmup_requests": 20,
+}
+QUICK_SWEEP = {
+    "fleet_sizes": (1, 2),
+    "requests_per_client": 150,
+    "clients": 2,
+    "depth": 16,
+    "warmup_requests": 10,
+}
+
+
+def _cluster_config() -> ClusterConfig:
+    return ClusterConfig(
+        policy="least_loaded",
+        pool_size=2,
+        probe_interval_s=0.5,
+        failure_threshold=2,
+        max_retries=2,
+        backoff_initial_s=1.0,
+    )
+
+
+def _client_thread(address, n_requests, depth, warmup, features, out):
+    """One load generator: one connection, ``depth`` requests in flight."""
+    rng = np.random.default_rng(os.getpid() + threading.get_ident() % 4096)
+    block = rng.random((ELEMENTS_PER_REQUEST, max(features, 1)))
+    latencies: List[float] = []
+    try:
+        with RumbaClient(*address, timeout_s=120.0) as client:
+            for _ in range(warmup):
+                client.submit_wait(block, timeout=120.0)
+            inflight = []
+            started = time.perf_counter()
+            for _ in range(n_requests):
+                inflight.append((time.perf_counter(), client.submit(block)))
+                if len(inflight) >= depth:
+                    sent_at, handle = inflight.pop(0)
+                    handle.result(120.0)
+                    latencies.append(time.perf_counter() - sent_at)
+            for sent_at, handle in inflight:
+                handle.result(120.0)
+                latencies.append(time.perf_counter() - sent_at)
+            elapsed = time.perf_counter() - started
+        out.append({"ok": True, "elapsed_s": elapsed,
+                    "latencies": latencies})
+    except Exception as exc:  # surfaced (and failed on) by the parent
+        out.append({"ok": False, "error": repr(exc)})
+
+
+def _drive_point(address, sweep) -> Dict[str, object]:
+    with RumbaClient(*address, timeout_s=60.0) as probe:
+        features = max(probe.features, 1)
+    reports: List[dict] = []
+    threads = [
+        threading.Thread(
+            target=_client_thread,
+            args=(address, sweep["requests_per_client"], sweep["depth"],
+                  sweep["warmup_requests"], features, reports),
+            daemon=True,
+        )
+        for _ in range(sweep["clients"])
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600.0)
+    elapsed = time.perf_counter() - started
+    failures = [r["error"] for r in reports if not r["ok"]]
+    if failures or len(reports) != sweep["clients"]:
+        raise RuntimeError(f"load generator failed: {failures or reports}")
+    latencies = [lat for r in reports for lat in r["latencies"]]
+    n_requests = sweep["clients"] * sweep["requests_per_client"]
+    return {
+        "requests": n_requests,
+        "elements_per_request": ELEMENTS_PER_REQUEST,
+        "elapsed_s": elapsed,
+        "requests_per_s": n_requests / elapsed,
+        "p50_ms": percentile_ms(latencies, 50),
+        "p95_ms": percentile_ms(latencies, 95),
+        "p99_ms": percentile_ms(latencies, 99),
+    }
+
+
+def _chaos_drill() -> Dict[str, object]:
+    """200 requests, one node SIGKILLed mid-run, exactly-once audit."""
+    with spawn_local_fleet(2, app=APP, scheme=SCHEME, workers=1) as fleet:
+        router = serve_cluster(
+            fleet.addresses, policy="round_robin",
+            config=_cluster_config(), wait_for=2, timeout=120.0,
+        )
+        monkey = ChaosMonkey(ChaosConfig(kill_rate=0.0, seed=3))
+        monkey.attach_pool(fleet)
+        completed = failed = 0
+        try:
+            with RumbaClient(*router.address, timeout_s=120.0) as client:
+                features = max(client.features, 1)
+                rng = np.random.default_rng(3)
+                block = rng.random((8, features))
+                handles = []
+                for i in range(CHAOS_REQUESTS):
+                    handles.append(client.submit(block, deadline_s=60.0))
+                    if i == CHAOS_REQUESTS // 2:
+                        monkey.kill_one_worker()
+                for handle in handles:
+                    try:
+                        handle.result(90.0)
+                        completed += 1
+                    except Exception:
+                        failed += 1
+            retried = router.stats_document()["router"]["requests_retried"]
+        finally:
+            router.stop()
+    accounted = completed + failed
+    return {
+        "requests": CHAOS_REQUESTS,
+        "completed": completed,
+        "failed": failed,
+        "accounted": accounted,
+        "kills": monkey.kills,
+        "router_retries": retried,
+        # Exactly once: every submission resolved exactly one way, and
+        # the node murder lost none of them.
+        "exactly_once": accounted == CHAOS_REQUESTS and failed == 0,
+    }
+
+
+def run_sweep(quick: bool = False) -> Dict[str, object]:
+    sweep = dict(QUICK_SWEEP if quick else FULL_SWEEP)
+    max_nodes = max(sweep["fleet_sizes"])
+    results: List[Dict[str, object]] = []
+    with spawn_local_fleet(
+        max_nodes, app=APP, scheme=SCHEME, workers=1
+    ) as fleet:
+        addresses = fleet.addresses
+        direct = _drive_point(parse_address(addresses[0]), sweep)
+        for n in sweep["fleet_sizes"]:
+            router = serve_cluster(
+                addresses[:n], policy="least_loaded",
+                config=_cluster_config(), wait_for=n, timeout=120.0,
+            )
+            try:
+                point = _drive_point(router.address, sweep)
+            finally:
+                router.stop()
+            point["nodes"] = n
+            results.append(point)
+    chaos = _chaos_drill()
+
+    host = host_fingerprint()
+    two_node = next(
+        (r for r in results if r["nodes"] == 2), None
+    )
+    speedup = (
+        float(two_node["requests_per_s"]) / float(direct["requests_per_s"])
+        if two_node else None
+    )
+    multicore = int(host["cpu_count"]) >= 2
+    criterion = {
+        "threshold": SPEEDUP_THRESHOLD,
+        "required": multicore,
+        "speedup_2_nodes_vs_direct": speedup,
+        # On a single-core host there is no parallelism to win; the
+        # ratio is recorded but not asserted (required=False says so).
+        "passed": (speedup >= SPEEDUP_THRESHOLD) if (
+            multicore and speedup is not None
+        ) else None,
+    }
+    return {
+        "bench": "cluster_scaling",
+        "app": APP,
+        "scheme": SCHEME,
+        "quick": quick,
+        "host": host,
+        "load": {
+            "clients": sweep["clients"],
+            "depth": sweep["depth"],
+            "requests_per_client": sweep["requests_per_client"],
+            "elements_per_request": ELEMENTS_PER_REQUEST,
+            "warmup_requests": sweep["warmup_requests"],
+        },
+        "router": {
+            "policy": "least_loaded",
+            "pool_size": 2,
+        },
+        "direct_single_node": direct,
+        "results": results,
+        "criterion": criterion,
+        "chaos": chaos,
+    }
+
+
+def _report(report: Dict[str, object]) -> None:
+    emit(banner(
+        f"Cluster scaling ({APP}/{SCHEME}, "
+        f"{ELEMENTS_PER_REQUEST} elements/request, "
+        f"host cpu_count={report['host']['cpu_count']})"
+    ))
+    rows = [[
+        "direct (no router)", 1,
+        f"{report['direct_single_node']['requests_per_s']:.0f}",
+        f"{report['direct_single_node']['p50_ms']:.2f}",
+        f"{report['direct_single_node']['p95_ms']:.2f}",
+    ]]
+    for point in report["results"]:
+        rows.append([
+            "router", point["nodes"],
+            f"{point['requests_per_s']:.0f}",
+            f"{point['p50_ms']:.2f}",
+            f"{point['p95_ms']:.2f}",
+        ])
+    emit(format_table(
+        ["front", "nodes", "req/s", "p50 ms", "p95 ms"], rows,
+    ))
+    criterion = report["criterion"]
+    if criterion["speedup_2_nodes_vs_direct"] is not None:
+        emit(f"2-node speedup vs direct: "
+             f"{criterion['speedup_2_nodes_vs_direct']:.2f}x "
+             f"(threshold {criterion['threshold']}x, "
+             f"{'required' if criterion['required'] else 'informational: single-core host'})")
+    chaos = report["chaos"]
+    emit(f"chaos drill: {chaos['completed']} completed + "
+         f"{chaos['failed']} failed = {chaos['accounted']} of "
+         f"{chaos['requests']}, {chaos['kills']} node kill(s), "
+         f"{chaos['router_retries']} router retries -> exactly_once="
+         f"{chaos['exactly_once']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 1-2 nodes, short load")
+    parser.add_argument("--out", default=OUTPUT_PATH,
+                        help=f"output JSON path (default {OUTPUT_PATH})")
+    args = parser.parse_args(argv)
+    report = run_sweep(quick=args.quick)
+    _report(report)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    emit(f"wrote {args.out}")
+    if not report["chaos"]["exactly_once"]:
+        emit("FAIL: chaos drill lost or failed requests")
+        return 1
+    criterion = report["criterion"]
+    if criterion["required"] and not criterion["passed"]:
+        emit(f"FAIL: 2-node speedup "
+             f"{criterion['speedup_2_nodes_vs_direct']:.2f}x below "
+             f"{criterion['threshold']}x on a multi-core host")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

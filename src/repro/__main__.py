@@ -25,6 +25,14 @@ Commands
     (``docs/protocol.md``) and runs until interrupted or ``--duration``
     elapses; ``--port-file`` records the bound ``host:port`` for
     scripting against an ephemeral port.
+``cluster --app NAME [--nodes N | --attach H:P,H:P] [--policy P] ...``
+    Stand up the cluster tier (``docs/cluster.md``): a routing gateway
+    in front of N serving nodes — spawned locally as ``serve --listen``
+    child processes, or attached to with ``--attach``.  The router
+    health-checks the fleet (evicting dead nodes, re-admitting them
+    with backoff), retries requests stranded by a node death on the
+    survivors, and answers STATS with the aggregated fleet document;
+    point ``python -m repro client`` at its address.
 ``client --connect HOST:PORT [--requests N] [--depth D] ...``
     Drive a remotely served Rumba over the wire protocol: multiplexed
     in-flight requests, per-request deadlines, and a ``--selftest``
@@ -194,7 +202,7 @@ def _cmd_serve_listen(args: argparse.Namespace, server) -> int:
     from repro.serving import NetServer, parse_address
 
     host, port = parse_address(args.listen)
-    net = NetServer(server, host, port)
+    net = NetServer(server, host, port, node_id=args.node_id or None)
     net.start()
     bound = f"{net.address[0]}:{net.address[1]}"
     print(f"listening on {bound} (ctrl-C to stop)", flush=True)
@@ -331,6 +339,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{hung} hung -> {'OK' if ok else 'FAIL'}")
         if not ok:
             return 1
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import signal
+    import time
+
+    from repro.serving import ClusterConfig, serve_cluster, spawn_local_fleet
+
+    fleet = None
+    interrupted = []
+    router = None
+    previous = signal.signal(
+        signal.SIGTERM, lambda *_: interrupted.append(True)
+    )
+    try:
+        if args.attach:
+            addresses = [
+                a.strip() for a in args.attach.split(",") if a.strip()
+            ]
+            if not addresses:
+                print("--attach needs at least one HOST:PORT")
+                return 2
+        else:
+            print(f"spawning {args.nodes} {args.app} node(s) — each child "
+                  "trains its own predictor stack first...", flush=True)
+            fleet = spawn_local_fleet(
+                args.nodes, app=args.app, scheme=args.scheme,
+                workers=args.workers_per_node,
+            )
+            addresses = fleet.addresses
+            print("nodes: " + ", ".join(addresses), flush=True)
+        config = ClusterConfig(
+            probe_interval_s=args.probe_interval,
+        )
+        router = serve_cluster(
+            addresses, policy=args.policy, config=config,
+            listen=args.listen, wait_for=len(addresses), timeout=120.0,
+        )
+        bound = f"{router.address[0]}:{router.address[1]}"
+        print(f"routing {args.policy} across {len(addresses)} node(s) "
+              f"on {bound} (ctrl-C to stop)", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(bound + "\n")
+        deadline = (
+            time.monotonic() + args.duration if args.duration > 0 else None
+        )
+        while router.is_running and not interrupted:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            router.serve_forever(timeout=0.2)
+    except KeyboardInterrupt:
+        interrupted.append(True)
+    finally:
+        if interrupted:
+            print("interrupted; shutting down", flush=True)
+        signal.signal(signal.SIGTERM, previous)
+        if router is not None:
+            router.stop()
+        if fleet is not None:
+            fleet.stop()
     return 0
 
 
@@ -609,6 +679,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-sample", type=int, default=64,
                        help="trace every Nth request (0 disables tracing; "
                             "errors and retries are always sampled)")
+    serve.add_argument("--node-id", default="",
+                       help="with --listen: stable identity advertised in "
+                            "the WELCOME document (default: fresh uuid per "
+                            "process, so restarts are detectable)")
+
+    cluster = sub.add_parser(
+        "cluster", help="route traffic across a fleet of serving nodes"
+    )
+    cluster.add_argument("--app", default="fft", choices=APPLICATION_NAMES)
+    cluster.add_argument("--scheme", default="treeErrors",
+                         choices=SCHEME_NAMES)
+    cluster.add_argument("--nodes", type=int, default=2,
+                         help="spawn this many local node processes "
+                              "(ignored with --attach)")
+    cluster.add_argument("--attach", default="",
+                         help="comma-separated HOST:PORT list of already-"
+                              "running nodes to route across instead of "
+                              "spawning a local fleet")
+    cluster.add_argument("--policy", default="least_loaded",
+                         choices=("least_loaded", "consistent_hash",
+                                  "round_robin"),
+                         help="routing policy (see docs/cluster.md)")
+    cluster.add_argument("--workers-per-node", type=int, default=1,
+                         help="worker threads inside each spawned node")
+    cluster.add_argument("--listen", default="127.0.0.1:0",
+                         help="client-facing address (port 0 = ephemeral)")
+    cluster.add_argument("--port-file", default="",
+                         help="write the bound router host:port here")
+    cluster.add_argument("--duration", type=float, default=0.0,
+                         help="serve for this many seconds then exit "
+                              "(0 = until interrupted)")
+    cluster.add_argument("--probe-interval", type=float, default=1.0,
+                         help="seconds between node health probes")
 
     client = sub.add_parser(
         "client", help="drive a remotely served Rumba over TCP"
@@ -674,6 +777,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "monitor": _cmd_monitor,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "client": _cmd_client,
         "trace": _cmd_trace,
         "summary": _cmd_summary,

@@ -66,3 +66,22 @@ class WorkerCrashError(ServingError):
     request's deadline budget or retry bound is exhausted.  Application
     errors (bad inputs, kernel failures) deliberately do not derive from
     this — re-running them would fail identically."""
+
+
+class ConnectionLostError(WorkerCrashError):
+    """The TCP connection to a serving node died with requests in flight.
+
+    The node never sent a completion for these requests, so — exactly
+    like a :class:`WorkerCrashError` one level down — the *request* is
+    not at fault and a fronting router may redeliver it to a surviving
+    node within the request's deadline budget.  Clients receive this
+    instead of a raw socket error so their retry decision is typed."""
+
+
+class NoHealthyNodesError(ServingError):
+    """A cluster router had no healthy node to route a request to.
+
+    Every member of the fleet is evicted, draining, or still backing
+    off.  Like :class:`OverloadedError`, the caller is expected to back
+    off and retry — the fleet may re-admit a recovered node at any
+    probe tick."""

@@ -68,6 +68,7 @@ DEFAULT_FINE_LATENCY_BUCKETS: Tuple[float, ...] = (
 _BUCKET_OVERRIDES: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
     ("rumba_stage_seconds", DEFAULT_FINE_LATENCY_BUCKETS),
     ("rumba_net_", DEFAULT_FINE_LATENCY_BUCKETS),
+    ("rumba_cluster_", DEFAULT_FINE_LATENCY_BUCKETS),
 )
 
 

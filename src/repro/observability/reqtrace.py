@@ -38,6 +38,8 @@ __all__ = [
     "TracingPolicy",
     "new_trace_id",
     "STAGES",
+    "STAGE_ROUTER_RECV",
+    "STAGE_ROUTER_FORWARD",
     "STAGE_NET_RECV",
     "STAGE_ADMIT",
     "STAGE_DEQUEUE",
@@ -57,6 +59,8 @@ __all__ = [
 # Stage catalog (see docs/observability.md for the full narrative).  The
 # tuple order is the canonical pipeline order; a request's event list is
 # ordered by stamping time and may repeat stages across retry attempts.
+STAGE_ROUTER_RECV = "router_recv"      # gateway decoded the client REQUEST
+STAGE_ROUTER_FORWARD = "router_forward"  # gateway forwarded it to a node
 STAGE_NET_RECV = "net_recv"            # NetServer decoded the REQUEST frame
 STAGE_ADMIT = "admit"                  # admission queue accepted the request
 STAGE_DEQUEUE = "dequeue"              # a dispatcher took it out of the queue
@@ -73,6 +77,8 @@ STAGE_COMPLETE = "complete"            # handle resolved (result or error)
 STAGE_NET_SEND = "net_send"            # response frame handed to the writer
 
 STAGES: Tuple[str, ...] = (
+    STAGE_ROUTER_RECV,
+    STAGE_ROUTER_FORWARD,
     STAGE_NET_RECV,
     STAGE_ADMIT,
     STAGE_DEQUEUE,

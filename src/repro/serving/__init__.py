@@ -31,6 +31,14 @@ the tier between the two:
   versioned, CRC-checked binary protocol (``docs/protocol.md``), plus
   blocking and asyncio clients with request-id multiplexing.
 
+* :mod:`~repro.serving.cluster` — the fleet tier: a
+  :class:`~repro.serving.cluster.ClusterRouter` gateway that fronts N
+  ``NetServer`` nodes behind one address, with pluggable routing
+  policies, health-checked eviction and backoff re-admission, drain
+  for rolling restarts, deadline-budgeted cross-node retries, and
+  fleet-wide aggregated stats (``docs/cluster.md``; ``python -m repro
+  cluster``).
+
 Most callers need only the two facade functions::
 
     from repro import serving
@@ -52,9 +60,16 @@ from typing import Optional
 
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.cluster import (
+    ClusterRouter,
+    NodeFleet,
+    NodeManager,
+    spawn_local_fleet,
+)
 from repro.serving.config import (
     BackpressureConfig,
     BatchingConfig,
+    ClusterConfig,
     RetryConfig,
     ServerConfig,
     TracingConfig,
@@ -79,8 +94,12 @@ __all__ = [
     "BatchingConfig",
     "ChaosConfig",
     "ChaosMonkey",
+    "ClusterConfig",
+    "ClusterRouter",
     "InjectedFault",
     "NetServer",
+    "NodeFleet",
+    "NodeManager",
     "ProcessWorker",
     "ProcessWorkerPool",
     "RetryConfig",
@@ -98,6 +117,8 @@ __all__ = [
     "connect",
     "parse_address",
     "serve",
+    "serve_cluster",
+    "spawn_local_fleet",
     "split_outputs",
 ]
 
@@ -137,6 +158,42 @@ def serve(
         return server
     host, port = parse_address(listen)
     return NetServer(server, host, port).start()
+
+
+def serve_cluster(
+    nodes,
+    policy: str = "least_loaded",
+    config: Optional[ClusterConfig] = None,
+    *,
+    listen=("127.0.0.1", 0),
+    registry=None,
+    wait_for: int = 1,
+    timeout: float = 30.0,
+) -> ClusterRouter:
+    """Start a :class:`ClusterRouter` over existing node addresses.
+
+    ``nodes`` is an iterable of ``"host:port"`` strings (or tuples) of
+    already-listening ``NetServer`` nodes — e.g. from
+    :func:`spawn_local_fleet`'s ``addresses``.  ``config`` supplies the
+    full knob set; ``nodes``/``policy`` override its matching fields.
+    Blocks until ``wait_for`` nodes are routable (raises otherwise),
+    then returns the started router — talk to it with :func:`connect`.
+    """
+    from repro.errors import NoHealthyNodesError
+
+    base = config or ClusterConfig()
+    router = ClusterRouter(
+        base.with_overrides(nodes=tuple(nodes), policy=policy),
+        host=parse_address(listen)[0],
+        port=parse_address(listen)[1],
+        registry=registry,
+    ).start(timeout=timeout)
+    if wait_for > 0 and not router.wait_for_nodes(wait_for, timeout=timeout):
+        router.stop()
+        raise NoHealthyNodesError(
+            f"fewer than {wait_for} nodes became routable in {timeout:.0f}s"
+        )
+    return router
 
 
 def connect(address, **kwargs) -> RumbaClient:

@@ -1,0 +1,487 @@
+"""Fleet membership: pooled node links and the health supervisor.
+
+This is the PR 4 worker supervisor pattern lifted one level up: where
+the :class:`~repro.serving.procpool.ProcessWorkerPool` watches worker
+*processes* and restarts them in place, the :class:`NodeManager` watches
+whole ``NetServer`` *nodes* over TCP and manages the member set the
+router routes across:
+
+* every node gets ``pool_size`` pooled, multiplexed connections
+  (:class:`NodeLink`) carrying forwarded requests and health probes;
+* a probe loop sends a STATS frame to every node each
+  ``probe_interval_s`` — the reply doubles as the load signal for the
+  ``least_loaded`` policy;
+* ``failure_threshold`` consecutive probe/connect failures **evict** a
+  node (its links close; stranded requests go back to the router's
+  retry path), and re-admission probes back off exponentially
+  (``backoff_initial_s`` → ``backoff_max_s``) until one succeeds;
+* the WELCOME document's ``node_id`` / ``started_at_monotonic`` pair
+  identifies one process lifetime, so a *restarted* node behind the same
+  address is recognized and its failure/backoff state reset instead of
+  serving a stale eviction sentence;
+* :meth:`NodeManager.drain` flips a node to ``draining`` — the policy
+  stops selecting it, in-flight work completes — which is the building
+  block of the rolling-restart runbook in ``docs/cluster.md``.
+
+Everything in this module runs on the router's event loop; the only
+thread-safe surface is the router's, which hops in via
+``call_soon_threadsafe`` / ``run_coroutine_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConnectionLostError, ProtocolError, ServingError
+from repro.serving.net import protocol as wire
+from repro.serving.net.client import _negotiate_version
+
+__all__ = ["Node", "NodeLink", "NodeManager"]
+
+#: Node lifecycle states surfaced in fleet stats.
+STATE_NEW = "new"
+STATE_HEALTHY = "healthy"
+STATE_DRAINING = "draining"
+STATE_EVICTED = "evicted"
+
+
+class NodeLink:
+    """One pooled, multiplexed connection from the router to a node.
+
+    Carries both forwarded REQUEST frames (pending entries owned by the
+    router) and STATS health probes (plain futures).  Event-loop only.
+    """
+
+    def __init__(self, node: "Node", manager: "NodeManager"):
+        self.node = node
+        self.manager = manager
+        self.reader = None
+        self.writer = None
+        self.version = wire.PROTOCOL_VERSION
+        self.welcome: dict = {}
+        self.connected = False
+        self.pending: Dict[int, object] = {}  # backend id -> entry | Future
+        self._next_id = 1
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self, timeout: float) -> dict:
+        """Dial the node, read its WELCOME, start the reader task."""
+        host, port = self.node.address
+        self.reader, self.writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+        try:
+            frame = await asyncio.wait_for(
+                self._read_frame(), timeout=timeout
+            )
+            if frame.frame_type != wire.FT_WELCOME:
+                raise ProtocolError(
+                    f"expected WELCOME from {self.node.name}, "
+                    f"got {frame.type_name}"
+                )
+            self.welcome = wire.unpack_json(frame.body)
+            self.version = _negotiate_version(self.welcome)
+        except BaseException:
+            self.writer.close()
+            raise
+        self.connected = True
+        self._reader_task = asyncio.ensure_future(self._reader_loop())
+        return self.welcome
+
+    async def _read_frame(self) -> wire.Frame:
+        prefix = await self.reader.readexactly(4)
+        length = wire.check_frame_length(
+            int.from_bytes(prefix, "little"),
+            self.manager.config.max_frame_bytes,
+        )
+        return wire.decode_frame(await self.reader.readexactly(length))
+
+    async def _reader_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._read_frame()
+                holder = self.pending.pop(frame.request_id, None)
+                if holder is None:
+                    continue  # reply for a request the router gave up on
+                if isinstance(holder, asyncio.Future):
+                    if not holder.done():
+                        holder.set_result(frame)
+                else:
+                    self.node.inflight -= 1
+                    self.manager.on_reply(self, holder, frame)
+        except asyncio.CancelledError:
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                ProtocolError) as exc:
+            self.connection_lost(exc)
+
+    def connection_lost(self, cause: BaseException) -> None:
+        """Fail probes, strand entries back to the router's retry path."""
+        if not self.connected and not self.pending:
+            return
+        self.connected = False
+        pending, self.pending = self.pending, {}
+        stranded = []
+        error = ConnectionLostError(
+            f"connection to node {self.node.name} was lost: {cause}"
+        )
+        for holder in pending.values():
+            if isinstance(holder, asyncio.Future):
+                if not holder.done():
+                    holder.set_exception(error)
+            else:
+                stranded.append(holder)
+        if stranded:
+            self.node.inflight -= len(stranded)
+            self.manager.on_stranded(self.node, stranded, error)
+        self.manager.note_link_down(self.node)
+
+    def send_request(self, entry, body: bytes) -> int:
+        """Forward one encoded REQUEST body; returns the backend id."""
+        backend_id = self._next_id
+        self._next_id += 1
+        self.pending[backend_id] = entry
+        self.node.inflight += 1
+        self.writer.write(wire.encode_frame(
+            wire.FT_REQUEST, backend_id, body, version=self.version
+        ))
+        return backend_id
+
+    async def roundtrip_stats(self, timeout: float) -> dict:
+        """One STATS probe over this link (also the health check)."""
+        backend_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self.pending[backend_id] = future
+        self.writer.write(wire.encode_frame(
+            wire.FT_STATS, backend_id, version=self.version
+        ))
+        try:
+            frame = await asyncio.wait_for(future, timeout=timeout)
+        except asyncio.TimeoutError:
+            self.pending.pop(backend_id, None)
+            raise
+        if frame.frame_type != wire.FT_STATS_RESULT:
+            raise ProtocolError(
+                f"expected STATS_RESULT from {self.node.name}, "
+                f"got {frame.type_name}"
+            )
+        return wire.unpack_json(frame.body)
+
+    def close(self) -> None:
+        self.connected = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self.writer is not None:
+            self.writer.close()
+        self.connection_lost(ServingError("link closed"))
+
+
+class Node:
+    """One fleet member: address, identity, health, and link pool."""
+
+    def __init__(self, address_spec):
+        self.address = wire.parse_address(address_spec)
+        self.name = f"{self.address[0]}:{self.address[1]}"
+        self.state = STATE_NEW
+        self.links: List[NodeLink] = []
+        self._link_rr = 0
+        self.welcome: dict = {}
+        self.node_id = ""
+        self.started_at: Optional[float] = None
+        self.stats: dict = {}
+        self.inflight = 0                # router-side forwarded, unanswered
+        self.consecutive_failures = 0
+        self.evictions = 0
+        self.restarts_detected = 0
+        self.backoff_s = 0.0
+        self.readmit_at = 0.0            # monotonic; 0 = probe immediately
+        self.probe_failures = 0
+        self.probe_successes = 0
+
+    # ------------------------------------------------------------------ #
+    # Selection surface (what routing policies see)                      #
+    # ------------------------------------------------------------------ #
+    def load(self) -> int:
+        """In-flight depth: router ledger + the node's own last report."""
+        reported = int(self.stats.get("inflight_requests", 0) or 0)
+        # The node's report includes what we forwarded; take the max so
+        # double counting never inverts a least-loaded decision.
+        return max(self.inflight, reported)
+
+    def routable(self) -> bool:
+        return self.state == STATE_HEALTHY and any(
+            link.connected for link in self.links
+        )
+
+    def pick_link(self) -> Optional[NodeLink]:
+        live = [link for link in self.links if link.connected]
+        if not live:
+            return None
+        self._link_rr = (self._link_rr + 1) % len(live)
+        return live[self._link_rr]
+
+    def health_document(self) -> dict:
+        """This node's row of the fleet stats health section."""
+        return {
+            "address": self.name,
+            "node_id": self.node_id,
+            "state": self.state,
+            "links": sum(1 for link in self.links if link.connected),
+            "inflight": self.inflight,
+            "reported_inflight": int(
+                self.stats.get("inflight_requests", 0) or 0
+            ),
+            "consecutive_failures": self.consecutive_failures,
+            "evictions": self.evictions,
+            "restarts_detected": self.restarts_detected,
+            "backoff_s": self.backoff_s,
+            "probe_successes": self.probe_successes,
+            "probe_failures": self.probe_failures,
+        }
+
+
+class NodeManager:
+    """Supervises the member set on the router's event loop.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.serving.config.ClusterConfig` (probe cadence,
+        failure threshold, backoff bounds, pool size).
+    on_reply:
+        ``(link, entry, frame)`` — a forwarded request's RESULT/ERROR
+        arrived; the router delivers (or retries) it.
+    on_stranded:
+        ``(node, entries, error)`` — a link died with these forwarded
+        requests unanswered; the router's retry path owns them now.
+    on_node_event:
+        ``(event, node)`` — observability hook (``evicted``,
+        ``readmitted``, ``restart_detected``, ``probe_ok``,
+        ``probe_failed``, ``drained``); the router exports metrics.
+    """
+
+    def __init__(
+        self,
+        config,
+        on_reply: Callable,
+        on_stranded: Callable,
+        on_node_event: Optional[Callable] = None,
+    ):
+        self.config = config
+        self.on_reply = on_reply
+        self.on_stranded = on_stranded
+        self.on_node_event = on_node_event or (lambda event, node: None)
+        self.nodes: Dict[str, Node] = {}
+        self._probe_task: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        for spec in self.config.nodes:
+            await self.add_node(spec)
+        self._probe_task = asyncio.ensure_future(self._probe_loop())
+
+    async def stop(self) -> None:
+        self._stopped = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
+        for node in self.nodes.values():
+            for link in node.links:
+                link.close()
+            node.links = []
+
+    async def add_node(self, address_spec) -> Node:
+        """Join a node to the fleet and try to connect it right away."""
+        node = Node(address_spec)
+        if node.name in self.nodes:
+            return self.nodes[node.name]
+        self.nodes[node.name] = node
+        await self._try_connect(node)
+        return node
+
+    def remove_node(self, name: str) -> Optional[Node]:
+        node = self.nodes.pop(name, None)
+        if node is not None:
+            for link in node.links:
+                link.close()
+            node.links = []
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Connection management                                              #
+    # ------------------------------------------------------------------ #
+    async def _try_connect(self, node: Node) -> bool:
+        """Top the node's link pool up to ``pool_size``; False on failure."""
+        node.links = [link for link in node.links if link.connected]
+        try:
+            while len(node.links) < self.config.pool_size:
+                link = NodeLink(node, self)
+                welcome = await link.connect(self.config.probe_timeout_s)
+                node.links.append(link)
+                self._note_welcome(node, welcome)
+        except (ConnectionError, OSError, ProtocolError,
+                asyncio.TimeoutError) as exc:
+            self._record_failure(node, exc)
+            return False
+        if node.state in (STATE_NEW, STATE_EVICTED):
+            readmitted = node.state == STATE_EVICTED
+            node.state = STATE_HEALTHY
+            node.consecutive_failures = 0
+            node.backoff_s = 0.0
+            node.readmit_at = 0.0
+            if readmitted:
+                self.on_node_event("readmitted", node)
+        return True
+
+    def _note_welcome(self, node: Node, welcome: dict) -> None:
+        """Track node identity; a changed identity means a restart."""
+        new_id = str(welcome.get("node_id", ""))
+        new_start = welcome.get("started_at_monotonic")
+        restarted = bool(node.node_id) and (
+            new_id != node.node_id
+            or (node.started_at is not None and new_start != node.started_at)
+        )
+        node.welcome = welcome
+        node.node_id = new_id
+        node.started_at = new_start
+        if restarted:
+            # Same address, new incarnation: its health history belongs
+            # to the dead process, not this one.
+            node.restarts_detected += 1
+            node.consecutive_failures = 0
+            node.backoff_s = 0.0
+            node.readmit_at = 0.0
+            node.stats = {}
+            self.on_node_event("restart_detected", node)
+
+    def note_link_down(self, node: Node) -> None:
+        """A link died outside a probe; treat it as one failure signal."""
+        node.links = [link for link in node.links if link.connected]
+        if self._stopped:
+            return
+        if node.state in (STATE_HEALTHY, STATE_DRAINING):
+            self._record_failure(
+                node, ConnectionError("pooled link lost")
+            )
+
+    def _record_failure(self, node: Node, cause: BaseException) -> None:
+        node.consecutive_failures += 1
+        node.probe_failures += 1
+        self.on_node_event("probe_failed", node)
+        if node.state == STATE_EVICTED:
+            # Failed re-admission probe: back off further.
+            node.backoff_s = min(
+                node.backoff_s * self.config.backoff_factor
+                or self.config.backoff_initial_s,
+                self.config.backoff_max_s,
+            )
+            node.readmit_at = time.monotonic() + node.backoff_s
+            return
+        if node.consecutive_failures >= self.config.failure_threshold:
+            self.evict(node, reason=str(cause))
+
+    def evict(self, node: Node, reason: str = "") -> None:
+        """Remove a node from rotation; links close, strands retry."""
+        if node.state == STATE_EVICTED:
+            return
+        node.state = STATE_EVICTED
+        node.evictions += 1
+        node.backoff_s = self.config.backoff_initial_s
+        node.readmit_at = time.monotonic() + node.backoff_s
+        node.stats = {}
+        self.on_node_event("evicted", node)
+        for link in list(node.links):
+            link.close()
+        node.links = []
+
+    # ------------------------------------------------------------------ #
+    # Probing                                                            #
+    # ------------------------------------------------------------------ #
+    async def _probe_loop(self) -> None:
+        while not self._stopped:
+            await asyncio.sleep(self.config.probe_interval_s)
+            await self.probe_all()
+
+    async def probe_all(self) -> None:
+        """One probe sweep over the member set (also test-callable)."""
+        for node in list(self.nodes.values()):
+            if self._stopped:
+                return
+            if (
+                node.state == STATE_EVICTED
+                and time.monotonic() < node.readmit_at
+            ):
+                continue  # still backing off
+            await self.probe_node(node)
+
+    async def probe_node(self, node: Node) -> bool:
+        """One WELCOME/STATS health probe; updates the load signal."""
+        if not await self._try_connect(node):
+            return False
+        link = node.pick_link()
+        if link is None:
+            self._record_failure(node, ConnectionError("no live link"))
+            return False
+        try:
+            node.stats = await link.roundtrip_stats(
+                self.config.probe_timeout_s
+            )
+        except (ConnectionLostError, ProtocolError,
+                asyncio.TimeoutError) as exc:
+            self._record_failure(node, exc)
+            return False
+        node.consecutive_failures = 0
+        node.probe_successes += 1
+        self.on_node_event("probe_ok", node)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Routing / draining surface                                         #
+    # ------------------------------------------------------------------ #
+    def candidates(self) -> List[Node]:
+        """Nodes a policy may route to right now."""
+        return [node for node in self.nodes.values() if node.routable()]
+
+    def states(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes.values():
+            counts[node.state] = counts.get(node.state, 0) + 1
+        return counts
+
+    async def drain(self, name: str, timeout: float) -> bool:
+        """Stop routing to a node and wait for its in-flight to finish.
+
+        Returns True when the node went idle within ``timeout``.  The
+        node stays ``draining`` (links open, probes continue) until
+        :meth:`undrain` or :meth:`evict` — a rolling restart drains,
+        restarts the process, then relies on restart detection plus
+        re-admission to bring the new incarnation back.
+        """
+        node = self.nodes.get(name)
+        if node is None:
+            raise ServingError(f"unknown node {name!r}")
+        if node.state == STATE_HEALTHY:
+            node.state = STATE_DRAINING
+        deadline = time.monotonic() + timeout
+        while node.inflight > 0:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        self.on_node_event("drained", node)
+        return True
+
+    def undrain(self, name: str) -> None:
+        node = self.nodes.get(name)
+        if node is not None and node.state == STATE_DRAINING:
+            node.state = STATE_HEALTHY

@@ -1,0 +1,762 @@
+"""The cluster gateway: one listening address in front of N nodes.
+
+:class:`ClusterRouter` speaks the versioned binary protocol of
+``docs/protocol.md`` on *both* faces.  Clients connect to it exactly as
+they would to a single :class:`~repro.serving.net.server.NetServer` —
+same WELCOME, same REQUEST/RESULT/ERROR/STATS frames, same
+:class:`~repro.serving.net.client.RumbaClient` — while the router
+forwards each decoded request over pooled, multiplexed backend
+connections to whichever node the configured routing policy picks
+(``least_loaded`` / ``consistent_hash`` / ``round_robin``; see
+``cluster/routing.py``).
+
+Reliability model (the node-level mirror of the serving core's
+worker-crash story):
+
+* every forwarded request keeps an absolute deadline
+  (``deadline_at``).  Requests arriving without a client deadline get
+  the router's ``default_deadline_s`` as their budget;
+* when a backend link dies or a node answers with a *retryable* error
+  (worker crash, overload), the request is re-forwarded — with its
+  **remaining** deadline — to a surviving node, at most
+  ``max_retries`` times.  An accepted request is therefore never lost
+  to a killed node, and each client request completes exactly once:
+  the pending entry is delivered (result or error) a single time, no
+  matter how many forwards it took;
+* with no healthy node in the member set, requests fail fast with
+  :class:`~repro.errors.NoHealthyNodesError`.
+
+Health, eviction, backoff re-admission, and restart detection live in
+:class:`~repro.serving.cluster.nodes.NodeManager`; the router wires its
+events into ``rumba_cluster_*`` metrics.  A client STATS frame is
+answered with the *fleet* document of
+:func:`~repro.serving.cluster.stats.aggregate_fleet_stats` — summed
+counters, merged histograms, per-node health — so one probe sees the
+whole tier.
+
+Each request's gateway hops are stamped as the ``router_recv`` /
+``router_forward`` trace stages (the fleet-level prefix of the stage
+waterfall in ``docs/observability.md``), and the client's trace id is
+propagated downstream so node-side records correlate by id.
+
+Lifecycle matches :class:`NetServer`: the event loop runs on one
+background thread (``rumba-cluster-loop``), so ``start()`` / ``stop()``
+/ ``drain()`` / ``stats_document()`` are ordinary blocking calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import uuid
+from typing import Optional, Set, Tuple
+
+from repro.errors import (
+    NoHealthyNodesError,
+    ProtocolError,
+    ServingError,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.reqtrace import (
+    STAGE_ROUTER_FORWARD,
+    STAGE_ROUTER_RECV,
+    TracingPolicy,
+)
+from repro.serving.cluster.nodes import NodeManager
+from repro.serving.cluster.routing import RequestContext, make_policy
+from repro.serving.cluster.stats import aggregate_fleet_stats
+from repro.serving.config import ClusterConfig
+from repro.serving.net import protocol as wire
+
+__all__ = ["ClusterRouter"]
+
+_STOP_JOIN_S = 10.0
+
+#: Wire error codes worth a second chance on a different node.
+_RETRYABLE_CODES = (wire.ERR_WORKER_CRASH, wire.ERR_OVERLOADED)
+
+
+class _ClientConnection:
+    """Per-client-connection state, event-loop only (NetServer pattern)."""
+
+    __slots__ = ("peer", "out_q", "outstanding", "closed")
+
+    def __init__(self, peer: str):
+        self.peer = peer
+        self.out_q: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self.outstanding: Set[int] = set()
+        self.closed = False
+
+
+class _PendingEntry:
+    """One accepted client request while the fleet works on it."""
+
+    __slots__ = (
+        "conn", "client_id", "client_version", "inputs", "scheme",
+        "deadline_s", "deadline_at", "trace", "trace_id", "force_sample",
+        "attempts", "node_name", "received_at",
+    )
+
+    def __init__(
+        self, conn, client_id, client_version, inputs, scheme,
+        deadline_s, deadline_at, trace, trace_id, force_sample,
+        received_at,
+    ):
+        self.conn = conn
+        self.client_id = client_id
+        self.client_version = client_version
+        self.inputs = inputs
+        self.scheme = scheme
+        self.deadline_s = deadline_s          # what the client asked for
+        self.deadline_at = deadline_at        # absolute retry budget
+        self.trace = trace
+        self.trace_id = trace_id
+        self.force_sample = force_sample
+        self.attempts = 0                     # forwards so far
+        self.node_name = ""                   # last node it went to
+        self.received_at = received_at
+
+
+class ClusterRouter:
+    """Route protocol-v2 clients across a fleet of ``NetServer`` nodes.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.serving.config.ClusterConfig` — member addresses,
+        routing policy, probe cadence, eviction/backoff/retry knobs.
+    host, port:
+        Client-facing listen address (port 0 binds ephemeral; read
+        :attr:`address` after :meth:`start`).
+    registry:
+        Metrics registry for the ``rumba_cluster_*`` family; a private
+        one by default.
+    tracing:
+        Sampling policy for gateway-side stage stamps (1/64 default).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        tracing: Optional[TracingPolicy] = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.host = host
+        self.port = port
+        self.registry = registry or MetricsRegistry()
+        self.tracing = tracing or TracingPolicy()
+        self.policy = make_policy(self.config.policy)
+        self.manager = NodeManager(
+            self.config,
+            on_reply=self._on_backend_reply,
+            on_stranded=self._on_stranded,
+            on_node_event=self._on_node_event,
+        )
+        self.router_id = uuid.uuid4().hex
+        self.started_at_monotonic: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._finished = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._bound: Optional[Tuple[str, int]] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._open_connections = 0
+        self._inflight = 0
+        self._requests_routed = 0
+        self._requests_retried = 0
+        self._build_metrics()
+
+    # ------------------------------------------------------------------ #
+    # Metrics                                                            #
+    # ------------------------------------------------------------------ #
+    def _build_metrics(self) -> None:
+        r = self.registry
+        self._m_requests = r.counter(
+            "rumba_cluster_requests_total",
+            "Routed requests by node and outcome", ("node", "outcome"),
+        )
+        self._m_retries = r.counter(
+            "rumba_cluster_retries_total",
+            "Requests re-forwarded to a surviving node", ("reason",),
+        )
+        self._m_evictions = r.counter(
+            "rumba_cluster_evictions_total",
+            "Nodes evicted from rotation", ("node",),
+        )
+        self._m_probes = r.counter(
+            "rumba_cluster_probes_total",
+            "Health probes by outcome", ("outcome",),
+        )
+        self._m_nodes = r.gauge(
+            "rumba_cluster_nodes",
+            "Fleet members by lifecycle state", ("state",),
+        )
+        self._m_inflight = r.gauge(
+            "rumba_cluster_inflight_requests",
+            "Client requests accepted but not yet answered",
+        )
+        # Accept-to-answer time at the gateway; rides the fine bucket
+        # grid via the registry's rumba_cluster_* override.
+        self._m_request_seconds = r.histogram(
+            "rumba_cluster_request_seconds",
+            "Router-side time from request decode to response enqueue",
+        )
+        # Same family/labels as the serving core so fleet and node
+        # stage segments land in one waterfall-compatible histogram.
+        self._m_stage = r.histogram(
+            "rumba_stage_seconds",
+            "Per-stage latency segments from sampled request traces",
+            ("app", "scheme", "stage"),
+        )
+
+    def _observe_stage(self, stage: str, duration: float) -> None:
+        self._m_stage.labels(
+            app=self._fleet_field("app"),
+            scheme=self._fleet_field("scheme"),
+            stage=stage,
+        ).observe(duration)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (NetServer pattern: loop on a background thread)         #
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid once :meth:`start` returned."""
+        if self._bound is None:
+            raise ServingError("ClusterRouter is not listening yet")
+        return self._bound
+
+    @property
+    def is_running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, timeout: float = 30.0) -> "ClusterRouter":
+        if self._thread is not None:
+            raise ServingError("ClusterRouter already started")
+        self.started_at_monotonic = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="rumba-cluster-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            raise ServingError("ClusterRouter failed to bind in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=_STOP_JOIN_S)
+            self._thread = None
+            raise ServingError(
+                f"ClusterRouter could not listen on "
+                f"{self.host}:{self.port}: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = _STOP_JOIN_S) -> None:
+        if self._thread is None:
+            return
+        loop, stop_async = self._loop, self._stop_async
+        if loop is not None and stop_async is not None:
+            try:
+                loop.call_soon_threadsafe(stop_async.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def serve_forever(self, timeout: Optional[float] = None) -> None:
+        """Block the calling thread until the router stops."""
+        if self._thread is None:
+            raise ServingError("ClusterRouter is not running")
+        self._finished.wait(timeout=timeout)
+
+    def wait_for_nodes(self, count: int = 1, timeout: float = 30.0) -> bool:
+        """Block until ``count`` nodes are routable (True) or timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.manager.candidates()) >= count:
+                return True
+            time.sleep(0.02)
+        return len(self.manager.candidates()) >= count
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Thread-safe fleet management surface                               #
+    # ------------------------------------------------------------------ #
+    def _call_on_loop(self, coro, timeout: float):
+        if self._loop is None or not self.is_running:
+            raise ServingError("ClusterRouter is not running")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def drain(self, node: str, timeout: Optional[float] = None) -> bool:
+        """Stop routing to ``node``; block until its in-flight drains.
+
+        The first step of the rolling-restart runbook in
+        ``docs/cluster.md``: drain, restart the process, let restart
+        detection and the re-admission probe bring it back, then
+        :meth:`undrain` (a restarted node re-admits as healthy on its
+        own).  Returns False if in-flight work outlived ``timeout``.
+        """
+        budget = self.config.drain_timeout_s if timeout is None else timeout
+        return self._call_on_loop(
+            self.manager.drain(node, budget), timeout=budget + 5.0
+        )
+
+    def undrain(self, node: str) -> None:
+        """Return a drained node to rotation."""
+        if self._loop is not None and self.is_running:
+            self._loop.call_soon_threadsafe(self.manager.undrain, node)
+
+    def add_node(self, address) -> None:
+        """Join a node to the fleet (connects and probes right away)."""
+        self._call_on_loop(
+            self.manager.add_node(address),
+            timeout=self.config.probe_timeout_s + 5.0,
+        )
+
+    def remove_node(self, node: str) -> None:
+        """Drop a node from the member set entirely."""
+        if self._loop is not None and self.is_running:
+            self._loop.call_soon_threadsafe(self.manager.remove_node, node)
+
+    def stats_document(self) -> dict:
+        """The fleet-wide stats document (thread-safe snapshot)."""
+        async def _build():
+            return self._fleet_stats()
+        return self._call_on_loop(_build(), timeout=10.0)
+
+    # ------------------------------------------------------------------ #
+    # Event loop                                                         #
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if self._startup_error is None:
+                self._startup_error = exc
+        finally:
+            self._ready.set()
+            self._finished.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        try:
+            listener = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        sock = listener.sockets[0].getsockname()
+        self._bound = (sock[0], sock[1])
+        # Join the configured members before accepting work, so a
+        # start() caller can rely on the initial connect attempts
+        # having happened (wait_for_nodes covers slow starters).
+        await self.manager.start()
+        self._ready.set()
+        try:
+            async with listener:
+                await self._stop_async.wait()
+        finally:
+            await self.manager.stop()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        conn = _ClientConnection(peer=str(writer.get_extra_info("peername")))
+        self._open_connections += 1
+        writer_task = asyncio.ensure_future(self._writer_loop(conn, writer))
+        conn.out_q.put_nowait(
+            wire.encode_frame(
+                wire.FT_WELCOME, 0,
+                wire.pack_json(self._welcome_document()),
+                version=wire.MIN_SUPPORTED_VERSION,
+            )
+        )
+        try:
+            await self._reader_loop(conn, reader)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            conn.closed = True
+            # Forwarded requests of a gone client keep running on their
+            # node; the answers are dropped in _deliver_* (the node's
+            # exactly-once ledger stays intact either way).
+            self._inflight -= len(conn.outstanding)
+            conn.outstanding.clear()
+            self._m_inflight.set(self._inflight)
+            conn.out_q.put_nowait(None)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._open_connections -= 1
+            self._conn_tasks.discard(task)
+
+    async def _reader_loop(self, conn: _ClientConnection, reader) -> None:
+        while True:
+            try:
+                prefix = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            try:
+                length = wire.check_frame_length(
+                    int.from_bytes(prefix, "little"),
+                    self.config.max_frame_bytes,
+                )
+                frame = wire.decode_frame(await reader.readexactly(length))
+            except asyncio.IncompleteReadError:
+                self._protocol_error(conn, ProtocolError(
+                    "connection closed mid-frame"
+                ))
+                return
+            except ProtocolError as exc:
+                self._protocol_error(conn, exc)
+                return
+            if frame.frame_type == wire.FT_REQUEST:
+                self._on_request(conn, frame)
+            elif frame.frame_type == wire.FT_STATS:
+                conn.out_q.put_nowait(
+                    wire.encode_frame(
+                        wire.FT_STATS_RESULT,
+                        frame.request_id,
+                        wire.pack_json(self._fleet_stats()),
+                        version=frame.version,
+                    )
+                )
+            else:
+                self._protocol_error(conn, ProtocolError(
+                    f"unexpected {frame.type_name} frame from a client"
+                ))
+                return
+
+    async def _writer_loop(self, conn: _ClientConnection, writer) -> None:
+        while True:
+            chunk = await conn.out_q.get()
+            if chunk is None:
+                return
+            try:
+                writer.write(chunk)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                continue  # reader loop will see EOF and tear down
+
+    def _protocol_error(self, conn, exc: ProtocolError) -> None:
+        conn.out_q.put_nowait(
+            wire.encode_frame(
+                wire.FT_ERROR, 0,
+                wire.pack_error(wire.ERR_PROTOCOL, str(exc)),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Request path                                                       #
+    # ------------------------------------------------------------------ #
+    def _on_request(self, conn: _ClientConnection, frame: wire.Frame) -> None:
+        received_at = time.monotonic()
+        try:
+            inputs, deadline_s, scheme, trace_id, force_sample = (
+                wire.unpack_request(frame.body, version=frame.version)
+            )
+        except Exception as exc:
+            self._m_requests.labels(node="", outcome="rejected").inc()
+            conn.out_q.put_nowait(
+                wire.encode_frame(
+                    wire.FT_ERROR, frame.request_id,
+                    wire.pack_error(wire.exception_to_code(exc), str(exc)),
+                    version=frame.version,
+                )
+            )
+            return
+        trace = self.tracing.new_trace(
+            trace_id=trace_id, force=True if force_sample else None
+        )
+        if trace is not None:
+            trace.stamp(STAGE_ROUTER_RECV, at=received_at)
+        entry = _PendingEntry(
+            conn=conn,
+            client_id=frame.request_id,
+            client_version=frame.version,
+            inputs=inputs,
+            scheme=scheme,
+            deadline_s=deadline_s,
+            deadline_at=received_at + (
+                deadline_s if deadline_s is not None
+                else self.config.default_deadline_s
+            ),
+            trace=trace,
+            trace_id=trace.trace_id if trace is not None else trace_id,
+            force_sample=force_sample,
+            received_at=received_at,
+        )
+        conn.outstanding.add(entry.client_id)
+        self._inflight += 1
+        self._m_inflight.set(self._inflight)
+        self._forward(entry)
+
+    def _forward(self, entry: _PendingEntry) -> None:
+        """Pick a node and send the request; fail the entry if we can't."""
+        remaining = entry.deadline_at - time.monotonic()
+        if remaining <= 0:
+            self._deliver_error(entry, wire.ERR_SERVING, (
+                f"deadline exhausted after {entry.attempts} "
+                f"forwarding attempt(s)"
+            ))
+            return
+        context = RequestContext(
+            app=self._fleet_field("app"),
+            scheme=entry.scheme,
+            n_elements=int(getattr(entry.inputs, "size", 0)),
+        )
+        link = None
+        candidates = self.manager.candidates()
+        while candidates:
+            node = self.policy.select(candidates, context)
+            link = node.pick_link()
+            if link is not None:
+                break
+            # A candidate with no live link is stale news; tell the
+            # manager and try the rest.
+            self.manager.note_link_down(node)
+            candidates = [c for c in candidates if c.name != node.name]
+        if link is None:
+            self._deliver_error(entry, wire.ERR_SERVING, str(
+                NoHealthyNodesError(
+                    "no healthy node to route to "
+                    f"({len(self.manager.nodes)} configured)"
+                )
+            ))
+            return
+        body = wire.pack_request(
+            entry.inputs,
+            deadline_s=remaining,
+            scheme=entry.scheme,
+            trace_id=entry.trace_id,
+            force_sample=entry.force_sample,
+            version=link.version,
+        )
+        try:
+            link.send_request(entry, body)
+        except (ConnectionError, OSError) as exc:
+            # Synchronous send failure: the link is dead; strand
+            # handling will NOT see this entry (it was never pending),
+            # so route it again ourselves.
+            link.connection_lost(exc)
+            self._retry_or_fail(entry, "connection_lost", str(exc))
+            return
+        entry.attempts += 1
+        entry.node_name = link.node.name
+        self._requests_routed += 1
+        if entry.trace is not None:
+            forwarded_at = entry.trace.stamp(
+                STAGE_ROUTER_FORWARD, clamp=True
+            )
+            if entry.trace.sampled:
+                events = entry.trace.events()
+                if len(events) >= 2:
+                    self._observe_stage(
+                        STAGE_ROUTER_FORWARD,
+                        forwarded_at - events[-2][1],
+                    )
+
+    def _can_retry(self, entry: _PendingEntry) -> bool:
+        return (
+            entry.attempts <= self.config.max_retries
+            and entry.deadline_at - time.monotonic() > 0
+            and bool(self.manager.candidates())
+        )
+
+    def _retry_or_fail(
+        self, entry: _PendingEntry, reason: str, message: str
+    ) -> None:
+        if entry.conn.closed or entry.client_id not in entry.conn.outstanding:
+            return  # client went away; nothing to deliver or retry for
+        if self._can_retry(entry):
+            self._requests_retried += 1
+            self._m_retries.labels(reason=reason).inc()
+            self._forward(entry)
+            return
+        code = (
+            wire.ERR_WORKER_CRASH if reason == "connection_lost"
+            else wire.ERR_OVERLOADED
+        )
+        self._deliver_error(entry, code, (
+            f"{message} (after {entry.attempts} forwarding attempt(s))"
+        ))
+
+    # -- backend callbacks (from NodeManager, on the loop) ------------- #
+    def _on_backend_reply(self, link, entry: _PendingEntry, frame) -> None:
+        if frame.frame_type == wire.FT_RESULT:
+            self._deliver_result(entry, frame, link.version)
+            return
+        if frame.frame_type == wire.FT_ERROR:
+            try:
+                code, message = wire.unpack_error(frame.body)
+            except ProtocolError as exc:
+                code, message = wire.ERR_PROTOCOL, str(exc)
+            if code in _RETRYABLE_CODES:
+                reason = (
+                    "connection_lost" if code == wire.ERR_WORKER_CRASH
+                    else "overloaded"
+                )
+                self._retry_or_fail(entry, reason, message)
+            else:
+                self._deliver_error(entry, code, message)
+            return
+        self._deliver_error(entry, wire.ERR_PROTOCOL, (
+            f"node {link.node.name} answered with an unexpected "
+            f"{frame.type_name} frame"
+        ))
+
+    def _on_stranded(self, node, entries, error) -> None:
+        for entry in entries:
+            self._retry_or_fail(entry, "connection_lost", str(error))
+
+    def _on_node_event(self, event: str, node) -> None:
+        if event == "evicted":
+            self._m_evictions.labels(node=node.name).inc()
+        elif event == "probe_ok":
+            self._m_probes.labels(outcome="ok").inc()
+        elif event == "probe_failed":
+            self._m_probes.labels(outcome="failed").inc()
+        for state, count in self.manager.states().items():
+            self._m_nodes.labels(state=state).set(count)
+
+    # -- delivery (exactly once per client request) -------------------- #
+    def _finish(self, entry: _PendingEntry) -> bool:
+        """Claim the single delivery of this entry; False if already done."""
+        conn = entry.conn
+        if conn.closed or entry.client_id not in conn.outstanding:
+            return False
+        conn.outstanding.discard(entry.client_id)
+        self._inflight -= 1
+        self._m_inflight.set(self._inflight)
+        self._m_request_seconds.observe(
+            time.monotonic() - entry.received_at
+        )
+        return True
+
+    def _deliver_result(
+        self, entry: _PendingEntry, frame, link_version: int
+    ) -> None:
+        if not self._finish(entry):
+            return
+        try:
+            doc = wire.unpack_result(frame.body, version=link_version)
+            # The worker name gains a node prefix so a client (and the
+            # chaos drill) can see which fleet member answered.
+            payload = wire.pack_result(
+                outputs=doc["outputs"],
+                worker=f"{entry.node_name}/{doc['worker']}",
+                queue_wait_s=doc["queue_wait_s"],
+                latency_s=doc["latency_s"],
+                fix_fraction=doc["fix_fraction"],
+                degraded=doc["degraded"],
+                trace_id=doc["trace_id"] or entry.trace_id,
+                trace_sampled=doc["trace_sampled"],
+                version=entry.client_version,
+            )
+        except Exception as exc:  # malformed node reply
+            self._m_requests.labels(
+                node=entry.node_name, outcome="failed"
+            ).inc()
+            entry.conn.out_q.put_nowait(wire.encode_frame(
+                wire.FT_ERROR, entry.client_id,
+                wire.pack_error(wire.ERR_PROTOCOL, str(exc)),
+                version=entry.client_version,
+            ))
+            return
+        self._m_requests.labels(
+            node=entry.node_name, outcome="completed"
+        ).inc()
+        entry.conn.out_q.put_nowait(wire.encode_frame(
+            wire.FT_RESULT, entry.client_id, payload,
+            version=entry.client_version,
+        ))
+
+    def _deliver_error(
+        self, entry: _PendingEntry, code: int, message: str
+    ) -> None:
+        if not self._finish(entry):
+            return
+        self._m_requests.labels(
+            node=entry.node_name, outcome="failed"
+        ).inc()
+        entry.conn.out_q.put_nowait(wire.encode_frame(
+            wire.FT_ERROR, entry.client_id,
+            wire.pack_error(code, message),
+            version=entry.client_version,
+        ))
+
+    # ------------------------------------------------------------------ #
+    # Documents                                                          #
+    # ------------------------------------------------------------------ #
+    def _fleet_field(self, key: str, default: str = "") -> str:
+        for node in self.manager.nodes.values():
+            value = node.welcome.get(key)
+            if value:
+                return str(value)
+        return default
+
+    def _welcome_document(self) -> dict:
+        features = 0
+        for node in self.manager.nodes.values():
+            if node.welcome.get("features"):
+                features = int(node.welcome["features"])
+                break
+        states = self.manager.states()
+        return {
+            "server": "rumba-router",
+            "protocol": wire.PROTOCOL_VERSION,
+            "min_protocol": wire.MIN_SUPPORTED_VERSION,
+            "app": self._fleet_field("app"),
+            "scheme": self._fleet_field("scheme"),
+            "backend": "cluster",
+            "features": features,
+            "max_frame_bytes": self.config.max_frame_bytes,
+            "node_id": self.router_id,
+            "started_at_monotonic": self.started_at_monotonic,
+            "cluster": {
+                "nodes": len(self.manager.nodes),
+                "healthy": states.get("healthy", 0),
+                "policy": self.policy.name,
+            },
+        }
+
+    def _router_section(self) -> dict:
+        return {
+            "listen": list(self._bound) if self._bound else None,
+            "policy": self.policy.name,
+            "open_connections": self._open_connections,
+            "inflight_requests": self._inflight,
+            "requests_routed": self._requests_routed,
+            "requests_retried": self._requests_retried,
+        }
+
+    def _fleet_stats(self) -> dict:
+        return aggregate_fleet_stats(
+            nodes=list(self.manager.nodes.values()),
+            router=self._router_section(),
+        )

@@ -1,0 +1,163 @@
+"""Pluggable routing policies for the cluster gateway.
+
+A policy answers one question: *given the healthy member set, which node
+gets this request?*  Three policies ship (``docs/cluster.md`` discusses
+when each wins):
+
+* :class:`LeastLoadedPolicy` — pick the node with the fewest requests in
+  flight, combining the router's own per-node ledger with the
+  ``inflight_requests`` figure from the node's last STATS health probe.
+  The default: it follows real load even when nodes are heterogeneous.
+* :class:`ConsistentHashPolicy` — a hash ring keyed (by default) on the
+  application name, so one app's traffic sticks to one node and its
+  memoization/input caches stay warm; keys move minimally when the
+  member set changes.  ``key_fn`` generalizes the key (e.g. an input
+  digest for per-request content affinity).
+* :class:`RoundRobinPolicy` — the stateless baseline the other two are
+  benchmarked against.
+
+Policies are synchronous, run on the router's event loop, and see only
+*candidates* — nodes already filtered for health and drain state — so a
+policy can never route to an evicted or draining node by construction.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RequestContext",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "ConsistentHashPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """What a policy may see of one request when choosing a node."""
+
+    app: str = ""
+    scheme: str = ""
+    n_elements: int = 0
+
+
+class RoutingPolicy:
+    """Base class: pick one node from the healthy candidates."""
+
+    name = "abstract"
+
+    def select(self, candidates: Sequence[object], context: RequestContext):
+        """Return one of ``candidates`` (never empty when called)."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through the member set in name order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def select(self, candidates: Sequence[object], context: RequestContext):
+        ordered = sorted(candidates, key=lambda node: node.name)
+        return ordered[next(self._counter) % len(ordered)]
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Pick the node with the smallest in-flight depth.
+
+    Depth is the router's own count of requests forwarded-but-unanswered
+    plus the ``inflight_requests`` the node itself reported on its last
+    STATS probe (requests from *other* routers or direct clients).  Ties
+    break by name so the choice is deterministic under test.
+    """
+
+    name = "least_loaded"
+
+    def select(self, candidates: Sequence[object], context: RequestContext):
+        return min(
+            candidates,
+            key=lambda node: (node.load(), node.name),
+        )
+
+
+class ConsistentHashPolicy(RoutingPolicy):
+    """A hash ring over node names with virtual replicas.
+
+    The default key is the application name — all of one app's traffic
+    lands on one node, keeping that node's memoization tables and input
+    caches hot (the affinity argument of the paper's memoization scheme).
+    When the keyed node is evicted, its arc falls through to the ring
+    successor, and only that arc moves when the member set changes.
+    """
+
+    name = "consistent_hash"
+
+    def __init__(
+        self,
+        replicas: int = 64,
+        key_fn: Optional[Callable[[RequestContext], str]] = None,
+    ):
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        self.replicas = replicas
+        self._key_fn = key_fn or (lambda context: context.app or "rumba")
+        # Ring cache keyed by the candidate-name tuple: member churn is
+        # rare next to request arrival, so rebuilds are amortized away.
+        self._ring_cache: Dict[tuple, "tuple[List[int], List[str]]"] = {}
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest(),
+            "little",
+        )
+
+    def _ring(self, names: tuple) -> "tuple[List[int], List[str]]":
+        ring = self._ring_cache.get(names)
+        if ring is None:
+            points = sorted(
+                (self._hash(f"{name}#{i}"), name)
+                for name in names
+                for i in range(self.replicas)
+            )
+            ring = ([p for p, _ in points], [n for _, n in points])
+            self._ring_cache.clear()  # member set changed; old rings stale
+            self._ring_cache[names] = ring
+        return ring
+
+    def select(self, candidates: Sequence[object], context: RequestContext):
+        by_name = {node.name: node for node in candidates}
+        hashes, names = self._ring(tuple(sorted(by_name)))
+        index = bisect.bisect(hashes, self._hash(self._key_fn(context)))
+        return by_name[names[index % len(names)]]
+
+
+POLICY_NAMES = ("least_loaded", "consistent_hash", "round_robin")
+
+_POLICIES = {
+    "least_loaded": LeastLoadedPolicy,
+    "consistent_hash": ConsistentHashPolicy,
+    "round_robin": RoundRobinPolicy,
+}
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by its registry name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown routing policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None

@@ -41,6 +41,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "BatchingConfig",
     "BackpressureConfig",
+    "ClusterConfig",
     "RetryConfig",
     "TracingConfig",
     "ServerConfig",
@@ -183,6 +184,84 @@ class TracingConfig:
             raise ConfigurationError("slow_threshold_s must be >= 0")
         if self.max_exemplars < 0:
             raise ConfigurationError("max_exemplars must be >= 0")
+
+
+_ROUTING_POLICIES = ("least_loaded", "consistent_hash", "round_robin")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a :class:`~repro.serving.cluster.ClusterRouter` needs.
+
+    The same config-object idiom as :class:`ServerConfig`: frozen,
+    validated at construction, derived with :func:`dataclasses.replace`.
+    Health supervision mirrors the PR 4 worker supervisor one level up —
+    consecutive probe failures evict a node, exponential backoff governs
+    re-admission probes — and the retry fields bound the router-level
+    redelivery of requests stranded by a dead node.
+    """
+
+    #: Initial member set, ``host:port`` strings (may be empty; nodes
+    #: can also be added live via ``NodeManager.add_node``).
+    nodes: "tuple" = ()
+    #: Routing policy name (see :mod:`repro.serving.cluster.routing`).
+    policy: str = "least_loaded"
+    #: Pooled connections the router keeps open per node.
+    pool_size: int = 2
+    #: Seconds between WELCOME/STATS health probes of each node.
+    probe_interval_s: float = 1.0
+    #: Per-probe timeout before it counts as one failure.
+    probe_timeout_s: float = 5.0
+    #: Consecutive probe/forward failures that evict a node.
+    failure_threshold: int = 3
+    #: First re-admission probe delay after an eviction ...
+    backoff_initial_s: float = 0.5
+    #: ... growing by this factor per failed re-admission probe ...
+    backoff_factor: float = 2.0
+    #: ... up to this cap.
+    backoff_max_s: float = 30.0
+    #: Router-level redeliveries per request after a node death.
+    max_retries: int = 2
+    #: Deadline budget for requests that arrive without one.
+    default_deadline_s: float = 30.0
+    #: Upper bound on one wire frame, both faces of the gateway.
+    max_frame_bytes: int = 16 << 20
+    #: Drain timeout used by rolling restarts (`drain(node)`).
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.policy not in _ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {self.policy!r}; choose from "
+                f"{_ROUTING_POLICIES}"
+            )
+        if self.pool_size < 1:
+            raise ConfigurationError("pool_size must be >= 1")
+        if self.probe_interval_s <= 0 or self.probe_timeout_s <= 0:
+            raise ConfigurationError(
+                "probe_interval_s and probe_timeout_s must be > 0"
+            )
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if self.backoff_initial_s <= 0 or self.backoff_max_s <= 0:
+            raise ConfigurationError("backoff bounds must be > 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.backoff_max_s < self.backoff_initial_s:
+            raise ConfigurationError(
+                "backoff_max_s must be >= backoff_initial_s"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.default_deadline_s <= 0:
+            raise ConfigurationError("default_deadline_s must be > 0")
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError("drain_timeout_s must be > 0")
+
+    def with_overrides(self, **fields: object) -> "ClusterConfig":
+        """A new config with the named fields replaced (CLI helper)."""
+        return replace(self, **fields)
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ProtocolError, ServingError
+from repro.errors import ConnectionLostError, ProtocolError, ServingError
 from repro.serving.net import protocol as wire
 
 __all__ = ["AsyncRumbaClient", "NetHandle", "NetResult", "RumbaClient"]
@@ -122,6 +122,19 @@ class RumbaClient:
     :class:`NetHandle` immediately, so a single client can keep many
     requests in flight; :meth:`submit_wait` is the one-shot convenience.
 
+    When the connection dies (server restart, network blip) the two
+    request classes part ways:
+
+    * **in-flight data requests fail fast** with a typed
+      :class:`~repro.errors.ConnectionLostError` — the server may or may
+      not have executed them, so only a layer that owns redelivery (the
+      cluster router's retry path) may safely resend them;
+    * **idempotent calls** (:meth:`stats`, and the WELCOME metadata
+      refresh that rides every reconnect) get one transparent
+      reconnect-and-replay when ``auto_reconnect`` is on (the default),
+      so a monitoring loop never sees a raw socket error just because a
+      node restarted.
+
     Thread-safe: multiple threads may submit on one client.
     """
 
@@ -131,75 +144,141 @@ class RumbaClient:
         port: int,
         timeout_s: float = 30.0,
         max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+        auto_reconnect: bool = True,
     ):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.max_frame_bytes = max_frame_bytes
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._sock.settimeout(None)
+        self.auto_reconnect = auto_reconnect
         self._send_lock = threading.Lock()
         self._lock = threading.Lock()
+        self._reconnect_lock = threading.Lock()
         self._pending: Dict[int, NetHandle] = {}
         self._next_id = itertools.count(1)
         self._closed = False
+        self._conn_dead = False
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self.welcome: dict = {}
+        self._open_connection()
+
+    # ------------------------------------------------------------------ #
+    # Socket plumbing                                                    #
+    # ------------------------------------------------------------------ #
+    def _open_connection(self) -> None:
+        """Dial, read the WELCOME, negotiate, start a reader thread."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.settimeout(None)
+        self._sock = sock
         # The WELCOME is read synchronously so connection metadata is
         # available before the reader thread takes over the socket.
-        welcome = self._read_frame_blocking()
+        welcome = self._read_frame_blocking(sock)
         if welcome.frame_type != wire.FT_WELCOME:
-            self._sock.close()
+            sock.close()
             raise ProtocolError(
                 f"expected a WELCOME frame, got {welcome.type_name}"
             )
         doc = wire.unpack_json(welcome.body)
+        self.welcome = doc
         self.protocol_version = int(doc.get("protocol", 0))
         self.app = str(doc.get("app", ""))
         self.scheme = str(doc.get("scheme", ""))
         self.features = int(doc.get("features", 0))
+        self.node_id = str(doc.get("node_id", ""))
         self.server_max_frame_bytes = int(
             doc.get("max_frame_bytes", wire.DEFAULT_MAX_FRAME_BYTES)
         )
         try:
             self._wire_version = _negotiate_version(doc)
         except ProtocolError:
-            self._sock.close()
+            sock.close()
             raise
+        with self._lock:
+            self._conn_dead = False
         self._reader = threading.Thread(
-            target=self._reader_loop, name="rumba-client-reader", daemon=True
+            target=self._reader_loop, args=(sock,),
+            name="rumba-client-reader", daemon=True,
         )
         self._reader.start()
 
-    # ------------------------------------------------------------------ #
-    # Socket plumbing                                                    #
-    # ------------------------------------------------------------------ #
-    def _recv_exactly(self, n: int) -> bytes:
+    def _reconnect(self) -> None:
+        """One reconnect attempt; raises ConnectionLostError on failure."""
+        with self._reconnect_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServingError("client is closed")
+                if not self._conn_dead:
+                    return  # another thread already reconnected
+            old_sock, old_reader = self._sock, self._reader
+            if old_sock is not None:
+                old_sock.close()
+            if old_reader is not None:
+                old_reader.join(timeout=5.0)
+            try:
+                self._open_connection()
+            except (ConnectionError, OSError) as exc:
+                raise ConnectionLostError(
+                    f"reconnect to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+
+    def _ensure_connected(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise ServingError("client is closed")
+            dead = self._conn_dead
+        if not dead:
+            return
+        if not self.auto_reconnect:
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} was lost"
+            )
+        self._reconnect()
+
+    @staticmethod
+    def _recv_exactly(sock: socket.socket, n: int) -> bytes:
         chunks = []
         remaining = n
         while remaining:
-            chunk = self._sock.recv(remaining)
+            chunk = sock.recv(remaining)
             if not chunk:
                 raise ConnectionError("server closed the connection")
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def _read_frame_blocking(self) -> wire.Frame:
-        (length,) = struct.unpack("<I", self._recv_exactly(4))
+    def _read_frame_blocking(self, sock: socket.socket) -> wire.Frame:
+        (length,) = struct.unpack("<I", self._recv_exactly(sock, 4))
         wire.check_frame_length(length, self.max_frame_bytes)
-        return wire.decode_frame(self._recv_exactly(length))
+        return wire.decode_frame(self._recv_exactly(sock, length))
 
     def _send_frame(self, blob: bytes) -> None:
         with self._send_lock:
             if self._closed:
                 raise ServingError("client is closed")
-            self._sock.sendall(blob)
+            sock = self._sock
+        try:
+            sock.sendall(blob)
+        except (ConnectionError, OSError) as exc:
+            with self._lock:
+                self._conn_dead = True
+            raise ConnectionLostError(
+                f"connection to the server was lost mid-send: {exc}"
+            ) from exc
 
-    def _reader_loop(self) -> None:
+    def _reader_loop(self, sock: socket.socket) -> None:
         try:
             while True:
-                frame = self._read_frame_blocking()
+                frame = self._read_frame_blocking(sock)
                 self._dispatch(frame)
         except (ConnectionError, OSError, ProtocolError) as exc:
+            with self._lock:
+                # Only the reader of the *current* socket declares the
+                # connection dead; a reconnect swaps the socket first.
+                if self._sock is sock:
+                    self._conn_dead = True
             self._fail_all_pending(exc)
 
     def _dispatch(self, frame: wire.Frame) -> None:
@@ -231,7 +310,11 @@ class RumbaClient:
         if isinstance(cause, ProtocolError):
             exc: BaseException = cause
         else:
-            exc = ServingError(f"connection to the server was lost: {cause}")
+            # Typed and retryable: the server never answered, so only an
+            # owner of redelivery (e.g. the cluster router) may resend.
+            exc = ConnectionLostError(
+                f"connection to the server was lost: {cause}"
+            )
         for handle in pending.values():
             handle._set_exception(exc)
 
@@ -250,7 +333,14 @@ class RumbaClient:
         ``trace=True`` forces the server to sample this request's trace
         (flight record + stage histograms) regardless of its sampling
         rate; the assigned id comes back in ``NetResult.trace_id``.
+
+        A dead connection is redialled first (``auto_reconnect``); a
+        send that fails mid-request raises
+        :class:`~repro.errors.ConnectionLostError` without retrying —
+        the server may have received the frame, so replaying a *data*
+        request is the redelivery owner's call, not the transport's.
         """
+        self._ensure_connected()
         request_id = next(self._next_id)
         handle = NetHandle(request_id)
         body = wire.pack_request(
@@ -266,12 +356,10 @@ class RumbaClient:
             self._pending[request_id] = handle
         try:
             self._send_frame(blob)
-        except (ConnectionError, OSError) as exc:
+        except ConnectionLostError:
             with self._lock:
                 self._pending.pop(request_id, None)
-            raise ServingError(
-                f"could not send request to the server: {exc}"
-            ) from exc
+            raise
         return handle
 
     def submit_wait(
@@ -288,30 +376,52 @@ class RumbaClient:
         )
         return handle.result(self.timeout_s if timeout is None else timeout)
 
-    def stats(self, timeout: Optional[float] = None) -> dict:
-        """Fetch the server's ``stats()`` document over the wire."""
+    def _stats_once(self, timeout: Optional[float]) -> dict:
         request_id = next(self._next_id)
         handle = NetHandle(request_id)
         with self._lock:
             if self._closed:
                 raise ServingError("client is closed")
             self._pending[request_id] = handle
-        self._send_frame(wire.encode_frame(
-            wire.FT_STATS, request_id, version=self._wire_version
-        ))
+        try:
+            self._send_frame(wire.encode_frame(
+                wire.FT_STATS, request_id, version=self._wire_version
+            ))
+        except ConnectionLostError:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise
         return handle.result(self.timeout_s if timeout is None else timeout)  # type: ignore[return-value]
+
+    def stats(self, timeout: Optional[float] = None) -> dict:
+        """Fetch the server's ``stats()`` document over the wire.
+
+        Idempotent, so a connection lost before the answer arrives gets
+        one transparent reconnect-and-replay (``auto_reconnect``) before
+        any error surfaces.
+        """
+        try:
+            self._ensure_connected()
+            return self._stats_once(timeout)
+        except ConnectionLostError:
+            if not self.auto_reconnect:
+                raise
+            self._reconnect()
+            return self._stats_once(timeout)
 
     def close(self) -> None:
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        self._sock.close()
-        self._reader.join(timeout=5.0)
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+        if self._reader is not None:
+            self._reader.join(timeout=5.0)
         self._fail_all_pending(ServingError("client closed"))
 
     def __enter__(self) -> "RumbaClient":

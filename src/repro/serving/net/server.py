@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+import uuid
 from typing import Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError, ServingError
@@ -68,6 +69,11 @@ class NetServer:
         Upper bound on one wire frame.  A length prefix beyond this is
         answered with a typed error and a closed connection *before* any
         allocation happens.
+    node_id:
+        Stable identity advertised in the WELCOME document (``serve
+        --node-id`` on the CLI).  Defaults to a fresh uuid4 hex string,
+        so a restarted process behind the same address is detectable by
+        any fleet router watching the WELCOME.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+        node_id: Optional[str] = None,
     ):
         if max_frame_bytes < wire.MIN_FRAME_LENGTH + 64:
             raise ConfigurationError("max_frame_bytes is too small")
@@ -94,6 +101,11 @@ class NetServer:
         self._owns_server = False
         self._open_connections = 0
         self._inflight = 0
+        self.node_id = node_id or uuid.uuid4().hex
+        # Stamped at start(); CLOCK_MONOTONIC readings differ between
+        # incarnations of a node, so (node_id, started_at_monotonic)
+        # together pin one process lifetime behind one address.
+        self.started_at_monotonic: Optional[float] = None
         self._build_metrics()
 
     # ------------------------------------------------------------------ #
@@ -154,6 +166,7 @@ class NetServer:
     def start(self, timeout: float = 30.0) -> "NetServer":
         if self._thread is not None:
             raise ServingError("NetServer already started")
+        self.started_at_monotonic = time.monotonic()
         if self.server.state in ("new", "ready"):
             self.server.start()
             self._owns_server = True
@@ -361,6 +374,8 @@ class NetServer:
             "backend": self.server.backend,
             "features": features,
             "max_frame_bytes": self.max_frame_bytes,
+            "node_id": self.node_id,
+            "started_at_monotonic": self.started_at_monotonic,
         }
 
     def _protocol_error(self, conn: _Connection, exc: ProtocolError) -> None:

@@ -81,7 +81,9 @@ class TestRequestTrace:
 
     def test_stage_catalog_is_ordered_and_unique(self):
         assert len(set(STAGES)) == len(STAGES)
-        assert STAGES[0] == "net_recv" and STAGES[-1] == "net_send"
+        assert STAGES[0] == "router_recv" and STAGES[-1] == "net_send"
+        # The single-node pipeline still starts at the TCP front-end.
+        assert STAGES[2] == "net_recv"
 
 
 class TestTracingPolicy:

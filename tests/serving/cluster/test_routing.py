@@ -1,0 +1,113 @@
+"""Routing-policy unit tests: no sockets, just fake candidates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.cluster.routing import (
+    ConsistentHashPolicy,
+    LeastLoadedPolicy,
+    POLICY_NAMES,
+    RequestContext,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+class FakeNode:
+    def __init__(self, name: str, load: int = 0):
+        self.name = name
+        self._load = load
+
+    def load(self) -> int:
+        return self._load
+
+
+CTX = RequestContext(app="fft", scheme="treeErrors", n_elements=16)
+
+
+class TestRoundRobin:
+    def test_cycles_in_name_order(self):
+        nodes = [FakeNode("c"), FakeNode("a"), FakeNode("b")]
+        policy = RoundRobinPolicy()
+        picks = [policy.select(nodes, CTX).name for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_survives_member_change(self):
+        policy = RoundRobinPolicy()
+        nodes = [FakeNode("a"), FakeNode("b")]
+        policy.select(nodes, CTX)
+        # A node vanished; the counter keeps cycling over what's left.
+        assert policy.select([FakeNode("b")], CTX).name == "b"
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_depth(self):
+        nodes = [FakeNode("a", 5), FakeNode("b", 1), FakeNode("c", 3)]
+        assert LeastLoadedPolicy().select(nodes, CTX).name == "b"
+
+    def test_ties_break_by_name(self):
+        nodes = [FakeNode("b", 2), FakeNode("a", 2)]
+        assert LeastLoadedPolicy().select(nodes, CTX).name == "a"
+
+
+class TestConsistentHash:
+    def test_deterministic_and_order_independent(self):
+        policy = ConsistentHashPolicy()
+        nodes = [FakeNode("a"), FakeNode("b"), FakeNode("c")]
+        first = policy.select(nodes, CTX).name
+        assert policy.select(list(reversed(nodes)), CTX).name == first
+        assert policy.select(nodes, CTX).name == first
+
+    def test_app_affinity(self):
+        # Different apps may hash to different nodes, but each app's
+        # traffic is sticky: same key, same node, every time.
+        policy = ConsistentHashPolicy()
+        nodes = [FakeNode(f"n{i}") for i in range(4)]
+        for app in ("fft", "sobel", "kmeans"):
+            context = RequestContext(app=app)
+            picks = {policy.select(nodes, context).name for _ in range(8)}
+            assert len(picks) == 1
+
+    def test_minimal_movement_on_member_loss(self):
+        policy = ConsistentHashPolicy()
+        nodes = [FakeNode(f"n{i}") for i in range(4)]
+        contexts = [RequestContext(app=f"app{i}") for i in range(32)]
+        before = {
+            c.app: policy.select(nodes, c).name for c in contexts
+        }
+        survivors = [n for n in nodes if n.name != "n1"]
+        after = {
+            c.app: policy.select(survivors, c).name for c in contexts
+        }
+        # Keys that were NOT on the removed node must not move.
+        for app, owner in before.items():
+            if owner != "n1":
+                assert after[app] == owner
+
+    def test_custom_key_fn(self):
+        policy = ConsistentHashPolicy(
+            key_fn=lambda context: str(context.n_elements)
+        )
+        nodes = [FakeNode("a"), FakeNode("b"), FakeNode("c")]
+        small = RequestContext(app="x", n_elements=1)
+        # Same derived key, same node — app is ignored by this key_fn.
+        assert (
+            policy.select(nodes, small).name
+            == policy.select(nodes, RequestContext(app="y", n_elements=1)).name
+        )
+
+    def test_replicas_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashPolicy(replicas=0)
+
+
+class TestFactory:
+    def test_registry_names(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("random")

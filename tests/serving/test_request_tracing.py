@@ -29,6 +29,9 @@ from repro.serving import (
 MIN_STAGES = 6
 #: Stage segments must cover the end-to-end latency within this factor.
 COVERAGE_TOLERANCE = 0.10
+#: ... or within one scheduler tick, whichever is larger: sub-millisecond
+#: requests cannot hold a purely relative bound on a loaded host.
+COVERAGE_JITTER_S = 5e-4
 
 
 def _config(tmp_path, backend="thread", **overrides):
@@ -56,9 +59,9 @@ def _assert_acceptable_waterfall(record):
     assert len(distinct) >= MIN_STAGES, f"only {sorted(distinct)}"
     covered = sum(duration for _, duration in stage_segments(record))
     latency = record["latency_s"]
-    assert covered == pytest.approx(latency, rel=COVERAGE_TOLERANCE), (
-        f"stages cover {covered * 1e3:.3f} ms of {latency * 1e3:.3f} ms"
-    )
+    assert covered == pytest.approx(
+        latency, rel=COVERAGE_TOLERANCE, abs=COVERAGE_JITTER_S
+    ), f"stages cover {covered * 1e3:.3f} ms of {latency * 1e3:.3f} ms"
 
 
 @pytest.mark.parametrize("backend", ["thread", "process"])
