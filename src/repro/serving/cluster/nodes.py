@@ -142,11 +142,15 @@ class NodeLink:
         """Forward one encoded REQUEST body; returns the backend id."""
         backend_id = self._next_id
         self._next_id += 1
-        self.pending[backend_id] = entry
-        self.node.inflight += 1
+        # Write before registering: a synchronous send failure must
+        # leave the entry out of ``pending`` so connection_lost cannot
+        # strand it into the retry path a second time — the caller owns
+        # the single retry on that failure.
         self.writer.write(wire.encode_frame(
             wire.FT_REQUEST, backend_id, body, version=self.version
         ))
+        self.pending[backend_id] = entry
+        self.node.inflight += 1
         return backend_id
 
     async def roundtrip_stats(self, timeout: float) -> dict:

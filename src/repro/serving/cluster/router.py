@@ -50,6 +50,7 @@ import asyncio
 import threading
 import time
 import uuid
+from concurrent import futures
 from typing import Optional, Set, Tuple
 
 from repro.errors import (
@@ -275,12 +276,26 @@ class ClusterRouter:
 
     def wait_for_nodes(self, count: int = 1, timeout: float = 30.0) -> bool:
         """Block until ``count`` nodes are routable (True) or timeout."""
+
+        async def _routable_count() -> int:
+            # Membership and link state are loop-owned; counting them on
+            # the loop avoids iterating dicts the loop is mutating.
+            return len(self.manager.candidates())
+
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if len(self.manager.candidates()) >= count:
+        while True:
+            ready = 0
+            if self._loop is not None and self.is_running:
+                try:
+                    ready = self._call_on_loop(_routable_count(), timeout=5.0)
+                except (ServingError, RuntimeError,
+                        futures.TimeoutError):
+                    ready = 0  # router stopping, or the loop is wedged
+            if ready >= count:
                 return True
+            if time.monotonic() >= deadline:
+                return False
             time.sleep(0.02)
-        return len(self.manager.candidates()) >= count
 
     def __enter__(self) -> "ClusterRouter":
         return self.start()
@@ -560,9 +575,10 @@ class ClusterRouter:
         try:
             link.send_request(entry, body)
         except (ConnectionError, OSError) as exc:
-            # Synchronous send failure: the link is dead; strand
-            # handling will NOT see this entry (it was never pending),
-            # so route it again ourselves.
+            # Synchronous send failure: the link is dead.  send_request
+            # registers the entry in ``pending`` only after a successful
+            # write, so connection_lost below cannot strand it into the
+            # retry path — this call is its single redelivery.
             link.connection_lost(exc)
             self._retry_or_fail(entry, "connection_lost", str(exc))
             return

@@ -217,6 +217,14 @@ class RumbaClient:
                 old_sock.close()
             if old_reader is not None:
                 old_reader.join(timeout=5.0)
+                if old_reader.is_alive():
+                    # The stale reader won't fail handles once the socket
+                    # swaps (it only acts while it owns the current
+                    # socket), so requests stranded on the abandoned
+                    # connection are failed here instead.
+                    self._fail_all_pending(ConnectionError(
+                        "connection abandoned by reconnect"
+                    ))
             try:
                 self._open_connection()
             except (ConnectionError, OSError) as exc:
@@ -255,18 +263,25 @@ class RumbaClient:
         return wire.decode_frame(self._recv_exactly(sock, length))
 
     def _send_frame(self, blob: bytes) -> None:
+        # sendall stays inside the lock: it loops over partial send()
+        # syscalls, so two concurrent senders would interleave the bytes
+        # of their frames and corrupt the multiplexed stream.
         with self._send_lock:
             if self._closed:
                 raise ServingError("client is closed")
             sock = self._sock
-        try:
-            sock.sendall(blob)
-        except (ConnectionError, OSError) as exc:
-            with self._lock:
-                self._conn_dead = True
-            raise ConnectionLostError(
-                f"connection to the server was lost mid-send: {exc}"
-            ) from exc
+            try:
+                sock.sendall(blob)
+            except (ConnectionError, OSError) as exc:
+                with self._lock:
+                    # A concurrent reconnect may already have swapped the
+                    # socket; only a failure on the *current* one marks
+                    # the connection dead.
+                    if self._sock is sock:
+                        self._conn_dead = True
+                raise ConnectionLostError(
+                    f"connection to the server was lost mid-send: {exc}"
+                ) from exc
 
     def _reader_loop(self, sock: socket.socket) -> None:
         try:
@@ -276,9 +291,13 @@ class RumbaClient:
         except (ConnectionError, OSError, ProtocolError) as exc:
             with self._lock:
                 # Only the reader of the *current* socket declares the
-                # connection dead; a reconnect swaps the socket first.
-                if self._sock is sock:
-                    self._conn_dead = True
+                # connection dead and fails its pending handles; a
+                # reconnect swaps the socket first, so a stale reader
+                # that outlived the swap must not touch handles that
+                # belong to the new connection.
+                if self._sock is not sock:
+                    return
+                self._conn_dead = True
             self._fail_all_pending(exc)
 
     def _dispatch(self, frame: wire.Frame) -> None:

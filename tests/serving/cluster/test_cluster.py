@@ -360,3 +360,27 @@ class TestFleetManagement:
             router.stop()
             node_a.stop()
             node_b.stop()
+
+
+class TestLinkSendRegistration:
+    def test_sync_send_failure_leaves_entry_unregistered(self):
+        """A write that raises must not register the entry in pending.
+
+        Otherwise connection_lost() strands the entry into the retry
+        path *and* the caller retries it explicitly — the same request
+        forwarded to two nodes at once.
+        """
+        from repro.serving.cluster.nodes import Node, NodeLink
+
+        node = Node("127.0.0.1:9")
+        link = NodeLink(node, manager=None)
+
+        class DeadWriter:
+            def write(self, blob):
+                raise ConnectionResetError("link died mid-write")
+
+        link.writer = DeadWriter()
+        with pytest.raises(ConnectionError):
+            link.send_request(object(), b"body")
+        assert link.pending == {}
+        assert node.inflight == 0

@@ -126,6 +126,73 @@ class TestEndToEnd:
                 c.close()
 
 
+def _bare_client() -> RumbaClient:
+    """A RumbaClient skeleton with a fake socket (no real connection)."""
+    client = RumbaClient.__new__(RumbaClient)
+    client._send_lock = threading.Lock()
+    client._lock = threading.Lock()
+    client._closed = False
+    client._conn_dead = False
+    client._sock = None
+    return client
+
+
+class TestSendSerialization:
+    """_send_frame concurrency contract (regression coverage).
+
+    sendall loops over partial send() syscalls with the GIL released,
+    so it must run under the send lock or two submitting threads can
+    interleave the bytes of their frames mid-stream.
+    """
+
+    def test_concurrent_send_frames_never_overlap(self):
+        class RecordingSock:
+            def __init__(self):
+                self.calls = 0
+                self.overlaps = 0
+                self._inside = False
+
+            def sendall(self, blob):
+                if self._inside:
+                    self.overlaps += 1
+                self._inside = True
+                self.calls += 1
+                time.sleep(0.002)  # widen the race window
+                self._inside = False
+
+        client = _bare_client()
+        sock = RecordingSock()
+        client._sock = sock
+        threads = [
+            threading.Thread(target=client._send_frame, args=(b"x" * 64,))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sock.calls == 8
+        assert sock.overlaps == 0
+
+    def test_send_failure_on_stale_socket_spares_new_connection(self):
+        from repro.errors import ConnectionLostError
+
+        client = _bare_client()
+        fresh = object()
+
+        class StaleSock:
+            def sendall(self_, blob):
+                # A concurrent reconnect swaps in a healthy socket just
+                # as this send fails.
+                client._sock = fresh
+                raise ConnectionResetError("stale socket")
+
+        client._sock = StaleSock()
+        with pytest.raises(ConnectionLostError):
+            client._send_frame(b"frame")
+        assert client._conn_dead is False
+
+
 class TestErrorMapping:
     def test_bad_deadline_is_configuration_error(self, client,
                                                  fft_input_pool):
