@@ -29,7 +29,13 @@ from typing import Dict, List
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from _bench_utils import emit
-from perf_harness import drive_server, host_fingerprint, make_request_pool, speedup
+from perf_harness import (
+    drive_server,
+    host_fingerprint,
+    make_request_pool,
+    measure_allocations,
+    speedup,
+)
 
 from repro.core import prepare_system
 from repro.eval.reporting import banner, format_table
@@ -59,6 +65,22 @@ QUICK_SWEEP = {
 }
 
 
+def _make_server(prototype, backend: str, workers: int, batch: int) -> RumbaServer:
+    return RumbaServer(
+        prototype=prototype.clone_shard(),
+        config=ServerConfig(
+            backend=backend,
+            n_workers=workers,
+            n_recovery_workers=max(workers // 2, 1),
+            seed=0,
+            batching=BatchingConfig(
+                max_batch_requests=batch,
+                flush_interval_s=0.002,
+            ),
+        ),
+    )
+
+
 def run_sweep(quick: bool = False) -> Dict[str, object]:
     sweep = QUICK_SWEEP if quick else FULL_SWEEP
     prototype = prepare_system(APP, scheme=SCHEME, seed=0)
@@ -66,19 +88,7 @@ def run_sweep(quick: bool = False) -> Dict[str, object]:
     results: List[Dict[str, object]] = []
     for backend in ("thread", "process"):
         for workers, batch in sweep["points"]:
-            server = RumbaServer(
-                prototype=prototype.clone_shard(),
-                config=ServerConfig(
-                    backend=backend,
-                    n_workers=workers,
-                    n_recovery_workers=max(workers // 2, 1),
-                    seed=0,
-                    batching=BatchingConfig(
-                        max_batch_requests=batch,
-                        flush_interval_s=0.002,
-                    ),
-                ),
-            )
+            server = _make_server(prototype, backend, workers, batch)
             point = drive_server(
                 server,
                 pool,
@@ -87,6 +97,14 @@ def run_sweep(quick: bool = False) -> Dict[str, object]:
                 warmup_requests=sweep["warmup_requests"],
             )
             results.append(point)
+    # Allocation profile of the hot path, measured in a dedicated pass
+    # (tracemalloc's overhead must never touch the timed sweeps above).
+    allocations = measure_allocations(
+        _make_server(prototype, backend="thread", workers=1, batch=8),
+        pool,
+        n_requests=sweep["n_requests"] // 2,
+        elements_per_request=sweep["elements_per_request"],
+    )
     return {
         "bench": "backend_scaling",
         "app": APP,
@@ -100,6 +118,7 @@ def run_sweep(quick: bool = False) -> Dict[str, object]:
         },
         "results": results,
         "speedup": speedup(results),
+        "allocations": allocations,
     }
 
 
@@ -131,6 +150,14 @@ def _report(report: Dict[str, object]) -> None:
             ],
             title="thread -> process",
         ))
+    allocs = report.get("allocations")
+    if allocs:
+        emit(
+            f"hot-path allocations (thread w=1, tracemalloc pass): "
+            f"{allocs['allocs_per_request']} allocs/request, "
+            f"{allocs['alloc_kib_delta']} KiB retained over "
+            f"{allocs['requests']} requests"
+        )
 
 
 def _check(report: Dict[str, object]) -> None:

@@ -10,13 +10,22 @@ perf changes are visible across commits.
 Used by ``bench_backend_scaling.py``; import it for custom sweeps::
 
     from perf_harness import drive_server, host_fingerprint
+
+Run directly as the perf-regression gate (compares a fresh quick sweep
+against the committed baseline)::
+
+    python benchmarks/perf_harness.py --gate
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import platform
+import sys
 import time
+import tracemalloc
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -27,15 +36,36 @@ __all__ = [
     "host_fingerprint",
     "make_request_pool",
     "drive_server",
+    "measure_allocations",
     "percentile_ms",
+    "run_gate",
 ]
+
+
+def _cpu_governor() -> Optional[str]:
+    """Frequency-scaling governor of cpu0, when the kernel exposes it.
+
+    ``performance`` vs ``powersave``/``schedutil`` changes throughput by
+    integer factors on laptops; the gate needs to know."""
+    path = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+    try:
+        with open(path) as fh:
+            return fh.read().strip()
+    except OSError:
+        return None
 
 
 def host_fingerprint() -> Dict[str, object]:
     """What the numbers were measured on — perf JSON without this is
     uninterpretable once it leaves the machine."""
+    if hasattr(os, "sched_getaffinity"):
+        affinity = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - non-Linux
+        affinity = os.cpu_count() or 1
     return {
         "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": affinity,
+        "governor": _cpu_governor(),
         "machine": platform.machine(),
         "system": platform.system(),
         "python": platform.python_version(),
@@ -112,6 +142,56 @@ def drive_server(
     }
 
 
+def measure_allocations(
+    server: RumbaServer,
+    pool: np.ndarray,
+    n_requests: int,
+    elements_per_request: int,
+    timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """Allocation-count deltas across a request window (tracemalloc).
+
+    Runs *outside* the timed sweeps — tracemalloc's bookkeeping slows the
+    hot path by 2-5x, so these numbers never share a run with the
+    throughput ones.  The count delta is the regression signal for the
+    zero-copy work: a reintroduced per-request copy shows up here long
+    before it moves a noisy req/s number.
+    """
+    span = max(pool.shape[0] - elements_per_request, 1)
+    with server:
+        # Warm once so pool arenas, scratch buffers, and metric children
+        # exist before the measured window.
+        server.submit_wait(pool[:elements_per_request], timeout=timeout_s)
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            handles = [
+                server.submit(
+                    pool[(i * elements_per_request) % span:
+                         (i * elements_per_request) % span
+                         + elements_per_request]
+                )
+                for i in range(n_requests)
+            ]
+            for handle in handles:
+                handle.result(timeout=timeout_s)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+    diff = after.compare_to(before, "filename")
+    count_delta = sum(stat.count_diff for stat in diff)
+    size_delta = sum(stat.size_diff for stat in diff)
+    return {
+        "backend": server.backend,
+        "workers": server.n_workers,
+        "requests": n_requests,
+        "elements_per_request": elements_per_request,
+        "alloc_count_delta": int(count_delta),
+        "alloc_kib_delta": round(size_delta / 1024.0, 1),
+        "allocs_per_request": round(count_delta / max(n_requests, 1), 1),
+    }
+
+
 def speedup(
     results: List[Dict[str, object]],
     baseline_backend: str = "thread",
@@ -141,3 +221,143 @@ def speedup(
             "speedup": point["requests_per_s"] / base["requests_per_s"],
         })
     return rows
+
+
+# --------------------------------------------------------------------------
+# Perf-regression gate
+# --------------------------------------------------------------------------
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "BENCH_serving.json")
+
+
+def _point_key(point: Dict[str, object]) -> tuple:
+    return (point["backend"], point["workers"], point["batch_requests"])
+
+
+def run_gate(
+    baseline_path: str = DEFAULT_BASELINE,
+    tolerance: float = 0.35,
+    out=sys.stdout,
+) -> int:
+    """Fail (non-zero) when a fresh quick sweep regresses vs the baseline.
+
+    Each (backend, workers, batch) point measured by the quick sweep is
+    compared against the same point in the committed ``BENCH_serving.json``;
+    a point fails when its fresh req/s drops below ``(1 - tolerance)`` of
+    the baseline.  The band is wide by design — CI hosts are noisy — so a
+    trip means a real structural regression (a reintroduced copy, a lock
+    on the hot path), not scheduler jitter.
+
+    Cross-host guards: baselines recorded on a host with a different
+    visible-CPU count are rescaled per-core before comparison (and the
+    report says so); the process>=thread ordering check only applies when
+    this host has >=2 usable cores.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_points = {_point_key(p): p for p in baseline["results"]}
+    base_host = baseline.get("host", {})
+
+    # Import lazily: bench_backend_scaling imports this module at top
+    # level, so the reverse import must not run at module scope.
+    from bench_backend_scaling import run_sweep
+
+    # Replay the baseline's own load shape — comparing a quick sweep's
+    # req/s against full-sweep baselines would mix request sizes and
+    # warmup into the delta and gate on noise.
+    fresh = run_sweep(quick=bool(baseline.get("quick", False)))
+    host = fresh["host"]
+
+    usable = int(host.get("cpu_affinity") or host.get("cpu_count") or 1)
+    base_usable = int(
+        base_host.get("cpu_affinity") or base_host.get("cpu_count") or 1
+    )
+    # Per-point single-worker throughput scales with straight-line core
+    # speed, not core count — but a baseline from a wider host saturates
+    # multi-worker points this host cannot.  Rescale those expectations.
+    failures: List[str] = []
+    rows: List[str] = []
+    compared = 0
+    for point in fresh["results"]:
+        key = _point_key(point)
+        base = base_points.get(key)
+        if base is None:
+            continue
+        compared += 1
+        expected = float(base["requests_per_s"])
+        note = ""
+        workers = int(point["workers"])
+        if workers > 1 and base_usable != usable:
+            scale = min(workers, usable) / min(workers, base_usable)
+            expected *= scale
+            note = f" (rescaled x{scale:.2f}: {base_usable}->{usable} cores)"
+        floor = expected * (1.0 - tolerance)
+        got = float(point["requests_per_s"])
+        status = "ok" if got >= floor else "FAIL"
+        rows.append(
+            f"  [{status}] {key[0]:>7} w={key[1]} b={key[2]}: "
+            f"{got:8.1f} req/s vs floor {floor:8.1f}"
+            f" (baseline {base['requests_per_s']:.1f}{note})"
+        )
+        if got < floor:
+            failures.append(
+                f"{key}: {got:.1f} req/s < floor {floor:.1f}"
+            )
+    print(f"perf gate: tolerance {tolerance:.0%}, "
+          f"{compared} point(s) compared, host cores={usable} "
+          f"(baseline cores={base_usable})", file=out)
+    for row in rows:
+        print(row, file=out)
+    if compared == 0:
+        print("perf gate: FAIL — no comparable points in baseline",
+              file=out)
+        return 2
+
+    if usable >= 2:
+        ordering = [
+            s for s in fresh["speedup"] if int(s["workers"]) >= 2
+        ]
+        for s in ordering:
+            if s["speedup"] < 1.0 - tolerance / 2:
+                failures.append(
+                    f"process backend slower than thread at "
+                    f"workers={s['workers']} (x{s['speedup']:.2f})"
+                )
+    else:
+        print("perf gate: <2 usable cores — skipping process>=thread "
+              "ordering check", file=out)
+
+    if failures:
+        print("perf gate: FAIL", file=out)
+        for failure in failures:
+            print(f"  - {failure}", file=out)
+        return 1
+    print("perf gate: PASS", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving perf harness / regression gate"
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="run a quick sweep and compare against the committed baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="baseline JSON to gate against (default: BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.35,
+        help="allowed fractional drop below baseline before failing",
+    )
+    args = parser.parse_args(argv)
+    if not args.gate:
+        parser.error("nothing to do: pass --gate")
+    return run_gate(baseline_path=args.baseline, tolerance=args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ it trains the network on exact kernel input/output pairs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -49,6 +50,23 @@ class NPUBackend:
     _fused: Optional[Tuple[List[np.ndarray], List[np.ndarray]]] = field(
         default=None, repr=False, compare=False
     )
+    # Per-thread hidden-layer activation buffers for the fused forward.
+    # Thread-local because the serving layer shares one backend instance
+    # across all worker shards (clone_shard shares it by reference).
+    _scratch: Optional[threading.local] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        # threading.local cannot cross pickle/deepcopy boundaries; the
+        # folded weights can, and are cheap either way.
+        state = self.__dict__.copy()
+        state["_scratch"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._scratch = None
 
     @property
     def topology(self) -> Topology:
@@ -104,21 +122,51 @@ class NPUBackend:
         """Drop the folded-weight cache (after in-place weight updates)."""
         object.__setattr__(self, "_fused", None)
 
+    def _hidden_scratch(
+        self, n: int, weights: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Per-thread hidden-layer buffers sized for an ``n``-row batch.
+
+        Reused across invocations with the same batch size, so a
+        steady-state serving batch runs the whole fused forward with a
+        single interior allocation (the output array, which escapes into
+        the invocation record and must be fresh).
+        """
+        tls = self._scratch
+        if tls is None:
+            tls = threading.local()
+            object.__setattr__(self, "_scratch", tls)
+        cached = getattr(tls, "bufs", None)
+        if cached is None or cached[0] != n:
+            cached = (n, [np.empty((n, w.shape[1])) for w in weights[:-1]])
+            tls.bufs = cached
+        return cached[1]
+
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         """Approximate kernel outputs for raw kernel inputs, ``(n, out)``.
 
         Uses the scaler-folded network (two fewer full-array passes than
-        :meth:`unfused_call`); falls back to the unfused path for networks
-        whose output layer is not linear.
+        :meth:`unfused_call`) with preallocated per-layer activation
+        buffers — ``np.matmul(..., out=)`` plus in-place activations, the
+        same kernel :meth:`repro.nn.mlp.MLP.forward` exposes via its
+        ``out=``/``scratch=`` parameters.  Falls back to the unfused path
+        for networks whose output layer is not linear.
         """
         try:
             weights, biases = self.fused()
         except ConfigurationError:
             return self.unfused_call(inputs)
         arr = self.features(inputs)
+        n = arr.shape[0]
+        scratch = self._hidden_scratch(n, weights)
+        last = len(weights) - 1
+        h = arr
         for layer, (w, b) in enumerate(zip(weights, biases)):
-            arr = self.network.activation_for_layer(layer)(arr @ w + b)
-        return arr
+            dst = np.empty((n, w.shape[1])) if layer == last else scratch[layer]
+            np.matmul(h, w, out=dst)
+            dst += b
+            h = self.network.activation_for_layer(layer)(dst, out=dst)
+        return h
 
     def unfused_call(self, inputs: np.ndarray) -> np.ndarray:
         """The reference evaluation path: scale, forward, inverse-scale."""

@@ -98,6 +98,34 @@ class DetectionModule:
         entry per element is pushed in iteration order — the channel the
         CPU-side recovery module drains.
         """
+        result = self.detect_into(
+            features=features,
+            approx_outputs=approx_outputs,
+            true_errors=true_errors,
+        )
+        if recovery_queue is not None:
+            bits = result.recovery_bits
+            recovery_queue.push_many(
+                range(first_iteration_id, first_iteration_id + bits.shape[0]),
+                bits,
+            )
+        return result
+
+    def detect_into(
+        self,
+        features: Optional[np.ndarray] = None,
+        approx_outputs: Optional[np.ndarray] = None,
+        true_errors: Optional[np.ndarray] = None,
+        bits_out: Optional[np.ndarray] = None,
+    ) -> DetectionResult:
+        """Score one invocation, thresholding into ``bits_out`` if given.
+
+        The serving fast path owns the bits vector directly (no
+        ``RecoveryQueue`` round trip), so it can hand detection a
+        caller-provided boolean buffer and avoid the per-invocation
+        allocation.  Numerically identical to :meth:`detect`: a bit is set
+        when the score exceeds the threshold or is non-finite.
+        """
         scores = np.asarray(
             self.predictor.scores(
                 features=features,
@@ -106,20 +134,28 @@ class DetectionModule:
             ),
             dtype=float,
         ).ravel()
+        n = scores.shape[0]
+        if bits_out is None:
+            bits = np.empty(n, dtype=bool)
+        else:
+            if bits_out.shape != (n,) or bits_out.dtype != np.bool_:
+                raise ConfigurationError(
+                    f"bits_out must be a bool vector of shape ({n},)"
+                )
+            bits = bits_out
+        np.greater(scores, self.threshold, out=bits)
         # A non-finite score means the accelerator (or the checker datapath)
         # produced garbage for that element; a hardware checker's sanity
         # logic fires unconditionally on such values, and so do we.
-        bits = (scores > self.threshold) | ~np.isfinite(scores)
+        finite = np.isfinite(scores)
+        if not finite.all():
+            np.logical_not(finite, out=finite)
+            np.logical_or(bits, finite, out=bits)
         n_fired = int(bits.sum())
-        self.total_checks += scores.shape[0]
+        self.total_checks += n
         self.total_fires += n_fired
         if self.telemetry is not None:
-            self.telemetry.on_detection(scores.shape[0], n_fired)
-        if recovery_queue is not None:
-            recovery_queue.push_many(
-                range(first_iteration_id, first_iteration_id + bits.shape[0]),
-                bits,
-            )
+            self.telemetry.on_detection(n, n_fired)
         return DetectionResult(scores=scores, recovery_bits=bits,
                                threshold=self.threshold)
 

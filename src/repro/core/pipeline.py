@@ -17,7 +17,7 @@ extending the makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -40,7 +40,31 @@ class PipelineResult:
     makespan: float
     cpu_busy: float
     cpu_service_cycles: float = 0.0
-    cpu_segments: List[Tuple[float, float, int]] = field(default_factory=list)
+    # Vectorized segment representation (start/end times and iteration ids,
+    # service order); the tuple list is materialized lazily on first access
+    # because the serving hot path never reads it.
+    _seg_starts: Optional[np.ndarray] = field(default=None, repr=False)
+    _seg_ends: Optional[np.ndarray] = field(default=None, repr=False)
+    _seg_ids: Optional[np.ndarray] = field(default=None, repr=False)
+    _segments: Optional[List[Tuple[float, float, int]]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def cpu_segments(self) -> List[Tuple[float, float, int]]:
+        """``(start, end, iteration_id)`` per re-execution, in service order."""
+        if self._segments is None:
+            if self._seg_starts is None:
+                self._segments = []
+            else:
+                self._segments = list(
+                    zip(
+                        self._seg_starts.tolist(),
+                        self._seg_ends.tolist(),
+                        self._seg_ids.tolist(),
+                    )
+                )
+        return self._segments
 
     @property
     def cpu_kept_up(self) -> bool:
@@ -75,10 +99,11 @@ class PipelineResult:
             raise ConfigurationError("resolution must be positive")
         n_samples = int(np.ceil(self.makespan / resolution)) + 1
         trace = np.zeros(n_samples, dtype=int)
-        for start, end, _ in self.cpu_segments:
-            lo = int(start // resolution)
-            hi = int(np.ceil(end / resolution))
-            trace[lo:hi] = 1
+        if self._seg_starts is not None:
+            for start, end in zip(self._seg_starts, self._seg_ends):
+                lo = int(start // resolution)
+                hi = int(np.ceil(end / resolution))
+                trace[lo:hi] = 1
         return trace
 
 
@@ -123,24 +148,37 @@ def simulate_pipeline(
         arrivals = (np.arange(n) + 1) * effective_accel
 
     accel_finish = n * effective_accel
-    cpu_free = 0.0
-    cpu_busy = 0.0
-    segments: List[Tuple[float, float, int]] = []
-    for idx in np.flatnonzero(bits):
-        start = max(float(arrivals[idx]), cpu_free)
-        end = start + cpu_cycles_per_iteration
-        segments.append((start, end, int(idx)))
-        cpu_free = end
-        cpu_busy += cpu_cycles_per_iteration
-    makespan = max(accel_finish, cpu_free)
+    flagged = np.flatnonzero(bits)
+    k = flagged.size
+    cpu = cpu_cycles_per_iteration
+    if k == 0:
+        return PipelineResult(
+            n_iterations=n,
+            n_recovered=0,
+            accel_finish=accel_finish,
+            makespan=accel_finish,
+            cpu_busy=0.0,
+            cpu_service_cycles=cpu,
+        )
+    # The FIFO recurrence  end_i = max(arrival_i, end_{i-1}) + cpu  unrolls
+    # to  end_i = (i+1)*cpu + max_{j<=i}(arrival_j - j*cpu), which is a
+    # running maximum — one `np.maximum.accumulate` instead of a Python
+    # loop over every flagged iteration.
+    arr = arrivals[flagged]
+    rank = np.arange(k, dtype=float)
+    ends = np.maximum.accumulate(arr - rank * cpu) + (rank + 1.0) * cpu
+    starts = ends - cpu
+    makespan = max(accel_finish, float(ends[-1]))
     return PipelineResult(
         n_iterations=n,
-        n_recovered=len(segments),
+        n_recovered=k,
         accel_finish=accel_finish,
         makespan=makespan,
-        cpu_busy=cpu_busy,
-        cpu_service_cycles=cpu_cycles_per_iteration,
-        cpu_segments=segments,
+        cpu_busy=k * cpu,
+        cpu_service_cycles=cpu,
+        _seg_starts=starts,
+        _seg_ends=ends,
+        _seg_ids=flagged,
     )
 
 

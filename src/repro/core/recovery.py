@@ -120,8 +120,12 @@ class RecoveryModule:
         if indices.size == 0:
             if self.telemetry is not None:
                 self.telemetry.on_recovery(0, inputs.shape[0])
+            # Nothing flagged: the merged output IS the approximate output.
+            # Returning it unchanged (no defensive copy) is safe because
+            # downstream consumers treat invocation outputs as immutable;
+            # on a clean batch this saves a full-array copy per invocation.
             return RecoveryResult(
-                merged_outputs=approx_outputs.copy(),
+                merged_outputs=approx_outputs,
                 recovery_indices=indices,
                 n_recovered=0,
             )

@@ -46,7 +46,7 @@ from repro.core.tuner import InvocationFeedback, OnlineTuner
 from repro.errors import ConfigurationError
 from repro.hardware.energy import EnergyModel
 from repro.hardware.npu import NPUModel
-from repro.hardware.queues import ConfigQueue, RecoveryQueue
+from repro.hardware.queues import ConfigQueue
 from repro.observability.instrument import Telemetry, ambient_telemetry_registry
 from repro.predictors.base import ErrorPredictor
 
@@ -275,33 +275,31 @@ class RumbaSystem:
                 exact = self.app.exact(inputs)
                 true_errors = self.app.element_errors(approx, exact)
 
-            queue = RecoveryQueue(
-                capacity=max(self.config.recovery_queue_capacity, n),
-                strict=True,
-            )
             with (scope.phase("detect") if scope else _NOOP):
                 with self._mutex:
                     self.detection.threshold = self.tuner.threshold
-                    first_iteration_id = self._next_iteration_id
                     self._next_iteration_id += n
-                detection = self.detection.detect(
+                # Fast path: detection owns the recovery-bits vector, so the
+                # per-invocation RecoveryQueue — allocate, push n ids through
+                # a locked Python deque, drain, rebuild the bool vector — is
+                # an identity transform here (the queue is private, every
+                # push precedes the single drain, and capacity >= n means no
+                # stalls).  Skip it and take the bits straight from
+                # detection; hardware-facing queue semantics stay covered by
+                # RecoveryQueue's own tests and the hardware model.
+                detection = self.detection.detect_into(
                     features=features,
                     approx_outputs=approx,
                     true_errors=true_errors,
-                    recovery_queue=queue,
-                    first_iteration_id=first_iteration_id,
                 )
-
-                flagged_ids = queue.drain_flagged()
-                bits = np.zeros(n, dtype=bool)
-                if flagged_ids:
-                    offsets = np.asarray(flagged_ids) - first_iteration_id
-                    bits[offsets] = True
+                bits = detection.recovery_bits
             if tel is not None:
+                # Emulate the queue telemetry the drained path reported:
+                # all n entries were in flight at the drain point, capacity
+                # is the configured floor (or n, whichever is larger), and
+                # a strict queue with capacity >= n never stalls.
                 tel.on_queue(
-                    queue.stats.max_occupancy,
-                    queue.capacity,
-                    queue.stats.stall_events,
+                    n, max(self.config.recovery_queue_capacity, n), 0
                 )
                 scope.annotate("detect", n_fired=int(detection.n_fired))
             return PendingInvocation(

@@ -12,7 +12,7 @@ trainer expects.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -38,7 +38,16 @@ class Activation:
 
     name: str = "base"
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Map pre-activations to activations.
+
+        When ``out`` is given (it may be ``x`` itself) the result is
+        written into it and returned, so batch kernels can run whole
+        layers without interior allocations.  Numerically identical to the
+        allocating path — the same ufunc sequence either way.
+        """
         raise NotImplementedError
 
     def derivative(self, out: np.ndarray) -> np.ndarray:
@@ -53,9 +62,18 @@ class Sigmoid(Activation):
 
     name = "sigmoid"
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         # Clip to avoid overflow in exp for very large negative inputs.
-        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        if out is None:
+            return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        np.clip(x, -60.0, 60.0, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.divide(1.0, out, out=out)
+        return out
 
     def derivative(self, out: np.ndarray) -> np.ndarray:
         return out * (1.0 - out)
@@ -66,8 +84,12 @@ class Tanh(Activation):
 
     name = "tanh"
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return np.tanh(x)
+    def __call__(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if out is None:
+            return np.tanh(x)
+        return np.tanh(x, out=out)
 
     def derivative(self, out: np.ndarray) -> np.ndarray:
         return 1.0 - out * out
@@ -78,8 +100,12 @@ class ReLU(Activation):
 
     name = "relu"
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return np.maximum(x, 0.0)
+    def __call__(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if out is None:
+            return np.maximum(x, 0.0)
+        return np.maximum(x, 0.0, out=out)
 
     def derivative(self, out: np.ndarray) -> np.ndarray:
         return (out > 0.0).astype(out.dtype)
@@ -90,8 +116,13 @@ class Linear(Activation):
 
     name = "linear"
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return x
+    def __call__(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if out is None or out is x:
+            return x
+        np.copyto(out, x)
+        return out
 
     def derivative(self, out: np.ndarray) -> np.ndarray:
         return np.ones_like(out)

@@ -130,15 +130,47 @@ class MLP:
         """The activation applied after weight layer ``layer`` (0-based)."""
         return self._output_act if layer == self.n_layers - 1 else self._hidden_act
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        scratch: Optional[List[np.ndarray]] = None,
+    ) -> np.ndarray:
         """Evaluate the network on a batch.
 
         ``x`` has shape ``(n_samples, n_inputs)`` (a 1-D array is treated as
         a single batch of samples for 1-input networks).  Returns an array of
         shape ``(n_samples, n_outputs)``.
+
+        ``out`` (shape ``(n_samples, n_outputs)``) receives the final layer
+        in place, and ``scratch`` supplies one preallocated buffer per
+        hidden layer (shape ``(n_samples, layer_width)``); with both, a
+        forward pass performs zero interior allocations — every matmul and
+        activation writes into caller-owned memory via ``np.matmul(...,
+        out=)`` and the activations' in-place path.  Results are numerically
+        identical to the allocating path.
         """
-        out, _ = self.forward_trace(x)
-        return out
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, self.topology.n_inputs)
+        if arr.shape[1] != self.topology.n_inputs:
+            raise ConfigurationError(
+                f"expected {self.topology.n_inputs} inputs, got shape {arr.shape}"
+            )
+        n = arr.shape[0]
+        last = self.n_layers - 1
+        h = arr
+        for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
+            if layer == last and out is not None:
+                dst = out
+            elif scratch is not None and layer < len(scratch):
+                dst = scratch[layer]
+            else:
+                dst = np.empty((n, w.shape[1]))
+            np.matmul(h, w, out=dst)
+            dst += b
+            h = self.activation_for_layer(layer)(dst, out=dst)
+        return h
 
     def forward_trace(self, x: np.ndarray):
         """Like :meth:`forward` but also return all layer activations.

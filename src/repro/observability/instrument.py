@@ -208,6 +208,41 @@ class Telemetry:
             "rumba_phase_seconds_total", "Cumulative wall time by phase",
             labels + ("phase",),
         )
+        # Bound children for the hot hooks: the label set is constant for
+        # the lifetime of this Telemetry, so resolving each child once
+        # here keeps dict-hashing and the family lock off the
+        # per-invocation path (~30 labels() calls per invocation
+        # otherwise).
+        ls = self._labels
+        self._b_invocations = self._invocations.labels(**ls)
+        self._b_elements = self._elements.labels(**ls)
+        self._b_checks = self._checks.labels(**ls)
+        self._b_fires = self._fires.labels(**ls)
+        self._b_fire_rate = self._fire_rate.labels(**ls)
+        self._b_recovered = self._recovered.labels(**ls)
+        self._b_recovered_fraction = self._recovered_fraction.labels(**ls)
+        self._b_threshold = self._threshold.labels(**ls)
+        self._b_cpu_kept_up = self._cpu_kept_up.labels(**ls)
+        self._b_cpu_utilization = self._cpu_utilization.labels(**ls)
+        self._b_queue_peak = self._queue_peak.labels(**ls)
+        self._b_queue_capacity = self._queue_capacity.labels(**ls)
+        self._b_queue_stalls = self._queue_stalls.labels(**ls)
+        self._b_measured_error = self._measured_error.labels(**ls)
+        self._b_unchecked_error = self._unchecked_error.labels(**ls)
+        self._b_drift_flags = self._drift_flags.labels(**ls)
+        self._b_drifted = self._drifted.labels(**ls)
+        self._b_latency = self._latency.labels(**ls)
+        self._b_cycles = self._cycles.labels(**ls)
+        self._b_tuner_moves = {
+            name: self._tuner_moves.labels(direction=name, **ls)
+            for name in ("raise", "lower", "hold")
+        }
+        self._b_keepup = {
+            flag: self._keepup.labels(kept_up=flag, **ls)
+            for flag in ("true", "false")
+        }
+        # Phase names arrive from callers; cache children as they appear.
+        self._b_phase: Dict[str, tuple] = {}
         # Per-invocation history for the dashboard (bounded).
         self.history: Dict[str, Deque[float]] = {
             key: deque(maxlen=history)
@@ -252,36 +287,32 @@ class Telemetry:
     # QualityManagedStream call these when telemetry is attached)        #
     # ------------------------------------------------------------------ #
     def on_detection(self, n_checks: int, n_fired: int) -> None:
-        self._checks.labels(**self._labels).inc(n_checks)
-        self._fires.labels(**self._labels).inc(n_fired)
-        self._fire_rate.labels(**self._labels).set(
-            n_fired / n_checks if n_checks else 0.0
-        )
+        self._b_checks.inc(n_checks)
+        self._b_fires.inc(n_fired)
+        self._b_fire_rate.set(n_fired / n_checks if n_checks else 0.0)
 
     def on_recovery(self, n_recovered: int, n_elements: int) -> None:
-        self._recovered.labels(**self._labels).inc(n_recovered)
-        self._recovered_fraction.labels(**self._labels).set(
+        self._b_recovered.inc(n_recovered)
+        self._b_recovered_fraction.set(
             n_recovered / n_elements if n_elements else 0.0
         )
 
     def on_threshold(self, threshold: float, direction: int) -> None:
-        self._threshold.labels(**self._labels).set(threshold)
+        self._b_threshold.set(threshold)
         name = {1: "raise", -1: "lower"}.get(direction, "hold")
-        self._tuner_moves.labels(direction=name, **self._labels).inc()
+        self._b_tuner_moves[name].inc()
 
     def on_queue(self, peak: int, capacity: int, stalls: int) -> None:
-        self._queue_peak.labels(**self._labels).set(peak)
-        self._queue_capacity.labels(**self._labels).set(capacity)
+        self._b_queue_peak.set(peak)
+        self._b_queue_capacity.set(capacity)
         if stalls:
-            self._queue_stalls.labels(**self._labels).inc(stalls)
+            self._b_queue_stalls.inc(stalls)
         self.history["queue_peak"].append(float(peak))
 
     def on_drift(self, drifted_now: bool, awaiting_retraining: bool) -> None:
         if drifted_now:
-            self._drift_flags.labels(**self._labels).inc()
-        self._drifted.labels(**self._labels).set(
-            1.0 if awaiting_retraining else 0.0
-        )
+            self._b_drift_flags.inc()
+        self._b_drifted.set(1.0 if awaiting_retraining else 0.0)
 
     def snapshot_gauge(self, name: str) -> float:
         """Convenience: current value of one of this instance's series."""
@@ -317,8 +348,15 @@ class _InvocationScope:
             finally:
                 elapsed = time.perf_counter() - start
         self._phase_wall[name] = self._phase_wall.get(name, 0.0) + elapsed
-        tel._phase_spans.labels(phase=name, **tel._labels).inc()
-        tel._phase_seconds.labels(phase=name, **tel._labels).inc(elapsed)
+        children = tel._b_phase.get(name)
+        if children is None:
+            children = (
+                tel._phase_spans.labels(phase=name, **tel._labels),
+                tel._phase_seconds.labels(phase=name, **tel._labels),
+            )
+            tel._b_phase[name] = children
+        children[0].inc()
+        children[1].inc(elapsed)
 
     def annotate(self, phase: str, **attributes) -> None:
         """Attach attributes to a phase's span (no-op without a tracer)."""
@@ -329,21 +367,18 @@ class _InvocationScope:
     def observe_record(self, record) -> None:
         """Record the per-invocation metrics from a finished record."""
         tel = self._tel
-        labels = tel._labels
-        tel._invocations.labels(**labels).inc()
-        tel._elements.labels(**labels).inc(self.n_elements)
+        tel._b_invocations.inc()
+        tel._b_elements.inc(self.n_elements)
         pipeline = record.pipeline
         kept_up = bool(pipeline.cpu_kept_up)
-        tel._cpu_kept_up.labels(**labels).set(1.0 if kept_up else 0.0)
-        tel._keepup.labels(
-            kept_up="true" if kept_up else "false", **labels
-        ).inc()
-        tel._cpu_utilization.labels(**labels).set(pipeline.cpu_utilization)
-        tel._cycles.labels(**labels).observe(pipeline.makespan)
+        tel._b_cpu_kept_up.set(1.0 if kept_up else 0.0)
+        tel._b_keepup["true" if kept_up else "false"].inc()
+        tel._b_cpu_utilization.set(pipeline.cpu_utilization)
+        tel._b_cycles.observe(pipeline.makespan)
         if record.measured_error is not None:
-            tel._measured_error.labels(**labels).set(record.measured_error)
+            tel._b_measured_error.set(record.measured_error)
         if record.unchecked_error is not None:
-            tel._unchecked_error.labels(**labels).set(record.unchecked_error)
+            tel._b_unchecked_error.set(record.unchecked_error)
         history = tel.history
         history["fire_rate"].append(record.detection.fire_fraction)
         history["recovered_fraction"].append(record.recovery.recovered_fraction)
@@ -355,7 +390,7 @@ class _InvocationScope:
 
     def _finish(self, wall_seconds: float) -> None:
         tel = self._tel
-        tel._latency.labels(**tel._labels).observe(wall_seconds)
+        tel._b_latency.observe(wall_seconds)
         tel.history["latency_s"].append(wall_seconds)
         record = getattr(self, "_record", None)
         if tel.tracer is not None:

@@ -207,7 +207,10 @@ class TracingPolicy:
     rate is exact, not probabilistic); errors and retries are promoted
     to sampled regardless when ``always_sample_errors`` is set.  When
     tracing is disabled :meth:`new_trace` returns None and every stamp
-    site stays a cheap ``is None`` check.
+    site stays a cheap ``is None`` check.  Unsampled traces still carry
+    an identity (so a later promotion keeps the same trace id), but
+    consumers should gate per-stage stamping on ``sampled`` — the
+    serving hot path does.
     """
 
     def __init__(

@@ -89,6 +89,7 @@ class DecisionTreeErrorPredictor(ErrorPredictor):
         self.n_thresholds = n_thresholds
         self.root: Optional[TreeNode] = None
         self._n_features = 0
+        self._flat: Optional[Tuple[np.ndarray, ...]] = None
 
     # ------------------------------------------------------------------ #
     # Fitting                                                            #
@@ -96,6 +97,7 @@ class DecisionTreeErrorPredictor(ErrorPredictor):
     def _fit(self, features: np.ndarray, errors: np.ndarray) -> None:
         self._n_features = features.shape[1]
         self.root = self._build(features, errors, depth=0)
+        self._flat = None
 
     def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
         node_value = float(y.mean())
@@ -177,6 +179,53 @@ class DecisionTreeErrorPredictor(ErrorPredictor):
     # ------------------------------------------------------------------ #
     # Prediction                                                         #
     # ------------------------------------------------------------------ #
+    def _flatten(self) -> Tuple[np.ndarray, ...]:
+        """Flatten the node objects into parallel arrays for scoring.
+
+        Leaves get ``feature = -1`` and self-referencing children, so a
+        fixed number of vectorized descent steps (= tree depth) routes
+        every row to its leaf with no per-node Python dispatch.  Built
+        lazily after ``fit`` and cached until the next refit.
+        """
+        nodes: List[TreeNode] = []
+        stack = [self.root]
+        index = {}
+        while stack:
+            node = stack.pop()
+            index[id(node)] = len(nodes)
+            nodes.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+        size = len(nodes)
+        feature = np.empty(size, dtype=np.intp)
+        threshold = np.empty(size, dtype=float)
+        left = np.empty(size, dtype=np.intp)
+        right = np.empty(size, dtype=np.intp)
+        value = np.empty(size, dtype=float)
+        for i, node in enumerate(nodes):
+            value[i] = node.value
+            if node.is_leaf:
+                feature[i] = -1
+                threshold[i] = 0.0
+                left[i] = i
+                right[i] = i
+            else:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = index[id(node.left)]
+                right[i] = index[id(node.right)]
+        # Interleaved children (right at 2i, left at 2i+1) let the descent
+        # pick a row's next node with one gather on ``2*idx + go_left``
+        # instead of two gathers plus a where().
+        children = np.empty(2 * size, dtype=np.intp)
+        children[0::2] = right
+        children[1::2] = left
+        self._flat = (
+            feature, threshold, children, value, self.root.depth()
+        )
+        return self._flat
+
     def scores(self, features=None, approx_outputs=None, true_errors=None):
         self._require_fitted()
         if features is None:
@@ -187,22 +236,35 @@ class DecisionTreeErrorPredictor(ErrorPredictor):
                 f"expected {self._n_features} feature columns, got "
                 f"{features.shape[1]}"
             )
-        out = np.empty(features.shape[0], dtype=float)
-        # Vectorized BFS: route index sets down the tree level by level.
-        stack: List[Tuple[TreeNode, np.ndarray]] = [
-            (self.root, np.arange(features.shape[0]))
-        ]
-        while stack:
-            node, idx = stack.pop()
-            if idx.size == 0:
-                continue
-            if node.is_leaf:
-                out[idx] = node.value
-                continue
-            mask = features[idx, node.feature] <= node.threshold
-            stack.append((node.left, idx[mask]))
-            stack.append((node.right, idx[~mask]))
-        return np.maximum(out, 0.0)
+        flat = self._flat if self._flat is not None else self._flatten()
+        feature, threshold, children, value, depth = flat
+        n = features.shape[0]
+        idx = np.zeros(n, dtype=np.intp)
+        nxt = np.empty(n, dtype=np.intp)
+        thr = np.empty(n, dtype=float)
+        go_left = np.empty(n, dtype=bool)
+        if self._n_features == 1:
+            col0 = features[:, 0]
+            rows = None
+        else:
+            col0 = None
+            rows = np.arange(n)
+        for _ in range(depth):
+            np.take(threshold, idx, out=thr)
+            if col0 is not None:
+                np.less_equal(col0, thr, out=go_left)
+            else:
+                # Leaf rows carry feature -1; clamp to a valid column —
+                # their self-looping children ignore the comparison.
+                col = features[rows, np.maximum(feature[idx], 0)]
+                np.less_equal(col, thr, out=go_left)
+            # Next node: children[2*idx + go_left] (ping-pong buffers so
+            # the gather never reads the array it writes).
+            np.multiply(idx, 2, out=idx)
+            idx += go_left
+            np.take(children, idx, out=nxt)
+            idx, nxt = nxt, idx
+        return np.maximum(value[idx], 0.0)
 
     # ------------------------------------------------------------------ #
     # Introspection / hardware mapping                                   #

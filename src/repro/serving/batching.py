@@ -22,21 +22,48 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from itertools import islice
 from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ServingError
+from repro.serving.bufpool import BufferPool
 from repro.serving.request import ServeRequest
 
 __all__ = ["AdmissionQueue", "concat_inputs", "split_outputs"]
 
 
-def concat_inputs(requests: Sequence[ServeRequest]) -> np.ndarray:
-    """Stack the requests' input rows into one accelerator invocation."""
+def concat_inputs(
+    requests: Sequence[ServeRequest], pool: Optional[BufferPool] = None
+) -> np.ndarray:
+    """Stack the requests' input rows into one accelerator invocation.
+
+    A single-request batch returns that request's input block as-is (no
+    copy).  With ``pool``, multi-request batches write into a leased
+    buffer instead of allocating — the caller owns the lease and must
+    release it once the invocation no longer references the batch.
+    """
     if not requests:
         raise ConfigurationError("cannot build a batch from zero requests")
-    return np.concatenate([np.atleast_2d(r.inputs) for r in requests], axis=0)
+    if len(requests) == 1:
+        return np.atleast_2d(requests[0].inputs)
+    blocks = [np.atleast_2d(r.inputs) for r in requests]
+    if pool is None:
+        return np.concatenate(blocks, axis=0)
+    n_cols = blocks[0].shape[1]
+    total = sum(b.shape[0] for b in blocks)
+    out = pool.lease((total, n_cols))
+    offset = 0
+    for block in blocks:
+        if block.shape[1] != n_cols:
+            pool.release(out)
+            raise ConfigurationError(
+                "all requests in a batch must have the same column count"
+            )
+        out[offset: offset + block.shape[0]] = block
+        offset += block.shape[0]
+    return out
 
 
 def split_outputs(
@@ -144,7 +171,16 @@ class AdmissionQueue:
                         or self._closed
                     ):
                         k = min(len(self._pending), self.max_batch_requests)
-                        return [self._pending.popleft() for _ in range(k)]
+                        if k == len(self._pending):
+                            # Full drain: one bulk copy + clear instead of
+                            # k popleft() round trips.
+                            batch = list(self._pending)
+                            self._pending.clear()
+                        else:
+                            batch = list(islice(self._pending, k))
+                            for _ in range(k):
+                                self._pending.popleft()
+                        return batch
                     # Wake at the oldest request's deadline (or earlier, if
                     # new arrivals fill the batch and notify us).
                     self._cond.wait(timeout=flush_at - now)

@@ -151,11 +151,13 @@ class RetryConfig:
 class TracingConfig:
     """Request-trace sampling and flight-recorder settings.
 
-    Every request gets a stamped trace when ``enabled`` (stamps are
-    cheap appends); ``sample_every`` gates the *export* — stage
-    histograms and the flight-recorder record — to one request in N.
-    Errors and retried requests are promoted to sampled regardless when
-    ``always_sample_errors`` is set, so failures always leave a record.
+    Every request gets a trace identity when ``enabled``, but only the
+    one-in-``sample_every`` requests picked by the sampler pay for stage
+    stamping and are exported (stage histograms and the flight-recorder
+    record).  Errors and retried requests are promoted to sampled
+    regardless when ``always_sample_errors`` is set, so failures always
+    leave a record — their waterfall starts at the promotion point
+    (admission and the error stages are always present).
     """
 
     #: Master switch; False makes every stamp site a no-op.

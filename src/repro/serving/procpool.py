@@ -87,24 +87,44 @@ def _worker_main(
         prototype = pickle.loads(system_blob)
         system = prototype.clone_shard()
         while True:
-            frame = in_ring.try_read()
+            # Zero-copy read: BATCH payloads are consumed as views of ring
+            # memory; the frame is advanced (bytes released to the
+            # producer) only after the invocation no longer references
+            # them.  Nothing the invocation record retains aliases the
+            # inputs, so advancing right after run_invocation is safe.
+            frame = in_ring.try_read(zero_copy=True)
             if frame is None:
                 time.sleep(_POLL_S)
                 continue
             read_at = time.monotonic()
             if frame.kind == FRAME_STOP:
+                in_ring.advance(frame)
                 return
             if frame.kind in (FRAME_DEGRADE, FRAME_RELAX):
                 (factor,) = struct.unpack(_FACTOR_FMT, frame.extra)
+                in_ring.advance(frame)
                 direction = +1 if frame.kind == FRAME_DEGRADE else -1
                 system.apply_backpressure(direction, factor)
                 continue
             if frame.kind != FRAME_BATCH:
+                in_ring.advance(frame)
                 continue
             try:
                 record = system.run_invocation(
                     frame.payload, measure_quality=measure_quality
                 )
+            except Exception as exc:  # forwarded to parent as FRAME_ERROR;
+                # KeyboardInterrupt/SystemExit deliberately propagate so a
+                # signalled worker actually dies instead of pickling the
+                # interrupt into a batch error and looping forever.
+                in_ring.advance(frame)
+                try:
+                    blob = pickle.dumps(exc)
+                except Exception:
+                    blob = pickle.dumps(ServingError(repr(exc)))
+                _write_blocking(out_ring, FRAME_ERROR, frame.seq, None, blob)
+            else:
+                in_ring.advance(frame)
                 snapshot = worker_snapshot(system, record)
                 # Stage stamps for request tracing: CLOCK_MONOTONIC is
                 # system-wide per boot on Linux, so the parent can place
@@ -116,15 +136,6 @@ def _worker_main(
                     out_ring, FRAME_RESULT, frame.seq, record.outputs, extra,
                     trace_id=frame.trace_id,
                 )
-            except Exception as exc:  # forwarded to parent as FRAME_ERROR;
-                # KeyboardInterrupt/SystemExit deliberately propagate so a
-                # signalled worker actually dies instead of pickling the
-                # interrupt into a batch error and looping forever.
-                try:
-                    blob = pickle.dumps(exc)
-                except Exception:
-                    blob = pickle.dumps(ServingError(repr(exc)))
-                _write_blocking(out_ring, FRAME_ERROR, frame.seq, None, blob)
     finally:
         in_ring.close()
         out_ring.close()
@@ -386,6 +397,31 @@ class ProcessWorkerPool:
                 f"could not deliver batch {seq} to worker {worker.name} "
                 f"(ring full for {timeout_s:.0f}s or worker died)"
             )
+
+    def submit_rows(
+        self,
+        worker: ProcessWorker,
+        seq: int,
+        blocks,
+        timeout_s: float = 30.0,
+        trace_id: int = 0,
+    ) -> None:
+        """Ship one batch as per-request row blocks written directly into
+        ring memory (:meth:`ShmRing.write_rows`) — the zero-copy dispatch
+        path: no parent-side concat buffer exists at all.
+        """
+        if not worker.alive():
+            raise ServingError(f"worker {worker.name} is not alive")
+        deadline = time.monotonic() + timeout_s
+        while not worker.in_ring.write_rows(
+            FRAME_BATCH, seq, blocks, trace_id=trace_id
+        ):
+            if not worker.alive() or time.monotonic() >= deadline:
+                raise ServingError(
+                    f"could not deliver batch {seq} to worker {worker.name} "
+                    f"(ring full for {timeout_s:.0f}s or worker died)"
+                )
+            time.sleep(_POLL_S)
 
     def poll(self, worker: ProcessWorker) -> List[ShmFrame]:
         """Drain every completed frame currently on a worker's out ring."""

@@ -9,7 +9,7 @@ thread-safe future the caller blocks on.
 
 from __future__ import annotations
 
-import threading
+from _thread import allocate_lock
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -57,17 +57,28 @@ class ServeHandle:
     block.
     """
 
-    __slots__ = ("_event", "_result", "_exception", "_lock", "_callbacks")
+    __slots__ = ("_barrier", "_result", "_exception", "_done", "_lock",
+                 "_callbacks")
 
     def __init__(self) -> None:
-        self._event = threading.Event()
+        # One request is created per submit, so construction cost is hot-
+        # path cost: two raw locks and a flag instead of a full
+        # threading.Event (whose Condition allocates a lock, a deque, and
+        # three bound methods per instance).  ``_barrier`` starts held and
+        # is released exactly once at completion; waiters acquire-then-
+        # release it in a chain, and late arrivals short-circuit on the
+        # ``_done`` flag.
+        barrier = allocate_lock()
+        barrier.acquire()
+        self._barrier = barrier
         self._result: Optional[ServeResult] = None
         self._exception: Optional[BaseException] = None
-        self._lock = threading.Lock()
+        self._done = False
+        self._lock = allocate_lock()
         self._callbacks: list = []
 
     def done(self) -> bool:
-        return self._event.is_set()
+        return self._done
 
     def set_result(self, result: ServeResult) -> None:
         self._result = result
@@ -79,7 +90,10 @@ class ServeHandle:
 
     def _finish(self) -> None:
         with self._lock:
-            self._event.set()
+            if self._done:  # first completion wins (Event.set idempotency)
+                return
+            self._done = True
+            self._barrier.release()
             callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
@@ -91,15 +105,22 @@ class ServeHandle:
         completion fires immediately on the calling thread.
         """
         with self._lock:
-            if not self._event.is_set():
+            if not self._done:
                 self._callbacks.append(callback)
                 return
         callback(self)
 
     def result(self, timeout: Optional[float] = None) -> ServeResult:
         """Block until the request completes; raises on failure/timeout."""
-        if not self._event.wait(timeout):
-            raise ServingError("timed out waiting for the request to complete")
+        if not self._done:
+            if timeout is None:
+                self._barrier.acquire()
+            elif not self._barrier.acquire(True, timeout):
+                raise ServingError(
+                    "timed out waiting for the request to complete"
+                )
+            # Hand the barrier to the next waiter in line.
+            self._barrier.release()
         if self._exception is not None:
             raise self._exception
         assert self._result is not None
@@ -131,6 +152,10 @@ class ServeRequest:
     #: None when tracing is disabled.  The same object rides through
     #: every retry attempt, so one trace id spans all attempts.
     trace: Optional[object] = None
+    #: True when ``inputs`` is a buffer leased from the server's
+    #: :class:`~repro.serving.bufpool.BufferPool`; the server recycles it
+    #: (exactly once) when the request reaches terminal completion.
+    pooled: bool = False
 
     @property
     def n_elements(self) -> int:

@@ -73,6 +73,7 @@ from repro.observability.reqtrace import (
 )
 from repro.serving.backpressure import BackpressureController
 from repro.serving.batching import AdmissionQueue, concat_inputs, split_outputs
+from repro.serving.bufpool import BufferPool
 from repro.serving.config import ServerConfig
 from repro.serving.faults import ChaosConfig, ChaosMonkey
 from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
@@ -119,6 +120,12 @@ class _RecoveryTask:
     pending: PendingInvocation
     degraded: bool
     dispatched_at: float
+    #: The batch's traces, precomputed at dequeue (empty = tracing off).
+    traced: List[object] = field(default_factory=list)
+    #: Pooled concat buffer backing ``pending.inputs`` (multi-request
+    #: batches only); recycled once ``complete_invocation`` — its last
+    #: reader — returns.
+    lease: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -149,6 +156,8 @@ class _ProcPendingBatch:
     worker: ProcessWorker
     dispatched_at: float
     degraded: bool
+    #: The batch's traces, precomputed at dequeue (empty = tracing off).
+    traced: List[object] = field(default_factory=list)
 
 
 class RumbaServer:
@@ -250,6 +259,11 @@ class RumbaServer:
             max_batch_requests=config.batching.max_batch_requests,
             flush_interval_s=config.batching.flush_interval_s,
         )
+        # Transport buffers — staged request inputs and multi-request
+        # batch concats — are leased from one shared pool and recycled at
+        # well-defined points; buffers that escape to callers (ServeResult
+        # outputs) never come from it.  See serving/bufpool.py.
+        self._bufpool = BufferPool()
         self._backlog: FifoQueue[_RecoveryTask] = FifoQueue(
             capacity=config.backpressure.recovery_backlog_capacity,
             name="serve-recovery-backlog",
@@ -400,6 +414,42 @@ class RumbaServer:
             base + ("worker",),
         )
         self._labels = {"app": self.app_name, "scheme": self.scheme}
+        # Label resolution (dict hashing under the family lock) costs a
+        # few microseconds; the per-request and per-batch paths pay it
+        # many times per request, so the hot children are resolved once.
+        labels = self._labels
+        self._c_accepted = self._m_requests.labels(outcome="accepted", **labels)
+        self._c_completed = self._m_requests.labels(
+            outcome="completed", **labels
+        )
+        self._c_failed = self._m_requests.labels(outcome="failed", **labels)
+        self._c_shed = self._m_requests.labels(outcome="shed", **labels)
+        self._g_admission_depth = self._m_admission_depth.labels(**labels)
+        self._g_backlog = self._m_backlog.labels(**labels)
+        self._g_inflight = self._m_inflight.labels(**labels)
+        self._h_latency = self._m_latency.labels(**labels)
+        self._worker_children: Dict[str, SimpleNamespace] = {}
+
+    def _worker_metrics(self, name: str) -> SimpleNamespace:
+        """Per-worker labeled children, resolved once per worker name."""
+        child = self._worker_children.get(name)
+        if child is None:
+            labels = self._labels
+            child = SimpleNamespace(
+                batches=self._m_batches.labels(worker=name, **labels),
+                batch_requests=self._m_batch_requests.labels(
+                    worker=name, **labels
+                ),
+                inline=self._m_inline.labels(worker=name, **labels),
+                threshold=self._m_worker_threshold.labels(
+                    worker=name, **labels
+                ),
+                invocations=self._m_worker_invocations.labels(
+                    worker=name, **labels
+                ),
+            )
+            self._worker_children[name] = child
+        return child
 
     def prepare(self) -> "RumbaServer":
         """Train (or adopt) the prototype and clone one shard per worker."""
@@ -623,8 +673,26 @@ class RumbaServer:
             )
         if deadline_s is not None and deadline_s <= 0:
             raise ConfigurationError("deadline_s must be > 0")
-        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        arr = np.asarray(inputs, dtype=float)
+        pooled = False
+        if arr is inputs or arr.base is inputs:
+            # The caller handed us a float64 ndarray (or a cheap view of
+            # one): use it in place.  The contract is the usual zero-copy
+            # one — the rows must stay untouched until the handle
+            # completes (dispatch, retries, and recovery all read them).
+            inputs = np.atleast_2d(arr)
+        else:
+            # Conversion allocated fresh rows anyway (list input, wrong
+            # dtype); land them in a pooled arena instead so completion
+            # recycles the memory rather than leaving it to the GC.
+            arr = np.atleast_2d(arr)
+            staged = self._bufpool.lease(arr.shape)
+            np.copyto(staged, arr)
+            inputs = staged
+            pooled = True
         if inputs.shape[0] == 0:
+            if pooled:
+                self._bufpool.release(inputs)
             raise ConfigurationError("a request needs at least one element")
         with self._id_lock:
             request_id = self._next_request_id
@@ -637,22 +705,32 @@ class RumbaServer:
             submitted_at=time.monotonic(),
             deadline_s=deadline_s,
             trace=trace,
+            pooled=pooled,
         )
         if trace is not None:
             trace.stamp(STAGE_ADMIT, at=request.submitted_at)
-        if not self._admission.offer(request):
-            self._m_requests.labels(outcome="shed", **self._labels).inc()
+        try:
+            admitted = self._admission.offer(request)
+        except ServingError:
+            if pooled:
+                self._bufpool.release(inputs)
+            raise
+        if not admitted:
+            if pooled:
+                self._bufpool.release(inputs)
+            self._c_shed.inc()
             raise OverloadedError(
                 f"admission queue full ({self._admission.capacity} waiting); "
                 "back off and retry"
             )
         with self._flight_cond:
             self._inflight += 1
-        self._m_requests.labels(outcome="accepted", **self._labels).inc()
-        self._m_inflight.labels(**self._labels).set(self._inflight)
-        self._m_admission_depth.labels(**self._labels).set(
-            len(self._admission)
-        )
+        self._c_accepted.inc()
+        self._g_inflight.set(self._inflight)
+        # Admission depth is refreshed by the dispatchers at every
+        # dequeue; sampling it here too would put a second gauge update
+        # (family lock and all) on the submit hot path for no extra
+        # fidelity.
         return request.handle
 
     def submit_wait(
@@ -666,14 +744,21 @@ class RumbaServer:
 
     @staticmethod
     def _stamp_batch(
-        batch: List[ServeRequest], stage: str, at: Optional[float] = None
+        traces: List[object], stage: str, at: Optional[float] = None
     ) -> None:
-        """Stamp one stage event on every traced request of a batch."""
+        """Stamp one stage event on each of a batch's traces.
+
+        Callers precompute the batch's trace list once, at dequeue; with
+        tracing disabled that list is empty and every stamp along the
+        batch's path short-circuits here without reading the clock or
+        touching the batch again.
+        """
+        if not traces:
+            return
         if at is None:
             at = time.monotonic()
-        for request in batch:
-            if request.trace is not None:
-                request.trace.stamp(stage, at=at)
+        for trace in traces:
+            trace.stamp(stage, at=at)
 
     # ------------------------------------------------------------------ #
     # Worker groups                                                      #
@@ -683,21 +768,36 @@ class RumbaServer:
             batch = self._admission.take_batch()
             if batch is None:
                 return
-            self._stamp_batch(batch, STAGE_DEQUEUE)
-            self._m_admission_depth.labels(**self._labels).set(
-                len(self._admission)
-            )
+            # Stage stamps are only ever read at export, and export is
+            # gated on ``sampled`` — so unsampled traces skip the whole
+            # stamping pipeline (at the default 1/64 sampling that is
+            # nearly every request).  An error later promotes a trace to
+            # sampled; its waterfall then starts at the promotion point
+            # (admit and the error stages are always recorded).
+            traced = [
+                r.trace for r in batch
+                if r.trace is not None and r.trace.sampled
+            ]
+            self._stamp_batch(traced, STAGE_DEQUEUE)
+            self._g_admission_depth.set(len(self._admission))
             try:
-                self._dispatch_batch(shard, batch)
+                self._dispatch_batch(shard, batch, traced)
             except Exception as exc:  # pragma: no cover - defensive
                 self._retry_or_fail(batch, exc, worker=shard.name)
 
     def _dispatch_batch(
-        self, shard: WorkerShard, batch: List[ServeRequest]
+        self,
+        shard: WorkerShard,
+        batch: List[ServeRequest],
+        traced: List[object],
     ) -> None:
-        inputs = concat_inputs(batch)
+        inputs = concat_inputs(batch, pool=self._bufpool)
+        # Multi-request batches concatenate into a leased buffer the task
+        # owns until recovery finishes; a single-request batch rides its
+        # own staged input block, which the request itself owns.
+        lease = inputs if len(batch) > 1 else None
         dispatched_at = time.monotonic()
-        self._stamp_batch(batch, STAGE_DISPATCH, at=dispatched_at)
+        self._stamp_batch(traced, STAGE_DISPATCH, at=dispatched_at)
         try:
             if self.chaos_monkey is not None:
                 self.chaos_monkey.maybe_fail(where=shard.name)
@@ -705,41 +805,45 @@ class RumbaServer:
                 inputs, measure_quality=self.measure_quality
             )
         except Exception as exc:
+            if lease is not None:
+                self._bufpool.release(lease)
             self._retry_or_fail(batch, exc, worker=shard.name)
             return
         # ``begin_invocation`` runs the approximate kernel and the error
         # detector back to back, so both stages land on one instant: the
         # compute segment carries the combined cost and detect is the
         # boundary marker.
-        computed_at = time.monotonic()
-        self._stamp_batch(batch, STAGE_COMPUTE, at=computed_at)
-        self._stamp_batch(batch, STAGE_DETECT, at=computed_at)
+        if traced:
+            computed_at = time.monotonic()
+            self._stamp_batch(traced, STAGE_COMPUTE, at=computed_at)
+            self._stamp_batch(traced, STAGE_DETECT, at=computed_at)
         shard.batches += 1
         shard.elements += inputs.shape[0]
         shard.observe_drift(pending.detection.fire_fraction)
-        self._m_batches.labels(worker=shard.name, **self._labels).inc()
-        self._m_batch_requests.labels(worker=shard.name, **self._labels).inc(
-            len(batch)
-        )
+        metrics = self._worker_metrics(shard.name)
+        metrics.batches.inc()
+        metrics.batch_requests.inc(len(batch))
         task = _RecoveryTask(
             shard=shard,
             requests=batch,
             pending=pending,
             degraded=self.controller.degraded,
             dispatched_at=dispatched_at,
+            traced=traced,
+            lease=lease,
         )
         with self._rcond:
             queued = self._backlog.try_push(task)
             if queued:
                 self._rcond.notify()
             backlog = len(self._backlog)
-        self._m_backlog.labels(**self._labels).set(backlog)
+        self._g_backlog.set(backlog)
         self._apply_backpressure(backlog)
         if not queued:
             # Hard backstop: the backlog is at capacity, so this worker
             # absorbs its own recovery synchronously.  That stalls the
             # producer — which is precisely the backpressure we want.
-            self._m_inline.labels(worker=shard.name, **self._labels).inc()
+            metrics.inline.inc()
             self._complete_task(task)
 
     def _recovery_loop(self) -> None:
@@ -752,7 +856,7 @@ class RumbaServer:
             if task is None:
                 return
             backlog = len(self._backlog)
-            self._m_backlog.labels(**self._labels).set(backlog)
+            self._g_backlog.set(backlog)
             self._complete_task(task)
             self._apply_backpressure(backlog)
 
@@ -767,15 +871,24 @@ class RumbaServer:
     def _complete_task(self, task: _RecoveryTask) -> None:
         # Popped off the recovery backlog: the gap back to ``detect`` is
         # the time the batch sat waiting for a recovery worker.
-        self._stamp_batch(task.requests, STAGE_RECOVERY_WAIT)
+        self._stamp_batch(task.traced, STAGE_RECOVERY_WAIT)
         try:
             record = task.shard.system.complete_invocation(task.pending)
         except Exception as exc:
+            if task.lease is not None:
+                self._bufpool.release(task.lease)
+                task.lease = None
             # A retry re-runs the invocation from the top on a healthy
             # shard; kernels are pure, so re-execution is safe.
             self._retry_or_fail(task.requests, exc, worker=task.shard.name)
             return
-        self._stamp_batch(task.requests, STAGE_RECOVER)
+        if task.lease is not None:
+            # ``complete_invocation`` was the concat buffer's last reader
+            # (recovery re-executes flagged rows from it) and nothing in
+            # the record aliases it, so the arena can recycle now.
+            self._bufpool.release(task.lease)
+            task.lease = None
+        self._stamp_batch(task.traced, STAGE_RECOVER)
         blocks = split_outputs(record.outputs, task.requests)
         for request, outputs in zip(task.requests, blocks):
             self._finish_request(
@@ -796,12 +909,20 @@ class RumbaServer:
             batch = self._admission.take_batch()
             if batch is None:
                 return
-            self._stamp_batch(batch, STAGE_DEQUEUE)
-            self._m_admission_depth.labels(**self._labels).set(
-                len(self._admission)
-            )
+            # Stage stamps are only ever read at export, and export is
+            # gated on ``sampled`` — so unsampled traces skip the whole
+            # stamping pipeline (at the default 1/64 sampling that is
+            # nearly every request).  An error later promotes a trace to
+            # sampled; its waterfall then starts at the promotion point
+            # (admit and the error stages are always recorded).
+            traced = [
+                r.trace for r in batch
+                if r.trace is not None and r.trace.sampled
+            ]
+            self._stamp_batch(traced, STAGE_DEQUEUE)
+            self._g_admission_depth.set(len(self._admission))
             try:
-                self._dispatch_batch_process(batch)
+                self._dispatch_batch_process(batch, traced)
             except Exception as exc:  # pragma: no cover - defensive
                 self._retry_or_fail(batch, exc)
 
@@ -811,10 +932,15 @@ class RumbaServer:
         backpressure watermarks are applied to."""
         return sum(w.outstanding for w in self.pool.workers)
 
-    def _dispatch_batch_process(self, batch: List[ServeRequest]) -> None:
-        inputs = concat_inputs(batch)
+    def _dispatch_batch_process(
+        self, batch: List[ServeRequest], traced: List[object]
+    ) -> None:
+        # No concat buffer: each request's staged rows are written
+        # directly into the worker's ring (one frame, block by block).
+        blocks = [np.atleast_2d(r.inputs) for r in batch]
+        n_rows = sum(b.shape[0] for b in blocks)
         dispatched_at = time.monotonic()
-        self._stamp_batch(batch, STAGE_DISPATCH, at=dispatched_at)
+        self._stamp_batch(traced, STAGE_DISPATCH, at=dispatched_at)
         if self.chaos_monkey is not None:
             try:
                 self.chaos_monkey.maybe_fail(where="dispatch")
@@ -832,6 +958,7 @@ class RumbaServer:
                     worker=worker,
                     dispatched_at=dispatched_at,
                     degraded=self.controller.degraded,
+                    traced=traced,
                 )
                 worker.outstanding += 1
         if not alive:
@@ -843,11 +970,9 @@ class RumbaServer:
             return
         # The batch shares one ring frame, so the frame header carries
         # the first traced request's id (0 when none is traced).
-        batch_trace_id = next(
-            (r.trace.trace_id for r in batch if r.trace is not None), 0
-        )
+        batch_trace_id = traced[0].trace_id if traced else 0
         try:
-            self.pool.submit(worker, seq, inputs, trace_id=batch_trace_id)
+            self.pool.submit_rows(worker, seq, blocks, trace_id=batch_trace_id)
         except Exception as exc:
             with self._proc_lock:
                 owned = self._proc_pending.pop(seq, None) is not None
@@ -864,16 +989,15 @@ class RumbaServer:
                 )
             self._retry_or_fail(batch, exc, worker=worker.name)
             return
-        self._stamp_batch(batch, STAGE_SHM_WRITE)
+        self._stamp_batch(traced, STAGE_SHM_WRITE)
         view = self._proc_views[worker.name]
         view.batches += 1
-        view.elements += inputs.shape[0]
-        self._m_batches.labels(worker=worker.name, **self._labels).inc()
-        self._m_batch_requests.labels(worker=worker.name, **self._labels).inc(
-            len(batch)
-        )
+        view.elements += n_rows
+        metrics = self._worker_metrics(worker.name)
+        metrics.batches.inc()
+        metrics.batch_requests.inc(len(batch))
         backlog = self._proc_backlog()
-        self._m_backlog.labels(**self._labels).set(backlog)
+        self._g_backlog.set(backlog)
         self._apply_backpressure(backlog)
 
     def _process_collect_loop(self) -> None:
@@ -914,31 +1038,28 @@ class RumbaServer:
             # The worker stamped its side of the shm hop with the shared
             # system monotonic clock; ``clamp`` guards against the small
             # cross-process skew that would otherwise break stage order.
-            collected_at = time.monotonic()
-            shm_read_at = snapshot.get("shm_read_at")
-            compute_done_at = snapshot.get("compute_done_at")
-            for request in pending.requests:
-                trace = request.trace
-                if trace is None:
-                    continue
-                if shm_read_at is not None:
-                    trace.stamp(
-                        STAGE_SHM_READ, at=float(shm_read_at), clamp=True
-                    )
-                if compute_done_at is not None:
-                    trace.stamp(
-                        STAGE_COMPUTE, at=float(compute_done_at), clamp=True
-                    )
-                trace.stamp(STAGE_COLLECT, at=collected_at, clamp=True)
+            if pending.traced:
+                collected_at = time.monotonic()
+                shm_read_at = snapshot.get("shm_read_at")
+                compute_done_at = snapshot.get("compute_done_at")
+                for trace in pending.traced:
+                    if shm_read_at is not None:
+                        trace.stamp(
+                            STAGE_SHM_READ, at=float(shm_read_at), clamp=True
+                        )
+                    if compute_done_at is not None:
+                        trace.stamp(
+                            STAGE_COMPUTE,
+                            at=float(compute_done_at),
+                            clamp=True,
+                        )
+                    trace.stamp(STAGE_COLLECT, at=collected_at, clamp=True)
             view = self._proc_views[worker.name]
             if view.drift.observe(snapshot.get("fire_fraction", 0.0)):
                 view.drift_flags += 1
-            self._m_worker_threshold.labels(
-                worker=worker.name, **self._labels
-            ).set(snapshot.get("threshold", 0.0))
-            self._m_worker_invocations.labels(
-                worker=worker.name, **self._labels
-            ).set(snapshot.get("invocations", 0))
+            metrics = self._worker_metrics(worker.name)
+            metrics.threshold.set(snapshot.get("threshold", 0.0))
+            metrics.invocations.set(snapshot.get("invocations", 0))
             try:
                 blocks = split_outputs(frame.payload, pending.requests)
             except Exception as exc:
@@ -961,7 +1082,7 @@ class RumbaServer:
             error = ProcessWorkerPool.decode_error(frame)
             for request in pending.requests:
                 self._finish_request(request, error=error, record=None)
-        self._m_backlog.labels(**self._labels).set(backlog)
+        self._g_backlog.set(backlog)
         self._apply_backpressure(backlog)
 
     def _reap_worker(self, worker: ProcessWorker) -> None:
@@ -1112,6 +1233,14 @@ class RumbaServer:
     ) -> None:
         if request.handle.done():  # pragma: no cover - defensive backstop
             return
+        if request.pooled:
+            # Terminal completion: recycle the request's staged input
+            # buffer.  Every finish path first pops the request from its
+            # owning structure (backlog task, pending map, retry heap), so
+            # ownership is exclusive here, and nothing handed to the
+            # caller aliases the staged rows.
+            request.pooled = False
+            self._bufpool.release(request.inputs)
         now = time.monotonic()
         latency = now - request.submitted_at
         queue_wait = (
@@ -1121,10 +1250,10 @@ class RumbaServer:
         )
         trace = request.trace
         if trace is not None:
-            trace.stamp(STAGE_COMPLETE, at=now)
             if error is not None and self.tracing.always_sample_errors:
                 trace.mark_sampled()
             if trace.sampled:
+                trace.stamp(STAGE_COMPLETE, at=now)
                 # Before the handle resolves: resolution wakes the net
                 # edge, whose net_send stamp must not race into this
                 # record.  complete is therefore always the final stage
@@ -1143,11 +1272,11 @@ class RumbaServer:
                     error=error,
                 )
         if error is not None:
-            self._m_requests.labels(outcome="failed", **self._labels).inc()
+            self._c_failed.inc()
             request.handle.set_exception(error)
         else:
-            self._m_requests.labels(outcome="completed", **self._labels).inc()
-            self._m_latency.labels(**self._labels).observe(latency)
+            self._c_completed.inc()
+            self._h_latency.observe(latency)
             request.handle.set_result(
                 ServeResult(
                     request_id=request.request_id,
@@ -1163,7 +1292,7 @@ class RumbaServer:
         with self._flight_cond:
             self._inflight -= 1
             self._flight_cond.notify_all()
-        self._m_inflight.labels(**self._labels).set(self._inflight)
+        self._g_inflight.set(self._inflight)
 
     def observe_stage(self, stage: str, duration: float) -> None:
         """Record one stage segment in ``rumba_stage_seconds``.

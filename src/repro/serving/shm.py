@@ -82,6 +82,9 @@ class ShmFrame:
     extra: bytes
     #: Request-trace id of the batch this frame belongs to (0 = untraced).
     trace_id: int = 0
+    #: Total ring bytes the frame occupies (header + padded payload +
+    #: padded extra); what :meth:`ShmRing.advance` releases.
+    span: int = 0
 
 
 class ShmRing:
@@ -244,42 +247,142 @@ class ShmRing:
         self._set_tail(tail + needed)
         return True
 
-    def try_read(self) -> Optional[ShmFrame]:
-        """Pop the next frame; None when the ring is empty."""
+    def write_rows(
+        self,
+        kind: int,
+        seq: int,
+        blocks,
+        extra: bytes = b"",
+        trace_id: int = 0,
+    ) -> bool:
+        """Append one frame whose payload is ``blocks`` stacked row-wise.
+
+        Each block (2-D float64) is copied straight into ring memory at
+        its running row offset — the whole admission batch crosses the
+        process boundary without ever being concatenated into an
+        intermediate parent-side buffer.  Returns False when the ring
+        lacks space.
+        """
+        if not blocks:
+            raise ConfigurationError("write_rows needs at least one block")
+        n_rows = 0
+        n_cols = -1
+        contiguous = []
+        for block in blocks:
+            block = np.ascontiguousarray(block, dtype=np.float64)
+            if block.ndim != 2:
+                raise ConfigurationError("frame payloads must be 2-D")
+            if n_cols < 0:
+                n_cols = block.shape[1]
+            elif block.shape[1] != n_cols:
+                raise ConfigurationError(
+                    "all blocks in a frame must have the same column count"
+                )
+            n_rows += block.shape[0]
+            contiguous.append(block)
+        payload_bytes = n_rows * n_cols * 8
+        needed = _HEADER_BYTES + _pad8(payload_bytes) + _pad8(len(extra))
+        if needed > self.capacity:
+            raise ServingError(
+                f"frame of {needed} bytes cannot ever fit a "
+                f"{self.capacity}-byte ring; raise ring_capacity_bytes"
+            )
+        if needed > self.free_bytes():
+            return False
+        tail = self._tail()
+        trace_slot = int(trace_id) & ((1 << 64) - 1)
+        if trace_slot >= 1 << 63:
+            trace_slot -= 1 << 64
+        header = struct.pack(
+            _HEADER_FMT, _MAGIC, kind, seq, n_rows, n_cols,
+            payload_bytes, len(extra), trace_slot,
+        )
+        self._copy_in(tail, header)
+        offset = tail + _HEADER_BYTES
+        for block in contiguous:
+            # Block sizes are multiples of 8 bytes (float64 rows), so every
+            # block lands 8-aligned at its running offset.
+            self._copy_in(offset, block.reshape(-1).view(np.uint8).data)
+            offset += block.size * 8
+        offset = tail + _HEADER_BYTES + _pad8(payload_bytes)
+        if extra:
+            self._copy_in(offset, extra)
+        self._set_tail(tail + needed)
+        return True
+
+    def try_read(self, zero_copy: bool = False) -> Optional[ShmFrame]:
+        """Pop the next frame; None when the ring is empty.
+
+        Default mode copies the payload out **once** (ring memory → one
+        owned array) and advances the read cursor before returning.
+
+        ``zero_copy=True`` returns the payload as a view of ring memory
+        when the frame does not wrap (frame offsets are 8-aligned by
+        construction, so the view is a straight ``np.frombuffer``) and
+        does **not** advance the cursor: the view is valid until the
+        caller passes the frame to :meth:`advance`, which releases its
+        bytes back to the producer.  A wrapped payload is gathered into a
+        private array either way (the frame must still be advanced).
+        """
         head = self._head()
         if self._tail() - head < _HEADER_BYTES:
             return None
-        header = struct.unpack(
-            _HEADER_FMT, bytes(self._copy_out(head, _HEADER_BYTES))
-        )
+        pos = head % self.capacity
+        if self.capacity - pos >= _HEADER_BYTES:
+            header = struct.unpack_from(
+                _HEADER_FMT, self._shm.buf, _CTRL_BYTES + pos
+            )
+        else:
+            header = struct.unpack(
+                _HEADER_FMT, bytes(self._copy_out(head, _HEADER_BYTES))
+            )
         (magic, kind, seq, n_rows, n_cols, payload_bytes, extra_bytes,
          trace_slot) = header
         if magic != _MAGIC:
             raise ServingError(
                 f"shm ring corrupted: bad frame magic {magic:#x}"
             )
+        span = _HEADER_BYTES + _pad8(payload_bytes) + _pad8(extra_bytes)
         offset = head + _HEADER_BYTES
         payload: Optional[np.ndarray] = None
         if payload_bytes:
-            raw = self._copy_out(offset, payload_bytes)
-            payload = (
-                np.frombuffer(bytes(raw), dtype=np.float64)
-                .reshape(n_rows, n_cols)
-                .copy()
-            )
+            ppos = offset % self.capacity
+            if self.capacity - ppos >= payload_bytes:
+                view = np.frombuffer(
+                    self._shm.buf,
+                    dtype=np.float64,
+                    count=payload_bytes // 8,
+                    offset=_CTRL_BYTES + ppos,
+                ).reshape(n_rows, n_cols)
+                payload = view if zero_copy else view.copy()
+            else:
+                # Wrapped frame: gather the two halves (one copy); the
+                # result owns its memory, so it survives advance either way.
+                raw = self._copy_out(offset, payload_bytes)
+                payload = np.frombuffer(raw, dtype=np.float64).reshape(
+                    n_rows, n_cols
+                )
             offset += _pad8(payload_bytes)
         extra = b""
         if extra_bytes:
             extra = bytes(self._copy_out(offset, extra_bytes))
-            offset += _pad8(extra_bytes)
-        # Release the frame's bytes only after they are fully copied out.
-        self._set_head(
-            head + _HEADER_BYTES + _pad8(payload_bytes) + _pad8(extra_bytes)
-        )
+        if not zero_copy:
+            # Release the frame's bytes only after they are fully copied out.
+            self._set_head(head + span)
         return ShmFrame(
             kind=kind, seq=seq, payload=payload, extra=extra,
             trace_id=trace_slot & ((1 << 64) - 1),
+            span=span,
         )
+
+    def advance(self, frame: ShmFrame) -> None:
+        """Release a ``zero_copy`` frame's bytes back to the producer.
+
+        Must be called exactly once per zero-copy frame, in read order;
+        any ring-memory payload view becomes invalid (the producer may
+        overwrite it) the moment this returns.
+        """
+        self._set_head(self._head() + frame.span)
 
     # ------------------------------------------------------------------ #
     # Lifetime                                                           #

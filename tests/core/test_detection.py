@@ -100,3 +100,64 @@ class TestDetectionModule:
         assert module.detect(true_errors=errors).n_fired == 0
         module.threshold = 0.2
         assert module.detect(true_errors=errors).n_fired == 2
+
+
+class TestDetectInto:
+    """The serving fast path (`detect_into`) must be numerically identical
+    to `detect` — same bits, same scores, same statistics."""
+
+    def test_matches_detect(self, rng):
+        errors = rng.random(256)
+        a = _oracle_module(0.5)
+        b = _oracle_module(0.5)
+        via_detect = a.detect(true_errors=errors)
+        via_into = b.detect_into(true_errors=errors)
+        np.testing.assert_array_equal(
+            via_into.recovery_bits, via_detect.recovery_bits
+        )
+        np.testing.assert_allclose(
+            via_into.scores, via_detect.scores, atol=1e-12, rtol=0
+        )
+        assert via_into.threshold == via_detect.threshold
+        assert a.total_checks == b.total_checks
+        assert a.total_fires == b.total_fires
+
+    def test_bits_out_buffer_is_used(self):
+        module = _oracle_module(0.5)
+        errors = np.array([0.1, 0.9, 0.6, 0.2])
+        bits = np.ones(4, dtype=bool)
+        result = module.detect_into(true_errors=errors, bits_out=bits)
+        assert result.recovery_bits is bits
+        np.testing.assert_array_equal(bits, [False, True, True, False])
+
+    def test_bits_out_shape_and_dtype_validated(self):
+        module = _oracle_module(0.5)
+        errors = np.array([0.1, 0.9])
+        with pytest.raises(ConfigurationError, match="bits_out"):
+            module.detect_into(
+                true_errors=errors, bits_out=np.zeros(3, dtype=bool)
+            )
+        with pytest.raises(ConfigurationError, match="bits_out"):
+            module.detect_into(
+                true_errors=errors, bits_out=np.zeros(2, dtype=float)
+            )
+
+    def test_nonfinite_scores_fire_into_buffer(self):
+        from repro.predictors.base import ErrorPredictor
+
+        class _Passthrough(ErrorPredictor):
+            name = "stub"
+            checker_kind = "none"
+            is_input_based = False
+            needs_fit = False
+
+            def scores(self, features=None, approx_outputs=None,
+                       true_errors=None):
+                return np.asarray(true_errors, dtype=float)
+
+        module = DetectionModule(_Passthrough(), threshold=100.0)
+        bits = np.zeros(4, dtype=bool)
+        module.detect_into(
+            true_errors=np.array([0.1, np.nan, 0.2, np.inf]), bits_out=bits
+        )
+        np.testing.assert_array_equal(bits, [False, True, False, True])

@@ -68,14 +68,16 @@ class TestRecoveryModule:
         assert result.n_recovered == 2
         assert result.recovered_fraction == pytest.approx(2 / 3)
 
-    def test_no_flags_returns_copy(self):
+    def test_no_flags_returns_approx_uncopied(self):
         module = RecoveryModule(double_kernel)
         inputs = np.array([[1.0]])
         approx = np.array([[5.0]])
         result = module.recover(inputs, approx, np.array([False]))
         assert result.n_recovered == 0
         np.testing.assert_array_equal(result.merged_outputs, approx)
-        assert result.merged_outputs is not approx
+        # Zero-copy contract: a clean batch hands back the approximate
+        # outputs themselves (outputs are immutable downstream).
+        assert result.merged_outputs is approx
 
     def test_bit_count_must_match(self):
         module = RecoveryModule(double_kernel)

@@ -84,6 +84,35 @@ class TestLinear:
         )
 
 
+class TestOutParameter:
+    """Every activation's in-place path must match its allocating path
+    bit-for-bit, including ``out is x`` (the fused forward's usage)."""
+
+    @pytest.mark.parametrize(
+        "act", [Sigmoid(), Tanh(), ReLU(), Linear()],
+        ids=lambda a: a.name,
+    )
+    def test_out_buffer_matches(self, act):
+        x = np.linspace(-80, 80, 163)
+        expected = act(x)
+        out = np.full_like(x, np.nan)
+        result = act(x, out=out)
+        assert result is out
+        np.testing.assert_array_equal(result, expected)
+
+    @pytest.mark.parametrize(
+        "act", [Sigmoid(), Tanh(), ReLU(), Linear()],
+        ids=lambda a: a.name,
+    )
+    def test_in_place_on_input(self, act):
+        x = np.linspace(-80, 80, 163)
+        expected = act(x)
+        work = x.copy()
+        result = act(work, out=work)
+        assert result is work
+        np.testing.assert_array_equal(result, expected)
+
+
 class TestRegistry:
     @pytest.mark.parametrize("name", ["sigmoid", "tanh", "relu", "linear"])
     def test_lookup(self, name):

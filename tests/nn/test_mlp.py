@@ -107,3 +107,52 @@ class TestMLP:
         net = MLP("2->3->1")
         assert net.activation_for_layer(0).name == "sigmoid"
         assert net.activation_for_layer(net.n_layers - 1).name == "linear"
+
+
+class TestForwardOutBuffers:
+    """The preallocated-buffer path must be numerically identical
+    (<= 1e-12) to the allocating path — it backs the serving fast path."""
+
+    def test_out_matches_allocating_forward(self, rng):
+        net = MLP("4->8->6->2", rng=rng)
+        x = rng.normal(size=(32, 4)) * 10
+        expected = net.forward(x)
+        out = np.full((32, 2), np.nan)
+        result = net.forward(x, out=out)
+        assert result is out
+        np.testing.assert_allclose(result, expected, atol=1e-12, rtol=0)
+
+    def test_scratch_matches_allocating_forward(self, rng):
+        net = MLP("4->8->6->2", rng=rng)
+        x = rng.normal(size=(16, 4)) * 5
+        expected = net.forward(x)
+        scratch = [np.empty((16, 8)), np.empty((16, 6))]
+        out = np.empty((16, 2))
+        result = net.forward(x, out=out, scratch=scratch)
+        np.testing.assert_allclose(result, expected, atol=1e-12, rtol=0)
+
+    def test_buffers_are_reusable_across_batches(self, rng):
+        net = MLP("3->5->1", rng=rng)
+        scratch = [np.empty((10, 5))]
+        out = np.empty((10, 1))
+        for seed in range(4):
+            x = np.random.default_rng(seed).normal(size=(10, 3))
+            np.testing.assert_allclose(
+                net.forward(x, out=out, scratch=scratch),
+                net.forward(x),
+                atol=1e-12,
+                rtol=0,
+            )
+
+    def test_tanh_and_relu_hidden_layers(self, rng):
+        for act in ("tanh", "relu"):
+            net = MLP("3->6->2", hidden_activation=act, rng=rng)
+            x = rng.normal(size=(12, 3)) * 3
+            out = np.empty((12, 2))
+            scratch = [np.empty((12, 6))]
+            np.testing.assert_allclose(
+                net.forward(x, out=out, scratch=scratch),
+                net.forward(x),
+                atol=1e-12,
+                rtol=0,
+            )

@@ -138,7 +138,7 @@ class TestInvocationEmitsMetricSet:
         def boom(*args, **kwargs):
             raise RuntimeError("accelerator died")
 
-        system.detection.detect = boom
+        system.detection.detect_into = boom
         with pytest.raises(RuntimeError):
             system.run_invocation(fft_inputs[:100])
         top = telemetry.tracer.spans_for(0)[-1]

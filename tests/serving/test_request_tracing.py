@@ -106,7 +106,9 @@ def test_chaos_soak_traces_stay_coherent(
     """Under injected faults every trace chain stays monotonic, retried
     requests keep ONE trace id across attempts (same object rides
     through the retry path), and the retry promotes the trace to
-    sampled."""
+    sampled.  Unsampled traces skip stage stamping entirely (admit
+    aside) until a fault promotes them — the hot path must not pay for
+    waterfalls nobody will ever export."""
     config = _config(
         tmp_path,
         chaos=ChaosConfig(fail_prob=0.4, seed=7),
@@ -131,10 +133,16 @@ def test_chaos_soak_traces_stay_coherent(
     assert retried, "chaos at fail_prob=0.4 should have forced retries"
     for trace in traces:
         assert trace.is_monotonic()
-        assert trace.stage_names().count("complete") == 1
+        assert trace.stage_names().count("complete") <= 1
+        if not trace.sampled:
+            # Never promoted: the admit stamp is the only event paid for.
+            assert set(trace.stage_names()) <= {"admit"}
     for trace in retried:
         assert trace.sampled, "a retry must promote the trace to sampled"
+        # Promotion re-enables stamping, so the retried attempt's
+        # dispatch and the terminal complete both land in the chain.
         assert "dispatch" in trace.stage_names()
+        assert trace.stage_names().count("complete") == 1
     # Each submitted trace id appears at most once in the flight log —
     # attempts fold into one record, they don't duplicate it.
     records = read_flight_log(config.tracing.flight_log_path)

@@ -30,10 +30,18 @@ class TestEndToEnd:
         registry = MetricsRegistry()
         server = _server(fft_prototype, registry=registry)
         with server:
-            handles = [
-                server.submit(fft_input_pool[i * 16:(i + 1) * 16])
-                for i in range(48)
-            ]
+            # Paced arrivals: the hot path drains a one-shot burst of 48
+            # small requests within a single GIL scheduling quantum on a
+            # 1-core host, before the second worker thread ever runs.
+            # Spreading the submissions over a few quanta keeps this a
+            # test of load spreading rather than of thread start latency.
+            handles = []
+            for i in range(48):
+                handles.append(
+                    server.submit(fft_input_pool[i * 16:(i + 1) * 16])
+                )
+                if i % 8 == 7:
+                    time.sleep(0.005)
             results = [h.result(timeout=30.0) for h in handles]
         assert len(results) == 48
         assert all(r.outputs.shape == (16, 2) for r in results)
