@@ -27,6 +27,7 @@ online loop (e.g. ``bench_tuner_modes``) record every invocation.
 
 from __future__ import annotations
 
+import json
 import os
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
@@ -39,7 +40,13 @@ from repro.observability import (
     write_snapshot,
 )
 
-__all__ = ["APPLICATION_NAMES", "run_once", "emit", "bench_telemetry"]
+__all__ = [
+    "APPLICATION_NAMES",
+    "run_once",
+    "emit",
+    "bench_telemetry",
+    "persist_report",
+]
 
 _TELEMETRY_ENV = "RUMBA_BENCH_TELEMETRY"
 
@@ -83,3 +90,32 @@ def emit(text: str) -> None:
     """Print a result block (pytest captures it; ``-s`` or direct runs show it)."""
     print()
     print(text)
+
+
+def persist_report(
+    report: dict, json_path: str, bench: str, quick: bool = False
+) -> None:
+    """Persist one bench report: JSON view + experiment-DB run.
+
+    The JSON file keeps the historical ``BENCH_*.json`` artifact contract
+    (the perf gate and CI uploads read it); the authoritative copy goes
+    into the sqlite experiment DB (``$RUMBA_EXPDB`` or
+    ``experiments.sqlite``), where ``python -m repro report --expdb``
+    and cross-run queries read it back.  A DB failure must not fail a
+    bench that already produced its numbers, so it downgrades to a
+    warning.
+    """
+    with open(json_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    emit(f"wrote {json_path}")
+    from repro.eval.expdb import ExperimentDB, default_db_path
+
+    db_path = default_db_path()
+    try:
+        with ExperimentDB(db_path) as db:
+            run_id = db.record_run(bench, report, quick=quick)
+    except Exception as exc:  # pragma: no cover - disk/sqlite trouble
+        emit(f"[expdb] not recorded in {db_path}: {exc}")
+    else:
+        emit(f"[expdb] recorded run {run_id} of {bench} in {db_path}")

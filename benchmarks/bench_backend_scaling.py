@@ -28,7 +28,7 @@ from typing import Dict, List
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _bench_utils import emit
+from _bench_utils import emit, persist_report
 from perf_harness import (
     drive_server,
     host_fingerprint,
@@ -182,9 +182,7 @@ def test_backend_scaling(benchmark=None):
         )
     _report(report)
     _check(report)
-    with open(OUTPUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-    emit(f"wrote {OUTPUT_PATH}")
+    persist_report(report, OUTPUT_PATH, bench="backend_scaling", quick=quick)
 
 
 def main() -> int:
@@ -201,9 +199,9 @@ def main() -> int:
     report = run_sweep(quick=args.quick)
     _report(report)
     _check(report)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2)
-    emit(f"wrote {args.output}")
+    persist_report(
+        report, args.output, bench="backend_scaling", quick=args.quick
+    )
     return 0
 
 

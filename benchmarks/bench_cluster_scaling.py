@@ -40,7 +40,7 @@ from typing import Dict, List
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _bench_utils import emit
+from _bench_utils import emit, persist_report
 from perf_harness import host_fingerprint, percentile_ms
 
 import numpy as np
@@ -307,10 +307,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     report = run_sweep(quick=args.quick)
     _report(report)
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=1)
-        handle.write("\n")
-    emit(f"wrote {args.out}")
+    persist_report(report, args.out, bench="cluster_scaling", quick=args.quick)
     if not report["chaos"]["exactly_once"]:
         emit("FAIL: chaos drill lost or failed requests")
         return 1

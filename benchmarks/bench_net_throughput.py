@@ -40,7 +40,7 @@ from typing import Dict, List
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _bench_utils import emit
+from _bench_utils import emit, persist_report
 from perf_harness import host_fingerprint, percentile_ms
 
 from repro.core import prepare_system
@@ -313,9 +313,7 @@ def test_net_throughput(benchmark=None):
         report["tracing_overhead"] = measure_tracing_overhead(quick=quick)
     _report(report)
     _check(report)
-    with open(OUTPUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-    emit(f"wrote {OUTPUT_PATH}")
+    persist_report(report, OUTPUT_PATH, bench="net_throughput", quick=quick)
 
 
 def main() -> int:
@@ -343,9 +341,9 @@ def main() -> int:
     _report(report)
     if args.quick or "tracing_overhead" in report:
         _check(report)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2)
-    emit(f"wrote {args.output}")
+    persist_report(
+        report, args.output, bench="net_throughput", quick=args.quick
+    )
     return 0
 
 

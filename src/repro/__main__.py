@@ -39,6 +39,12 @@ Commands
     accounting check mirroring ``serve --selftest``.  ``--trace``
     force-samples every request and prints the trace ids the server
     echoed back, ready for ``python -m repro trace <id>``.
+``replay JOURNAL [--backend thread|process] [--strict]``
+    Deterministically re-run a request journal captured with
+    ``serve --journal`` (``docs/replay.md``) against a fresh server and
+    diff outputs, decision bits, and quality metrics bit-for-bit.
+    Exits non-zero on any divergence — the reproducibility check that
+    turns a chaos-run journal into a regression test.
 ``trace --log FILE [ID] [--tail N]``
     Browse a flight-recorder log (``serve --flight-log``).  With no ID:
     a per-stage p50/p95/p99 aggregate plus a one-line tail of the most
@@ -162,6 +168,7 @@ def _serve_config(args: argparse.Namespace):
         BackpressureConfig,
         BatchingConfig,
         ChaosConfig,
+        JournalConfig,
         RetryConfig,
         ServerConfig,
         TracingConfig,
@@ -172,6 +179,10 @@ def _serve_config(args: argparse.Namespace):
         enabled=args.trace_sample > 0,
         sample_every=max(args.trace_sample, 1),
         flight_log_path=args.flight_log or None,
+    )
+    journal = JournalConfig(
+        path=args.journal or None,
+        max_bytes=args.journal_max_bytes,
     )
     return ServerConfig(
         app=args.app,
@@ -191,6 +202,7 @@ def _serve_config(args: argparse.Namespace):
         retry=RetryConfig(default_deadline_s=args.deadline_s),
         chaos=chaos,
         tracing=tracing,
+        journal=journal,
     )
 
 
@@ -331,6 +343,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"wrote {tracing.get('flight_records', 0)} flight records "
               f"to {args.flight_log} (browse: python -m repro trace "
               f"--log {args.flight_log})")
+    journal = stats.get("journal")
+    if journal:
+        print(f"wrote {journal['records']} journal records to "
+              f"{journal['path']} (re-run: python -m repro replay "
+              f"{journal['path']})")
     if args.selftest:
         accounted = completed + failed + shed
         ok = hung == 0 and accounted == args.requests
@@ -487,6 +504,27 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.replay import replay_journal
+
+    report = replay_journal(
+        args.journal,
+        backend=args.backend or None,
+        n_workers=args.workers,
+        strict=args.strict,
+        journal_out=args.out or None,
+        deadline_s=args.deadline_s,
+        keep_replay_journal=args.keep_replay_journal,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.observability.flightlog import (
         aggregate_stages,
@@ -578,6 +616,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     kwargs = {"seed": args.seed}
     if apps:
         kwargs["benchmarks"] = apps
+    if args.expdb is not None:
+        from repro.eval.expdb import default_db_path
+
+        kwargs["expdb_path"] = args.expdb or default_db_path()
     text = generate_report(**kwargs)
     if args.out:
         with open(args.out, "w") as handle:
@@ -683,6 +725,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --listen: stable identity advertised in "
                             "the WELCOME document (default: fresh uuid per "
                             "process, so restarts are detectable)")
+    serve.add_argument("--journal", default="",
+                       help="record every request (inputs, outputs, "
+                            "decision bits) to this durable journal for "
+                            "deterministic replay; see docs/replay.md")
+    serve.add_argument("--journal-max-bytes", type=int, default=64 << 20,
+                       help="rotate the journal once it exceeds this size "
+                            "(one rotated generation is kept)")
+
+    replay = sub.add_parser(
+        "replay", help="re-run a captured request journal and diff "
+                       "outputs bit-for-bit"
+    )
+    replay.add_argument("journal",
+                        help="journal file written by serve --journal")
+    replay.add_argument("--backend", default="",
+                        choices=("", "thread", "process"),
+                        help="replay against this backend (default: the "
+                             "backend recorded in the journal)")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="worker count for the replay server")
+    replay.add_argument("--strict", action="store_true",
+                        help="also diff records flagged degraded at "
+                             "capture time (backpressure-raised "
+                             "thresholds are not deterministic)")
+    replay.add_argument("--deadline-s", type=float, default=30.0,
+                        help="per-request deadline during the replay")
+    replay.add_argument("--out", default="",
+                        help="write the replay's own journal here "
+                             "(default: <journal>.replay)")
+    replay.add_argument("--keep-replay-journal", action="store_true",
+                        help="keep the replay-side journal instead of "
+                             "deleting it after the diff")
+    replay.add_argument("--json", action="store_true",
+                        help="print the divergence report as JSON")
 
     cluster = sub.add_parser(
         "cluster", help="route traffic across a fleet of serving nodes"
@@ -767,6 +843,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated benchmark subset")
     report.add_argument("--out", default="", help="write to a file")
     report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--expdb", nargs="?", const="", default=None,
+                        help="append serving-bench tables from this "
+                             "experiment DB (bare flag: $RUMBA_EXPDB or "
+                             "experiments.sqlite)")
     return parser
 
 
@@ -779,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
         "client": _cmd_client,
+        "replay": _cmd_replay,
         "trace": _cmd_trace,
         "summary": _cmd_summary,
         "survey": _cmd_survey,

@@ -8,7 +8,7 @@ exposes it as ``python -m repro report``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -46,16 +46,78 @@ def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     return "\n".join(lines)
 
 
+def _expdb_sections(expdb_path: str) -> List[str]:
+    """Serving-benchmark tables regenerated from the experiment DB.
+
+    Renders the latest run of every bench recorded in the sqlite
+    database (``benchmarks/*.py`` write into it via ``persist_report``).
+    Each bench's ``results`` rows share one flat scalar schema, so the
+    table is derived generically from the union of their keys.
+    """
+    from repro.eval.expdb import ExperimentDB
+
+    sections: List[str] = [
+        "",
+        "## Serving benchmarks (experiment DB)",
+        "",
+        f"Source: `{expdb_path}` — latest run per bench; regenerate "
+        "with `python -m repro report --expdb`.",
+    ]
+    with ExperimentDB(expdb_path) as db:
+        benches = db.benches()
+        if not benches:
+            sections.append("")
+            sections.append("_No runs recorded yet — run the "
+                            "`benchmarks/bench_*_scaling.py` benches._")
+            return sections
+        for bench in benches:
+            latest = db.latest_report(bench)
+            if latest is None:  # pragma: no cover - benches() said it exists
+                continue
+            run_id, report = latest
+            host = report.get("host") or {}
+            sections += [
+                "",
+                f"### {bench}",
+                "",
+                f"Run {run_id}, recorded "
+                f"{next(iter(r['created_at'] for r in db.runs(bench)), '?')}"
+                f"{' (quick)' if report.get('quick') else ''}; host "
+                f"cpu_count={host.get('cpu_count', '?')}.",
+            ]
+            results = report.get("results")
+            if not isinstance(results, list) or not results:
+                continue
+            headers: List[str] = []
+            for row in results:
+                if isinstance(row, dict):
+                    for key, value in row.items():
+                        if key not in headers and isinstance(
+                            value, (str, int, float, bool)
+                        ):
+                            headers.append(key)
+            if not headers:
+                continue
+            table_rows = [
+                [row.get(h, "") for h in headers]
+                for row in results if isinstance(row, dict)
+            ]
+            sections += ["", _md_table(headers, table_rows)]
+    return sections
+
+
 def generate_report(
     benchmarks: Sequence[str] = APPLICATION_NAMES,
     target_error: float = DEFAULT_TARGET_ERROR,
     seed: int = 0,
+    expdb_path: Optional[str] = None,
 ) -> str:
     """Run the full evaluation and render a markdown report.
 
     Training results are cached per process, so the first call trains
     every requested benchmark (~30 s for the full suite) and later calls
-    are fast.
+    are fast.  With ``expdb_path`` the serving-benchmark tables are
+    appended from the latest runs in that experiment database.
     """
     if not benchmarks:
         raise ConfigurationError("need at least one benchmark")
@@ -173,4 +235,8 @@ def generate_report(
         f"{study.evp_distance:.4f}).",
         "",
     ]
+
+    if expdb_path:
+        sections += _expdb_sections(expdb_path)
+        sections.append("")
     return "\n".join(sections)

@@ -34,8 +34,12 @@ class Span:
     """One timed operation within one invocation.
 
     ``start`` / ``end`` are ``time.perf_counter()`` readings (relative,
-    monotonic); ``wall_time`` is the epoch second the span began, for
-    correlating traces with external logs.
+    monotonic); ``monotonic_time`` is a ``time.monotonic()`` reading taken
+    at span start — the *authoritative* timestamp, comparable with every
+    other monotonic stamp the serving layer records.  ``wall_time`` is
+    the epoch second the span began, kept **for display only** (exported
+    as ``wall_time_display``): wall clocks step under NTP and must never
+    be used for ordering or duration arithmetic.
     """
 
     name: str
@@ -43,6 +47,7 @@ class Span:
     start: float
     end: float = 0.0
     wall_time: float = 0.0
+    monotonic_time: float = 0.0
     attributes: Dict[str, AttrValue] = field(default_factory=dict)
 
     @property
@@ -54,7 +59,8 @@ class Span:
         return {
             "name": self.name,
             "invocation": self.invocation,
-            "wall_time": self.wall_time,
+            "monotonic_time": self.monotonic_time,
+            "wall_time_display": self.wall_time,
             "duration_s": self.duration,
             "attributes": dict(self.attributes),
         }
@@ -99,6 +105,9 @@ class Tracer:
             name=name,
             invocation=self._invocation if invocation is None else invocation,
             start=time.perf_counter(),
+            # Monotonic is authoritative (orders against every serving
+            # stamp); the wall reading is a display-only correlation aid.
+            monotonic_time=time.monotonic(),
             wall_time=time.time(),
             attributes=dict(attributes),
         )

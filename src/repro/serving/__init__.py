@@ -39,6 +39,14 @@ the tier between the two:
   fleet-wide aggregated stats (``docs/cluster.md``; ``python -m repro
   cluster``).
 
+* :mod:`~repro.serving.journal` / :mod:`~repro.serving.replay` — the
+  durable request journal (``docs/replay.md``): with
+  ``ServerConfig(journal=JournalConfig(path=...))`` every completed
+  request is appended as a CRC-framed record (inputs, outputs, decision
+  bits, batch layout), and ``python -m repro replay <journal>`` re-runs
+  a captured trace deterministically against either backend and diffs
+  the results bit-for-bit.
+
 Most callers need only the two facade functions::
 
     from repro import serving
@@ -70,11 +78,13 @@ from repro.serving.config import (
     BackpressureConfig,
     BatchingConfig,
     ClusterConfig,
+    JournalConfig,
     RetryConfig,
     ServerConfig,
     TracingConfig,
 )
 from repro.serving.faults import ChaosConfig, ChaosMonkey, InjectedFault
+from repro.serving.journal import RequestJournal, iter_journal, read_journal
 from repro.serving.net import (
     AsyncRumbaClient,
     NetServer,
@@ -82,6 +92,7 @@ from repro.serving.net import (
     parse_address,
 )
 from repro.serving.procpool import ProcessWorker, ProcessWorkerPool
+from repro.serving.replay import Divergence, ReplayReport, replay_journal
 from repro.serving.request import ServeHandle, ServeRequest, ServeResult
 from repro.serving.server import RumbaServer, WorkerShard
 from repro.serving.shm import ShmFrame, ShmRing
@@ -96,12 +107,16 @@ __all__ = [
     "ChaosMonkey",
     "ClusterConfig",
     "ClusterRouter",
+    "Divergence",
     "InjectedFault",
+    "JournalConfig",
     "NetServer",
     "NodeFleet",
     "NodeManager",
     "ProcessWorker",
     "ProcessWorkerPool",
+    "ReplayReport",
+    "RequestJournal",
     "RetryConfig",
     "RumbaClient",
     "RumbaServer",
@@ -115,7 +130,10 @@ __all__ = [
     "WorkerShard",
     "concat_inputs",
     "connect",
+    "iter_journal",
     "parse_address",
+    "read_journal",
+    "replay_journal",
     "serve",
     "serve_cluster",
     "spawn_local_fleet",

@@ -147,7 +147,14 @@ class AdmissionQueue:
         """
         with self._cond:
             if self._closed:
-                raise ServingError("admission queue is closed")
+                # Raced against close(): the server began shutting down
+                # between the worker fault and this retry landing.  The
+                # caller must fail the request's handle — silently
+                # swallowing this leaves the submitter blocked until its
+                # deadline budget runs out.
+                raise ServingError(
+                    "cannot requeue a retry: the admission queue is closed"
+                )
             self._pending.appendleft(request)
             self._cond.notify()
 

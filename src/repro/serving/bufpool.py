@@ -68,8 +68,14 @@ class BufferPool:
         self._max_elements = max_class_elements
         self._lock = threading.Lock()
         self._free: Dict[int, List[np.ndarray]] = {}
-        # id(view) -> backing arena, for release bookkeeping.
-        self._live: Dict[int, np.ndarray] = {}
+        # id(view) -> (view, backing arena).  The entry must hold the
+        # view itself: keyed on id() alone, a caller that dropped a lease
+        # without releasing would let the GC free the view, a later lease
+        # could be allocated at the recycled id, and its entry would
+        # silently overwrite this one — the leak vanishes from
+        # ``outstanding`` and the old arena is lost.  Pinning the view
+        # keeps every live id unique.
+        self._live: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self.leases = 0
         self.releases = 0
         self.hits = 0
@@ -102,7 +108,7 @@ class BufferPool:
             else:
                 arena = np.empty(cls, dtype=np.float64)
             view = arena[:n].reshape(shape)
-            self._live[id(view)] = arena
+            self._live[id(view)] = (view, arena)
             self.leases += 1
         return view
 
@@ -119,11 +125,12 @@ class BufferPool:
         silent acceptance would mask lease/release pairing bugs.
         """
         with self._lock:
-            arena = self._live.pop(id(view), None)
-            if arena is None:
+            entry = self._live.pop(id(view), None)
+            if entry is None:
                 raise ConfigurationError(
                     "release of a buffer this pool does not own"
                 )
+            _, arena = entry
             self.releases += 1
             free = self._free.setdefault(arena.shape[0], [])
             if len(free) < self._max_free:

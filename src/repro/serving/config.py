@@ -12,6 +12,8 @@ grouped by concern —
   supervision,
 * :class:`TracingConfig` — request-trace sampling and the flight
   recorder (see :mod:`repro.observability.reqtrace`),
+* :class:`JournalConfig` — the durable request journal that deterministic
+  replay consumes (see :mod:`repro.serving.journal`),
 
 plus the engine fields (workers, backend, chaos) that do not fit a
 group.  Every section validates itself in ``__post_init__``, so an
@@ -42,6 +44,7 @@ __all__ = [
     "BatchingConfig",
     "BackpressureConfig",
     "ClusterConfig",
+    "JournalConfig",
     "RetryConfig",
     "TracingConfig",
     "ServerConfig",
@@ -188,6 +191,35 @@ class TracingConfig:
             raise ConfigurationError("max_exemplars must be >= 0")
 
 
+@dataclass(frozen=True)
+class JournalConfig:
+    """Durable request-journal settings (see :mod:`repro.serving.journal`).
+
+    When ``path`` is set every terminal request completion — on either
+    backend — is appended as an ``FT_JOURNAL`` frame carrying the inputs,
+    outputs, decision bits, and completion status that ``python -m repro
+    replay`` needs to re-run the trace bit-for-bit.  ``None`` (the
+    default) disables journaling entirely; the hot path pays nothing.
+    """
+
+    #: Journal file path (None = journaling off).
+    path: Optional[str] = None
+    #: Size cap per journal generation (rotate-once, so ~2x on disk).
+    max_bytes: int = 64 << 20
+    #: Also journal requests that complete with a typed error.
+    record_errors: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_bytes < 4096:
+            raise ConfigurationError(
+                "journal max_bytes must be at least 4096"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+
 _ROUTING_POLICIES = ("least_loaded", "consistent_hash", "round_robin")
 
 
@@ -291,6 +323,7 @@ class ServerConfig:
     )
     retry: RetryConfig = field(default_factory=RetryConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    journal: JournalConfig = field(default_factory=JournalConfig)
     chaos: Optional[object] = None
 
     #: Flat legacy kwarg name -> (section attribute or None, field name).
@@ -325,6 +358,9 @@ class ServerConfig:
         "flight_log_max_bytes": ("tracing", "flight_log_max_bytes"),
         "trace_slow_threshold_s": ("tracing", "slow_threshold_s"),
         "trace_max_exemplars": ("tracing", "max_exemplars"),
+        "journal_path": ("journal", "path"),
+        "journal_max_bytes": ("journal", "max_bytes"),
+        "journal_record_errors": ("journal", "record_errors"),
     }
 
     def __post_init__(self) -> None:
@@ -350,6 +386,7 @@ class ServerConfig:
         top: Dict[str, object] = {}
         grouped: Dict[str, Dict[str, object]] = {
             "batching": {}, "backpressure": {}, "retry": {}, "tracing": {},
+            "journal": {},
         }
         for key in ("app", "scheme"):
             if key in flat:
@@ -370,6 +407,7 @@ class ServerConfig:
             backpressure=BackpressureConfig(**grouped["backpressure"]),
             retry=RetryConfig(**grouped["retry"]),
             tracing=TracingConfig(**grouped["tracing"]),
+            journal=JournalConfig(**grouped["journal"]),
             **top,
         )
 

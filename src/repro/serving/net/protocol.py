@@ -62,6 +62,7 @@ __all__ = [
     "FT_STATS",
     "FT_STATS_RESULT",
     "FT_FLIGHT",
+    "FT_JOURNAL",
     "FRAME_TYPE_NAMES",
     "FLAG_TRACE_SAMPLED",
     "ERR_INTERNAL",
@@ -107,6 +108,7 @@ FT_ERROR = 4         # server -> client: one failed request (typed)
 FT_STATS = 5         # client -> server: health/stats probe (empty body)
 FT_STATS_RESULT = 6  # server -> client: stats() as JSON
 FT_FLIGHT = 7        # flight-recorder log record (never sent on a socket)
+FT_JOURNAL = 8       # request-journal log record (never sent on a socket)
 
 FRAME_TYPE_NAMES: Dict[int, str] = {
     FT_WELCOME: "WELCOME",
@@ -116,6 +118,7 @@ FRAME_TYPE_NAMES: Dict[int, str] = {
     FT_STATS: "STATS",
     FT_STATS_RESULT: "STATS_RESULT",
     FT_FLIGHT: "FLIGHT",
+    FT_JOURNAL: "JOURNAL",
 }
 
 #: Trace-block flag bits (v2 REQUEST/RESULT bodies).  On a REQUEST the

@@ -50,11 +50,16 @@ _POLL_S = 0.0005  # worker/parent idle poll interval
 _FACTOR_FMT = "<d"
 
 
-def worker_snapshot(system, record=None) -> Dict[str, float]:
+def worker_snapshot(
+    system, record=None, include_bits: bool = False
+) -> Dict[str, float]:
     """The per-batch metrics snapshot a worker ships with each result.
 
     Cumulative counters (not deltas), so the parent's view is correct
-    even if a frame's snapshot is observed late.
+    even if a frame's snapshot is observed late.  With ``include_bits``
+    the batch's per-element decision bits ride along as packed bytes —
+    the request journal needs them, and shipping them only when a journal
+    is attached keeps the default RESULT frame small.
     """
     snap = {
         "invocations": int(system.total_invocations),
@@ -71,6 +76,12 @@ def worker_snapshot(system, record=None) -> Dict[str, float]:
             snap["measured_error"] = float(record.measured_error)
         if record.unchecked_error is not None:
             snap["unchecked_error"] = float(record.unchecked_error)
+        if include_bits:
+            bits = np.asarray(
+                record.detection.recovery_bits
+            ).astype(bool).ravel()
+            snap["decision_bits"] = np.packbits(bits).tobytes()
+            snap["decision_nbits"] = int(bits.shape[0])
     return snap
 
 
@@ -79,6 +90,7 @@ def _worker_main(
     in_name: str,
     out_name: str,
     measure_quality: bool,
+    ship_decision_bits: bool = False,
 ) -> None:
     """Worker process entry point: unpickle once, then serve frames."""
     in_ring = ShmRing.attach(in_name)
@@ -125,7 +137,9 @@ def _worker_main(
                 _write_blocking(out_ring, FRAME_ERROR, frame.seq, None, blob)
             else:
                 in_ring.advance(frame)
-                snapshot = worker_snapshot(system, record)
+                snapshot = worker_snapshot(
+                    system, record, include_bits=ship_decision_bits
+                )
                 # Stage stamps for request tracing: CLOCK_MONOTONIC is
                 # system-wide per boot on Linux, so the parent can place
                 # these readings on its own timeline (clamped on apply).
@@ -227,6 +241,7 @@ class ProcessWorkerPool:
         ring_capacity_bytes: int = 1 << 22,
         measure_quality: bool = False,
         start_method: Optional[str] = None,
+        ship_decision_bits: bool = False,
     ):
         if n_workers < 1:
             raise ConfigurationError("need at least one process worker")
@@ -234,6 +249,9 @@ class ProcessWorkerPool:
         self.n_workers = n_workers
         self.ring_capacity_bytes = ring_capacity_bytes
         self.measure_quality = measure_quality
+        # Workers ship each batch's packed decision bits in the RESULT
+        # snapshot only when a request journal needs them.
+        self.ship_decision_bits = ship_decision_bits
         self._ctx = mp.get_context(start_method)
         self.workers: List[ProcessWorker] = []
         self._started = False
@@ -264,7 +282,7 @@ class ProcessWorkerPool:
             process = self._ctx.Process(
                 target=_worker_main,
                 args=(self._blob, in_ring.name, out_ring.name,
-                      self.measure_quality),
+                      self.measure_quality, self.ship_decision_bits),
                 name=f"rumba-serve-p{index}",
                 daemon=True,
             )

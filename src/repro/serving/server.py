@@ -335,6 +335,22 @@ class RumbaServer:
         self._slow_lock = threading.Lock()
         self._slow_exemplars: List[Dict[str, object]] = []
         self._traced_total = 0
+
+        # Durable request journal: every terminal completion — on either
+        # backend — is appended as an FT_JOURNAL frame carrying inputs,
+        # outputs, decision bits, and status, the raw material for
+        # ``python -m repro replay`` (see docs/replay.md).
+        self.journal = None
+        self._journal_seq = 0
+        self._journal_lock = threading.Lock()
+        if config.journal.enabled:
+            # Same lazy-import story as the flight recorder above: the
+            # journal reuses the wire codec.
+            from repro.serving.journal import RequestJournal
+
+            self.journal = RequestJournal(
+                config.journal.path, max_bytes=config.journal.max_bytes
+            )
         self._build_metrics()
 
     # ------------------------------------------------------------------ #
@@ -475,6 +491,9 @@ class RumbaServer:
                 ring_capacity_bytes=self.ring_capacity_bytes,
                 measure_quality=self.measure_quality,
                 start_method=self.start_method,
+                # Workers ship each batch's packed decision bits with the
+                # RESULT snapshot only when a journal will record them.
+                ship_decision_bits=self.journal is not None,
             )
             self._state = "ready"
             return self
@@ -526,6 +545,8 @@ class RumbaServer:
         if self._state != "ready":
             raise ServingError(f"cannot start a {self._state} server")
         self._state = "running"
+        if self.journal is not None:
+            self._write_journal_meta()
         retry_thread = threading.Thread(
             target=self._retry_loop, name="rumba-serve-retry", daemon=True,
         )
@@ -603,6 +624,8 @@ class RumbaServer:
             self._state = "stopped" if self._state != "new" else self._state
             if self.flight_recorder is not None:
                 self.flight_recorder.close()
+            if self.journal is not None:
+                self.journal.close()
             return
         # Chaos stops before the drain so shutdown itself is fault-free.
         if self.chaos_monkey is not None:
@@ -641,6 +664,10 @@ class RumbaServer:
             # After the abandoned requests above, so their (promoted)
             # error records still land in the log.
             self.flight_recorder.close()
+        if self.journal is not None:
+            # Likewise: the abandoned requests' error records are the
+            # last thing journaled before the file closes.
+            self.journal.close()
         self._threads = []
         self._state = "stopped"
 
@@ -890,7 +917,8 @@ class RumbaServer:
             task.lease = None
         self._stamp_batch(task.traced, STAGE_RECOVER)
         blocks = split_outputs(record.outputs, task.requests)
-        for request, outputs in zip(task.requests, blocks):
+        extras = self._thread_journal_extras(task.requests, record)
+        for i, (request, outputs) in enumerate(zip(task.requests, blocks)):
             self._finish_request(
                 request,
                 record=record,
@@ -898,6 +926,7 @@ class RumbaServer:
                 worker=task.shard.name,
                 degraded=task.degraded or self.controller.degraded,
                 dispatched_at=task.dispatched_at,
+                journal_extra=extras[i] if extras else None,
             )
 
     # ------------------------------------------------------------------ #
@@ -1069,7 +1098,12 @@ class RumbaServer:
                 record = SimpleNamespace(
                     fix_fraction=snapshot.get("fix_fraction", 0.0)
                 )
-                for request, outputs in zip(pending.requests, blocks):
+                extras = self._proc_journal_extras(
+                    pending.requests, frame.seq, snapshot
+                )
+                for i, (request, outputs) in enumerate(
+                    zip(pending.requests, blocks)
+                ):
                     self._finish_request(
                         request,
                         record=record,
@@ -1077,6 +1111,7 @@ class RumbaServer:
                         worker=worker.name,
                         degraded=pending.degraded or self.controller.degraded,
                         dispatched_at=pending.dispatched_at,
+                        journal_extra=extras[i] if extras else None,
                     )
         elif frame.kind == FRAME_ERROR:
             error = ProcessWorkerPool.decode_error(frame)
@@ -1219,7 +1254,193 @@ class RumbaServer:
             try:
                 self._admission.requeue(request)
             except ServingError as exc:
-                self._finish_request(request, error=exc, record=None)
+                # The server shut down between the worker fault and this
+                # backed-off retry landing (close() won the race).  The
+                # request must still reach terminal completion — failing
+                # the handle here is what keeps the submitter from
+                # blocking out its full deadline budget.
+                self._finish_request(
+                    request,
+                    error=ServingError(
+                        f"request {request.request_id} could not be "
+                        f"re-queued after attempt {request.attempts}: {exc}"
+                    ),
+                    record=None,
+                )
+
+    # ------------------------------------------------------------------ #
+    # Request journal                                                    #
+    # ------------------------------------------------------------------ #
+    def _write_journal_meta(self) -> None:
+        """Describe the run at the head of the journal.
+
+        The writer re-emits this document at the head of every rotated
+        generation, so a reader holding only the live file still knows
+        what run it is looking at.  ``python -m repro replay`` builds the
+        replay server from these fields.
+        """
+        flat = {
+            key: value for key, value in self.config.flat().items()
+            if key != "chaos"
+            and isinstance(value, (str, int, float, bool, type(None)))
+        }
+        self.journal.write_meta({
+            "app": self.app_name,
+            "scheme": self.scheme,
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "n_recovery_workers": self.n_recovery_workers,
+            "seed": self.seed,
+            "measure_quality": self.measure_quality,
+            "threshold": (
+                float(self._prototype.tuner.threshold)
+                if self._prototype is not None else None
+            ),
+            "chaos": self.chaos_monkey is not None,
+            "config": flat,
+        })
+
+    @staticmethod
+    def _journal_layout(requests, seq, bits, threshold, measured_error):
+        """Per-request journal coordinates for one completed batch.
+
+        Each request gets the batch's sequence number, its row slice of
+        the batch (offset + total rows — what replay needs to rebuild the
+        exact batch composition), and its slice of the batch's per-row
+        decision bits.
+        """
+        total = sum(r.n_elements for r in requests)
+        extras = []
+        offset = 0
+        for request in requests:
+            n_rows = request.n_elements
+            extras.append({
+                "batch": seq,
+                "row_offset": offset,
+                "batch_rows": total,
+                "bits": (
+                    bits[offset: offset + n_rows]
+                    if bits is not None else None
+                ),
+                "threshold": threshold,
+                "measured_error": measured_error,
+            })
+            offset += n_rows
+        return extras
+
+    def _next_journal_seq(self) -> int:
+        with self._journal_lock:
+            seq = self._journal_seq
+            self._journal_seq += 1
+            return seq
+
+    def _thread_journal_extras(self, requests, record):
+        """Journal coordinates for a thread-backend batch (None = off)."""
+        if self.journal is None:
+            return None
+        detection = getattr(record, "detection", None)
+        bits = None
+        threshold = None
+        if detection is not None:
+            bits = np.asarray(detection.recovery_bits).astype(bool).ravel()
+            threshold = float(detection.threshold)
+        measured = getattr(record, "measured_error", None)
+        return self._journal_layout(
+            requests,
+            self._next_journal_seq(),
+            bits,
+            threshold,
+            float(measured) if measured is not None else None,
+        )
+
+    def _proc_journal_extras(self, requests, seq, snapshot):
+        """Journal coordinates for a process-backend batch (None = off).
+
+        The worker shipped the batch's packed decision bits inside the
+        RESULT snapshot (``ship_decision_bits``); the ring frame's ``seq``
+        is already a unique batch identifier.
+        """
+        if self.journal is None:
+            return None
+        bits = None
+        n_bits = snapshot.get("decision_nbits")
+        if n_bits:
+            raw = np.frombuffer(snapshot["decision_bits"], dtype=np.uint8)
+            bits = np.unpackbits(raw, count=int(n_bits)).astype(bool)
+        threshold = snapshot.get("threshold")
+        measured = snapshot.get("measured_error")
+        return self._journal_layout(
+            requests,
+            seq,
+            bits,
+            float(threshold) if threshold is not None else None,
+            float(measured) if measured is not None else None,
+        )
+
+    def _journal_request(
+        self,
+        request: ServeRequest,
+        *,
+        record,
+        outputs: Optional[np.ndarray],
+        worker: str,
+        degraded: bool,
+        dispatched_at: Optional[float],
+        error: Optional[BaseException],
+        extra: Optional[Dict[str, object]],
+    ) -> None:
+        """Append one terminal completion to the request journal.
+
+        Called from ``_finish_request`` *before* the pooled input buffer
+        is recycled (the record snapshots the rows) and before the handle
+        resolves (a crash immediately after completion still finds the
+        record on disk).  Journaling must never fail a request, so disk
+        errors are swallowed like the flight recorder's.
+        """
+        if error is not None and not self.config.journal.record_errors:
+            return
+        now = time.monotonic()
+        header: Dict[str, object] = {
+            "request_id": request.request_id,
+            "trace_id": (
+                request.trace.trace_id if request.trace is not None else 0
+            ),
+            "worker": worker,
+            "attempts": request.attempts,
+            "degraded": bool(degraded),
+            "status": "ok" if error is None else "error",
+            "latency_s": now - request.submitted_at,
+        }
+        if dispatched_at is not None:
+            header["queue_wait_s"] = max(
+                dispatched_at - request.submitted_at, 0.0
+            )
+        bits = None
+        if extra is not None:
+            header["batch"] = extra["batch"]
+            header["row_offset"] = extra["row_offset"]
+            header["batch_rows"] = extra["batch_rows"]
+            if extra["threshold"] is not None:
+                header["threshold"] = extra["threshold"]
+            if extra["measured_error"] is not None:
+                header["measured_error"] = extra["measured_error"]
+            bits = extra["bits"]
+        if error is not None:
+            from repro.serving.net import protocol as wire
+
+            header["error"] = wire.exception_to_code(error)
+            header["error_message"] = str(error)
+        elif record is not None:
+            header["fix_fraction"] = float(record.fix_fraction)
+        try:
+            self.journal.record_request(
+                header,
+                inputs=np.atleast_2d(request.inputs),
+                outputs=outputs,
+                bits=bits,
+            )
+        except OSError:  # pragma: no cover - disk full / fs races
+            pass
 
     def _finish_request(
         self,
@@ -1230,9 +1451,21 @@ class RumbaServer:
         degraded: bool = False,
         dispatched_at: Optional[float] = None,
         error: Optional[BaseException] = None,
+        journal_extra: Optional[Dict[str, object]] = None,
     ) -> None:
         if request.handle.done():  # pragma: no cover - defensive backstop
             return
+        if self.journal is not None:
+            self._journal_request(
+                request,
+                record=record,
+                outputs=outputs,
+                worker=worker,
+                degraded=degraded,
+                dispatched_at=dispatched_at,
+                error=error,
+                extra=journal_extra,
+            )
         if request.pooled:
             # Terminal completion: recycle the request's staged input
             # buffer.  Every finish path first pops the request from its
@@ -1444,6 +1677,13 @@ class RumbaServer:
             ),
             "slow_threshold_s": self.config.tracing.slow_threshold_s,
         }
+        journal_summary = None
+        if self.journal is not None:
+            journal_summary = {
+                "path": self.journal.path,
+                "records": self.journal.written,
+                "rotations": self.journal.rotations,
+            }
         return {
             "state": self._state,
             "app": self.app_name,
@@ -1467,6 +1707,7 @@ class RumbaServer:
             "retry_queue_depth": len(self._retry_heap),
             "chaos": chaos_summary,
             "tracing": tracing_summary,
+            "journal": journal_summary,
             "slow_requests": slow_requests,
             "workers": per_worker,
         }

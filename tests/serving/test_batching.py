@@ -54,6 +54,51 @@ class TestAdmissionQueue:
         assert queue.shed == 1
         assert queue.offered == 3
 
+    def test_requeue_after_close_raises(self):
+        # Regression: requeue() on a closed queue must raise the typed
+        # error rather than silently dropping the retry — a dropped
+        # retry leaves the submitter blocked until its deadline runs out.
+        queue = AdmissionQueue()
+        queue.close()
+        with pytest.raises(ServingError, match="closed"):
+            queue.requeue(_request(1))
+
+    def test_requeue_races_close_without_losing_requests(self):
+        # Many in-flight retries race one close(): every requeue either
+        # lands in the queue (drainable afterwards) or raises the typed
+        # ServingError — never a silent drop, never a hang.
+        for attempt in range(10):
+            queue = AdmissionQueue(capacity=64, max_batch_requests=64,
+                                   flush_interval_s=60.0)
+            landed = []
+            rejected = []
+            barrier = threading.Barrier(9)
+
+            def requeue_one(request_id):
+                request = _request(request_id)
+                barrier.wait()
+                try:
+                    queue.requeue(request)
+                    landed.append(request_id)
+                except ServingError:
+                    rejected.append(request_id)
+
+            threads = [
+                threading.Thread(target=requeue_one, args=(i,))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            queue.close()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert not any(t.is_alive() for t in threads)
+            drained = queue.drain_remaining()
+            # take_batch path also empty after drain; accounting closes.
+            assert len(landed) + len(rejected) == 8
+            assert sorted(r.request_id for r in drained) == sorted(landed)
+
     def test_offer_after_close_raises(self):
         queue = AdmissionQueue()
         queue.close()

@@ -95,6 +95,36 @@ class TestLifecycle:
             pool.release(view)
         assert pool.stats()["free_arenas"] == 2
 
+    def test_leaked_lease_stays_pinned_for_accounting(self):
+        # Regression: the lease table used to map id(view) -> arena
+        # without holding the view.  A caller that dropped its lease
+        # without releasing let the view be collected, its id() recycled
+        # by a later lease, and the table entry silently overwritten —
+        # corrupting the leak accounting the pool exists to provide.
+        import gc
+        import weakref
+
+        pool = BufferPool()
+        view = pool.lease((8, 8))
+        leaked = weakref.ref(view)
+        del view
+        gc.collect()
+        # The pool itself must pin the leaked view: alive via the table.
+        assert leaked() is not None
+        assert pool.outstanding == 1
+        # Churn fresh leases through the same size class; none may
+        # collide with (and clobber) the leaked entry.
+        for _ in range(50):
+            churn = pool.lease((8, 8))
+            pool.release(churn)
+        gc.collect()
+        assert pool.outstanding == 1
+        stats = pool.stats()
+        assert stats["leases"] - stats["releases"] == 1
+        # The leak is still recoverable through the pinned reference.
+        pool.release(leaked())
+        assert pool.outstanding == 0
+
 
 class TestAliasing:
     def test_concurrent_leases_never_share_memory(self):

@@ -84,6 +84,46 @@ class TestWallClockIndependence:
         # by the year of wall-clock skew the fixture injected.
         assert 0.0 < expires - time.monotonic() <= 5.0
 
+    def test_tracer_spans_are_monotonic_authoritative(
+        self, skewed_wall_clock
+    ):
+        # Regression for the observability layer: spans used to carry
+        # only a wall-clock stamp, which a clock step makes useless for
+        # ordering against the serving stack's monotonic stamps.  The
+        # monotonic stamp is now authoritative; the wall reading is
+        # exported as display-only metadata.
+        from repro.observability.tracing import Tracer
+
+        tracer = Tracer()
+        tracer.begin_invocation()
+        before = time.monotonic()
+        with tracer.span("accelerate"):
+            pass
+        with tracer.span("detect"):
+            pass
+        after = time.monotonic()
+        tracer.end_invocation()
+        first, second = tracer.spans
+        # Monotonic stamps order correctly despite the year of wall skew:
+        # they are bounded by honest monotonic readings taken around them.
+        assert before <= first.monotonic_time <= second.monotonic_time
+        assert second.monotonic_time <= after
+        # The wall stamp follows the (skewed) wall clock — it lives on a
+        # different axis and must never be used for ordering math.
+        assert abs(first.wall_time - time.time()) < 60.0
+
+    def test_span_export_labels_wall_time_display_only(self):
+        from repro.observability.tracing import Span
+
+        span = Span(name="x", invocation=0, start=1.0, end=2.0,
+                    monotonic_time=123.0, wall_time=456.0)
+        exported = span.to_dict()
+        assert exported["monotonic_time"] == 123.0
+        assert exported["wall_time_display"] == 456.0
+        # No bare "wall_time" key: downstream consumers cannot mistake
+        # the display stamp for a schedulable time source.
+        assert "wall_time" not in exported
+
     def test_net_edge_survives_wall_clock_skew(
         self, skewed_wall_clock, fft_prototype, fft_input_pool
     ):

@@ -1,0 +1,153 @@
+"""Golden-journal replay tests.
+
+A short chaos run (one worker SIGKILLed mid-stream on the process
+backend) is captured once per module; every test then replays that
+golden journal and asserts the determinism contract: both backends
+reproduce the recorded outputs, decision bits, and quality metrics bit
+for bit, torn tails degrade to skipped batches (not errors), and a
+tampered journal makes the replay — and the CLI — fail loudly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import (
+    BatchingConfig,
+    ChaosConfig,
+    JournalConfig,
+    RumbaServer,
+    ServerConfig,
+    read_journal,
+    replay_journal,
+)
+from repro.serving.journal import RequestJournal
+
+N_REQUESTS = 24
+ROWS_PER_REQUEST = 8
+
+
+@pytest.fixture(scope="module")
+def golden_journal(tmp_path_factory):
+    """Capture a chaos run: process backend, one SIGKILL mid-stream."""
+    path = str(tmp_path_factory.mktemp("golden") / "journal.bin")
+    config = ServerConfig(
+        app="fft",
+        scheme="treeErrors",
+        backend="process",
+        n_workers=2,
+        seed=0,
+        batching=BatchingConfig(max_batch_requests=4,
+                                flush_interval_s=0.002),
+        # seed-only chaos: the monkey exists (so we can murder a worker
+        # deterministically) but injects nothing by itself.
+        chaos=ChaosConfig(seed=1),
+        journal=JournalConfig(path=path),
+    )
+    server = RumbaServer(config=config)
+    server.prepare()
+    rng = np.random.default_rng(7)
+    pool = np.atleast_2d(server.prototype.app.test_inputs(rng))
+    failed = 0
+    with server:
+        handles = []
+        for i in range(N_REQUESTS):
+            lo = (i * ROWS_PER_REQUEST) % (
+                pool.shape[0] - ROWS_PER_REQUEST
+            )
+            handles.append(
+                server.submit(pool[lo: lo + ROWS_PER_REQUEST],
+                              deadline_s=60.0)
+            )
+            if i == N_REQUESTS // 2:
+                assert server.chaos_monkey.kill_one_worker()
+        for handle in handles:
+            try:
+                handle.result(timeout=120.0)
+            except Exception:
+                failed += 1
+    journal = read_journal(path)
+    assert journal.meta["backend"] == "process"
+    assert len(journal.ok_records()) == N_REQUESTS - failed
+    assert journal.batches(), "chaos run recorded no replayable batches"
+    return path
+
+
+class TestGoldenReplay:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_chaos_run_replays_bit_for_bit(self, golden_journal, backend):
+        report = replay_journal(golden_journal, backend=backend)
+        assert report.ok, report.summary()
+        assert report.compared > 0
+        assert report.backend == backend
+        # The replay-side journal is scratch and must be cleaned up.
+        assert not os.path.exists(golden_journal + ".replay")
+
+    def test_torn_tail_skips_batch_but_stays_ok(self, golden_journal,
+                                                tmp_path):
+        torn = str(tmp_path / "torn.bin")
+        with open(golden_journal, "rb") as src:
+            blob = src.read()
+        with open(torn, "wb") as dst:
+            dst.write(blob[:-31])  # cut the final frame mid-record
+        whole = read_journal(golden_journal)
+        parsed = read_journal(torn)
+        assert len(parsed.records) == len(whole.records) - 1
+        report = replay_journal(torn, backend="thread")
+        assert report.ok, report.summary()
+        # The batch the torn record belonged to is incomplete, so it is
+        # skipped rather than mis-compared.
+        assert report.batches + report.skipped_incomplete >= len(
+            parsed.batches()
+        )
+
+    def test_tampered_outputs_diverge(self, golden_journal, tmp_path):
+        tampered = self._tamper(golden_journal, tmp_path, "outputs")
+        report = replay_journal(tampered, backend="thread")
+        assert not report.ok
+        assert any(d.field == "outputs" for d in report.divergences)
+
+    def test_tampered_bits_diverge(self, golden_journal, tmp_path):
+        tampered = self._tamper(golden_journal, tmp_path, "bits")
+        report = replay_journal(tampered, backend="thread")
+        assert not report.ok
+        assert any(d.field == "bits" for d in report.divergences)
+
+    @staticmethod
+    def _tamper(path, tmp_path, what):
+        """Rewrite the journal with one record's payload falsified."""
+        journal = read_journal(path)
+        out = str(tmp_path / f"tampered-{what}.bin")
+        victim = journal.ok_records()[0].request_id
+        with RequestJournal(out) as writer:
+            writer.write_meta(journal.meta)
+            for record in journal.records:
+                outputs, bits = record.outputs, record.bits
+                if record.request_id == victim:
+                    if what == "outputs" and outputs is not None:
+                        outputs = outputs + 1e-9
+                    elif what == "bits" and bits is not None:
+                        bits = ~bits
+                writer.record_request(record.header, inputs=record.inputs,
+                                      outputs=outputs, bits=bits)
+        return out
+
+
+class TestReplayEdges:
+    def test_journal_without_meta_is_rejected(self, tmp_path):
+        path = str(tmp_path / "headless.bin")
+        with RequestJournal(path) as journal:
+            journal.record_request({"request_id": 0, "status": "ok"})
+        with pytest.raises(ConfigurationError, match="no META"):
+            replay_journal(path)
+
+    def test_cli_exit_codes(self, golden_journal, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["replay", golden_journal, "--backend", "thread"]) == 0
+        tampered = TestGoldenReplay._tamper(
+            golden_journal, tmp_path, "outputs"
+        )
+        assert main(["replay", tampered, "--backend", "thread"]) == 1

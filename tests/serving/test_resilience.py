@@ -163,6 +163,50 @@ class TestRetryBudget:
         finally:
             server.stop()
 
+    def test_retry_losing_close_race_fails_handle(self, fft_prototype,
+                                                  fft_input_pool):
+        # Regression for the requeue-vs-close race: a backed-off retry
+        # that lands after the admission queue closed must fail its
+        # handle with the typed error — the old path let the retry
+        # vanish and the submitter hang out its whole deadline budget.
+        import heapq
+        import threading
+
+        from repro.serving import ServeRequest
+
+        server = RumbaServer(
+            prototype=fft_prototype.clone_shard(), n_workers=1,
+            flush_interval_s=0.001,
+        )
+        server.start()
+        try:
+            server.submit_wait(fft_input_pool[:8], timeout=60)
+            request = ServeRequest(
+                request_id=10_001,
+                inputs=np.array(fft_input_pool[:8]),
+                submitted_at=time.monotonic(),
+                deadline_s=30.0,
+            )
+            request.attempts = 1
+            # Simulate close() winning: the queue is closed while the
+            # retry is still parked in the backoff heap.
+            server._admission.close()
+            with server._retry_cond:
+                server._retry_seq += 1
+                heapq.heappush(
+                    server._retry_heap,
+                    (time.monotonic(), server._retry_seq, request),
+                )
+                server._retry_cond.notify()
+            started = time.monotonic()
+            with pytest.raises(ServingError, match="re-queued"):
+                request.handle.result(timeout=10.0)
+            # Failed fast through the race branch, not via a timeout.
+            assert time.monotonic() - started < 5.0
+            assert request.handle.done()
+        finally:
+            server.stop()
+
     def test_deadline_validation(self, fft_prototype, fft_input_pool):
         server = RumbaServer(prototype=fft_prototype.clone_shard())
         server.start()
