@@ -20,7 +20,11 @@ Commands
     shared-memory rings (GIL-free scaling).  ``--chaos kill=2,...``
     injects faults (worker kills, batch faults, control-frame damage) and
     ``--selftest`` verifies every request completed exactly once or
-    failed fast — the fault-tolerance acceptance check.  With
+    failed fast — the fault-tolerance acceptance check.
+    ``--ensemble 'mlp:large,mlp:small,memo'`` serves a routed
+    multi-approximator ensemble with online router learning
+    (``docs/ensemble.md``); ``--selftest`` then additionally checks that
+    routing spread rows across members and that retrains happened.  With
     ``--listen HOST:PORT`` the server is instead exposed over TCP
     (``docs/protocol.md``) and runs until interrupted or ``--duration``
     elapses; ``--port-file`` records the bound ``host:port`` for
@@ -168,6 +172,7 @@ def _serve_config(args: argparse.Namespace):
         BackpressureConfig,
         BatchingConfig,
         ChaosConfig,
+        EnsembleConfig,
         JournalConfig,
         RetryConfig,
         ServerConfig,
@@ -175,6 +180,15 @@ def _serve_config(args: argparse.Namespace):
     )
 
     chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
+    if args.ensemble:
+        ensemble = EnsembleConfig(
+            enabled=True,
+            members=args.ensemble,
+            router=args.ensemble_router,
+            margin=args.ensemble_margin,
+        )
+    else:
+        ensemble = EnsembleConfig()
     tracing = TracingConfig(
         enabled=args.trace_sample > 0,
         sample_every=max(args.trace_sample, 1),
@@ -203,6 +217,7 @@ def _serve_config(args: argparse.Namespace):
         chaos=chaos,
         tracing=tracing,
         journal=journal,
+        ensemble=ensemble,
     )
 
 
@@ -326,6 +341,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rows.append(["requests traced", tracing["traced_requests"]])
         if tracing.get("flight_log"):
             rows.append(["flight records", tracing["flight_records"]])
+    ens_snaps = [
+        w["ensemble"] for w in stats["workers"] if w.get("ensemble")
+    ]
+    ens_members_chosen = 0
+    ens_retrains = 0
+    if ens_snaps:
+        members = ens_snaps[0]["members"]
+        routed_total = [
+            sum(int(s["routed"][i]) for s in ens_snaps)
+            for i in range(len(members))
+        ]
+        ens_members_chosen = sum(1 for v in routed_total if v > 0)
+        ens_retrains = sum(int(s["retrains"]) for s in ens_snaps)
+        rows.append(["ensemble members", ", ".join(
+            f"{m}={v}" for m, v in zip(members, routed_total)
+        )])
+        rows.append(["ensemble retrains", ens_retrains])
     print(format_table(["quantity", "value"], rows, title="Serving session"))
     worker_rows = [
         [w["worker"], w["batches"], w["elements"],
@@ -354,6 +386,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"selftest: {completed} completed + {failed} failed + "
               f"{shed} shed = {accounted} of {args.requests} submitted, "
               f"{hung} hung -> {'OK' if ok else 'FAIL'}")
+        if args.ensemble:
+            # The ensemble acceptance check: routing actually spread rows
+            # across members, and recovery outcomes drove online retrains.
+            ens_ok = ens_members_chosen >= 2 and ens_retrains > 0
+            print(f"ensemble selftest: {ens_members_chosen} members "
+                  f"chosen, {ens_retrains} retrains -> "
+                  f"{'OK' if ens_ok else 'FAIL'}")
+            ok = ok and ens_ok
         if not ok:
             return 1
     return 0
@@ -732,6 +772,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--journal-max-bytes", type=int, default=64 << 20,
                        help="rotate the journal once it exceeds this size "
                             "(one rotated generation is kept)")
+    serve.add_argument("--ensemble", default="",
+                       help="serve a multi-approximator ensemble: comma-"
+                            "separated, best-first member tokens, e.g. "
+                            "'mlp:large,mlp:small,memo' (empty disables; "
+                            "see docs/ensemble.md)")
+    serve.add_argument("--ensemble-router", default="linear",
+                       choices=("linear", "tree"),
+                       help="router predictor family for --ensemble")
+    serve.add_argument("--ensemble-margin", type=float, default=1.0,
+                       help="router budget as a multiple of the detection "
+                            "threshold (lower = more rows on the "
+                            "reference member)")
 
     replay = sub.add_parser(
         "replay", help="re-run a captured request journal and diff "

@@ -20,23 +20,33 @@ and the Fig. 10-style analyses apply unchanged.
 
 from __future__ import annotations
 
+import copy
+from typing import Optional
 
 import numpy as np
 
 from repro.apps.base import Application
+from repro.approx.base import BackendBase, CostProfile
 from repro.errors import ConfigurationError
 
 __all__ = ["QuantizedKernelBackend", "NoisyAnalogBackend"]
 
 
-class QuantizedKernelBackend:
+class QuantizedKernelBackend(BackendBase):
     """Reduced-precision execution of an exact kernel.
 
     Inputs and outputs are quantized to ``bits`` bits across calibrated
     value ranges (fixed-point datapaths); fewer bits means a more
     aggressive, cheaper accelerator with larger errors.  ``bits`` is the
     quality-programmability knob of [41].
+
+    Stateless after calibration (a pure function of its inputs), so the
+    :class:`~repro.approx.base.BackendBase` defaults for
+    ``reset_state``/``clone_shard`` apply as-is.
     """
+
+    name = "quantize"
+    quality_class = 2
 
     def __init__(self, app: Application, bits: int = 6,
                  calibration_seed: int = 0, n_calibration: int = 1000):
@@ -72,15 +82,29 @@ class QuantizedKernelBackend:
         outputs = self.app.exact(quant_in)
         return self._quantize(outputs, self._out_lo, self._out_hi)
 
+    def cost_profile(self, cost_model: Optional[object] = None) -> CostProfile:
+        """Reduced-precision datapath: cost scales with the bit width
+        relative to a 16-bit exact fixed-point baseline."""
+        rel = max(self.bits / 16.0, 0.1)
+        return CostProfile(relative_latency=rel, relative_energy=rel)
 
-class NoisyAnalogBackend:
+
+class NoisyAnalogBackend(BackendBase):
     """Analog execution: exact value + signal-dependent noise + saturation.
 
     Noise is seeded per instance but varies call to call, as a real analog
     datapath's would; ``noise_fraction`` scales the per-output noise sigma
     relative to the output range, and values saturate at the calibrated
     rails.
+
+    The noise stream is the backend's runtime state: ``reset_state``
+    re-seeds it and ``clone_shard`` gives each shard an independent
+    stream starting from the seed, so shards never consume each other's
+    draws.
     """
+
+    name = "analog"
+    quality_class = 3
 
     def __init__(self, app: Application, noise_fraction: float = 0.04,
                  calibration_seed: int = 0, n_calibration: int = 1000,
@@ -97,6 +121,7 @@ class NoisyAnalogBackend:
         outputs = app.exact(sample)
         self._out_lo = outputs.min(axis=0)
         self._out_hi = outputs.max(axis=0)
+        self.noise_seed = noise_seed
         self._rng = np.random.default_rng(noise_seed)
 
     def features(self, inputs: np.ndarray) -> np.ndarray:
@@ -114,3 +139,17 @@ class NoisyAnalogBackend:
         noise = self._rng.normal(0.0, 1.0, size=exact.shape)
         noisy = exact + noise * magnitude * self.noise_fraction * span
         return np.clip(noisy, self._out_lo, self._out_hi)
+
+    def cost_profile(self, cost_model: Optional[object] = None) -> CostProfile:
+        """Analog evaluation is the cheapest substrate modelled here."""
+        return CostProfile(relative_latency=0.15, relative_energy=0.1)
+
+    def reset_state(self) -> None:
+        """Rewind the noise stream to the seed (fresh-shard hygiene)."""
+        self._rng = np.random.default_rng(self.noise_seed)
+
+    def clone_shard(self) -> "NoisyAnalogBackend":
+        """A shard-private backend with its own noise stream from the seed."""
+        clone = copy.copy(self)
+        clone._rng = np.random.default_rng(self.noise_seed)
+        return clone

@@ -16,19 +16,21 @@ re-executed exactly.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.apps.base import Application
+from repro.approx.base import BackendBase, CostProfile, warn_deprecated
 from repro.errors import ConfigurationError, NotFittedError
 from repro.predictors.tree import DecisionTreeErrorPredictor
 
 __all__ = ["MemoizingBackend", "MemoizationQualityManager"]
 
 
-class MemoizingBackend:
+class MemoizingBackend(BackendBase):
     """Fuzzy memoization of a pure kernel.
 
     Inputs are normalized against calibrated ranges and quantized to
@@ -41,7 +43,16 @@ class MemoizingBackend:
     normalized distance between the query and the input that produced the
     reused entry (zero on misses, which computed exactly) — the natural
     checker feature of this technique.
+
+    :meth:`freeze` turns the table read-only: misses still compute
+    exactly but install nothing, making the backend a deterministic pure
+    function of its inputs.  Deterministic-replay deployments (the
+    serving ensemble) warm the table offline and freeze it; the unfrozen
+    default keeps the original adaptive behaviour.
     """
+
+    name = "memo"
+    quality_class = 1
 
     def __init__(self, app: Application, key_bits: int = 4,
                  calibration_seed: int = 0, n_calibration: int = 1000):
@@ -49,6 +60,7 @@ class MemoizingBackend:
             raise ConfigurationError("key_bits must be in [1, 12]")
         self.app = app
         self.key_bits = key_bits
+        self.frozen = False
         rng = np.random.default_rng(calibration_seed)
         sample = np.atleast_2d(np.asarray(app.train_inputs(rng), dtype=float))
         if sample.shape[0] > n_calibration:
@@ -97,7 +109,10 @@ class MemoizingBackend:
             exact = self.app.exact(inputs[miss_rows])
             for row, out in zip(miss_rows, exact):
                 outputs[row] = out
-                self._table[tuple(keys[row])] = (inputs[row].copy(), out.copy())
+                if not self.frozen:
+                    self._table[tuple(keys[row])] = (
+                        inputs[row].copy(), out.copy()
+                    )
             self.misses += len(miss_rows)
         self.last_distances = distances
         return outputs
@@ -107,12 +122,64 @@ class MemoizingBackend:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def freeze(self) -> "MemoizingBackend":
+        """Make the table read-only (misses compute exactly, install nothing)."""
+        self.frozen = True
+        return self
+
     def clear(self) -> None:
-        """Empty the memo table (and the hit counters)."""
+        """Deprecated: use :meth:`reset_state` instead.
+
+        Retains the historical semantics — empties the memo table and the
+        hit counters unconditionally (even when frozen).
+        """
+        warn_deprecated("MemoizingBackend.clear()",
+                        "MemoizingBackend.reset_state()")
         self._table.clear()
         self.hits = 0
         self.misses = 0
         self.last_distances = None
+
+    # ------------------------------------------------------------------ #
+    # ApproxBackend contract                                             #
+    # ------------------------------------------------------------------ #
+    def cost_profile(self, cost_model: Optional[object] = None) -> CostProfile:
+        """Hit-rate-weighted cost: table lookups are nearly free, misses
+        pay the exact kernel (plus lookup overhead).
+
+        Uses the observed hit rate when the table has traffic (a warmed
+        ensemble member), otherwise a neutral 50% assumption.
+        """
+        hit = self.hit_rate if (self.hits + self.misses) else 0.5
+        rel = hit * 0.05 + (1.0 - hit) * 1.05
+        return CostProfile(relative_latency=rel, relative_energy=rel)
+
+    def reset_state(self) -> None:
+        """Drop runtime state accumulated by earlier calls.
+
+        Counters and the last-distances trace always reset; the table
+        empties only when unfrozen (a frozen table is a trained artifact,
+        like the NPU weights, and survives sharding).
+        """
+        if not self.frozen:
+            self._table.clear()
+        self.hits = 0
+        self.misses = 0
+        self.last_distances = None
+
+    def clone_shard(self) -> "MemoizingBackend":
+        """A shard-private backend: fresh counters, independent table.
+
+        A frozen table is shared by reference (read-only); an unfrozen
+        clone starts cold so shards never see each other's installs.
+        """
+        clone = copy.copy(self)
+        if not self.frozen:
+            clone._table = {}
+        clone.hits = 0
+        clone.misses = 0
+        clone.last_distances = None
+        return clone
 
 
 @dataclass

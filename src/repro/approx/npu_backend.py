@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.apps.base import Application
+from repro.approx.base import BackendBase, CostProfile
 from repro.errors import ConfigurationError
 from repro.nn.mlp import MLP, Topology
 from repro.nn.scaler import MinMaxScaler
@@ -28,8 +29,13 @@ __all__ = ["NPUBackend", "train_npu_backend"]
 
 
 @dataclass
-class NPUBackend:
+class NPUBackend(BackendBase):
     """An approximate kernel realized by a trained network.
+
+    Speaks the full :class:`~repro.approx.base.ApproxBackend` contract:
+    the trained weights are immutable at run time, so shards share the
+    instance by reference (:meth:`clone_shard` returns ``self``) and
+    :meth:`reset_state` only drops the per-thread scratch buffers.
 
     Attributes
     ----------
@@ -56,6 +62,9 @@ class NPUBackend:
     _scratch: Optional[threading.local] = field(
         default=None, repr=False, compare=False
     )
+
+    name = "npu-mlp"
+    quality_class = 0
 
     def __getstate__(self) -> dict:
         # threading.local cannot cross pickle/deepcopy boundaries; the
@@ -152,17 +161,40 @@ class NPUBackend:
         ``out=``/``scratch=`` parameters.  Falls back to the unfused path
         for networks whose output layer is not linear.
         """
+        return self.forward_batch(inputs)
+
+    def forward_batch(
+        self,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        scratch: Optional[object] = None,
+    ) -> np.ndarray:
+        """Fused batch evaluation writing the final layer into ``out``.
+
+        This is the genuinely fused :class:`~repro.approx.base.ApproxBackend`
+        entry point: the hidden layers run in the per-thread scratch
+        buffers and the output layer lands directly in the caller's
+        array, so routing a sub-batch through this backend costs zero
+        interior allocations beyond the (cached) scratch.
+        """
         try:
             weights, biases = self.fused()
         except ConfigurationError:
-            return self.unfused_call(inputs)
-        arr = self.features(inputs)
+            result = self.unfused_call(x)
+            if out is None:
+                return result
+            out[...] = result
+            return out
+        arr = self.features(x)
         n = arr.shape[0]
-        scratch = self._hidden_scratch(n, weights)
+        bufs = self._hidden_scratch(n, weights)
         last = len(weights) - 1
         h = arr
         for layer, (w, b) in enumerate(zip(weights, biases)):
-            dst = np.empty((n, w.shape[1])) if layer == last else scratch[layer]
+            if layer == last:
+                dst = out if out is not None else np.empty((n, w.shape[1]))
+            else:
+                dst = bufs[layer]
             np.matmul(h, w, out=dst)
             dst += b
             h = self.network.activation_for_layer(layer)(dst, out=dst)
@@ -174,6 +206,34 @@ class NPUBackend:
         scaled = self.input_scaler.transform(feats)
         raw_out = self.network.forward(scaled)
         return self.output_scaler.inverse_transform(raw_out)
+
+    # ------------------------------------------------------------------ #
+    # ApproxBackend contract                                             #
+    # ------------------------------------------------------------------ #
+    def cost_profile(self, cost_model: Optional[object] = None) -> CostProfile:
+        """NPU invocation cost, relative to the exact CPU kernel.
+
+        With a :class:`~repro.core.costs.CostModel` the figures come from
+        the hardware models (per-invocation NPU cycles/energy versus one
+        exact CPU iteration); without one, from nominal NPU-class ratios.
+        """
+        if cost_model is not None:
+            cycles = cost_model.npu.invocation_cycles(self.topology)
+            energy = cost_model.npu.invocation_energy_pj(self.topology)
+            return CostProfile(
+                relative_latency=cycles / cost_model.cpu_iteration_cycles(),
+                relative_energy=energy / cost_model.cpu_iteration_energy_pj(),
+                invocation_cycles=cycles,
+            )
+        return CostProfile(relative_latency=0.3, relative_energy=0.3)
+
+    def reset_state(self) -> None:
+        """Drop per-thread scratch buffers (the weights are immutable)."""
+        object.__setattr__(self, "_scratch", None)
+
+    def clone_shard(self) -> "NPUBackend":
+        """Trained weights are immutable at run time: share by reference."""
+        return self
 
 
 def search_npu_backend(

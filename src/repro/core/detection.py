@@ -74,6 +74,9 @@ class DetectionModule:
         )
         self.total_checks = 0
         self.total_fires = 0
+        # Per-group fire counters, populated when callers pass group ids
+        # to detect_into (the ensemble runtime groups by routed member).
+        self.group_fires = np.zeros(0, dtype=np.int64)
         # Optional observability hook (set via RumbaSystem.attach_telemetry).
         self.telemetry = None
 
@@ -117,6 +120,7 @@ class DetectionModule:
         approx_outputs: Optional[np.ndarray] = None,
         true_errors: Optional[np.ndarray] = None,
         bits_out: Optional[np.ndarray] = None,
+        group_ids: Optional[np.ndarray] = None,
     ) -> DetectionResult:
         """Score one invocation, thresholding into ``bits_out`` if given.
 
@@ -125,6 +129,11 @@ class DetectionModule:
         caller-provided boolean buffer and avoid the per-invocation
         allocation.  Numerically identical to :meth:`detect`: a bit is set
         when the score exceeds the threshold or is non-finite.
+
+        ``group_ids`` (one small non-negative int per element, e.g. the
+        routed ensemble-member index) additionally accumulates fires into
+        :attr:`group_fires`, so per-member fire rates are observable
+        without a second pass over the bits.
         """
         scores = np.asarray(
             self.predictor.scores(
@@ -154,6 +163,15 @@ class DetectionModule:
         n_fired = int(bits.sum())
         self.total_checks += n
         self.total_fires += n_fired
+        if group_ids is not None and n_fired:
+            group_ids = np.asarray(group_ids).ravel()
+            fired = group_ids[bits]
+            top = int(fired.max()) + 1
+            if top > self.group_fires.shape[0]:
+                grown = np.zeros(top, dtype=np.int64)
+                grown[: self.group_fires.shape[0]] = self.group_fires
+                self.group_fires = grown
+            np.add.at(self.group_fires, fired, 1)
         if self.telemetry is not None:
             self.telemetry.on_detection(n, n_fired)
         return DetectionResult(scores=scores, recovery_bits=bits,

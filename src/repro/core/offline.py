@@ -16,6 +16,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.apps.base import Application
 from repro.apps.registry import get_application
+from repro.approx.ensemble import (
+    ApproximatorEnsemble,
+    EnsembleSpec,
+    build_ensemble,
+)
 from repro.approx.npu_backend import NPUBackend, train_npu_backend
 from repro.core.config import RumbaConfig
 from repro.core.runtime import RumbaSystem
@@ -28,14 +33,21 @@ from repro.predictors.training import (
     train_predictor,
 )
 
-__all__ = ["prepare_system", "prepare_backend", "clear_cache"]
+__all__ = [
+    "prepare_system",
+    "prepare_backend",
+    "prepare_ensemble",
+    "clear_cache",
+]
 
 _BACKEND_CACHE: Dict[Tuple[str, bool, int], Tuple[NPUBackend, PredictorTrainingData]] = {}
+_ENSEMBLE_CACHE: Dict[Tuple[str, EnsembleSpec, int], ApproximatorEnsemble] = {}
 
 
 def clear_cache() -> None:
-    """Drop all cached trained backends (mainly for tests)."""
+    """Drop all cached trained backends/ensembles (mainly for tests)."""
     _BACKEND_CACHE.clear()
+    _ENSEMBLE_CACHE.clear()
 
 
 def prepare_backend(
@@ -57,12 +69,38 @@ def prepare_backend(
     return backend, data
 
 
+def prepare_ensemble(
+    app: Application,
+    spec: Optional[EnsembleSpec] = None,
+    seed: int = 0,
+    cache: bool = True,
+) -> ApproximatorEnsemble:
+    """Train (or fetch cached) an approximator ensemble for a benchmark.
+
+    The reference (rank-0) member reuses the cached single-MLP backend
+    from :func:`prepare_backend`, so an ensemble system and the plain
+    system it is compared against share identical reference weights.
+    The returned ensemble is a *prototype*: serving shards call
+    :meth:`~repro.approx.ensemble.ApproximatorEnsemble.clone_shard`.
+    """
+    spec = spec or EnsembleSpec()
+    key = (app.name, spec, seed)
+    if cache and key in _ENSEMBLE_CACHE:
+        return _ENSEMBLE_CACHE[key]
+    reference, _ = prepare_backend(app, seed=seed, cache=cache)
+    ensemble = build_ensemble(app, spec, seed=seed, reference=reference)
+    if cache:
+        _ENSEMBLE_CACHE[key] = ensemble
+    return ensemble
+
+
 def prepare_system(
     app_or_name,
     scheme: str = "treeErrors",
     config: Optional[RumbaConfig] = None,
     seed: int = 0,
     cache: bool = True,
+    ensemble: Optional[EnsembleSpec] = None,
 ) -> RumbaSystem:
     """Build a ready-to-run Rumba system for a benchmark.
 
@@ -76,6 +114,11 @@ def prepare_system(
     config:
         Runtime configuration; defaults to TOQ mode at 90% quality with
         the requested scheme.
+    ensemble:
+        Optional :class:`~repro.approx.ensemble.EnsembleSpec`; when given
+        the system routes every invocation across the spec's members (the
+        reference member being the same cached single-MLP backend a plain
+        system would use) and learns the router online from recovery.
     """
     app = (
         app_or_name
@@ -88,9 +131,17 @@ def prepare_system(
             f"scheme {scheme!r} disagrees with config.scheme {config.scheme!r}"
         )
     backend, data = prepare_backend(app, seed=seed, cache=cache)
+    prototype_ensemble = None
+    if ensemble is not None:
+        # Hand each system a shard clone so the cached prototype's
+        # counters and online learner stay pristine across systems.
+        prototype_ensemble = prepare_ensemble(
+            app, ensemble, seed=seed, cache=cache
+        ).clone_shard()
+        backend = prototype_ensemble.reference
     predictor: ErrorPredictor = train_predictor(scheme, data, seed=seed)
     system = RumbaSystem(app=app, backend=backend, predictor=predictor,
-                         config=config)
+                         config=config, ensemble=prototype_ensemble)
     if config.mode.value == "toq" and scheme in ("EMA", "Random", "Uniform"):
         # These schemes score in arbitrary units, not predicted error;
         # calibrate the TOQ threshold on the training data so the quality

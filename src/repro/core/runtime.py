@@ -36,6 +36,7 @@ from typing import List, MutableSequence, Optional
 import numpy as np
 
 from repro.apps.base import Application
+from repro.approx.ensemble import ApproximatorEnsemble
 from repro.approx.npu_backend import NPUBackend
 from repro.core.config import RumbaConfig
 from repro.core.costs import AppCosts, CostModel, OffloadOverhead
@@ -58,7 +59,13 @@ _NOOP = nullcontext()
 
 @dataclass
 class InvocationRecord:
-    """Everything observed during one accelerator invocation."""
+    """Everything observed during one accelerator invocation.
+
+    ``choices`` holds the per-row routed ensemble-member indices (int8)
+    when the system runs an :class:`~repro.approx.ensemble.ApproximatorEnsemble`;
+    the serving journal persists them so ``repro replay`` can force the
+    same routing bit-for-bit.  ``None`` on single-backend systems.
+    """
 
     outputs: np.ndarray
     detection: DetectionResult
@@ -67,6 +74,7 @@ class InvocationRecord:
     costs: AppCosts
     measured_error: Optional[float] = None
     unchecked_error: Optional[float] = None
+    choices: Optional[np.ndarray] = None
 
     @property
     def fix_fraction(self) -> float:
@@ -91,6 +99,8 @@ class PendingInvocation:
     recovery_bits: np.ndarray
     measure_quality: bool
     exact: Optional[np.ndarray] = None
+    choices: Optional[np.ndarray] = None
+    router_features: Optional[np.ndarray] = None
     _stack: Optional[ExitStack] = field(default=None, repr=False)
     _scope: Optional[object] = field(default=None, repr=False)
 
@@ -129,10 +139,16 @@ class RumbaSystem:
         overhead: Optional[OffloadOverhead] = None,
         max_records: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        ensemble: Optional[ApproximatorEnsemble] = None,
     ):
         self.app = app
         self.backend = backend
         self.predictor = predictor
+        if ensemble is not None and ensemble.reference is not backend:
+            raise ConfigurationError(
+                "the ensemble's reference member must be the system backend"
+            )
+        self.ensemble = ensemble
         self.config = config or RumbaConfig(scheme=predictor.name)
         if self.config.scheme != predictor.name:
             raise ConfigurationError(
@@ -140,6 +156,10 @@ class RumbaSystem:
                 f"predictor {predictor.name!r}"
             )
         self.tuner = OnlineTuner(self.config)
+        if self.ensemble is not None:
+            # Backpressure degradations shift the router's cost/quality
+            # trade-off in lockstep with the detection threshold.
+            self.tuner.on_degradation = self.ensemble.set_degradation
         self.detection = DetectionModule(
             predictor,
             threshold=self.tuner.threshold,
@@ -223,12 +243,19 @@ class RumbaSystem:
         self._mutex = threading.Lock()
         self._complete_lock = threading.Lock()
         self.telemetry = None
+        # Pre-ensemble pickles (older journals) lack the attribute.
+        self.ensemble = state.get("ensemble")
+        if self.ensemble is not None:
+            self.tuner.on_degradation = self.ensemble.set_degradation
 
     # ------------------------------------------------------------------ #
     # Execution                                                          #
     # ------------------------------------------------------------------ #
     def run_invocation(
-        self, inputs: np.ndarray, measure_quality: bool = True
+        self,
+        inputs: np.ndarray,
+        measure_quality: bool = True,
+        forced_choices: Optional[np.ndarray] = None,
     ) -> InvocationRecord:
         """Run one accelerator invocation through detect-recover-tune.
 
@@ -238,11 +265,16 @@ class RumbaSystem:
         system would do.
         """
         return self.complete_invocation(
-            self.begin_invocation(inputs, measure_quality)
+            self.begin_invocation(
+                inputs, measure_quality, forced_choices=forced_choices
+            )
         )
 
     def begin_invocation(
-        self, inputs: np.ndarray, measure_quality: bool = True
+        self,
+        inputs: np.ndarray,
+        measure_quality: bool = True,
+        forced_choices: Optional[np.ndarray] = None,
     ) -> PendingInvocation:
         """Accelerator-side half of one invocation: accelerate + detect.
 
@@ -251,11 +283,21 @@ class RumbaSystem:
         thread) to run CPU recovery, tuning and record-keeping.  The
         caller is the accelerator-side producer: only one thread may drive
         ``begin_invocation`` on a given system at a time.
+
+        On an ensemble system a *route* step precedes acceleration: the
+        router picks a member per row, and the routed members compute the
+        batch.  ``forced_choices`` (per-row member indices) bypasses the
+        router — this is how ``repro replay`` reproduces a journaled run
+        bit-for-bit regardless of what the online learner did since.
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
         n = inputs.shape[0]
         if n == 0:
             raise ConfigurationError("invocation needs at least one element")
+        if forced_choices is not None and self.ensemble is None:
+            raise ConfigurationError(
+                "forced_choices requires an ensemble system"
+            )
 
         tel = self.telemetry
         stack: Optional[ExitStack] = None
@@ -264,8 +306,37 @@ class RumbaSystem:
             stack = ExitStack()
             scope = stack.enter_context(tel.invocation(n))
         try:
+            choices = None
+            router_features = None
+            if self.ensemble is not None:
+                with (scope.phase("route") if scope else _NOOP):
+                    router_features = self.ensemble.router_features(inputs)
+                    if forced_choices is not None:
+                        choices = np.asarray(
+                            forced_choices, dtype=np.int8
+                        ).ravel()
+                        if choices.shape[0] != n:
+                            raise ConfigurationError(
+                                "forced_choices needs one entry per row"
+                            )
+                    else:
+                        with self._mutex:
+                            threshold = self.tuner.threshold
+                        choices = self.ensemble.route(
+                            router_features, threshold
+                        )
+                if scope is not None:
+                    scope.annotate(
+                        "route",
+                        n_members=int(np.unique(choices).size),
+                        forced=forced_choices is not None,
+                    )
+
             with (scope.phase("accelerate") if scope else _NOOP):
-                approx = self.backend(inputs)
+                if self.ensemble is not None:
+                    approx = self.ensemble.forward_routed(inputs, choices)
+                else:
+                    approx = self.backend(inputs)
                 features = self.backend.features(inputs)
 
             # The experimenter's instrument, not a phase of the loop.
@@ -291,8 +362,11 @@ class RumbaSystem:
                     features=features,
                     approx_outputs=approx,
                     true_errors=true_errors,
+                    group_ids=choices,
                 )
                 bits = detection.recovery_bits
+                if self.ensemble is not None:
+                    self.ensemble.observe_detection(choices, bits)
             if tel is not None:
                 # Emulate the queue telemetry the drained path reported:
                 # all n entries were in flight at the drain point, capacity
@@ -309,6 +383,8 @@ class RumbaSystem:
                 recovery_bits=bits,
                 measure_quality=measure_quality,
                 exact=exact,
+                choices=choices,
+                router_features=router_features,
                 _stack=stack,
                 _scope=scope,
             )
@@ -342,26 +418,40 @@ class RumbaSystem:
 
                 n = pending.n_elements
                 with (scope.phase("tune") if scope else _NOOP):
+                    if self.ensemble is not None:
+                        accel_cycles = self.ensemble.blended_invocation_cycles(
+                            pending.choices, self.cost_model
+                        )
+                    else:
+                        accel_cycles = self.cost_model.npu.invocation_cycles(
+                            self.backend.topology
+                        )
                     pipeline = simulate_pipeline(
                         pending.recovery_bits,
-                        accel_cycles_per_iteration=(
-                            self.cost_model.npu.invocation_cycles(
-                                self.backend.topology
-                            )
-                        ),
+                        accel_cycles_per_iteration=accel_cycles,
                         cpu_cycles_per_iteration=(
                             self.cost_model.cpu_iteration_cycles()
                         ),
                         detector_placement=self.config.detector_placement,
                         checker_cycles=self.detection.checker.check_cycles(),
                     )
-                    costs = self.cost_model.whole_app_costs(
-                        topology=self.backend.topology,
-                        checker=self.detection.checker,
-                        fix_fraction=recovery.recovered_fraction,
-                        detector_placement=self.config.detector_placement,
-                        observed_kernel_cycles=pipeline.makespan / n,
-                    )
+                    if self.ensemble is not None:
+                        costs = self.ensemble.blended_app_costs(
+                            self.cost_model,
+                            self.detection.checker,
+                            pending.choices,
+                            fix_fraction=recovery.recovered_fraction,
+                            detector_placement=self.config.detector_placement,
+                            observed_kernel_cycles=pipeline.makespan / n,
+                        )
+                    else:
+                        costs = self.cost_model.whole_app_costs(
+                            topology=self.backend.topology,
+                            checker=self.detection.checker,
+                            fix_fraction=recovery.recovered_fraction,
+                            detector_placement=self.config.detector_placement,
+                            observed_kernel_cycles=pipeline.makespan / n,
+                        )
                     self.tuner.update(
                         InvocationFeedback(
                             fix_fraction=recovery.recovered_fraction,
@@ -373,6 +463,30 @@ class RumbaSystem:
                     scope.annotate(
                         "tune", threshold=float(self.tuner.threshold)
                     )
+
+                if (
+                    self.ensemble is not None
+                    and recovery.exact_outputs is not None
+                    and recovery.n_recovered
+                ):
+                    # Recovery already paid for exact re-execution of the
+                    # flagged rows: feed those labels to the online
+                    # routing learner.  Routing-only — detection stays on
+                    # the statically trained predictor, so replayed
+                    # recovery bits are unaffected.
+                    with (scope.phase("learn") if scope else _NOOP):
+                        self.ensemble.observe_recovery(
+                            pending.router_features,
+                            pending.choices,
+                            recovery.recovery_indices,
+                            pending.approx[recovery.recovery_indices],
+                            recovery.exact_outputs,
+                        )
+                    if scope is not None:
+                        scope.annotate(
+                            "learn",
+                            retrains=int(self.ensemble.retrain_count),
+                        )
 
                 measured_error = None
                 unchecked_error = None
@@ -392,6 +506,7 @@ class RumbaSystem:
                     costs=costs,
                     measured_error=measured_error,
                     unchecked_error=unchecked_error,
+                    choices=pending.choices,
                 )
                 if scope:
                     scope.observe_record(record)
@@ -437,11 +552,22 @@ class RumbaSystem:
         online state (tuner, detection module, recovery module, records)
         is rebuilt from scratch and seeded with the current thresholds.
         This is how the serving layer stamps out one shard per worker from
-        a single prepared prototype.
+        a single prepared prototype.  Ensemble systems clone the ensemble
+        too: each member backend decides via its own
+        ``ApproxBackend.clone_shard`` hook whether to share (immutable
+        weights, frozen memo tables) or copy (mutable runtime state), and
+        the shard gets a fresh learner and router calibration.
         """
+        shard_ensemble = (
+            self.ensemble.clone_shard() if self.ensemble is not None else None
+        )
         clone = RumbaSystem(
             app=self.app,
-            backend=self.backend,
+            backend=(
+                shard_ensemble.reference
+                if shard_ensemble is not None
+                else self.backend
+            ),
             predictor=copy.deepcopy(self.predictor),
             config=self.config,
             energy_model=self.cost_model.energy_model,
@@ -449,6 +575,7 @@ class RumbaSystem:
             overhead=self.cost_model.overhead,
             max_records=self.max_records if max_records is None else max_records,
             telemetry=telemetry,
+            ensemble=shard_ensemble,
         )
         # Each shard watches its own output stream: drop any EMA history
         # the prototype accumulated (calibration, earlier invocations) so

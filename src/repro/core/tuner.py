@@ -67,12 +67,19 @@ class OnlineTuner:
         self._degradation_level = 0
         # Optional observability hook (set via RumbaSystem.attach_telemetry).
         self.telemetry = None
+        # Optional degradation listener ``level -> None`` (the ensemble
+        # router biases toward cheap members while degraded; set by
+        # RumbaSystem, rebound after unpickling).
+        self.on_degradation = None
 
     def __getstate__(self) -> dict:
         # Telemetry binds to the parent process's registry; strip it so
         # the tuner survives the serving layer's fork/spawn boundary.
+        # The degradation listener closes over the owning system and is
+        # rebound by RumbaSystem.__setstate__.
         state = self.__dict__.copy()
         state["telemetry"] = None
+        state["on_degradation"] = None
         return state
 
     @property
@@ -140,6 +147,8 @@ class OnlineTuner:
         self.history.append(self.threshold)
         if self.telemetry is not None:
             self.telemetry.on_threshold(self.threshold, +1)
+        if self.on_degradation is not None:
+            self.on_degradation(self._degradation_level)
         return self.threshold
 
     def relax(self, factor: float | None = None) -> float:
@@ -158,4 +167,6 @@ class OnlineTuner:
         self.history.append(self.threshold)
         if self.telemetry is not None:
             self.telemetry.on_threshold(self.threshold, -1)
+        if self.on_degradation is not None:
+            self.on_degradation(self._degradation_level)
         return self.threshold

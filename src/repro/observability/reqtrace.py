@@ -46,6 +46,7 @@ __all__ = [
     "STAGE_DISPATCH",
     "STAGE_SHM_WRITE",
     "STAGE_SHM_READ",
+    "STAGE_ROUTE",
     "STAGE_COMPUTE",
     "STAGE_DETECT",
     "STAGE_RECOVERY_WAIT",
@@ -67,6 +68,7 @@ STAGE_DEQUEUE = "dequeue"              # a dispatcher took it out of the queue
 STAGE_DISPATCH = "dispatch"            # batch formed, about to hit a worker
 STAGE_SHM_WRITE = "shm_write"          # batch frame published on the in-ring
 STAGE_SHM_READ = "shm_read"            # worker popped the frame (worker clock)
+STAGE_ROUTE = "route"                  # ensemble router picked per-row members
 STAGE_COMPUTE = "compute"              # accelerator half done (worker clock)
 STAGE_DETECT = "detect"                # detection half done
 STAGE_RECOVERY_WAIT = "recovery_wait"  # batch landed in the recovery backlog
@@ -85,6 +87,7 @@ STAGES: Tuple[str, ...] = (
     STAGE_DISPATCH,
     STAGE_SHM_WRITE,
     STAGE_SHM_READ,
+    STAGE_ROUTE,
     STAGE_COMPUTE,
     STAGE_DETECT,
     STAGE_RECOVERY_WAIT,

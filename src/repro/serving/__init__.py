@@ -78,6 +78,7 @@ from repro.serving.config import (
     BackpressureConfig,
     BatchingConfig,
     ClusterConfig,
+    EnsembleConfig,
     JournalConfig,
     RetryConfig,
     ServerConfig,
@@ -106,6 +107,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosMonkey",
     "ClusterConfig",
+    "EnsembleConfig",
     "ClusterRouter",
     "Divergence",
     "InjectedFault",

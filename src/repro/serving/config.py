@@ -44,6 +44,7 @@ __all__ = [
     "BatchingConfig",
     "BackpressureConfig",
     "ClusterConfig",
+    "EnsembleConfig",
     "JournalConfig",
     "RetryConfig",
     "TracingConfig",
@@ -220,6 +221,61 @@ class JournalConfig:
         return self.path is not None
 
 
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Multi-approximator ensemble routing (see :mod:`repro.approx.ensemble`).
+
+    When ``enabled``, each worker shard serves an
+    :class:`~repro.approx.ensemble.ApproximatorEnsemble` instead of the
+    single MLP backend: a router picks a member per row, recovery
+    outcomes retrain the routing layer online, and the journal records
+    the chosen member ids so ``repro replay`` reproduces the run
+    bit-for-bit.  All fields are JSON scalars, so they round-trip
+    through the journal META frame like every other flat field.
+    """
+
+    #: Master switch; off keeps the single-backend hot path untouched.
+    enabled: bool = False
+    #: Comma-separated, best-first member tokens (see ``EnsembleSpec``).
+    members: str = "mlp:large,mlp:small,memo"
+    #: Router predictor family: "linear" or "tree".
+    router: str = "linear"
+    #: Router budget = detection threshold x margin.
+    margin: float = 1.0
+    #: Budget widening per tuner degradation level (>= 1).
+    degrade_bias: float = 2.0
+    #: Recovery-labeled samples between online retrains.
+    retrain_interval: int = 64
+    #: Per-member online ring-buffer capacity.
+    learn_buffer: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.enabled:
+            # Full validation lives in EnsembleSpec; building one here
+            # surfaces bad member lists at config-construction time.
+            self.to_spec()
+        else:
+            if self.margin <= 0:
+                raise ConfigurationError("ensemble margin must be > 0")
+            if self.retrain_interval < 1:
+                raise ConfigurationError(
+                    "ensemble retrain_interval must be >= 1"
+                )
+
+    def to_spec(self):
+        """The :class:`~repro.approx.ensemble.EnsembleSpec` this describes."""
+        from repro.approx.ensemble import EnsembleSpec
+
+        return EnsembleSpec(
+            members=self.members,
+            router=self.router,
+            margin=self.margin,
+            degrade_bias=self.degrade_bias,
+            retrain_interval=self.retrain_interval,
+            learn_buffer=self.learn_buffer,
+        )
+
+
 _ROUTING_POLICIES = ("least_loaded", "consistent_hash", "round_robin")
 
 
@@ -324,6 +380,7 @@ class ServerConfig:
     retry: RetryConfig = field(default_factory=RetryConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
     journal: JournalConfig = field(default_factory=JournalConfig)
+    ensemble: EnsembleConfig = field(default_factory=EnsembleConfig)
     chaos: Optional[object] = None
 
     #: Flat legacy kwarg name -> (section attribute or None, field name).
@@ -361,6 +418,13 @@ class ServerConfig:
         "journal_path": ("journal", "path"),
         "journal_max_bytes": ("journal", "max_bytes"),
         "journal_record_errors": ("journal", "record_errors"),
+        "ensemble_enabled": ("ensemble", "enabled"),
+        "ensemble_members": ("ensemble", "members"),
+        "ensemble_router": ("ensemble", "router"),
+        "ensemble_margin": ("ensemble", "margin"),
+        "ensemble_degrade_bias": ("ensemble", "degrade_bias"),
+        "ensemble_retrain_interval": ("ensemble", "retrain_interval"),
+        "ensemble_learn_buffer": ("ensemble", "learn_buffer"),
     }
 
     def __post_init__(self) -> None:
@@ -386,7 +450,7 @@ class ServerConfig:
         top: Dict[str, object] = {}
         grouped: Dict[str, Dict[str, object]] = {
             "batching": {}, "backpressure": {}, "retry": {}, "tracing": {},
-            "journal": {},
+            "journal": {}, "ensemble": {},
         }
         for key in ("app", "scheme"):
             if key in flat:
@@ -408,6 +472,7 @@ class ServerConfig:
             retry=RetryConfig(**grouped["retry"]),
             tracing=TracingConfig(**grouped["tracing"]),
             journal=JournalConfig(**grouped["journal"]),
+            ensemble=EnsembleConfig(**grouped["ensemble"]),
             **top,
         )
 

@@ -82,6 +82,17 @@ def worker_snapshot(
             ).astype(bool).ravel()
             snap["decision_bits"] = np.packbits(bits).tobytes()
             snap["decision_nbits"] = int(bits.shape[0])
+            choices = getattr(record, "choices", None)
+            if choices is not None:
+                # The batch's per-row routing decisions ride with the
+                # decision bits: the journal needs them so replay can
+                # force the same members through the ensemble.
+                snap["backend_ids"] = np.asarray(
+                    choices, dtype=np.int8
+                ).tobytes()
+    ensemble = getattr(system, "ensemble", None)
+    if ensemble is not None:
+        snap["ensemble"] = ensemble.snapshot()
     return snap
 
 
@@ -122,8 +133,16 @@ def _worker_main(
                 in_ring.advance(frame)
                 continue
             try:
+                # A BATCH frame's extra bytes are the batch's forced
+                # per-row member choices (int8, replay only); copied out
+                # because the frame's ring memory is released below.
+                forced = (
+                    np.frombuffer(bytes(frame.extra), dtype=np.int8)
+                    if frame.extra else None
+                )
                 record = system.run_invocation(
-                    frame.payload, measure_quality=measure_quality
+                    frame.payload, measure_quality=measure_quality,
+                    forced_choices=forced,
                 )
             except Exception as exc:  # forwarded to parent as FRAME_ERROR;
                 # KeyboardInterrupt/SystemExit deliberately propagate so a
@@ -423,16 +442,18 @@ class ProcessWorkerPool:
         blocks,
         timeout_s: float = 30.0,
         trace_id: int = 0,
+        extra: bytes = b"",
     ) -> None:
         """Ship one batch as per-request row blocks written directly into
         ring memory (:meth:`ShmRing.write_rows`) — the zero-copy dispatch
-        path: no parent-side concat buffer exists at all.
+        path: no parent-side concat buffer exists at all.  ``extra``
+        carries the batch's forced routing choices during replay.
         """
         if not worker.alive():
             raise ServingError(f"worker {worker.name} is not alive")
         deadline = time.monotonic() + timeout_s
         while not worker.in_ring.write_rows(
-            FRAME_BATCH, seq, blocks, trace_id=trace_id
+            FRAME_BATCH, seq, blocks, extra=extra, trace_id=trace_id
         ):
             if not worker.alive() or time.monotonic() >= deadline:
                 raise ServingError(

@@ -11,6 +11,10 @@ journals its own run, and compares record against record:
 
 * **outputs** — raw float64 blocks, byte equality;
 * **decision bits** — the checker's per-row recovery verdicts;
+* **backend ids** — on ensemble runs, the per-row member choices (the
+  recorded ones are *forced* through the replay router, so online
+  router learning cannot diverge the re-run; a diff here means the
+  journal was tampered with or the forcing path broke);
 * **quality metrics** — threshold, fix fraction, and (when the recorded
   run measured quality) the measured error, exact float equality.
 
@@ -176,6 +180,26 @@ def _diff_batch(
             f"output rows differ (max abs delta {delta:.3e})",
         ))
 
+    member_ids = [m.header.get("backend_ids") for m in members]
+    if all(ids is not None for ids in member_ids):
+        recorded_ids = [int(v) for ids in member_ids for v in ids]
+        new_ids = new.header.get("backend_ids")
+        if new_ids is None:
+            divergences.append(Divergence(
+                seq, "backend_ids",
+                "recorded run routed an ensemble but replay recorded "
+                "no member choices",
+            ))
+        elif [int(v) for v in new_ids] != recorded_ids:
+            flips = sum(
+                1 for a, b in zip(recorded_ids, new_ids) if int(a) != int(b)
+            ) if len(recorded_ids) == len(new_ids) else -1
+            divergences.append(Divergence(
+                seq, "backend_ids",
+                f"routed member choices differ ({flips} rows)" if flips >= 0
+                else "routed-choice vectors have different lengths",
+            ))
+
     member_bits = [m.bits for m in members]
     if all(bits is not None for bits in member_bits):
         recorded_bits = np.concatenate(member_bits)
@@ -267,6 +291,7 @@ def replay_journal(
     # stack, and journal reading alone must stay import-light.
     from repro.serving.config import (
         BatchingConfig,
+        EnsembleConfig,
         JournalConfig,
         ServerConfig,
         TracingConfig,
@@ -288,7 +313,18 @@ def replay_journal(
     journal_out = journal_out or (path + ".replay")
     _remove_journal(journal_out)
 
+    # The META's flattened config round-trips the ensemble spec, so an
+    # ensemble-enabled recording rebuilds the identical member set (same
+    # seed ⇒ same trained members); the journaled per-row choices below
+    # then force the router, making online learning replay-proof.
+    flat_config = meta.get("config") or {}
+    ensemble_kwargs = {
+        key[len("ensemble_"):]: value
+        for key, value in flat_config.items()
+        if key.startswith("ensemble_")
+    }
     config = ServerConfig(
+        ensemble=EnsembleConfig(**ensemble_kwargs),
         app=str(meta.get("app", "fft")),
         scheme=str(meta.get("scheme", "treeErrors")),
         backend=replay_backend,
@@ -310,9 +346,18 @@ def replay_journal(
         for seq in order:
             members = complete[seq]
             inputs = _concat([m.inputs for m in members])
+            member_ids = [m.header.get("backend_ids") for m in members]
+            forced = None
+            if all(ids is not None for ids in member_ids):
+                forced = np.concatenate([
+                    np.asarray(ids, dtype=np.int8).ravel()
+                    for ids in member_ids
+                ])
             # Sequential submit-and-wait: request_id i corresponds to
             # order[i], and no two invocations can interleave state.
-            server.submit_wait(inputs, deadline_s=deadline_s)
+            server.submit(
+                inputs, deadline_s=deadline_s, backend_ids=forced
+            ).result(deadline_s)
             replayed += 1
     finally:
         server.stop()

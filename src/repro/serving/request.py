@@ -156,6 +156,11 @@ class ServeRequest:
     #: :class:`~repro.serving.bufpool.BufferPool`; the server recycles it
     #: (exactly once) when the request reaches terminal completion.
     pooled: bool = False
+    #: Forced per-row ensemble member indices (int8, one per input row).
+    #: Replay passes the journaled routing decisions here so an
+    #: ensemble-enabled run reproduces bit for bit even after the online
+    #: learner shifted the router; None = route live.
+    backend_ids: Optional[np.ndarray] = None
 
     @property
     def n_elements(self) -> int:

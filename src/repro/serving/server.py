@@ -67,6 +67,7 @@ from repro.observability.reqtrace import (
     STAGE_RECOVER,
     STAGE_RECOVERY_WAIT,
     STAGE_RETRY,
+    STAGE_ROUTE,
     STAGE_SHM_READ,
     STAGE_SHM_WRITE,
     TracingPolicy,
@@ -429,6 +430,21 @@ class RumbaServer:
             "Invocations completed, last reported by each worker",
             base + ("worker",),
         )
+        # Ensemble routing: cumulative per-member row counts and online
+        # retrain passes, per worker.  Updated from the shard's counters
+        # (thread backend) or the RESULT snapshot (process backend); both
+        # stay silent when the server runs without an ensemble.
+        self._m_ens_routed = r.gauge(
+            "rumba_ensemble_routed_rows",
+            "Rows routed to each ensemble member, cumulative per worker",
+            base + ("worker", "member"),
+        )
+        self._m_ens_retrains = r.gauge(
+            "rumba_ensemble_retrains",
+            "Online router retrain passes completed, per worker",
+            base + ("worker",),
+        )
+        self._ens_children: Dict[Tuple[str, str], object] = {}
         self._labels = {"app": self.app_name, "scheme": self.scheme}
         # Label resolution (dict hashing under the family lock) costs a
         # few microseconds; the per-request and per-batch paths pay it
@@ -467,13 +483,45 @@ class RumbaServer:
             self._worker_children[name] = child
         return child
 
+    def _export_ensemble(self, worker: str, snapshot: Dict[str, object]) -> None:
+        """Re-export one worker's ensemble counters into the registry.
+
+        ``snapshot`` is :meth:`ApproximatorEnsemble.snapshot` — either
+        read directly off a thread shard or shipped inside a process
+        worker's RESULT snapshot.
+        """
+        members = snapshot.get("members", ())
+        routed = snapshot.get("routed", ())
+        for member, rows in zip(members, routed):
+            key = (worker, member)
+            child = self._ens_children.get(key)
+            if child is None:
+                child = self._m_ens_routed.labels(
+                    worker=worker, member=member, **self._labels
+                )
+                self._ens_children[key] = child
+            child.set(int(rows))
+        key = (worker, "")
+        child = self._ens_children.get(key)
+        if child is None:
+            child = self._m_ens_retrains.labels(
+                worker=worker, **self._labels
+            )
+            self._ens_children[key] = child
+        child.set(int(snapshot.get("retrains", 0)))
+
     def prepare(self) -> "RumbaServer":
         """Train (or adopt) the prototype and clone one shard per worker."""
         if self._state != "new":
             raise ServingError(f"cannot prepare a {self._state} server")
         if self._prototype is None:
+            ensemble_spec = (
+                self.config.ensemble.to_spec()
+                if self.config.ensemble.enabled else None
+            )
             self._prototype = prepare_system(
-                self.app_name, scheme=self.scheme, seed=self.seed
+                self.app_name, scheme=self.scheme, seed=self.seed,
+                ensemble=ensemble_spec,
             )
         if self.backend == "process":
             # Fail at prepare time, not in a worker, if the prototype
@@ -685,6 +733,7 @@ class RumbaServer:
         inputs: np.ndarray,
         deadline_s: Optional[float] = None,
         trace: Optional[object] = None,
+        backend_ids: Optional[np.ndarray] = None,
     ) -> ServeHandle:
         """Admit one request; raises :class:`OverloadedError` when shed.
 
@@ -692,7 +741,9 @@ class RumbaServer:
         fault-triggered retries, recovery); it defaults to the server's
         ``default_deadline_s``.  ``trace`` lets a fronting edge (the TCP
         server) hand in a :class:`RequestTrace` it already started; when
-        None, the server's sampling policy decides.
+        None, the server's sampling policy decides.  ``backend_ids``
+        (one ensemble-member index per row) forces the router's choices
+        — the replay harness passes the journaled decisions here.
         """
         if self._state != "running":
             raise ServingError(
@@ -700,6 +751,8 @@ class RumbaServer:
             )
         if deadline_s is not None and deadline_s <= 0:
             raise ConfigurationError("deadline_s must be > 0")
+        if backend_ids is not None:
+            backend_ids = np.asarray(backend_ids, dtype=np.int8).ravel()
         arr = np.asarray(inputs, dtype=float)
         pooled = False
         if arr is inputs or arr.base is inputs:
@@ -721,6 +774,12 @@ class RumbaServer:
             if pooled:
                 self._bufpool.release(inputs)
             raise ConfigurationError("a request needs at least one element")
+        if backend_ids is not None and backend_ids.shape[0] != inputs.shape[0]:
+            if pooled:
+                self._bufpool.release(inputs)
+            raise ConfigurationError(
+                "backend_ids needs one member index per input row"
+            )
         with self._id_lock:
             request_id = self._next_request_id
             self._next_request_id += 1
@@ -733,6 +792,7 @@ class RumbaServer:
             deadline_s=deadline_s,
             trace=trace,
             pooled=pooled,
+            backend_ids=backend_ids,
         )
         if trace is not None:
             trace.stamp(STAGE_ADMIT, at=request.submitted_at)
@@ -787,6 +847,26 @@ class RumbaServer:
         for trace in traces:
             trace.stamp(stage, at=at)
 
+    @staticmethod
+    def _forced_choices(batch: List[ServeRequest]) -> Optional[np.ndarray]:
+        """Concatenate a batch's forced routing choices (None = live).
+
+        Mixed batches are rejected: forcing only some rows of an
+        invocation would interleave recorded decisions with a router
+        whose online state no longer matches the recorded run.  Replay
+        batches one request per invocation, so this never triggers there.
+        """
+        forced = [r.backend_ids for r in batch]
+        if all(ids is None for ids in forced):
+            return None
+        if any(ids is None for ids in forced):
+            raise ConfigurationError(
+                "a batch cannot mix forced and live-routed requests"
+            )
+        if len(forced) == 1:
+            return forced[0]
+        return np.concatenate(forced)
+
     # ------------------------------------------------------------------ #
     # Worker groups                                                      #
     # ------------------------------------------------------------------ #
@@ -829,19 +909,23 @@ class RumbaServer:
             if self.chaos_monkey is not None:
                 self.chaos_monkey.maybe_fail(where=shard.name)
             pending = shard.system.begin_invocation(
-                inputs, measure_quality=self.measure_quality
+                inputs, measure_quality=self.measure_quality,
+                forced_choices=self._forced_choices(batch),
             )
         except Exception as exc:
             if lease is not None:
                 self._bufpool.release(lease)
             self._retry_or_fail(batch, exc, worker=shard.name)
             return
-        # ``begin_invocation`` runs the approximate kernel and the error
-        # detector back to back, so both stages land on one instant: the
-        # compute segment carries the combined cost and detect is the
-        # boundary marker.
+        # ``begin_invocation`` runs the ensemble router (when one is
+        # configured), the approximate kernel, and the error detector
+        # back to back, so the stages land on one instant: the compute
+        # segment carries the combined cost and route/detect are
+        # boundary markers.
         if traced:
             computed_at = time.monotonic()
+            if shard.system.ensemble is not None:
+                self._stamp_batch(traced, STAGE_ROUTE, at=computed_at)
             self._stamp_batch(traced, STAGE_COMPUTE, at=computed_at)
             self._stamp_batch(traced, STAGE_DETECT, at=computed_at)
         shard.batches += 1
@@ -916,6 +1000,9 @@ class RumbaServer:
             self._bufpool.release(task.lease)
             task.lease = None
         self._stamp_batch(task.traced, STAGE_RECOVER)
+        ensemble = task.shard.system.ensemble
+        if ensemble is not None:
+            self._export_ensemble(task.shard.name, ensemble.snapshot())
         blocks = split_outputs(record.outputs, task.requests)
         extras = self._thread_journal_extras(task.requests, record)
         for i, (request, outputs) in enumerate(zip(task.requests, blocks)):
@@ -998,10 +1085,15 @@ class RumbaServer:
             )
             return
         # The batch shares one ring frame, so the frame header carries
-        # the first traced request's id (0 when none is traced).
+        # the first traced request's id (0 when none is traced).  Forced
+        # routing choices (replay) ride as the frame's extra bytes.
         batch_trace_id = traced[0].trace_id if traced else 0
         try:
-            self.pool.submit_rows(worker, seq, blocks, trace_id=batch_trace_id)
+            forced = self._forced_choices(batch)
+            self.pool.submit_rows(
+                worker, seq, blocks, trace_id=batch_trace_id,
+                extra=forced.tobytes() if forced is not None else b"",
+            )
         except Exception as exc:
             with self._proc_lock:
                 owned = self._proc_pending.pop(seq, None) is not None
@@ -1089,6 +1181,9 @@ class RumbaServer:
             metrics = self._worker_metrics(worker.name)
             metrics.threshold.set(snapshot.get("threshold", 0.0))
             metrics.invocations.set(snapshot.get("invocations", 0))
+            ens_snapshot = snapshot.get("ensemble")
+            if ens_snapshot is not None:
+                self._export_ensemble(worker.name, ens_snapshot)
             try:
                 blocks = split_outputs(frame.payload, pending.requests)
             except Exception as exc:
@@ -1301,13 +1396,17 @@ class RumbaServer:
         })
 
     @staticmethod
-    def _journal_layout(requests, seq, bits, threshold, measured_error):
+    def _journal_layout(requests, seq, bits, threshold, measured_error,
+                        choices=None):
         """Per-request journal coordinates for one completed batch.
 
         Each request gets the batch's sequence number, its row slice of
         the batch (offset + total rows — what replay needs to rebuild the
-        exact batch composition), and its slice of the batch's per-row
-        decision bits.
+        exact batch composition), its slice of the batch's per-row
+        decision bits, and — on ensemble runs — its slice of the routed
+        member choices (``backend_ids``), which replay forces back
+        through the ensemble so online router learning cannot diverge
+        the re-run.
         """
         total = sum(r.n_elements for r in requests)
         extras = []
@@ -1321,6 +1420,10 @@ class RumbaServer:
                 "bits": (
                     bits[offset: offset + n_rows]
                     if bits is not None else None
+                ),
+                "backend_ids": (
+                    [int(c) for c in choices[offset: offset + n_rows]]
+                    if choices is not None else None
                 ),
                 "threshold": threshold,
                 "measured_error": measured_error,
@@ -1351,6 +1454,7 @@ class RumbaServer:
             bits,
             threshold,
             float(measured) if measured is not None else None,
+            choices=getattr(record, "choices", None),
         )
 
     def _proc_journal_extras(self, requests, seq, snapshot):
@@ -1367,6 +1471,10 @@ class RumbaServer:
         if n_bits:
             raw = np.frombuffer(snapshot["decision_bits"], dtype=np.uint8)
             bits = np.unpackbits(raw, count=int(n_bits)).astype(bool)
+        choices = None
+        raw_ids = snapshot.get("backend_ids")
+        if raw_ids is not None:
+            choices = np.frombuffer(raw_ids, dtype=np.int8)
         threshold = snapshot.get("threshold")
         measured = snapshot.get("measured_error")
         return self._journal_layout(
@@ -1375,6 +1483,7 @@ class RumbaServer:
             bits,
             float(threshold) if threshold is not None else None,
             float(measured) if measured is not None else None,
+            choices=choices,
         )
 
     def _journal_request(
@@ -1424,6 +1533,8 @@ class RumbaServer:
                 header["threshold"] = extra["threshold"]
             if extra["measured_error"] is not None:
                 header["measured_error"] = extra["measured_error"]
+            if extra.get("backend_ids") is not None:
+                header["backend_ids"] = extra["backend_ids"]
             bits = extra["bits"]
         if error is not None:
             from repro.serving.net import protocol as wire
@@ -1629,6 +1740,10 @@ class RumbaServer:
                 # and die with the server, so they never restart.
                 "restarts": 0,
                 "alive": True,
+                "ensemble": (
+                    shard.system.ensemble.snapshot()
+                    if shard.system.ensemble is not None else None
+                ),
             })
         if self.backend == "process" and self.pool is not None:
             base_threshold = (
@@ -1653,6 +1768,7 @@ class RumbaServer:
                     "drift_flags": view.drift_flags if view else 0,
                     "restarts": worker.restarts,
                     "alive": worker.alive(),
+                    "ensemble": snap.get("ensemble"),
                 })
         degradation = 0 if self.controller is None else self.controller.level
         worker_restarts = (

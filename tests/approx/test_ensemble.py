@@ -1,0 +1,396 @@
+"""Unit tests for the multi-approximator ensemble tier.
+
+Router policy and learner mechanics are tested against stub error
+predictors (canned scores) so each decision rule is pinned exactly;
+construction, sharding and cost blending run against real backends; and
+one end-to-end group exercises the trained default-spec fft ensemble.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.alt_backends import QuantizedKernelBackend
+from repro.approx.base import CostProfile
+from repro.approx.ensemble import (
+    ApproximatorEnsemble,
+    EnsembleMember,
+    EnsembleSpec,
+    InvocationRouter,
+    OnlineLearner,
+)
+from repro.approx.memoization import MemoizingBackend
+from repro.approx.perforation_backend import PerforatedKernelBackend
+from repro.errors import ConfigurationError
+
+
+class StubPredictor:
+    """Duck-typed ErrorPredictor with canned per-row scores.
+
+    ``value`` may be a scalar (every row scores the same) or ``"col0"``
+    (each row scores its own first feature column), which lets tests
+    route different rows to different members deterministically.
+    """
+
+    def __init__(self, value=0.0):
+        self.value = value
+        self.fit_calls = 0
+
+    def scores(self, features=None, **_):
+        features = np.atleast_2d(features)
+        if self.value == "col0":
+            return features[:, 0].astype(float)
+        return np.full(features.shape[0], float(self.value))
+
+    def fit(self, x, y):
+        self.fit_calls += 1
+        return self
+
+
+def make_members(fft_app, fft_backend, cheap=0.0, mid=0.0):
+    """Reference + an expensive member (cost 0.6) + a cheap one (0.1)."""
+    return [
+        EnsembleMember("mlp-large", fft_backend, StubPredictor(0.0),
+                       CostProfile(0.3, 0.3)),
+        EnsembleMember("quantize",
+                       QuantizedKernelBackend(fft_app, bits=8),
+                       StubPredictor(mid), CostProfile(0.6, 0.6)),
+        EnsembleMember("perforate",
+                       PerforatedKernelBackend(fft_app, keep_every=2),
+                       StubPredictor(cheap), CostProfile(0.1, 0.1)),
+    ]
+
+
+@pytest.fixture
+def probe(fft_app):
+    rng = np.random.default_rng(5)
+    return np.atleast_2d(fft_app.test_inputs(rng))[:32]
+
+
+class TestEnsembleSpec:
+    def test_defaults_round_trip(self):
+        spec = EnsembleSpec()
+        assert spec.member_tokens() == ("mlp:large", "mlp:small", "memo")
+
+    def test_tokens_trimmed(self):
+        spec = EnsembleSpec(members=" mlp:large , memo ")
+        assert spec.member_tokens() == ("mlp:large", "memo")
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"members": "mlp:large"}, "at least two members"),
+        ({"members": "memo,mlp:large"}, "reference.*must be an mlp"),
+        ({"router": "forest"}, "unknown router"),
+        ({"margin": 0.0}, "margin must be > 0"),
+        ({"degrade_bias": 0.5}, "degrade_bias must be >= 1"),
+        ({"retrain_interval": 0}, "retrain_interval must be >= 1"),
+        ({"learn_buffer": 4}, "learn_buffer must be >= 16"),
+    ])
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            EnsembleSpec(**kwargs)
+
+
+class TestInvocationRouter:
+    def test_cheapest_admissible_member_wins(self, fft_app, fft_backend,
+                                             probe):
+        # Both non-reference members predict zero error; the 0.1-energy
+        # perforate member must take every row over the 0.6-energy one.
+        router = InvocationRouter(make_members(fft_app, fft_backend))
+        choices = router.route(probe, threshold=0.1)
+        assert (choices == 2).all()
+
+    def test_reference_fallback_when_nothing_fits(self, fft_app,
+                                                  fft_backend, probe):
+        router = InvocationRouter(
+            make_members(fft_app, fft_backend, cheap=9.0, mid=9.0)
+        )
+        assert (router.route(probe, threshold=0.1) == 0).all()
+
+    def test_next_cheapest_takes_overflow(self, fft_app, fft_backend,
+                                          probe):
+        # Cheap member predicts above tolerance, mid member inside it.
+        router = InvocationRouter(
+            make_members(fft_app, fft_backend, cheap=9.0, mid=0.01)
+        )
+        assert (router.route(probe, threshold=0.1) == 1).all()
+
+    def test_per_row_routing_is_vectorized(self, fft_app, fft_backend):
+        members = make_members(fft_app, fft_backend, mid=9.0)
+        members[2].error_predictor = StubPredictor("col0")
+        router = InvocationRouter(members)
+        features = np.array([[0.01], [5.0], [0.02], [7.0]])
+        choices = router.route(features, threshold=0.1)
+        np.testing.assert_array_equal(choices, [2, 0, 2, 0])
+        assert choices.dtype == np.int8
+
+    def test_tolerance_scales_with_degradation(self, fft_app,
+                                               fft_backend):
+        router = InvocationRouter(
+            make_members(fft_app, fft_backend),
+            margin=0.5, degrade_bias=2.0,
+        )
+        assert router.tolerance(0.1) == pytest.approx(0.05)
+        router.set_degradation(2)
+        assert router.tolerance(0.1) == pytest.approx(0.20)
+        router.set_degradation(-3)  # clamps at zero
+        assert router.degradation_level == 0
+
+    def test_degradation_widens_routing(self, fft_app, fft_backend,
+                                        probe):
+        router = InvocationRouter(
+            make_members(fft_app, fft_backend, cheap=0.15, mid=9.0)
+        )
+        assert (router.route(probe, threshold=0.1) == 0).all()
+        router.set_degradation(1)  # tolerance 0.1 -> 0.2
+        assert (router.route(probe, threshold=0.1) == 2).all()
+
+    def test_caution_pushes_rows_back_to_reference(self, fft_app,
+                                                   fft_backend, probe):
+        router = InvocationRouter(
+            make_members(fft_app, fft_backend, cheap=0.05, mid=9.0)
+        )
+        assert (router.route(probe, threshold=0.1) == 2).all()
+        router.caution[2] = 3.0  # learned: member under-predicts 3x
+        assert (router.route(probe, threshold=0.1) == 0).all()
+
+    def test_parameter_validation(self, fft_app, fft_backend):
+        members = make_members(fft_app, fft_backend)
+        with pytest.raises(ConfigurationError):
+            InvocationRouter(members, margin=0.0)
+        with pytest.raises(ConfigurationError):
+            InvocationRouter(members, degrade_bias=0.9)
+
+
+class TestOnlineLearner:
+    def _learner(self, fft_app, fft_backend, interval=16):
+        members = make_members(fft_app, fft_backend)
+        router = InvocationRouter(members)
+        base_x = np.linspace(0.0, 1.0, 32).reshape(-1, 1)
+        base_errors = [np.full(32, 0.01) for _ in members]
+        return OnlineLearner(
+            members, router, base_features=base_x,
+            base_errors=base_errors, retrain_interval=interval,
+        ), members, router
+
+    def test_below_interval_no_retrain(self, fft_app, fft_backend):
+        learner, members, _ = self._learner(fft_app, fft_backend)
+        x = np.random.default_rng(0).random((8, 1))
+        learner.observe(x, np.full(8, 2), np.full(8, 0.02))
+        assert learner.retrain_count == 0
+        assert all(m.error_predictor.fit_calls == 0 for m in members)
+        assert learner.samples_consumed == 8
+
+    def test_interval_triggers_retrain_and_caution(self, fft_app,
+                                                   fft_backend):
+        learner, members, router = self._learner(fft_app, fft_backend)
+        members[2].error_predictor = StubPredictor(0.05)
+        x = np.random.default_rng(1).random((16, 1))
+        # Observed error 4x what member 2 predicted: caution must rise.
+        learner.observe(x, np.full(16, 2), np.full(16, 0.20))
+        assert learner.retrain_count == 1
+        assert members[2].error_predictor.fit_calls == 1
+        assert router.caution[2] > 1.0
+        # Members that saw no labels keep their predictor and caution.
+        assert members[1].error_predictor.fit_calls == 0
+        assert router.caution[1] == 1.0
+
+    def test_online_buffer_is_capped(self, fft_app, fft_backend):
+        learner, _, _ = self._learner(fft_app, fft_backend, interval=1000)
+        rng = np.random.default_rng(2)
+        for _ in range(8):
+            learner.observe(rng.random((8, 1)), np.full(8, 1),
+                            rng.random(8) * 0.1)
+        learner.buffer_cap = 16
+        x_on, y_on = learner._member_online(1)
+        assert x_on.shape[0] == 16 and y_on.shape[0] == 16
+
+    def test_parameter_validation(self, fft_app, fft_backend):
+        members = make_members(fft_app, fft_backend)
+        router = InvocationRouter(members)
+        base = np.zeros((16, 1)), [np.zeros(16)] * 3
+        with pytest.raises(ConfigurationError):
+            OnlineLearner(members, router, base[0], base[1],
+                          retrain_interval=0)
+        with pytest.raises(ConfigurationError):
+            OnlineLearner(members, router, base[0], base[1],
+                          buffer_cap=8)
+
+
+class TestApproximatorEnsemble:
+    def _ensemble(self, fft_app, fft_backend, **kwargs):
+        members = make_members(fft_app, fft_backend, **kwargs)
+        return ApproximatorEnsemble(
+            fft_app, members, InvocationRouter(members)
+        )
+
+    def test_construction_validation(self, fft_app, fft_backend):
+        members = make_members(fft_app, fft_backend)
+        with pytest.raises(ConfigurationError, match=">= 2 members"):
+            ApproximatorEnsemble(fft_app, members[:1],
+                                 InvocationRouter(members[:1]))
+        swapped = [members[2], members[0]]
+        with pytest.raises(ConfigurationError, match="must be an NPU"):
+            ApproximatorEnsemble(fft_app, swapped,
+                                 InvocationRouter(swapped))
+        dup = [members[0],
+               EnsembleMember("mlp-large", members[2].backend,
+                              StubPredictor(), CostProfile(0.1, 0.1))]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ApproximatorEnsemble(fft_app, dup, InvocationRouter(dup))
+
+    def test_homogeneous_batch_takes_fused_path(self, fft_app,
+                                                fft_backend, probe):
+        ens = self._ensemble(fft_app, fft_backend)
+        choices = np.full(probe.shape[0], 2, dtype=np.int8)
+        out = ens.forward_routed(probe, choices)
+        np.testing.assert_array_equal(
+            out, ens.members[2].backend(probe)
+        )
+        assert ens.rows_routed[2] == probe.shape[0]
+        assert ens.rows_routed[0] == 0
+
+    def test_mixed_batch_routes_per_row(self, fft_app, fft_backend,
+                                        probe):
+        ens = self._ensemble(fft_app, fft_backend)
+        choices = (np.arange(probe.shape[0]) % 3).astype(np.int8)
+        out = ens.forward_routed(probe, choices)
+        for idx in range(3):
+            rows = np.flatnonzero(choices == idx)
+            np.testing.assert_allclose(
+                out[rows], ens.members[idx].backend(probe[rows])
+            )
+            assert ens.rows_routed[idx] == rows.size
+
+    def test_choice_length_validated(self, fft_app, fft_backend, probe):
+        ens = self._ensemble(fft_app, fft_backend)
+        with pytest.raises(ConfigurationError, match="one routing choice"):
+            ens.forward_routed(probe, np.zeros(probe.shape[0] - 1))
+
+    def test_observe_detection_accumulates_fires(self, fft_app,
+                                                 fft_backend):
+        ens = self._ensemble(fft_app, fft_backend)
+        choices = np.array([0, 1, 1, 2, 2, 2], dtype=np.int8)
+        bits = np.array([True, True, False, True, True, False])
+        ens.observe_detection(choices, bits)
+        ens.observe_detection(choices, bits)
+        np.testing.assert_array_equal(ens.fires_by_member, [2, 2, 4])
+
+    def test_snapshot_shape(self, fft_app, fft_backend):
+        snap = self._ensemble(fft_app, fft_backend).snapshot()
+        assert snap["members"] == ["mlp-large", "quantize", "perforate"]
+        assert snap["routed"] == [0, 0, 0]
+        assert snap["fires"] == [0, 0, 0]
+        assert snap["retrains"] == 0
+        assert snap["degradation_level"] == 0
+
+    def test_clone_shard_isolation(self, fft_app, fft_backend, probe):
+        members = make_members(fft_app, fft_backend)
+        router = InvocationRouter(members)
+        base = np.linspace(0, 1, 32).reshape(-1, 1)
+        ens = ApproximatorEnsemble(
+            fft_app, members, router,
+            learner=OnlineLearner(members, router, base,
+                                  [np.full(32, 0.01)] * 3,
+                                  retrain_interval=8),
+        )
+        clone = ens.clone_shard()
+        # Immutable reference weights are shared; router state is not.
+        assert clone.members[0].backend is ens.members[0].backend
+        assert clone.members[1].error_predictor is not \
+            ens.members[1].error_predictor
+        clone.router.caution[2] = 5.0
+        clone.router.set_degradation(3)
+        clone.forward_routed(probe, np.zeros(probe.shape[0],
+                                             dtype=np.int8))
+        clone.learner.observe(probe, np.full(probe.shape[0], 1),
+                              np.full(probe.shape[0], 0.1))
+        assert ens.router.caution[2] == 1.0
+        assert ens.router.degradation_level == 0
+        assert ens.rows_routed.sum() == 0
+        assert ens.learner.retrain_count == 0
+        assert ens.learner.samples_consumed == 0
+        # The offline base is a shared read-only artifact.
+        assert clone.learner.base_features is ens.learner.base_features
+
+    def test_blended_invocation_cycles_interpolates(self, fft_app,
+                                                    fft_backend):
+        from repro.core.costs import CostModel
+
+        ens = self._ensemble(fft_app, fft_backend)
+        cost_model = CostModel(fft_app)
+        cpu = cost_model.cpu_iteration_cycles()
+        all_cheap = ens.blended_invocation_cycles(
+            np.full(10, 2, dtype=np.int8), cost_model
+        )
+        assert all_cheap == pytest.approx(0.1 * cpu)
+        mixed = ens.blended_invocation_cycles(
+            np.array([1] * 5 + [2] * 5, dtype=np.int8), cost_model
+        )
+        assert all_cheap < mixed < 0.6 * cpu
+
+    def test_blended_app_costs_match_single_member(self, fft_app,
+                                                   fft_backend):
+        from repro.core.costs import CostModel
+        from repro.hardware.checker_hw import CheckerModel
+
+        ens = self._ensemble(fft_app, fft_backend)
+        cost_model = CostModel(fft_app)
+        checker = CheckerModel("tree", n_inputs=1)
+        lone = ens.member_app_costs(2, cost_model, checker,
+                                    fix_fraction=0.1)
+        blended = ens.blended_app_costs(
+            cost_model, checker, np.full(6, 2, dtype=np.int8),
+            fix_fraction=0.1,
+        )
+        assert blended.scheme_energy_pj == pytest.approx(
+            lone.scheme_energy_pj
+        )
+        assert blended.scheme_cycles == pytest.approx(lone.scheme_cycles)
+
+
+class TestBuiltEnsemble:
+    """The trained default-spec fft ensemble (session-cached prototype)."""
+
+    def test_member_lineup(self, fft_ensemble):
+        from repro.approx.npu_backend import NPUBackend
+
+        assert fft_ensemble.member_names == [
+            "mlp-large", "mlp-small", "memo"
+        ]
+        assert isinstance(fft_ensemble.reference, NPUBackend)
+        assert fft_ensemble.reference is fft_ensemble.members[0].backend
+
+    def test_memo_member_is_frozen_and_warmed(self, fft_ensemble):
+        memo = fft_ensemble.members[2].backend
+        assert isinstance(memo, MemoizingBackend)
+        assert memo.frozen
+        assert memo._table  # warmed offline
+        # A fresh shard starts with clean traffic counters but keeps the
+        # frozen table (a trained artifact, shared by reference).
+        shard_memo = fft_ensemble.clone_shard().members[2].backend
+        assert shard_memo.hits == 0 and shard_memo.misses == 0
+        assert shard_memo._table is memo._table
+
+    def test_measured_cost_profiles(self, fft_ensemble):
+        for member in fft_ensemble.members:
+            assert member.cost.relative_energy > 0
+            assert member.cost.relative_latency > 0
+        # The reference member's figures come from the NPU hardware
+        # timing model, so it states absolute stream cycles too.
+        assert fft_ensemble.members[0].cost.invocation_cycles is not None
+        # Sized MLP siblings are trained independently (different seeds),
+        # even when the scaled topology degenerates to the same shape.
+        assert fft_ensemble.members[1].backend is not \
+            fft_ensemble.members[0].backend
+
+    def test_routing_and_execution_round_trip(self, fft_ensemble,
+                                              fft_app):
+        ens = fft_ensemble.clone_shard()
+        rng = np.random.default_rng(9)
+        x = np.atleast_2d(fft_app.test_inputs(rng))[:128]
+        choices = ens.route(ens.router_features(x), threshold=0.05)
+        assert choices.shape == (128,)
+        assert choices.min() >= 0
+        assert choices.max() < len(ens.members)
+        out = ens.forward_routed(x, choices)
+        assert out.shape == (128, fft_app.n_outputs)
+        assert int(ens.rows_routed.sum()) == 128

@@ -49,6 +49,16 @@ def fft_training_data(fft_app, fft_backend):
 
 
 @pytest.fixture(scope="session")
+def fft_ensemble(fft_app):
+    """The default-spec fft ensemble *prototype* (cached alongside the
+    offline backend cache).  Tests must not mutate it: call
+    ``clone_shard()`` before routing or learning."""
+    from repro.core.offline import prepare_ensemble
+
+    return prepare_ensemble(fft_app, seed=0)
+
+
+@pytest.fixture(scope="session")
 def ik2j_evaluation():
     """Full evaluation material for inversek2j (cheap to train)."""
     return evaluate_benchmark("inversek2j", seed=0, n_test_cap=4000)

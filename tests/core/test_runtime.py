@@ -290,6 +290,102 @@ class TestApplyBackpressure:
         assert shard.apply_backpressure(0) == shard.tuner.threshold
 
 
+class TestEnsembleRuntime:
+    """RumbaSystem with the routed multi-approximator ensemble."""
+
+    @pytest.fixture(scope="class")
+    def ens_system(self):
+        from repro.approx.ensemble import EnsembleSpec
+
+        return prepare_system(
+            "fft", scheme="treeErrors", seed=0, ensemble=EnsembleSpec()
+        )
+
+    def test_record_carries_choices(self, ens_system, fft_inputs):
+        shard = ens_system.clone_shard()
+        record = shard.run_invocation(fft_inputs[:500])
+        assert record.choices is not None
+        assert record.choices.shape == (500,)
+        assert record.choices.dtype == np.int8
+        assert record.choices.min() >= 0
+        assert record.choices.max() < len(shard.ensemble.members)
+        assert int(shard.ensemble.rows_routed.sum()) == 500
+
+    def test_forced_choices_reproduce_run_exactly(self, ens_system,
+                                                  fft_inputs):
+        x = fft_inputs[:600]
+        live = ens_system.clone_shard().run_invocation(x)
+        forced = ens_system.clone_shard().run_invocation(
+            x, forced_choices=live.choices
+        )
+        assert forced.outputs.tobytes() == live.outputs.tobytes()
+        np.testing.assert_array_equal(forced.choices, live.choices)
+        assert forced.detection.n_fired == live.detection.n_fired
+
+    def test_forced_choices_bypass_online_drift(self, ens_system,
+                                                fft_inputs):
+        """Forcing must reproduce a recorded run even when the replaying
+        shard's router has since learned different preferences — the
+        replay determinism contract."""
+        x = fft_inputs[:400]
+        live = ens_system.clone_shard().run_invocation(x)
+        drifted = ens_system.clone_shard()
+        drifted.ensemble.router.caution[:] = 7.0  # simulate learning
+        forced = drifted.run_invocation(x, forced_choices=live.choices)
+        assert forced.outputs.tobytes() == live.outputs.tobytes()
+        np.testing.assert_array_equal(forced.choices, live.choices)
+
+    def test_forced_choices_require_ensemble(self, tree_system,
+                                             fft_inputs):
+        with pytest.raises(ConfigurationError,
+                           match="requires an ensemble"):
+            tree_system.clone_shard().run_invocation(
+                fft_inputs[:10], forced_choices=np.zeros(10, dtype=np.int8)
+            )
+
+    def test_forced_choices_length_validated(self, ens_system,
+                                             fft_inputs):
+        with pytest.raises(ConfigurationError, match="one entry per row"):
+            ens_system.clone_shard().run_invocation(
+                fft_inputs[:10], forced_choices=np.zeros(4, dtype=np.int8)
+            )
+
+    def test_detection_fires_accumulate_per_member(self, ens_system,
+                                                   fft_inputs):
+        shard = ens_system.clone_shard()
+        fired = 0
+        for i in range(3):
+            record = shard.run_invocation(
+                fft_inputs[i * 300:(i + 1) * 300]
+            )
+            fired += record.detection.n_fired
+        assert int(shard.ensemble.fires_by_member.sum()) == fired
+
+    def test_recovery_feeds_online_learner(self, ens_system, fft_inputs):
+        shard = ens_system.clone_shard()
+        recovered = 0
+        for i in range(4):
+            record = shard.run_invocation(
+                fft_inputs[i * 400:(i + 1) * 400]
+            )
+            recovered += record.recovery.n_recovered
+        assert recovered > 0, "fixture needs a config that recovers rows"
+        assert shard.ensemble.learner.samples_consumed == recovered
+
+    def test_degradation_hook_reaches_router(self, ens_system):
+        shard = ens_system.clone_shard()
+        assert shard.tuner.on_degradation == shard.ensemble.set_degradation
+        shard.tuner.on_degradation(2)
+        assert shard.ensemble.router.degradation_level == 2
+
+    def test_clone_shard_gets_private_ensemble(self, ens_system):
+        shard = ens_system.clone_shard()
+        assert shard.ensemble is not ens_system.ensemble
+        assert shard.backend is shard.ensemble.reference
+        # The reference weights are still the shared trained artifact.
+        assert shard.backend is ens_system.ensemble.reference
+
+
 class TestPickleRoundTrip:
     """The process serving backend ships systems across process
     boundaries; a pickled system must behave identically when restored."""

@@ -17,13 +17,14 @@ from repro.errors import ConfigurationError
 from repro.serving import (
     BatchingConfig,
     ChaosConfig,
+    EnsembleConfig,
     JournalConfig,
     RumbaServer,
     ServerConfig,
     read_journal,
     replay_journal,
 )
-from repro.serving.journal import RequestJournal
+from repro.serving.journal import JournalRecord, RequestJournal
 
 N_REQUESTS = 24
 ROWS_PER_REQUEST = 8
@@ -133,6 +134,157 @@ class TestGoldenReplay:
                 writer.record_request(record.header, inputs=record.inputs,
                                       outputs=outputs, bits=bits)
         return out
+
+
+@pytest.fixture(scope="module")
+def golden_ensemble_journal(tmp_path_factory):
+    """Ensemble chaos capture: per-row routed members ride the journal.
+
+    Same shape as ``golden_journal`` (process backend, one SIGKILL
+    mid-stream) but with a three-member ensemble routing every batch.
+    Requests sample rows from across the whole test pool and margin
+    0.21 sits on fft's routing boundary, so traffic genuinely splits
+    across members — including *within* single batches.
+    """
+    path = str(tmp_path_factory.mktemp("golden-ens") / "journal.bin")
+    config = ServerConfig(
+        app="fft",
+        scheme="treeErrors",
+        backend="process",
+        n_workers=2,
+        seed=0,
+        batching=BatchingConfig(max_batch_requests=4,
+                                flush_interval_s=0.002),
+        chaos=ChaosConfig(seed=1),
+        journal=JournalConfig(path=path),
+        ensemble=EnsembleConfig(enabled=True, margin=0.21),
+    )
+    server = RumbaServer(config=config)
+    server.prepare()
+    rng = np.random.default_rng(7)
+    pool = np.atleast_2d(server.prototype.app.test_inputs(rng))
+    failed = 0
+    with server:
+        handles = []
+        for i in range(N_REQUESTS):
+            rows = rng.choice(pool.shape[0], size=ROWS_PER_REQUEST,
+                              replace=False)
+            handles.append(
+                server.submit(pool[rows], deadline_s=60.0)
+            )
+            if i == N_REQUESTS // 2:
+                assert server.chaos_monkey.kill_one_worker()
+        for handle in handles:
+            try:
+                handle.result(timeout=120.0)
+            except Exception:
+                failed += 1
+    journal = read_journal(path)
+    recorded = journal.ok_records()
+    assert len(recorded) == N_REQUESTS - failed
+    # Every successful record journaled its routed member per row...
+    assert all(r.header.get("backend_ids") is not None for r in recorded)
+    # ...traffic actually split across members...
+    chosen = {i for r in recorded for i in r.header["backend_ids"]}
+    assert len(chosen) >= 2
+    # ...and some rows went unrecovered (the tamper test flips the
+    # routing of un-fired rows, whose outputs stay approximate).
+    assert any(r.bits is not None and not r.bits.all() for r in recorded)
+    return path
+
+
+class TestEnsembleReplay:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_ensemble_chaos_run_replays_bit_for_bit(
+        self, golden_ensemble_journal, backend
+    ):
+        report = replay_journal(golden_ensemble_journal, backend=backend)
+        assert report.ok, report.summary()
+        assert report.compared > 0
+        assert report.backend == backend
+
+    def test_meta_round_trips_ensemble_config(self,
+                                              golden_ensemble_journal):
+        meta = read_journal(golden_ensemble_journal).meta
+        assert meta["config"]["ensemble_enabled"] is True
+        assert meta["config"]["ensemble_margin"] == 0.21
+        assert meta["config"]["ensemble_members"] == \
+            "mlp:large,mlp:small,memo"
+
+    def test_tampered_backend_ids_diverge(self, golden_ensemble_journal,
+                                          tmp_path):
+        """Falsified routing decisions must fail the replay loudly: the
+        forced (tampered) members produce different approximate outputs
+        on the rows recovery never touched."""
+        journal = read_journal(golden_ensemble_journal)
+        victim = next(
+            r.request_id for r in journal.ok_records()
+            if r.bits is not None and not r.bits.all()
+            and r.header.get("backend_ids")
+        )
+        out = str(tmp_path / "tampered-backend-ids.bin")
+        with RequestJournal(out) as writer:
+            writer.write_meta(journal.meta)
+            for record in journal.records:
+                header = dict(record.header)
+                if record.request_id == victim:
+                    header["backend_ids"] = [
+                        (int(c) + 1) % 3
+                        for c in header["backend_ids"]
+                    ]
+                writer.record_request(header, inputs=record.inputs,
+                                      outputs=record.outputs,
+                                      bits=record.bits)
+        report = replay_journal(out, backend="thread")
+        assert not report.ok
+        assert any(d.field == "outputs" for d in report.divergences)
+
+
+class TestBackendIdDiff:
+    """The backend_ids comparison in the batch differ: it guards the
+    forcing path itself (a replay that ignored the journaled choices
+    would re-route live and show up here)."""
+
+    @staticmethod
+    def _record(ids, rows=2):
+        header = {"request_id": 0, "status": "ok", "batch": 0,
+                  "row_offset": 0, "batch_rows": rows,
+                  "fix_fraction": 0.0}
+        if ids is not None:
+            header["backend_ids"] = ids
+        return JournalRecord(
+            header=header,
+            inputs=np.arange(rows, dtype=float).reshape(-1, 1),
+            outputs=np.zeros((rows, 2)),
+        )
+
+    def _diff(self, recorded_ids, replayed_ids):
+        from repro.serving.replay import _diff_batch
+
+        return _diff_batch(
+            0, [self._record(recorded_ids)], self._record(replayed_ids)
+        )
+
+    def test_matching_ids_clean(self):
+        assert self._diff([0, 2], [0, 2]) == []
+
+    def test_missing_replay_ids_flagged(self):
+        divergences = self._diff([0, 2], None)
+        assert [d.field for d in divergences] == ["backend_ids"]
+        assert "no member choices" in divergences[0].detail
+
+    def test_flipped_ids_flagged(self):
+        divergences = self._diff([0, 2], [0, 1])
+        assert [d.field for d in divergences] == ["backend_ids"]
+        assert "1 rows" in divergences[0].detail
+
+    def test_length_mismatch_flagged(self):
+        divergences = self._diff([0, 2], [0, 2, 1])
+        assert [d.field for d in divergences] == ["backend_ids"]
+        assert "different lengths" in divergences[0].detail
+
+    def test_non_ensemble_records_skip_comparison(self):
+        assert self._diff(None, None) == []
 
 
 class TestReplayEdges:
